@@ -1,0 +1,368 @@
+(* Benchmark & reproduction harness.
+
+   Default run regenerates every table and figure of the paper's
+   evaluation (Tables 3, 5, 6, 7; Figures 4, 8, 9, 10), the pre-PAS
+   Monte-Carlo cross-check, the validation matrix and the ablation
+   sweeps, exports the data as CSV under results/, and finishes with
+   Bechamel micro-benchmarks (one Test per table/figure plus simulator
+   throughput).
+
+   Flags: --quick (reduced trial counts), --no-perf (skip Bechamel),
+   --no-sim (analytical sections only). *)
+
+open Cachesec_experiments
+
+let quick = ref false
+let perf = ref true
+let sim = ref true
+
+let parse_args () =
+  Arg.parse
+    [
+      ("--quick", Arg.Set quick, " reduced trial counts");
+      ("--no-perf", Arg.Clear perf, " skip Bechamel micro-benchmarks");
+      ("--no-sim", Arg.Clear sim, " skip simulation-based sections");
+    ]
+    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
+    "bench/main.exe [--quick] [--no-perf] [--no-sim]"
+
+let section title body =
+  Printf.printf "\n================================================================\n";
+  Printf.printf "== %s\n" title;
+  Printf.printf "================================================================\n%!";
+  print_string body;
+  print_newline ();
+  flush stdout
+
+let export_csvs cells =
+  let open Cachesec_report in
+  Csv.write ~path:"results/table6_pas.csv"
+    ~header:[ "arch"; "attack"; "pas_computed"; "pas_paper" ]
+    ~rows:(Tables.table6_csv_rows ());
+  let ks = List.init 25 (fun i -> i * 5) in
+  let fig8 = Figures.figure8_series ~ks in
+  Csv.write ~path:"results/figure8_prepas.csv"
+    ~header:[ "series"; "k"; "prepas" ]
+    ~rows:
+      (List.concat_map
+         (fun (name, pts) ->
+           List.map
+             (fun (k, p) -> [ name; string_of_int k; Printf.sprintf "%.6g" p ])
+             pts)
+         fig8);
+  List.iter
+    (fun (name, header, rows) ->
+      Csv.write ~path:(Printf.sprintf "results/%s.csv" name) ~header ~rows)
+    (Sweeps.csv_rows ());
+  (* SVG renderings of the analytical figures. *)
+  let sigmas = List.init 31 (fun i -> float_of_int i /. 10.) in
+  Svg.write ~path:"results/figure4.svg"
+    (Svg.line_chart ~title:"Figure 4: p5 vs sigma" ~x_label:"sigma"
+       ~y_label:"p5" ~y_min:0.5 ~y_max:1.0
+       [
+         {
+           Plot.name = "p5 = Phi(1/(2 sigma))";
+           points = Cachesec_analysis.Noise.figure4_series ~sigmas;
+         };
+       ]);
+  let ks = List.init 25 (fun i -> i * 5) in
+  Svg.write ~path:"results/figure8.svg"
+    (Svg.line_chart ~title:"Figure 8: pre-PAS vs attacker accesses"
+       ~x_label:"k" ~y_label:"pre-PAS" ~y_min:0. ~y_max:1.
+       (List.map
+          (fun (name, pts) ->
+            {
+              Plot.name;
+              points = List.map (fun (k, p) -> (float_of_int k, p)) pts;
+            })
+          (Figures.figure8_series ~ks)));
+  let sigmas = List.init 31 (fun i -> float_of_int i /. 10.) in
+  Csv.write ~path:"results/figure4_noise.csv" ~header:[ "sigma"; "p5" ]
+    ~rows:
+      (List.map
+         (fun (s, p) -> [ Printf.sprintf "%g" s; Printf.sprintf "%.6g" p ])
+         (Cachesec_analysis.Noise.figure4_series ~sigmas));
+  (match cells with
+  | None -> ()
+  | Some cells ->
+    Csv.write ~path:"results/validation_matrix.csv"
+      ~header:
+        [ "arch"; "attack"; "pas"; "predicted_leak"; "recovered"; "separation" ]
+      ~rows:
+        (List.map
+           (fun (c : Validation.cell) ->
+             [
+               c.arch;
+               Cachesec_analysis.Attack_type.name c.attack;
+               Printf.sprintf "%.6g" c.pas;
+               string_of_bool c.predicted_leak;
+               string_of_bool c.recovered;
+               Printf.sprintf "%.3f" c.separation;
+             ])
+           cells));
+  (* The 36 attack-model PIFGs as Graphviz DOT artefacts. *)
+  List.iter
+    (fun attack ->
+      List.iter
+        (fun spec ->
+          let g = Cachesec_analysis.Attack_models.build attack spec () in
+          let name =
+            Printf.sprintf "%s-%s"
+              (Cachesec_cache.Spec.name spec)
+              (Cachesec_analysis.Attack_type.name attack)
+          in
+          let doc = Cachesec_core.Dot.to_string ~name g in
+          let path = Printf.sprintf "results/dot/%s.dot" name in
+          (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          (try Unix.mkdir "results/dot" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+          let oc = open_out path in
+          output_string oc doc;
+          close_out oc)
+        Cachesec_cache.Spec.all_paper)
+    Cachesec_analysis.Attack_type.all;
+  Printf.printf "CSV, SVG and DOT exports written under results/\n%!"
+
+(* --- Bechamel micro-benchmarks ------------------------------------- *)
+
+let perf_tests () =
+  let open Bechamel in
+  let open Cachesec_stats in
+  let open Cachesec_cache in
+  let open Cachesec_attacks in
+  let open Cachesec_analysis in
+  let table_tests =
+    [
+      Test.make ~name:"table3-evict-time"
+        (Staged.stage (fun () -> ignore (Pas_tables.table3 ())));
+      Test.make ~name:"table5-collision"
+        (Staged.stage (fun () -> ignore (Pas_tables.table5 ())));
+      Test.make ~name:"table6-all-attacks"
+        (Staged.stage (fun () -> ignore (Pas_tables.table6 ())));
+      Test.make ~name:"table7-resilience"
+        (Staged.stage (fun () -> ignore (Resilience.table7 ())));
+      Test.make ~name:"figure4-noise-curve"
+        (Staged.stage (fun () ->
+             ignore
+               (Noise.figure4_series
+                  ~sigmas:(List.init 31 (fun i -> float_of_int i /. 10.)))));
+      Test.make ~name:"figure8-prepas-curves"
+        (Staged.stage (fun () ->
+             ignore (Figures.figure8_series ~ks:(List.init 25 (fun i -> i * 5)))));
+    ]
+  in
+  (* One representative trial of each validation figure's inner loop. *)
+  let sim_tests =
+    let s9 = Setup.make Spec.paper_sa in
+    let fig9_trial () =
+      Victim.warm_tables s9.Setup.victim;
+      Attacker.evict_set s9.Setup.engine s9.Setup.rng ~pid:s9.Setup.attacker_pid 3;
+      ignore
+        (Victim.encrypt_timed s9.Setup.victim (Victim.random_plaintext s9.Setup.rng))
+    in
+    let s10 = Setup.make Spec.paper_sa in
+    let fig10_trial () =
+      Attacker.prime_all_sets s10.Setup.engine s10.Setup.rng
+        ~pid:s10.Setup.attacker_pid ();
+      ignore
+        (Victim.encrypt_quiet s10.Setup.victim
+           (Victim.random_plaintext s10.Setup.rng));
+      ignore
+        (Attacker.probe_all_sets s10.Setup.engine s10.Setup.rng
+           ~pid:s10.Setup.attacker_pid ())
+    in
+    [
+      Test.make ~name:"figure9-evict-time-trial" (Staged.stage fig9_trial);
+      Test.make ~name:"figure10-prime-probe-trial" (Staged.stage fig10_trial);
+    ]
+  in
+  let arch_tests =
+    List.map
+      (fun spec ->
+        let s = Setup.make spec in
+        let rng = Rng.create ~seed:99 in
+        let counter = ref 0 in
+        Test.make
+          ~name:(Printf.sprintf "access-%s" (Spec.name spec))
+          (Staged.stage (fun () ->
+               incr counter;
+               ignore
+                 (s.Setup.engine.Engine.access ~pid:(!counter land 1)
+                    (Rng.int rng 4096)))))
+      Spec.all_paper
+  in
+  let crypto_tests =
+    let key = Cachesec_crypto.Aes.key_of_hex Setup.default_key_hex in
+    let block = Bytes.make 16 '\042' in
+    [
+      Test.make ~name:"aes-encrypt-block"
+        (Staged.stage (fun () -> ignore (Cachesec_crypto.Aes.encrypt key block)));
+      Test.make ~name:"aes-encrypt-traced"
+        (Staged.stage (fun () ->
+             ignore (Cachesec_crypto.Aes.encrypt_traced key block)));
+    ]
+  in
+  Test.make_grouped ~name:"cachesec"
+    (table_tests @ sim_tests @ arch_tests @ crypto_tests)
+
+let run_perf () =
+  let open Bechamel in
+  let benchmark () =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+    in
+    let instances = Toolkit.Instance.[ monotonic_clock ] in
+    let cfg =
+      Benchmark.cfg ~limit:2000
+        ~quota:(Time.second (if !quick then 0.2 else 0.5))
+        ~stabilize:true ()
+    in
+    let raw = Benchmark.all cfg instances (perf_tests ()) in
+    let results =
+      List.map (fun instance -> Analyze.all ols instance raw) instances
+    in
+    Analyze.merge ols instances results
+  in
+  let results = benchmark () in
+  let clock = Toolkit.Instance.monotonic_clock in
+  let tbl = Hashtbl.find results (Measure.label clock) in
+  let entries =
+    Hashtbl.fold
+      (fun name ols acc ->
+        let est =
+          match Analyze.OLS.estimates ols with
+          | Some (x :: _) -> x
+          | Some [] | None -> nan
+        in
+        (name, est) :: acc)
+      tbl []
+    |> List.sort compare
+  in
+  Printf.printf "%-45s %15s\n" "benchmark" "ns/run";
+  List.iter
+    (fun (name, est) -> Printf.printf "%-45s %15.1f\n" name est)
+    entries
+
+let () =
+  parse_args ();
+  let scale = if !quick then Figures.Quick else Figures.Full in
+  Printf.printf
+    "cachesec reproduction harness - He & Lee, 'How secure is your cache \
+     against side-channel attacks?', MICRO-50 (2017)\n";
+  section "Table 3 (Type 1 edge probabilities and PAS)" (Tables.table3 ());
+  section "Table 5 (Type 3 edge probabilities and PAS)" (Tables.table5 ());
+  section "Table 6 (PAS of 4 attack types x 9 caches)" (Tables.table6 ());
+  section "Table 7 (resilience classification)" (Tables.table7 ());
+  section "Figure 4 (noise edge probability p5)" (Figures.figure4 ());
+  section "Figure 8 (pre-PAS, closed forms)" (Figures.figure8 ());
+  section "Table 6 at an alternative geometry (16 KB, 4-way)"
+    (Tables.table6_alt_geometry ());
+  section "Design-space sweeps (analytical)" (Sweeps.render ());
+  let cells = ref None in
+  if !sim then begin
+    section "Figure 9 (evict-and-time validation)" (Figures.figure9 ~scale ());
+    section "Figure 10 (prime-and-probe validation)" (Figures.figure10 ~scale ());
+    section "Pre-PAS cross-check (Section 5)" (Figures.prepas_crosscheck ~scale ());
+    let matrix = Validation.matrix ~scale () in
+    cells := Some matrix;
+    section "Validation matrix (9 caches x 4 attacks)" (Validation.render matrix);
+    section "Ablations" (Ablations.all ~scale ());
+    section "Extension: skewed randomized cache" (Extension.skewed_report ~scale ());
+    section "Extension: multi-line evictions" (Extension.multi_line_report ());
+    section "Extension: PAS vs mutual information"
+      (Metrics.render
+         (Metrics.table ~trials:(Figures.trials_for scale 2000) ()));
+    section "Extension: PAS vs SVF"
+      (Svf.render (Svf.table ~intervals:(Figures.trials_for scale 80) ()));
+    section "Extension: covert channels"
+      (Covert.render (Covert.table ~bits:(Figures.trials_for scale 2000) ()));
+    (let curves =
+       Learning_curves.table ~seeds:(if !quick then 3 else 8) ()
+     in
+     section "Extension: sample complexity (trials to recovery)"
+       (Learning_curves.render curves);
+     Cachesec_report.Csv.write ~path:"results/learning_curves.csv"
+       ~header:[ "arch"; "pas_type4"; "trials"; "recovery_rate" ]
+       ~rows:(Learning_curves.csv_rows curves));
+    section "Performance: victim hit rates"
+      (Performance.hit_rate_table
+         ~accesses:(Figures.trials_for scale 60000) ());
+    section "Performance: IRM models vs simulator"
+      (Performance.model_table
+         ~accesses:(Figures.trials_for scale 120000) ());
+    section "Edge-level validation (micro-measured conditionals)"
+      (Edge_measure.render
+         (Edge_measure.table
+            ~samples:(if !quick then 4000 else 20000)
+            ()));
+    section "Software mitigations (prefetch / prefetch-and-lock)"
+      (Mitigation.report ~scale ());
+    section "Extension: LLC attack through a two-level hierarchy"
+      (Llc.report ~scale ());
+    section "Extension: exponent leak (square-and-multiply victim)"
+      (let render spec =
+         let rng = Cachesec_stats.Rng.create ~seed:8 in
+         let scenario =
+           { Cachesec_cache.Factory.victim_pid = 0; victim_lines = [ (0, 200) ] }
+         in
+         let engine =
+           Cachesec_cache.Factory.build spec scenario
+             ~rng:(Cachesec_stats.Rng.split rng)
+         in
+         let r =
+           Cachesec_attacks.Exp_leak.run ~engine ~victim_pid:0 ~attacker_pid:1
+             ~rng:(Cachesec_stats.Rng.split rng) ~exponent:0xcaf1 ()
+         in
+         Printf.sprintf "  %-12s %s (%d/%d slots)\n"
+           (Cachesec_cache.Spec.display_name spec)
+           (if r.Cachesec_attacks.Exp_leak.exponent_recovered then
+              "exponent RECOVERED"
+            else "protected")
+           r.Cachesec_attacks.Exp_leak.slots_read
+           r.Cachesec_attacks.Exp_leak.total_slots
+       in
+       String.concat ""
+         (List.map render
+            Cachesec_cache.Spec.
+              [ paper_sa; paper_sp; paper_newcache; paper_rp; paper_rf; paper_noisy ]));
+    section "Full-key recovery (flush-and-reload, all 16 bytes)"
+      (let s = Setup.make Cachesec_cache.Spec.paper_sa in
+       let sa =
+         Cachesec_attacks.Full_key.flush_reload ~victim:s.Setup.victim
+           ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+           ~trials_per_byte:(Figures.trials_for scale 1000)
+       in
+       let s2 = Setup.make Cachesec_cache.Spec.paper_newcache in
+       let nc =
+         Cachesec_attacks.Full_key.flush_reload ~victim:s2.Setup.victim
+           ~attacker_pid:s2.Setup.attacker_pid ~rng:s2.Setup.rng
+           ~trials_per_byte:(Figures.trials_for scale 500)
+       in
+       Printf.sprintf "SA Cache:  %s\nNewcache:  %s\n"
+         (Cachesec_attacks.Full_key.render sa)
+         (Cachesec_attacks.Full_key.render nc));
+    section "Complete 128-bit key (last-round attack + schedule inversion)"
+      (let run spec trials =
+         let s = Setup.make spec in
+         let r =
+           Cachesec_attacks.Last_round.run ~victim:s.Setup.victim
+             ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+             { Cachesec_attacks.Last_round.trials = Figures.trials_for scale trials }
+         in
+         Printf.sprintf
+           "  %-12s round-10 bytes %2d/16, master key guess %s -> %s\n"
+           (Cachesec_cache.Spec.display_name spec)
+           r.Cachesec_attacks.Last_round.bytes_correct
+           r.Cachesec_attacks.Last_round.master_key_guess
+           (if r.Cachesec_attacks.Last_round.key_recovered then
+              "FULL KEY RECOVERED"
+            else "wrong")
+       in
+       run Cachesec_cache.Spec.paper_sa 3000
+       ^ run Cachesec_cache.Spec.paper_newcache 1000)
+  end;
+  section "CSV export" "";
+  export_csvs !cells;
+  if !perf then begin
+    section "Bechamel micro-benchmarks" "";
+    run_perf ()
+  end

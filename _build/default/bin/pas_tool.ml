@@ -1,0 +1,455 @@
+(* pas-tool: compute PAS / pre-PAS, render the paper's tables and
+   figures, export attack-model graphs and run simulated attacks.
+
+   The paper's conclusion lists "providing a tool for computing PAS" as
+   future work; this is that tool. *)
+
+open Cmdliner
+open Cachesec_cache
+open Cachesec_analysis
+open Cachesec_experiments
+
+(* --- shared argument converters ------------------------------------ *)
+
+let spec_conv =
+  let parse s =
+    match Spec.of_name s with
+    | Some spec -> Ok spec
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown cache %S (expected one of: %s)" s
+             (String.concat ", " (List.map Spec.name Spec.all_paper))))
+  in
+  let print ppf spec = Format.pp_print_string ppf (Spec.name spec) in
+  Arg.conv (parse, print)
+
+let attack_conv =
+  let parse s =
+    match Attack_type.of_name s with
+    | Some a -> Ok a
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown attack %S (expected one of: %s)" s
+             (String.concat ", " (List.map Attack_type.name Attack_type.all))))
+  in
+  let print ppf a = Format.pp_print_string ppf (Attack_type.name a) in
+  Arg.conv (parse, print)
+
+let cache_arg =
+  Arg.(
+    required
+    & opt (some spec_conv) None
+    & info [ "cache"; "c" ] ~docv:"CACHE"
+        ~doc:"Cache architecture: sa, sp, pl, nomo, newcache, rp, rf, re, noisy.")
+
+let attack_arg =
+  Arg.(
+    required
+    & opt (some attack_conv) None
+    & info [ "attack"; "a" ] ~docv:"ATTACK"
+        ~doc:
+          "Attack class: evict-and-time, prime-and-probe, cache-collision, \
+           flush-and-reload.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trial counts.")
+
+let scale_of_quick quick = if quick then Figures.Quick else Figures.Full
+
+(* --- commands ------------------------------------------------------- *)
+
+let tables_cmd =
+  let which =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "table"; "t" ] ~docv:"N" ~doc:"Print only table N (3, 5, 6 or 7).")
+  in
+  let run which =
+    match which with
+    | None -> print_string (Tables.all ())
+    | Some 3 -> print_string (Tables.table3 ())
+    | Some 5 -> print_string (Tables.table5 ())
+    | Some 6 -> print_string (Tables.table6 ())
+    | Some 7 -> print_string (Tables.table7 ())
+    | Some n -> Printf.eprintf "no table %d (have 3, 5, 6, 7)\n" n
+  in
+  Cmd.v
+    (Cmd.info "tables" ~doc:"Reproduce the paper's Tables 3, 5, 6 and 7.")
+    Term.(const run $ which)
+
+let figures_cmd =
+  let which =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "figure"; "f" ] ~docv:"N" ~doc:"Print only figure N (4, 8, 9 or 10).")
+  in
+  let run which quick seed =
+    let scale = scale_of_quick quick in
+    let all = which = None in
+    if all || which = Some 4 then print_string (Figures.figure4 ());
+    if all || which = Some 8 then print_string (Figures.figure8 ());
+    if all || which = Some 9 then print_string (Figures.figure9 ~scale ~seed ());
+    if all || which = Some 10 then print_string (Figures.figure10 ~scale ~seed ());
+    match which with
+    | Some n when not (List.mem n [ 4; 8; 9; 10 ]) ->
+      Printf.eprintf "no figure %d (have 4, 8, 9, 10)\n" n
+    | _ -> ()
+  in
+  Cmd.v
+    (Cmd.info "figures" ~doc:"Reproduce the paper's Figures 4, 8, 9 and 10.")
+    Term.(const run $ which $ quick_arg $ seed_arg)
+
+let pas_cmd =
+  let run spec attack =
+    let edges = Edge_probs.for_attack attack spec () in
+    let g = Attack_models.build attack spec () in
+    Printf.printf "%s under %s\n\n" (Spec.display_name spec)
+      (Attack_type.name attack);
+    List.iter
+      (fun (e : Edge_probs.edge) ->
+        Printf.printf "  %-4s = %-8s %s\n" e.label
+          (Cachesec_report.Table.fmt_prob e.prob)
+          e.meaning)
+      edges;
+    Printf.printf "\n  PAS = %s (product over the security-critical path)\n"
+      (Cachesec_report.Table.fmt_prob (Cachesec_core.Pas.pas g));
+    Printf.printf "  resilience: %s\n"
+      (Resilience.verdict_to_string (Resilience.classify spec attack))
+  in
+  Cmd.v
+    (Cmd.info "pas"
+       ~doc:"Edge probabilities and PAS for one cache under one attack.")
+    Term.(const run $ cache_arg $ attack_arg)
+
+let dot_cmd =
+  let run spec attack =
+    let g = Attack_models.build attack spec () in
+    print_string
+      (Cachesec_core.Dot.to_string
+         ~name:(Printf.sprintf "%s-%s" (Spec.name spec) (Attack_type.name attack))
+         g)
+  in
+  Cmd.v
+    (Cmd.info "dot" ~doc:"Export the attack's PIFG as Graphviz DOT.")
+    Term.(const run $ cache_arg $ attack_arg)
+
+let prepas_cmd =
+  let k_arg =
+    Arg.(
+      value & opt int 32
+      & info [ "k" ] ~docv:"K" ~doc:"Number of attacker memory accesses.")
+  in
+  let mc_arg =
+    Arg.(
+      value & flag
+      & info [ "monte-carlo" ] ~doc:"Also run the Monte-Carlo cleaning game.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
+  in
+  let run spec k mc samples seed =
+    Printf.printf "pre-PAS(%s, k=%d) = %s (closed form, paper Section 5)\n"
+      (Spec.name spec) k
+      (Cachesec_report.Table.fmt_prob (Prepas.for_spec spec ~k));
+    if mc then begin
+      let rng = Cachesec_stats.Rng.create ~seed in
+      Printf.printf "Monte-Carlo estimate (%d samples) = %s\n" samples
+        (Cachesec_report.Table.fmt_prob
+           (Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k ~samples ~rng))
+    end
+  in
+  Cmd.v
+    (Cmd.info "prepas"
+       ~doc:"Cache-cleaning success probability (pre-PAS) for one cache.")
+    Term.(const run $ cache_arg $ k_arg $ mc_arg $ samples_arg $ seed_arg)
+
+let simulate_cmd =
+  let trials_arg =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "trials" ] ~docv:"N" ~doc:"Override the attack's trial count.")
+  in
+  let run spec attack trials seed =
+    let s = Setup.make ~seed spec in
+    let lock = match spec with Spec.Pl _ -> true | _ -> false in
+    let report name recovered best true_v separation =
+      Printf.printf
+        "%s vs %s: %s\n  winner 0x%02x, true 0x%02x, z = %.2f\n"
+        (Attack_type.name attack) (Spec.display_name spec)
+        (if recovered then "key nibble RECOVERED (cache leaks)"
+         else "key nibble NOT recovered")
+        best true_v separation;
+      ignore name
+    in
+    match attack with
+    | Attack_type.Evict_and_time ->
+      let open Cachesec_attacks in
+      let cfg =
+        {
+          Evict_time.default_config with
+          Evict_time.trials =
+            Option.value trials ~default:Evict_time.default_config.Evict_time.trials;
+          lock_victim_tables = lock;
+        }
+      in
+      let r =
+        Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng cfg
+      in
+      report "et" r.Evict_time.nibble_recovered r.Evict_time.best_candidate
+        r.Evict_time.true_byte r.Evict_time.separation
+    | Attack_type.Prime_and_probe ->
+      let open Cachesec_attacks in
+      let cfg =
+        {
+          Prime_probe.default_config with
+          Prime_probe.trials =
+            Option.value trials
+              ~default:Prime_probe.default_config.Prime_probe.trials;
+          lock_victim_tables = lock;
+        }
+      in
+      let r =
+        Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng cfg
+      in
+      report "pp" r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
+        r.Prime_probe.true_byte r.Prime_probe.separation
+    | Attack_type.Cache_collision ->
+      let open Cachesec_attacks in
+      let cfg =
+        {
+          Collision.default_config with
+          Collision.trials =
+            Option.value trials ~default:Collision.default_config.Collision.trials;
+        }
+      in
+      let r = Collision.run ~victim:s.Setup.victim ~rng:s.Setup.rng cfg in
+      report "col" r.Collision.nibble_recovered r.Collision.best_delta
+        r.Collision.true_delta r.Collision.separation
+    | Attack_type.Flush_and_reload ->
+      let open Cachesec_attacks in
+      let cfg =
+        {
+          Flush_reload.default_config with
+          Flush_reload.trials =
+            Option.value trials
+              ~default:Flush_reload.default_config.Flush_reload.trials;
+        }
+      in
+      let r =
+        Flush_reload.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng cfg
+      in
+      report "fr" r.Flush_reload.nibble_recovered r.Flush_reload.best_candidate
+        r.Flush_reload.true_byte r.Flush_reload.separation
+  in
+  Cmd.v
+    (Cmd.info "simulate"
+       ~doc:"Run a simulated attack against a cache architecture.")
+    Term.(const run $ cache_arg $ attack_arg $ trials_arg $ seed_arg)
+
+let validate_cmd =
+  let run quick seed =
+    let scale = scale_of_quick quick in
+    print_string (Validation.render (Validation.matrix ~scale ~seed ()))
+  in
+  Cmd.v
+    (Cmd.info "validate"
+       ~doc:"Run the full 9-cache x 4-attack validation matrix.")
+    Term.(const run $ quick_arg $ seed_arg)
+
+let perf_cmd =
+  let accesses =
+    Arg.(
+      value & opt int 60000
+      & info [ "accesses" ] ~docv:"N" ~doc:"Accesses per workload.")
+  in
+  let run accesses seed =
+    print_string (Performance.hit_rate_table ~seed ~accesses ())
+  in
+  Cmd.v
+    (Cmd.info "perf"
+       ~doc:"Victim hit rates per architecture under synthetic workloads.")
+    Term.(const run $ accesses $ seed_arg)
+
+let metrics_cmd =
+  let trials =
+    Arg.(
+      value & opt int 1500
+      & info [ "trials" ] ~docv:"N" ~doc:"Observations per architecture.")
+  in
+  let run trials seed =
+    print_string (Metrics.render (Metrics.table ~seed ~trials ()))
+  in
+  Cmd.v
+    (Cmd.info "metrics"
+       ~doc:"Compare PAS with a measured mutual-information leakage estimate.")
+    Term.(const run $ trials $ seed_arg)
+
+let covert_cmd =
+  let bits =
+    Arg.(
+      value & opt int 2000
+      & info [ "bits" ] ~docv:"N" ~doc:"Symbols per architecture and protocol.")
+  in
+  let run bits seed =
+    print_string (Covert.render (Covert.table ~seed ~bits ()))
+  in
+  Cmd.v
+    (Cmd.info "covert"
+       ~doc:
+         "Covert-channel capacity (set-conflict and occupancy protocols) \
+          per architecture.")
+    Term.(const run $ bits $ seed_arg)
+
+let svf_cmd =
+  let intervals =
+    Arg.(
+      value & opt int 80
+      & info [ "intervals" ] ~docv:"N" ~doc:"Execution intervals per architecture.")
+  in
+  let run intervals seed =
+    print_string (Svf.render (Svf.table ~seed ~intervals ()))
+  in
+  Cmd.v
+    (Cmd.info "svf"
+       ~doc:"Compare PAS with a simplified side-channel vulnerability factor.")
+    Term.(const run $ intervals $ seed_arg)
+
+let multi_cmd =
+  let lines_arg =
+    Arg.(
+      value & opt int 4
+      & info [ "lines" ] ~docv:"M" ~doc:"Victim lines the attack must evict.")
+  in
+  let run lines = print_string (Extension.multi_line_report ~lines ()) in
+  Cmd.v
+    (Cmd.info "multi"
+       ~doc:"Multi-line eviction PAS (the paper's Table 6 closing note).")
+    Term.(const run $ lines_arg)
+
+let fullkey_cmd =
+  let trials =
+    Arg.(
+      value & opt int 1000
+      & info [ "trials" ] ~docv:"N" ~doc:"Flush-reload trials per key byte.")
+  in
+  let run spec trials seed =
+    let s = Setup.make ~seed spec in
+    let r =
+      Cachesec_attacks.Full_key.flush_reload ~victim:s.Setup.victim
+        ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+        ~trials_per_byte:trials
+    in
+    Printf.printf "%s vs flush-and-reload, %d trials/byte:\n  %s\n"
+      (Spec.display_name spec) trials
+      (Cachesec_attacks.Full_key.render r)
+  in
+  Cmd.v
+    (Cmd.info "fullkey"
+       ~doc:"Recover all 16 AES key-byte high nibbles via flush-and-reload.")
+    Term.(const run $ cache_arg $ trials $ seed_arg)
+
+let lastround_cmd =
+  let trials =
+    Arg.(
+      value & opt int 3000
+      & info [ "trials" ] ~docv:"N" ~doc:"Shared trials for all 16 bytes.")
+  in
+  let run spec trials seed =
+    let s = Setup.make ~seed spec in
+    let r =
+      Cachesec_attacks.Last_round.run ~victim:s.Setup.victim
+        ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+        { Cachesec_attacks.Last_round.trials }
+    in
+    Printf.printf
+      "%s, last-round attack, %d trials:\n\
+      \  round-10 key bytes correct: %d/16\n\
+      \  master key guess: %s%s\n"
+      (Spec.display_name spec) trials
+      r.Cachesec_attacks.Last_round.bytes_correct
+      r.Cachesec_attacks.Last_round.master_key_guess
+      (if r.Cachesec_attacks.Last_round.key_recovered then
+         "  <- FULL 128-BIT KEY RECOVERED"
+       else "  (wrong)")
+  in
+  Cmd.v
+    (Cmd.info "lastround"
+       ~doc:
+         "Recover the complete AES-128 master key via the last-round \
+          flush-and-reload attack and key-schedule inversion.")
+    Term.(const run $ cache_arg $ trials $ seed_arg)
+
+let expleak_cmd =
+  let exponent =
+    Arg.(
+      value & opt int 0xcaf1
+      & info [ "exponent" ] ~docv:"E" ~doc:"Secret exponent to leak.")
+  in
+  let run spec exponent seed =
+    let rng = Cachesec_stats.Rng.create ~seed in
+    let scenario =
+      { Factory.victim_pid = 0; victim_lines = [ (0, 200) ] }
+    in
+    let engine = Factory.build spec scenario ~rng:(Cachesec_stats.Rng.split rng) in
+    let r =
+      Cachesec_attacks.Exp_leak.run ~engine ~victim_pid:0 ~attacker_pid:1
+        ~rng:(Cachesec_stats.Rng.split rng) ~exponent ()
+    in
+    Printf.printf "%s: %s (%d/%d slots readable)\n" (Spec.display_name spec)
+      (match r.Cachesec_attacks.Exp_leak.exponent_guess with
+      | Some e when r.Cachesec_attacks.Exp_leak.exponent_recovered ->
+        Printf.sprintf "exponent RECOVERED: 0x%x" e
+      | Some e -> Printf.sprintf "wrong guess 0x%x" e
+      | None -> "no recovery")
+      r.Cachesec_attacks.Exp_leak.slots_read
+      r.Cachesec_attacks.Exp_leak.total_slots
+  in
+  Cmd.v
+    (Cmd.info "expleak"
+       ~doc:
+         "Leak a square-and-multiply exponent via flush-and-reload on the \
+          routine code lines.")
+    Term.(const run $ cache_arg $ exponent $ seed_arg)
+
+let mitigation_cmd =
+  let run quick seed =
+    print_string (Mitigation.report ~scale:(scale_of_quick quick) ~seed ())
+  in
+  Cmd.v
+    (Cmd.info "mitigation"
+       ~doc:"Software mitigations: prefetch vs prefetch-and-lock outcomes.")
+    Term.(const run $ quick_arg $ seed_arg)
+
+let llc_cmd =
+  let run quick seed =
+    print_string (Llc.report ~seed ~scale:(scale_of_quick quick) ())
+  in
+  Cmd.v
+    (Cmd.info "llc"
+       ~doc:"Cross-core flush-and-reload through a two-level hierarchy.")
+    Term.(const run $ quick_arg $ seed_arg)
+
+let main =
+  let doc = "PIFG/PAS cache side-channel security quantification (MICRO-50 2017)" in
+  Cmd.group
+    (Cmd.info "pas-tool" ~version:"1.0.0" ~doc)
+    [
+      tables_cmd; figures_cmd; pas_cmd; dot_cmd; prepas_cmd; simulate_cmd;
+      validate_cmd; perf_cmd; metrics_cmd; svf_cmd; covert_cmd; multi_cmd;
+      fullkey_cmd; lastround_cmd; expleak_cmd; llc_cmd; mitigation_cmd;
+    ]
+
+let () = exit (Cmd.eval main)

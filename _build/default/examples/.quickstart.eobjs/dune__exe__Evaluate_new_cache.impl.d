@@ -1,0 +1,1 @@
+examples/evaluate_new_cache.ml: Builder Cachesec_core Cachesec_report Edge Float List Node Pas Printf Table

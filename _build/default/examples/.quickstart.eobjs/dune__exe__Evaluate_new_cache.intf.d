@@ -1,0 +1,1 @@
+examples/evaluate_new_cache.mli:

@@ -1,0 +1,1 @@
+examples/prepas_explorer.ml: Cachesec_analysis Cachesec_attacks Cachesec_cache Cachesec_report Cachesec_stats Cleaner List Prepas Printf Replacement Rng Spec Table

@@ -1,0 +1,1 @@
+examples/prepas_explorer.mli:

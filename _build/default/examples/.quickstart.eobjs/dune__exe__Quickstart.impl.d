@@ -1,0 +1,1 @@
+examples/quickstart.ml: Attack_models Attack_type Builder Cachesec_analysis Cachesec_cache Cachesec_core Cachesec_report Edge Graph List Node Pas Printf Spec String

@@ -1,0 +1,1 @@
+examples/rsa_exponent_leak.ml: Array Cachesec_attacks Cachesec_cache Cachesec_crypto Cachesec_stats Exp_leak Factory List Printf Rng Spec String

@@ -1,0 +1,1 @@
+examples/rsa_exponent_leak.mli:

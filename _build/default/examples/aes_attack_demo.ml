@@ -1,0 +1,79 @@
+(* End-to-end attack demo: run a prime-and-probe attack against AES-128
+   on the conventional SA cache (the key nibble leaks) and on Newcache
+   (the profile is flat), then show the evict-and-time view of the same
+   contrast - the library's equivalent of the paper's Figures 9 and 10.
+
+   Run with: dune exec examples/aes_attack_demo.exe *)
+
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_experiments
+open Cachesec_report
+
+let show_prime_probe spec =
+  let s = Setup.make ~seed:2026 spec in
+  let r =
+    Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+      ~rng:s.Setup.rng
+      { Prime_probe.default_config with Prime_probe.trials = 2000 }
+  in
+  let grouped =
+    Recovery.group_scores (Recovery.normalize r.Prime_probe.scores) ~group_size:16
+  in
+  Printf.printf "prime-and-probe vs %s (key byte 0 = 0x%02x):\n"
+    (Spec.display_name spec) r.Prime_probe.true_byte;
+  print_string
+    (Plot.render_bars
+       (Array.to_list
+          (Array.mapi
+             (fun i v -> (Printf.sprintf "nibble 0x%x_" i, v))
+             grouped)));
+  Printf.printf "  -> %s\n\n"
+    (if r.Prime_probe.nibble_recovered then
+       Printf.sprintf "RECOVERED: winning candidate 0x%02x shares the true high nibble"
+         r.Prime_probe.best_candidate
+     else "not recovered: the profile is flat");
+  r.Prime_probe.nibble_recovered
+
+let show_evict_time spec =
+  let s = Setup.make ~seed:2027 spec in
+  let r =
+    Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+      ~rng:s.Setup.rng Evict_time.default_config
+  in
+  Printf.printf "evict-and-time vs %s: %s (z = %.2f)\n"
+    (Spec.display_name spec)
+    (if r.Evict_time.nibble_recovered then "key nibble recovered"
+     else "no recovery")
+    r.Evict_time.separation;
+  r.Evict_time.nibble_recovered
+
+let show_last_round spec trials =
+  let s = Setup.make ~seed:2028 spec in
+  let r =
+    Last_round.run ~victim:s.Setup.victim ~attacker_pid:1 ~rng:s.Setup.rng
+      { Last_round.trials }
+  in
+  Printf.printf
+    "last-round attack vs %s (%d trials): %d/16 round-10 bytes, master key \
+     %s%s\n"
+    (Spec.display_name spec) trials r.Last_round.bytes_correct
+    r.Last_round.master_key_guess
+    (if r.Last_round.key_recovered then "  <- FULL KEY" else " (wrong)");
+  r.Last_round.key_recovered
+
+let () =
+  Printf.printf
+    "AES-128 key-recovery demo (victim key = FIPS-197 appendix key)\n\n";
+  let sa_pp = show_prime_probe Spec.paper_sa in
+  let nc_pp = show_prime_probe Spec.paper_newcache in
+  let sa_et = show_evict_time Spec.paper_sa in
+  let nc_et = show_evict_time Spec.paper_newcache in
+  print_newline ();
+  let sa_lr = show_last_round Spec.paper_sa 2000 in
+  let nc_lr = show_last_round Spec.paper_newcache 600 in
+  Printf.printf
+    "\nSummary: the SA cache leaks under every attack (%b, %b) up to the\n\
+     complete 128-bit master key (%b); Newcache resists all three\n\
+     (%b, %b, %b), matching the paper's Table 7 row for each.\n"
+    sa_pp sa_et sa_lr nc_pp nc_et nc_lr

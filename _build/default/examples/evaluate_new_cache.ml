@@ -1,0 +1,88 @@
+(* Evaluate a cache design that is NOT in the paper, exercising the
+   model's extensibility (the paper's Section 4 point): a hypothetical
+   "RF-Newcache" that combines Newcache's randomized mapping and PID
+   tags with Random Fill's randomized fetch.
+
+   Because PIFGs compose per edge, scoring the hybrid only requires
+   saying which edge each mechanism affects:
+     - p2 (line selection)        <- Newcache: 1/N
+     - p0 (fetched line identity) <- RF: 1/(Wa+Wb+1)
+     - p4 (cross-context reload)  <- Newcache PID tags: 0
+
+   Run with: dune exec examples/evaluate_new_cache.exe *)
+
+open Cachesec_core
+open Cachesec_report
+
+let lines = 512.
+let window = 129.
+
+(* Type 1, evict-and-time: eviction randomised as in Newcache. *)
+let type1 =
+  let b = Builder.create () in
+  let a = Builder.node b ~label:"attacker address" ~role:Node.Attacker_origin in
+  let v = Builder.node b ~label:"victim address" ~role:Node.Victim_origin in
+  let sel = Builder.node b ~label:"selected line" ~role:Node.Internal in
+  let ev = Builder.node b ~label:"evicted line" ~role:Node.Internal in
+  let hm = Builder.node b ~label:"hit/miss" ~role:Node.Internal in
+  let obs = Builder.node b ~label:"block time" ~role:Node.Observation in
+  let _ = Builder.edge b ~label:"p1" ~parents:[ a ] ~child:sel 1.0 in
+  let _ = Builder.edge b ~label:"p2" ~parents:[ sel ] ~child:ev (1. /. lines) in
+  let _ = Builder.edge b ~label:"p4" ~parents:[ ev; v ] ~child:hm 1.0 in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ hm ] ~child:obs 1.0 in
+  Builder.finish_exn b
+
+(* Type 3, cache collision: the RF window node decouples the fetched
+   line from the accessed line. *)
+let type3 =
+  let b = Builder.create () in
+  let v1 = Builder.node b ~label:"victim access 1" ~role:Node.Victim_origin in
+  let v2 = Builder.node b ~label:"victim access 2" ~role:Node.Victim_origin in
+  let sel = Builder.node b ~label:"selected fill line" ~role:Node.Internal in
+  let hm = Builder.node b ~label:"reuse hit/miss" ~role:Node.Internal in
+  let obs = Builder.node b ~label:"block time" ~role:Node.Observation in
+  let _ = Builder.edge b ~label:"p0" ~parents:[ v1 ] ~child:sel (1. /. window) in
+  let _ = Builder.edge b ~label:"p4" ~parents:[ sel; v2 ] ~child:hm 1.0 in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ hm ] ~child:obs 1.0 in
+  Builder.finish_exn b
+
+(* Type 4, flush-and-reload: PID tags kill the cross-context hit. *)
+let type4 =
+  let b = Builder.create () in
+  let v = Builder.node b ~label:"victim shared access" ~role:Node.Victim_origin in
+  let a = Builder.node b ~label:"attacker reload" ~role:Node.Attacker_origin in
+  let sel = Builder.node b ~label:"selected fill line" ~role:Node.Internal in
+  let hm = Builder.node b ~label:"reload hit/miss" ~role:Node.Internal in
+  let obs = Builder.node b ~label:"reload time" ~role:Node.Observation in
+  let _ = Builder.edge b ~label:"p0" ~parents:[ v ] ~child:sel (1. /. window) in
+  let _ = Builder.edge b ~label:"p4" ~parents:[ sel; a ] ~child:hm 0.0 in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ hm ] ~child:obs 1.0 in
+  Builder.finish_exn b
+
+let () =
+  Printf.printf
+    "Hypothetical RF-Newcache hybrid (Newcache mapping + random fill):\n\n";
+  let report name g reference =
+    Printf.printf "  %-28s PAS = %-8s (best existing: %s)\n" name
+      (Table.fmt_prob (Pas.pas g))
+      reference
+  in
+  report "Type 1 evict-and-time" type1 "Newcache 1.95e-3";
+  report "Type 3 cache collision" type3 "RF 7.75e-3";
+  report "Type 4 flush-and-reload" type4 "Newcache/RP 0";
+  Printf.printf
+    "\nThe hybrid inherits the strongest defence on every axis - the kind\n\
+     of design-phase comparison the paper's methodology enables without\n\
+     taping out a chip or running a simulator.\n";
+
+  (* Cross-check Theorem 1 numerically on one of the graphs: PAS equals
+     the plain product of the security-critical edge probabilities. *)
+  let product =
+    List.fold_left
+      (fun acc (e : Edge.t) -> acc *. e.prob)
+      1.
+      (Pas.security_critical_edges type3)
+  in
+  assert (Float.abs (product -. Pas.pas type3) < 1e-12);
+  Printf.printf "\nTheorem 1 check on the Type 3 graph: product = %.6g = PAS\n"
+    product

@@ -1,0 +1,56 @@
+(* Explore the attacker's cache-cleaning prerequisite (paper Section 5):
+   closed-form pre-PAS next to the Monte-Carlo cleaning game, showing
+   the RE cache's "free lunch" effect and the partitioned caches'
+   immunity.
+
+   Run with: dune exec examples/prepas_explorer.exe *)
+
+open Cachesec_stats
+open Cachesec_cache
+open Cachesec_analysis
+open Cachesec_attacks
+open Cachesec_report
+
+let () =
+  let rng = Rng.create ~seed:5 in
+  let ks = [ 8; 12; 16; 24; 32; 48 ] in
+  let samples = 1500 in
+  let caches =
+    [
+      ("SA 8-way", Spec.paper_sa);
+      ("RE 8-way T=10", Spec.Re { ways = 8; policy = Replacement.Random; interval = 10 });
+      ("Nomo 2/8", Spec.paper_nomo);
+      ("Newcache", Spec.paper_newcache);
+      ("SP", Spec.paper_sp);
+      ("PL (locked)", Spec.paper_pl);
+    ]
+  in
+  Printf.printf
+    "pre-PAS: probability of cleaning the victim's set within k accesses\n\
+     (closed form / Monte Carlo with %d samples)\n\n" samples;
+  let headers = "cache" :: List.map (fun k -> Printf.sprintf "k=%d" k) ks in
+  let rows =
+    List.map
+      (fun (name, spec) ->
+        name
+        :: List.map
+             (fun k ->
+               let cf = Prepas.for_spec spec ~k in
+               let mc =
+                 Cleaner.monte_carlo spec ~accesses:k ~samples
+                   ~rng:(Rng.split rng)
+               in
+               Printf.sprintf "%s/%s" (Table.fmt_prob cf) (Table.fmt_prob mc))
+             ks)
+      caches
+  in
+  print_string (Table.render ~headers ~rows ());
+  Printf.printf
+    "\nReading the table:\n\
+     - RE reaches any target faster than SA: its periodic random evictions\n\
+    \  are free work for the attacker (k + floor(k/10) effective evictions).\n\
+     - Nomo needs only the 6 unreserved ways cleaned, so it climbs faster\n\
+    \  than SA at small k - way partitioning cuts both ways.\n\
+     - Newcache's single designated line is hit with probability 1/512 per\n\
+    \  access: cleaning is hopeless at these k.\n\
+     - SP and PL (prefetched + locked) cannot be cleaned at all.\n"

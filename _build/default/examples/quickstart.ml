@@ -1,0 +1,65 @@
+(* Quickstart: build a PIFG by hand, compute its PAS, then let the
+   library do the same for a real cache/attack pair.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Cachesec_core
+
+(* Part 1 - the paper's Figure 2: a general PIFG with 13 nodes and 11
+   edges. The victim's origin is I, the attacker's origin is A, the
+   observation is K, and PAS = p1 * p4 * p5 * p6 * p7 * p9. *)
+let figure2 () =
+  let b = Builder.create () in
+  let n label role = Builder.node b ~label ~role in
+  let a = n "A" Node.Attacker_origin in
+  let i = n "I" Node.Victim_origin in
+  let nb = n "B" Node.Internal in
+  let c = n "C" Node.Internal in
+  let d = n "D" Node.Internal in
+  let e = n "E" Node.Internal in
+  let j = n "J" Node.Internal in
+  let f = n "F" Node.Internal in
+  let g = n "G" Node.Internal in
+  let h = n "H" Node.Internal in
+  let k = n "K" Node.Observation in
+  let l = n "L" Node.Internal in
+  let m = n "M" Node.Internal in
+  (* Edge probabilities p1..p11; only those on the security-critical
+     path matter for PAS. *)
+  let _e1 = Builder.edge b ~label:"p1" ~parents:[ a ] ~child:nb 0.5 in
+  let _e2 = Builder.edge b ~label:"p2" ~parents:[ nb ] ~child:c 0.9 in
+  let _e3 = Builder.edge b ~label:"p3" ~parents:[ c ] ~child:d 0.8 in
+  let _e4 = Builder.edge b ~label:"p4" ~parents:[ nb ] ~child:e 0.25 in
+  let _e5 = Builder.edge b ~label:"p5" ~parents:[ i ] ~child:j 1.0 in
+  let _e6 = Builder.edge b ~label:"p6" ~parents:[ e; j ] ~child:f 1.0 in
+  let _e7 = Builder.edge b ~label:"p7" ~parents:[ f ] ~child:g 0.5 in
+  let _e8 = Builder.edge b ~label:"p8" ~parents:[ f ] ~child:h 0.7 in
+  let _e9 = Builder.edge b ~label:"p9" ~parents:[ g ] ~child:k 1.0 in
+  let _e10 = Builder.edge b ~label:"p10" ~parents:[ h ] ~child:l 0.6 in
+  let _e11 = Builder.edge b ~label:"p11" ~parents:[ l ] ~child:m 0.4 in
+  Builder.finish_exn b
+
+let () =
+  let g = figure2 () in
+  Printf.printf "Figure 2 example graph: %d nodes, %d edges\n"
+    (Graph.node_count g) (Graph.edge_count g);
+  Printf.printf "security-critical edges: %s\n"
+    (String.concat ", "
+       (List.map
+          (fun (e : Edge.t) -> e.label)
+          (Pas.security_critical_edges g)));
+  Printf.printf "PAS = %.4f (by hand: 0.5 * 0.25 * 1.0 * 1.0 * 0.5 * 1.0 = %.4f)\n\n"
+    (Pas.pas g)
+    (0.5 *. 0.25 *. 1.0 *. 1.0 *. 0.5 *. 1.0);
+
+  (* Part 2 - the library's built-in attack models: how resilient is
+     each cache to the evict-and-time attack? *)
+  let open Cachesec_analysis in
+  let open Cachesec_cache in
+  Printf.printf "PAS of evict-and-time (Type 1) per cache architecture:\n";
+  List.iter
+    (fun spec ->
+      Printf.printf "  %-12s %s\n" (Spec.name spec)
+        (Cachesec_report.Table.fmt_prob
+           (Attack_models.pas Attack_type.Evict_and_time spec ())))
+    Spec.all_paper

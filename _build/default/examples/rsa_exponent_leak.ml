@@ -1,0 +1,60 @@
+(* Flush-and-reload against square-and-multiply exponentiation: the
+   paper's point that one side channel breaks many algorithms, shown on
+   a second victim. The secret exponent's bits are read from which code
+   line (square vs multiply) executed in each time slot.
+
+   Run with: dune exec examples/rsa_exponent_leak.exe *)
+
+open Cachesec_stats
+open Cachesec_cache
+open Cachesec_attacks
+
+let secret_exponent = 0b1100101011110001
+
+let show spec =
+  let rng = Rng.create ~seed:8 in
+  let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 200) ] } in
+  let engine = Factory.build spec scenario ~rng:(Rng.split rng) in
+  let r =
+    Exp_leak.run ~engine ~victim_pid:0 ~attacker_pid:1 ~rng:(Rng.split rng)
+      ~exponent:secret_exponent ()
+  in
+  let ops =
+    String.concat ""
+      (Array.to_list
+         (Array.map
+            (function
+              | Some Cachesec_crypto.Modexp.Square -> "S"
+              | Some Cachesec_crypto.Modexp.Multiply -> "M"
+              | None -> "?")
+            r.Exp_leak.observed_ops))
+  in
+  Printf.printf "%-12s observed %-28s -> %s\n" (Spec.display_name spec) ops
+    (match r.Exp_leak.exponent_guess with
+    | Some e when r.Exp_leak.exponent_recovered ->
+      Printf.sprintf "exponent RECOVERED: 0x%x" e
+    | Some e -> Printf.sprintf "wrong guess 0x%x" e
+    | None ->
+      Printf.sprintf "no recovery (%d/%d slots readable)" r.Exp_leak.slots_read
+        r.Exp_leak.total_slots)
+
+let () =
+  Printf.printf
+    "Secret exponent 0x%x through a shared square-and-multiply library:\n\n"
+    secret_exponent;
+  List.iter show
+    [
+      Spec.paper_sa;
+      Spec.paper_sp;
+      Spec.paper_nomo;
+      Spec.paper_newcache;
+      Spec.paper_rp;
+      Spec.paper_rf;
+      Spec.paper_noisy;
+    ];
+  Printf.printf
+    "\nThe outcome tracks the paper's Type 4 column exactly: every cache\n\
+     without per-context tags or randomized fetch leaks the whole exponent\n\
+     in a single traced execution; SP leaks despite partitioning because\n\
+     the library is shared; Newcache/RP (PID tags) and RF (random fill)\n\
+     read as noise.\n"

@@ -1,0 +1,1 @@
+lib/analysis/attack_models.ml: Attack_type Builder Cachesec_core Edge_probs Node Pas

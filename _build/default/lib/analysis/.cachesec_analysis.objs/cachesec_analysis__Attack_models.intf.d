@@ -1,0 +1,1 @@
+lib/analysis/attack_models.mli: Attack_type Cachesec_cache Cachesec_core Config Graph Spec

@@ -1,0 +1,1 @@
+lib/analysis/attack_type.ml: Format List Printf

@@ -1,0 +1,1 @@
+lib/analysis/attack_type.mli: Format

@@ -1,0 +1,1 @@
+lib/analysis/edge_probs.ml: Attack_type Cachesec_cache Config List Noise Printf Spec

@@ -1,0 +1,1 @@
+lib/analysis/edge_probs.mli: Attack_type Cachesec_cache Config Spec

@@ -1,0 +1,1 @@
+lib/analysis/multi.ml: Cachesec_cache Edge_probs List Spec

@@ -1,0 +1,1 @@
+lib/analysis/multi.mli: Cachesec_cache Config Spec

@@ -1,0 +1,1 @@
+lib/analysis/noise.ml: Cachesec_stats List Special

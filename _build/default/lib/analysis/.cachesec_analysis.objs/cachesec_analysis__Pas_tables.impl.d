@@ -1,0 +1,1 @@
+lib/analysis/pas_tables.ml: Array Attack_models Attack_type Cachesec_cache Edge_probs List Spec

@@ -1,0 +1,1 @@
+lib/analysis/pas_tables.mli: Attack_type Cachesec_cache Config Edge_probs Spec

@@ -1,0 +1,1 @@
+lib/analysis/perf_model.mli:

@@ -1,0 +1,1 @@
+lib/analysis/prepas.ml: Cachesec_cache Cachesec_stats Config Coupon List Option Replacement Spec

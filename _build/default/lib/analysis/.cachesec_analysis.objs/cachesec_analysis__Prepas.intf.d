@@ -1,0 +1,1 @@
+lib/analysis/prepas.mli: Cachesec_cache Replacement Spec

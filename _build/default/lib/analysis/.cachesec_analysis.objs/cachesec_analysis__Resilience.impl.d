@@ -1,0 +1,1 @@
+lib/analysis/resilience.ml: Array Attack_models Attack_type Cachesec_cache List Prepas Spec

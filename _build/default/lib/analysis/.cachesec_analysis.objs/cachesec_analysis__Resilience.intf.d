@@ -1,0 +1,1 @@
+lib/analysis/resilience.mli: Attack_type Cachesec_cache Spec

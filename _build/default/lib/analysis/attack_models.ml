@@ -1,0 +1,137 @@
+open Cachesec_core
+
+let prob edges label = Edge_probs.find edges label
+
+let evict_and_time ?config spec () =
+  let ps = Edge_probs.evict_and_time ?config spec () in
+  let b = Builder.create () in
+  let a_mem =
+    Builder.node b ~label:"attacker's accessed memory address"
+      ~role:Node.Attacker_origin
+  in
+  let v_mem =
+    Builder.node b ~label:"victim's security-critical memory address"
+      ~role:Node.Victim_origin
+  in
+  let set_idx = Builder.node b ~label:"cache set index" ~role:Node.Internal in
+  let sel_line = Builder.node b ~label:"selected cache line" ~role:Node.Internal in
+  let evicted = Builder.node b ~label:"evicted memory line" ~role:Node.Internal in
+  let hit_miss = Builder.node b ~label:"victim access hit/miss" ~role:Node.Internal in
+  let obs =
+    Builder.node b ~label:"observed block-encryption time" ~role:Node.Observation
+  in
+  let _ = Builder.edge b ~label:"p1" ~parents:[ a_mem ] ~child:set_idx (prob ps "p1") in
+  let _ =
+    Builder.edge b ~label:"p2" ~parents:[ set_idx ] ~child:sel_line (prob ps "p2")
+  in
+  let _ =
+    Builder.edge b ~label:"p3" ~parents:[ sel_line ] ~child:evicted (prob ps "p3")
+  in
+  let _ =
+    Builder.edge b ~label:"p4" ~parents:[ evicted; v_mem ] ~child:hit_miss
+      (prob ps "p4")
+  in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ hit_miss ] ~child:obs (prob ps "p5") in
+  Builder.finish_exn b
+
+let prime_and_probe ?config spec () =
+  let ps = Edge_probs.prime_and_probe ?config spec () in
+  let b = Builder.create () in
+  let a_mem =
+    Builder.node b ~label:"attacker's prime memory address"
+      ~role:Node.Attacker_origin
+  in
+  let v_mem =
+    Builder.node b ~label:"victim's security-critical memory address"
+      ~role:Node.Victim_origin
+  in
+  let set_a = Builder.node b ~label:"primed cache set index" ~role:Node.Internal in
+  let line_a = Builder.node b ~label:"line selected for priming" ~role:Node.Internal in
+  let primed = Builder.node b ~label:"attacker line installed" ~role:Node.Internal in
+  let set_v = Builder.node b ~label:"victim's mapped set index" ~role:Node.Internal in
+  let line_v =
+    Builder.node b ~label:"line selected by victim's fill" ~role:Node.Internal
+  in
+  let evicted_a =
+    Builder.node b ~label:"attacker's line evicted" ~role:Node.Internal
+  in
+  let probe = Builder.node b ~label:"probe access hit/miss" ~role:Node.Internal in
+  let obs =
+    Builder.node b ~label:"observed probe access time" ~role:Node.Observation
+  in
+  let _ = Builder.edge b ~label:"p11" ~parents:[ a_mem ] ~child:set_a (prob ps "p11") in
+  let _ = Builder.edge b ~label:"p21" ~parents:[ set_a ] ~child:line_a (prob ps "p21") in
+  let _ = Builder.edge b ~label:"p31" ~parents:[ line_a ] ~child:primed (prob ps "p31") in
+  let _ = Builder.edge b ~label:"p12" ~parents:[ v_mem ] ~child:set_v (prob ps "p12") in
+  let _ =
+    Builder.edge b ~label:"p22" ~parents:[ set_v; primed ] ~child:line_v
+      (prob ps "p22")
+  in
+  let _ =
+    Builder.edge b ~label:"p32" ~parents:[ line_v ] ~child:evicted_a (prob ps "p32")
+  in
+  let _ =
+    Builder.edge b ~label:"p42" ~parents:[ evicted_a ] ~child:probe (prob ps "p42")
+  in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ probe ] ~child:obs (prob ps "p5") in
+  Builder.finish_exn b
+
+let cache_collision ?config spec () =
+  let ps = Edge_probs.cache_collision ?config spec () in
+  let b = Builder.create () in
+  let v_mem1 =
+    Builder.node b ~label:"victim's first memory access" ~role:Node.Victim_origin
+  in
+  let v_mem2 =
+    Builder.node b ~label:"victim's second memory access" ~role:Node.Victim_origin
+  in
+  let selected =
+    (* The node the paper adds in Figure 5(b) to capture random fill. *)
+    Builder.node b ~label:"selected memory line brought into cache"
+      ~role:Node.Internal
+  in
+  let hit_miss = Builder.node b ~label:"reuse hit/miss" ~role:Node.Internal in
+  let obs =
+    Builder.node b ~label:"observed block-encryption time" ~role:Node.Observation
+  in
+  let _ = Builder.edge b ~label:"p0" ~parents:[ v_mem1 ] ~child:selected (prob ps "p0") in
+  let _ =
+    Builder.edge b ~label:"p4" ~parents:[ selected; v_mem2 ] ~child:hit_miss
+      (prob ps "p4")
+  in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ hit_miss ] ~child:obs (prob ps "p5") in
+  Builder.finish_exn b
+
+let flush_and_reload ?config spec () =
+  let ps = Edge_probs.flush_and_reload ?config spec () in
+  let b = Builder.create () in
+  let v_mem =
+    Builder.node b ~label:"victim's shared-line access" ~role:Node.Victim_origin
+  in
+  let a_reload =
+    Builder.node b ~label:"attacker's reload access" ~role:Node.Attacker_origin
+  in
+  let selected =
+    Builder.node b ~label:"selected memory line brought into cache"
+      ~role:Node.Internal
+  in
+  let hit_miss = Builder.node b ~label:"reload hit/miss" ~role:Node.Internal in
+  let obs =
+    Builder.node b ~label:"observed reload access time" ~role:Node.Observation
+  in
+  let _ = Builder.edge b ~label:"p0" ~parents:[ v_mem ] ~child:selected (prob ps "p0") in
+  let _ =
+    Builder.edge b ~label:"p4" ~parents:[ selected; a_reload ] ~child:hit_miss
+      (prob ps "p4")
+  in
+  let _ = Builder.edge b ~label:"p5" ~parents:[ hit_miss ] ~child:obs (prob ps "p5") in
+  Builder.finish_exn b
+
+let build ?config attack spec () =
+  match attack with
+  | Attack_type.Evict_and_time -> evict_and_time ?config spec ()
+  | Attack_type.Prime_and_probe -> prime_and_probe ?config spec ()
+  | Attack_type.Cache_collision -> cache_collision ?config spec ()
+  | Attack_type.Flush_and_reload -> flush_and_reload ?config spec ()
+
+let pas ?config attack spec () = Pas.pas (build ?config attack spec ())

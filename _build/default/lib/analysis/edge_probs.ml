@@ -1,0 +1,153 @@
+open Cachesec_cache
+
+type edge = { label : string; meaning : string; prob : float }
+
+let e label meaning prob =
+  if prob < 0. || prob > 1. then
+    invalid_arg (Printf.sprintf "Edge_probs: %s = %g outside [0,1]" label prob);
+  { label; meaning; prob }
+
+let fsets config = float_of_int (Config.sets config)
+let flines (config : Config.t) = float_of_int config.lines
+
+(* Per-spec helpers.  The victim-facing window of an RF cache has
+   Wa + Wb + 1 equally likely fill candidates. *)
+let rf_window_size back fwd = float_of_int (back + fwd + 1)
+let noise_p5 sigma = Noise.p5 ~sigma
+
+(* p1: does the attacker's chosen address map onto the victim's target
+   cache set? *)
+let p1_attacker_maps_to_target config = function
+  | Spec.Sp _ -> 0.  (* cross-partition fills are impossible *)
+  | Spec.Rp _ -> 1. /. fsets config  (* randomized set on interference *)
+  | Spec.Sa _ | Spec.Pl _ | Spec.Nomo _ | Spec.Newcache _ | Spec.Rf _
+  | Spec.Re _ | Spec.Noisy _ ->
+    1.
+
+(* p2: which line within the selected set gets chosen for replacement? *)
+let p2_line_selected config = function
+  | Spec.Sa { ways; _ }
+  | Spec.Sp { ways; _ }
+  | Spec.Pl { ways; _ }
+  | Spec.Rp { ways; _ }
+  | Spec.Rf { ways; _ }
+  | Spec.Re { ways; _ }
+  | Spec.Noisy { ways; _ } ->
+    1. /. float_of_int ways
+  | Spec.Nomo { ways; reserved; _ } -> 1. /. float_of_int (ways - reserved)
+  | Spec.Newcache _ -> 1. /. flines config
+
+(* p3: is the selected line actually evicted? Only PL protects here. *)
+let p3_line_evicted = function
+  | Spec.Pl _ -> 0.
+  | Spec.Sa _ | Spec.Sp _ | Spec.Nomo _ | Spec.Newcache _ | Spec.Rp _
+  | Spec.Rf _ | Spec.Re _ | Spec.Noisy _ ->
+    1.
+
+let sigma_of = function
+  | Spec.Noisy { sigma; _ } -> sigma
+  | Spec.Sa _ | Spec.Sp _ | Spec.Pl _ | Spec.Nomo _ | Spec.Newcache _
+  | Spec.Rp _ | Spec.Rf _ | Spec.Re _ ->
+    0.
+
+let evict_and_time ?(config = Config.standard) spec () =
+  [
+    e "p1" "attacker address -> victim's cache set" (p1_attacker_maps_to_target config spec);
+    e "p2" "cache set -> line selected for eviction" (p2_line_selected config spec);
+    e "p3" "selected line -> memory line evicted" (p3_line_evicted spec);
+    e "p4" "evicted line + victim access -> miss" 1.;
+    e "p5" "miss -> observed longer time" (noise_p5 (sigma_of spec));
+  ]
+
+(* p22 of prime-and-probe: does the victim's fill displace the specific
+   attacker line primed in phase (A)? *)
+let p22_victim_evicts_primed config = function
+  | Spec.Sa { ways; _ }
+  | Spec.Sp { ways; _ }
+  | Spec.Pl { ways; _ }
+  | Spec.Rp { ways; _ }
+  | Spec.Re { ways; _ }
+  | Spec.Noisy { ways; _ } ->
+    1. /. float_of_int ways
+  | Spec.Nomo _ -> 0.  (* victim's critical data stays in reserved ways *)
+  | Spec.Newcache _ -> 1. /. flines config
+  | Spec.Rf { ways; back; fwd; _ } ->
+    (* The victim's miss fills a random window line; it must both fall in
+       the primed set's conflict position and select the primed way. *)
+    1. /. rf_window_size back fwd /. float_of_int ways
+
+(* p12: does the victim's security-critical access map to the primed set? *)
+let p12_victim_maps_to_primed config = function
+  | Spec.Rp _ -> 1. /. fsets config
+  | Spec.Sp _ -> 0.
+  | Spec.Sa _ | Spec.Pl _ | Spec.Nomo _ | Spec.Newcache _ | Spec.Rf _
+  | Spec.Re _ | Spec.Noisy _ ->
+    1.
+
+let prime_and_probe ?(config = Config.standard) spec () =
+  [
+    e "p11" "attacker prime address -> victim's cache set"
+      (p1_attacker_maps_to_target config spec);
+    e "p21" "cache set -> line selected for priming" (p2_line_selected config spec);
+    e "p31" "selected line -> victim line evicted (primed)" (p3_line_evicted spec);
+    e "p12" "victim address -> primed cache set" (p12_victim_maps_to_primed config spec);
+    e "p22" "primed set -> attacker's primed line selected"
+      (p22_victim_evicts_primed config spec);
+    e "p32" "selected line -> attacker line evicted" 1.;
+    e "p42" "evicted attacker line -> probe miss" 1.;
+    e "p5" "miss -> observed longer access time" (noise_p5 (sigma_of spec));
+  ]
+
+(* p0: is the line brought into the cache the line that was accessed? *)
+let p0_fetched_is_accessed = function
+  | Spec.Rf { back; fwd; _ } -> 1. /. rf_window_size back fwd
+  | Spec.Sa _ | Spec.Sp _ | Spec.Pl _ | Spec.Nomo _ | Spec.Newcache _
+  | Spec.Rp _ | Spec.Re _ | Spec.Noisy _ ->
+    1.
+
+(* p4 of the collision attack: does the second access to the same line
+   still hit? Only RE's periodic evictions can have removed it. *)
+let p4_reuse_hits (config : Config.t) = function
+  | Spec.Re { interval; _ } ->
+    1. -. (1. /. (flines config *. float_of_int interval))
+  | Spec.Sa _ | Spec.Sp _ | Spec.Pl _ | Spec.Nomo _ | Spec.Newcache _
+  | Spec.Rp _ | Spec.Rf _ | Spec.Noisy _ ->
+    1.
+
+let cache_collision ?(config = Config.standard) spec () =
+  [
+    e "p0" "accessed line -> line brought into cache" (p0_fetched_is_accessed spec);
+    e "p4" "previous fetch + reuse -> hit" (p4_reuse_hits config spec);
+    e "p5" "hit -> observed shorter time" (noise_p5 (sigma_of spec));
+  ]
+
+(* p4 of flush-and-reload: can the attacker hit on a victim-fetched
+   shared line? Per-context tags (Newcache, RP) make this impossible. *)
+let p4_cross_context_hit (config : Config.t) = function
+  | Spec.Newcache _ | Spec.Rp _ -> 0.
+  | Spec.Re { interval; _ } ->
+    1. -. (1. /. (flines config *. float_of_int interval))
+  | Spec.Sa _ | Spec.Sp _ | Spec.Pl _ | Spec.Nomo _ | Spec.Rf _ | Spec.Noisy _ -> 1.
+
+let flush_and_reload ?(config = Config.standard) spec () =
+  [
+    e "p0" "victim's accessed line -> line brought into cache"
+      (p0_fetched_is_accessed spec);
+    e "p4" "victim-fetched line + attacker reload -> hit"
+      (p4_cross_context_hit config spec);
+    e "p5" "hit -> observed shorter access time" (noise_p5 (sigma_of spec));
+  ]
+
+let for_attack ?config attack spec () =
+  match attack with
+  | Attack_type.Evict_and_time -> evict_and_time ?config spec ()
+  | Attack_type.Prime_and_probe -> prime_and_probe ?config spec ()
+  | Attack_type.Cache_collision -> cache_collision ?config spec ()
+  | Attack_type.Flush_and_reload -> flush_and_reload ?config spec ()
+
+let pas_product edges = List.fold_left (fun acc e -> acc *. e.prob) 1. edges
+
+let find edges label =
+  match List.find_opt (fun e -> e.label = label) edges with
+  | Some e -> e.prob
+  | None -> raise Not_found

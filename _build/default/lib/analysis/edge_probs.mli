@@ -1,0 +1,36 @@
+(** Closed-form edge flow probabilities for every (attack, architecture)
+    pair — the numbers inside the paper's Tables 3, 5 and 6.
+
+    All formulas are parametric in the geometry (sets S, ways W, lines N)
+    and the spec's own parameters (Nomo's reserved ways, RF's window,
+    RE's interval, the noisy cache's sigma); with {!Cachesec_cache.Config.standard}
+    and {!Cachesec_cache.Spec.all_paper} they evaluate to the paper's
+    printed values. *)
+
+open Cachesec_cache
+
+type edge = {
+  label : string;  (** the paper's edge name, e.g. "p2" or "p21" *)
+  meaning : string;  (** what the conditional probability maps *)
+  prob : float;
+}
+
+val evict_and_time : ?config:Config.t -> Spec.t -> unit -> edge list
+(** p1..p5 of the paper's Figure 3 / Table 3. *)
+
+val prime_and_probe : ?config:Config.t -> Spec.t -> unit -> edge list
+(** p11,p21,p31 (prime), p12,p22,p32 (victim), p42 (probe), p5. *)
+
+val cache_collision : ?config:Config.t -> Spec.t -> unit -> edge list
+(** p0, p4, p5 of Figure 5(b) / Table 5. *)
+
+val flush_and_reload : ?config:Config.t -> Spec.t -> unit -> edge list
+(** p0, p4, p5 of Figure 7. *)
+
+val for_attack : ?config:Config.t -> Attack_type.t -> Spec.t -> unit -> edge list
+val pas_product : edge list -> float
+(** Product of the probabilities — Theorem 1 applied to a linear chain. *)
+
+val find : edge list -> string -> float
+(** Probability of the edge with the given label.
+    Raises [Not_found] if absent. *)

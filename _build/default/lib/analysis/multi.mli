@@ -1,0 +1,25 @@
+(** Multi-line attacks (the paper's closing note on Table 6: "when
+    considering multiple line evictions, the randomization based secure
+    caches can have even lower PAS").
+
+    Real first-round AES attacks must usually control several table
+    lines, not one. If an attack only works when all [m] designated
+    victim lines are evicted (and the evictions are independent, which
+    holds for the randomizing architectures), the eviction stage's
+    probability is raised to the m-th power while the deterministic
+    stages stay put. *)
+
+open Cachesec_cache
+
+val evict_and_time : ?config:Config.t -> lines:int -> Spec.t -> float
+(** PAS of a Type 1 attack that requires [lines] distinct victim lines
+    evicted: (p1 p2 p3)^lines * p4 * p5. [lines] must be positive.
+    With [lines = 1] this equals {!Attack_models.pas}. *)
+
+val prime_and_probe : ?config:Config.t -> lines:int -> Spec.t -> float
+(** Same for Type 2: both the priming stage and the victim-eviction
+    stage must succeed for each of the [lines] lines. *)
+
+val advantage_table : ?config:Config.t -> lines:int -> unit -> (string * float * float) list
+(** (arch, single-line PAS, multi-line PAS) for Type 1 across the nine
+    caches — the data behind the bench's multi-line ablation. *)

@@ -1,0 +1,51 @@
+open Cachesec_cache
+
+type row = {
+  spec : Spec.t;
+  arch : string;
+  edges : Edge_probs.edge list;
+  pas : float;
+}
+
+let rows_for ?config attack () =
+  List.map
+    (fun spec ->
+      {
+        spec;
+        arch = Spec.display_name spec;
+        edges = Edge_probs.for_attack ?config attack spec ();
+        pas = Attack_models.pas ?config attack spec ();
+      })
+    Spec.all_paper
+
+let table3 ?config () = rows_for ?config Attack_type.Evict_and_time ()
+let table5 ?config () = rows_for ?config Attack_type.Cache_collision ()
+
+type table6_row = { spec6 : Spec.t; arch6 : string; pas_by_type : float array }
+
+let table6 ?config () =
+  List.map
+    (fun spec ->
+      {
+        spec6 = spec;
+        arch6 = Spec.display_name spec;
+        pas_by_type =
+          Array.of_list
+            (List.map
+               (fun attack -> Attack_models.pas ?config attack spec ())
+               Attack_type.all);
+      })
+    Spec.all_paper
+
+let paper_table6 =
+  [
+    ("SA Cache", [| 0.125; 1.56e-2; 1.0; 1.0 |]);
+    ("SP Cache", [| 0.; 0.; 1.0; 1.0 |]);
+    ("PL Cache", [| 0.; 0.; 1.0; 1.0 |]);
+    ("Nomo Cache", [| 0.167; 0.; 1.0; 1.0 |]);
+    ("Newcache", [| 1.95e-3; 3.80e-6; 1.0; 0. |]);
+    ("RP Cache", [| 1.95e-3; 3.80e-6; 1.0; 0. |]);
+    ("RF Cache", [| 0.125; 1.27e-4; 7.75e-3; 7.75e-3 |]);
+    ("RE Cache", [| 1.0; 1.0; 0.9998; 0.9998 |]);
+    ("Noisy Cache", [| 0.086; 0.012; 0.691; 0.691 |]);
+  ]

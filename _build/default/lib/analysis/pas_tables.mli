@@ -1,0 +1,29 @@
+(** The paper's quantitative tables, computed through the PIFG machinery
+    (so every number is the product over a security-critical path of an
+    actual graph, not a hand-multiplied constant). *)
+
+open Cachesec_cache
+
+type row = {
+  spec : Spec.t;
+  arch : string;  (** display name, e.g. "SA Cache" *)
+  edges : Edge_probs.edge list;
+  pas : float;  (** {!Cachesec_core.Pas.pas} of the attack's PIFG *)
+}
+
+val table3 : ?config:Config.t -> unit -> row list
+(** Evict-and-time (Type 1): p1..p5 and PAS for the nine caches. *)
+
+val table5 : ?config:Config.t -> unit -> row list
+(** Cache collision (Type 3): p0, p4, p5 and PAS. *)
+
+val rows_for : ?config:Config.t -> Attack_type.t -> unit -> row list
+
+type table6_row = { spec6 : Spec.t; arch6 : string; pas_by_type : float array }
+(** [pas_by_type.(i)] is the PAS of attack type i+1. *)
+
+val table6 : ?config:Config.t -> unit -> table6_row list
+
+val paper_table6 : (string * float array) list
+(** The values printed in the paper, for the EXPERIMENTS.md comparison.
+    Known deltas (RF/noisy Type 2) are the paper's printed values. *)

@@ -1,0 +1,66 @@
+open Cachesec_stats
+open Cachesec_cache
+
+let check_kw ~ways ~k =
+  if ways <= 0 then invalid_arg "Prepas: ways must be positive";
+  if k < 0 then invalid_arg "Prepas: k must be non-negative"
+
+let sa_lru ~ways ~k =
+  check_kw ~ways ~k;
+  if k >= ways then 1. else 0.
+
+let sa_random ~ways ~k =
+  check_kw ~ways ~k;
+  Coupon.prob_all_covered ~bins:ways ~trials:k
+
+let sa ~ways ~k ~policy =
+  match policy with
+  | Replacement.Lru | Replacement.Fifo -> sa_lru ~ways ~k
+  | Replacement.Random -> sa_random ~ways ~k
+
+let newcache ~logical_lines ~k =
+  if logical_lines <= 0 then invalid_arg "Prepas.newcache: lines must be positive";
+  if k < 0 then invalid_arg "Prepas.newcache: k must be non-negative";
+  1. -. exp (float_of_int k *. log (1. -. (1. /. float_of_int logical_lines)))
+
+let sp ~k:_ = 0.
+let pl_locked ~k:_ = 0.
+let pl_unlocked ~ways ~k ~policy = sa ~ways ~k ~policy
+let rp ~ways ~k ~policy = sa ~ways ~k ~policy
+let rf ~ways ~k ~policy = sa ~ways ~k ~policy
+
+let re ~ways ~interval ~k ~policy =
+  if interval <= 0 then invalid_arg "Prepas.re: interval must be positive";
+  check_kw ~ways ~k;
+  let effective = k + (k / interval) in
+  sa ~ways ~k:effective ~policy
+
+let nomo ~ways ~reserved ~victim_lines_in_set ~k ~policy =
+  check_kw ~ways ~k;
+  if reserved < 0 || reserved >= ways then
+    invalid_arg "Prepas.nomo: reserved must lie in [0, ways)";
+  if victim_lines_in_set <= reserved then 0.
+  else sa ~ways:(ways - reserved) ~k ~policy
+
+let for_spec ?victim_lines_in_set ?(prefetched = true) spec ~k =
+  match spec with
+  | Spec.Sa { ways; policy } | Spec.Noisy { ways; policy; _ } -> sa ~ways ~k ~policy
+  | Spec.Sp _ -> sp ~k
+  | Spec.Pl { ways; policy } ->
+    if prefetched then pl_locked ~k else pl_unlocked ~ways ~k ~policy
+  | Spec.Nomo { ways; policy; reserved } ->
+    let victim_lines_in_set = Option.value victim_lines_in_set ~default:ways in
+    nomo ~ways ~reserved ~victim_lines_in_set ~k ~policy
+  | Spec.Newcache { extra_bits = _ } ->
+    (* The designated physical line sits among the physical lines the
+       attacker's random evictions choose from. *)
+    newcache ~logical_lines:Config.standard.Config.lines ~k
+  | Spec.Rp { ways; policy } -> rp ~ways ~k ~policy
+  | Spec.Rf { ways; policy; _ } -> rf ~ways ~k ~policy
+  | Spec.Re { ways; policy; interval } -> re ~ways ~interval ~k ~policy
+
+let figure8_series ~specs ~ks =
+  List.map
+    (fun (name, spec) ->
+      (name, List.map (fun k -> (k, for_spec spec ~k)) ks))
+    specs

@@ -1,0 +1,63 @@
+(** Closed-form pre-PAS: the probability that an attacker cleans the
+    victim's cache set within k memory accesses (paper Section 5,
+    Figure 8).
+
+    Under LRU the attacker succeeds deterministically once k reaches the
+    associativity; under random replacement cleaning is the ball-picking
+    game whose success probability is the inclusion-exclusion
+    coupon-collector sum. *)
+
+open Cachesec_cache
+
+val sa_lru : ways:int -> k:int -> float
+(** Equation (10): the step function 1{k >= ways}. *)
+
+val sa_random : ways:int -> k:int -> float
+(** Equation (11): P(all [ways] slots picked in [k] uniform draws). *)
+
+val newcache : logical_lines:int -> k:int -> float
+(** Section 5B: 1 - (1 - 1/n)^k for evicting one designated physical
+    line, where n is the attacker-visible eviction space. The paper
+    writes n = 2^n; with the paper's configuration we take the physical
+    line count (512). *)
+
+val sp : k:int -> float
+(** 0: partitions make cleaning impossible (Section 5C). *)
+
+val pl_locked : k:int -> float
+(** 0 when the security-critical lines were prefetched and locked. *)
+
+val pl_unlocked : ways:int -> k:int -> policy:Replacement.policy -> float
+(** Without prefetching, PL behaves as a conventional SA cache. *)
+
+val rp : ways:int -> k:int -> policy:Replacement.policy -> float
+(** Section 5D: the attacker disables his own permutation, so RP cleans
+    like SA. *)
+
+val rf : ways:int -> k:int -> policy:Replacement.policy -> float
+(** Section 5E: the attacker sets his window to zero, degrading to SA. *)
+
+val re : ways:int -> interval:int -> k:int -> policy:Replacement.policy -> float
+(** Section 5F: periodic evictions are free lunches — the attacker
+    effectively gets k + floor(k / interval) evictions. *)
+
+val nomo :
+  ways:int ->
+  reserved:int ->
+  victim_lines_in_set:int ->
+  k:int ->
+  policy:Replacement.policy ->
+  float
+(** Section 5G: 0 when the victim fits in the reserved ways; otherwise
+    the SA game over the (1 - alpha) w shared ways. *)
+
+val for_spec :
+  ?victim_lines_in_set:int -> ?prefetched:bool -> Spec.t -> k:int -> float
+(** Dispatch with the paper's assumptions: PL prefetched+locked by
+    default, Nomo victim exceeding its reservation by default
+    ([victim_lines_in_set] defaults to [ways], the cleaning game's
+    seeding), policies taken from the spec. *)
+
+val figure8_series :
+  specs:(string * Spec.t) list -> ks:int list -> (string * (int * float) list) list
+(** Named (k, pre-PAS) curves — the series of the paper's Figure 8. *)

@@ -1,0 +1,45 @@
+open Cachesec_cache
+
+type verdict = High | Low
+
+let default_threshold = 0.01
+
+let is_noise_based = function Spec.Noisy _ -> true | _ -> false
+
+let classify ?(threshold = default_threshold) spec attack =
+  let pas = Attack_models.pas attack spec () in
+  if pas <= threshold && not (is_noise_based spec) then High else Low
+
+let table7 ?threshold () =
+  List.map
+    (fun spec ->
+      ( Spec.display_name spec,
+        Array.of_list
+          (List.map (fun attack -> classify ?threshold spec attack) Attack_type.all)
+      ))
+    Spec.all_paper
+
+let paper_table7 =
+  [
+    ("SA Cache", [| Low; Low; Low; Low |]);
+    ("SP Cache", [| High; High; Low; Low |]);
+    ("PL Cache", [| High; High; Low; Low |]);
+    ("Nomo Cache", [| Low; High; Low; Low |]);
+    ("Newcache", [| High; High; Low; High |]);
+    ("RP Cache", [| High; High; Low; High |]);
+    ("RF Cache", [| Low; High; High; High |]);
+    ("RE Cache", [| Low; Low; Low; Low |]);
+    ("Noisy Cache", [| Low; Low; Low; Low |]);
+  ]
+
+type combined = { pas : float; prepas_at : int -> float; verdict : verdict }
+
+let combined ?threshold spec attack =
+  {
+    pas = Attack_models.pas attack spec ();
+    prepas_at = (fun k -> Prepas.for_spec spec ~k);
+    verdict = classify ?threshold spec attack;
+  }
+
+let verdict_to_string = function High -> "high" | Low -> "low"
+let verdict_mark = function High -> "Y" | Low -> "X"

@@ -1,0 +1,42 @@
+(** The paper's qualitative resilience classification (Table 7).
+
+    A cache is highly resilient to an attack class when its PAS is 0 or
+    close to 0. Two refinements follow the paper's own judgment:
+
+    - noise-based reduction does not count as resilience: the noisy
+      cache's non-trivial PAS reductions only slow an attacker, since
+      averaging over trials recovers the signal
+      ({!Noise.trials_to_overcome}), and the paper marks the noisy cache
+      'X' in every column;
+    - pre-PAS complements PAS: the paper recommends reading them
+      together, which {!combined} exposes. *)
+
+open Cachesec_cache
+
+type verdict = High | Low
+(** High resilience (the paper's check mark) vs low (the paper's X). *)
+
+val default_threshold : float
+(** 0.01: separates "close to 0" PAS values. The largest value the paper
+    treats as resilient is RF's 7.75e-3; the smallest it marks X is SA's
+    Type 2 at 1.56e-2. *)
+
+val classify : ?threshold:float -> Spec.t -> Attack_type.t -> verdict
+val table7 : ?threshold:float -> unit -> (string * verdict array) list
+(** Verdicts for the nine caches x four types (Table 7). *)
+
+val paper_table7 : (string * verdict array) list
+(** The check/X pattern printed in the paper. *)
+
+type combined = {
+  pas : float;
+  prepas_at : int -> float;  (** pre-PAS as a function of attacker accesses *)
+  verdict : verdict;
+}
+
+val combined : ?threshold:float -> Spec.t -> Attack_type.t -> combined
+val verdict_to_string : verdict -> string
+(** "high" / "low". *)
+
+val verdict_mark : verdict -> string
+(** The paper's glyphs: "Y" for high, "X" for low. *)

@@ -1,0 +1,1 @@
+lib/attacks/aes_layout.ml: Address Aes Cachesec_cache Cachesec_crypto Config Fun List Ttables

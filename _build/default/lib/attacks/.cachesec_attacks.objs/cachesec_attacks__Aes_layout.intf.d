@@ -1,0 +1,1 @@
+lib/attacks/aes_layout.mli: Aes Cachesec_cache Cachesec_crypto Config

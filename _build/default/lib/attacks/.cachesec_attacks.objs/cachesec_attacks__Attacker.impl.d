@@ -1,0 +1,1 @@
+lib/attacks/attacker.ml: Array Cachesec_cache Config Engine List Outcome Timing

@@ -1,0 +1,1 @@
+lib/attacks/attacker.mli: Cachesec_cache Cachesec_stats Config Engine

@@ -1,0 +1,1 @@
+lib/attacks/cleaner.ml: Attacker Cachesec_cache Cachesec_stats Config Engine Factory Line List Rng Spec

@@ -1,0 +1,1 @@
+lib/attacks/cleaner.mli: Cachesec_cache Cachesec_stats Spec

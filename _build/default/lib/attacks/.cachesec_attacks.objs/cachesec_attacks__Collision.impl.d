@@ -1,0 +1,1 @@
+lib/attacks/collision.ml: Aes Aes_layout Array Bytes Cachesec_cache Cachesec_crypto Cachesec_stats Char Engine Recovery Rng Victim

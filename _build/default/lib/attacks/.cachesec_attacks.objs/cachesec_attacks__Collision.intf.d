@@ -1,0 +1,1 @@
+lib/attacks/collision.mli: Cachesec_stats Victim

@@ -1,0 +1,1 @@
+lib/attacks/evict_time.ml: Aes Aes_layout Array Attacker Bytes Cachesec_cache Cachesec_crypto Cachesec_stats Char Config Engine Recovery Rng Victim

@@ -1,0 +1,1 @@
+lib/attacks/evict_time.mli: Cachesec_stats Victim

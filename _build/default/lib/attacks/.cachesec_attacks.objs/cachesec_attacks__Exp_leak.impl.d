@@ -1,0 +1,1 @@
+lib/attacks/exp_leak.ml: Array Cachesec_cache Cachesec_crypto Engine Modexp Option Outcome Timing

@@ -1,0 +1,1 @@
+lib/attacks/exp_leak.mli: Cachesec_cache Cachesec_crypto Cachesec_stats Engine

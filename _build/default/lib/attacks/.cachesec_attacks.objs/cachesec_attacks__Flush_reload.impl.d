@@ -1,0 +1,1 @@
+lib/attacks/flush_reload.ml: Aes Aes_layout Array Bytes Cachesec_cache Cachesec_crypto Char Engine List Outcome Recovery Timing Victim

@@ -1,0 +1,1 @@
+lib/attacks/flush_reload.mli: Cachesec_stats Victim

@@ -1,0 +1,1 @@
+lib/attacks/full_key.ml: Array Flush_reload Prime_probe Printf String

@@ -1,0 +1,1 @@
+lib/attacks/full_key.mli: Cachesec_stats Victim

@@ -1,0 +1,1 @@
+lib/attacks/last_round.ml: Aes Aes_layout Array Bytes Cachesec_cache Cachesec_crypto Char Engine List Outcome Recovery Sbox Timing Victim

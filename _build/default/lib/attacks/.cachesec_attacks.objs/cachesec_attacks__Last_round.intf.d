@@ -1,0 +1,1 @@
+lib/attacks/last_round.mli: Cachesec_stats Victim

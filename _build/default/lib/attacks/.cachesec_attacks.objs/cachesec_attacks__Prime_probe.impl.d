@@ -1,0 +1,1 @@
+lib/attacks/prime_probe.ml: Aes Aes_layout Array Attacker Bytes Cachesec_cache Cachesec_crypto Char Config Engine Recovery Victim

@@ -1,0 +1,1 @@
+lib/attacks/prime_probe.mli: Cachesec_stats Victim

@@ -1,0 +1,1 @@
+lib/attacks/recovery.ml: Array Cachesec_stats Float Fun Seq

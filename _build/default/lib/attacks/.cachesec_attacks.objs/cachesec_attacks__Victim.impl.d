@@ -1,0 +1,1 @@
+lib/attacks/victim.ml: Aes Aes_layout Array Bytes Cachesec_cache Cachesec_crypto Cachesec_stats Char Engine List Outcome Rng Timing

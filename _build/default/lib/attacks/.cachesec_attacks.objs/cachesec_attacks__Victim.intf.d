@@ -1,0 +1,1 @@
+lib/attacks/victim.mli: Aes Aes_layout Bytes Cachesec_cache Cachesec_crypto Cachesec_stats Engine

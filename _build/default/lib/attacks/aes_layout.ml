@@ -1,0 +1,42 @@
+open Cachesec_cache
+open Cachesec_crypto
+
+type t = { base_line : int; cfg : Config.t }
+
+let create ?(base_line = 0) cfg =
+  if base_line < 0 then invalid_arg "Aes_layout.create: negative base line";
+  if cfg.Config.line_bytes > Ttables.table_bytes then
+    invalid_arg "Aes_layout.create: line larger than a table";
+  { base_line; cfg }
+
+let base_line t = t.base_line
+let config t = t.cfg
+let entries_per_line t = t.cfg.Config.line_bytes / Ttables.entry_bytes
+let lines_per_table t = Ttables.table_bytes / t.cfg.Config.line_bytes
+
+let line_of_entry t ~table ~index =
+  if table < 0 || table >= Ttables.table_count then
+    invalid_arg "Aes_layout.line_of_entry: bad table";
+  if index < 0 || index >= Ttables.entries_per_table then
+    invalid_arg "Aes_layout.line_of_entry: bad index";
+  t.base_line + (table * lines_per_table t) + (index / entries_per_line t)
+
+let line_of_access t (a : Aes.access) = line_of_entry t ~table:a.table ~index:a.index
+
+let table_lines t ~table =
+  List.init (lines_per_table t) (fun i ->
+      t.base_line + (table * lines_per_table t) + i)
+
+let all_lines t =
+  List.concat_map
+    (fun table -> table_lines t ~table)
+    (List.init Ttables.table_count Fun.id)
+
+let line_ranges t =
+  let n = Ttables.table_count * lines_per_table t in
+  [ (t.base_line, t.base_line + n - 1) ]
+
+let set_of_entry t ~table ~index =
+  Address.set_index t.cfg (line_of_entry t ~table ~index)
+
+let entry_line_of_index t index = index / entries_per_line t

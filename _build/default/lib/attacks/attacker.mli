@@ -1,0 +1,38 @@
+(** Attacker-side primitives shared by the attack implementations:
+    conflict-set construction, priming and probing. The attacker's own
+    memory lives at [base] (far above the victim's tables) so his lines
+    are his under every ownership model. *)
+
+open Cachesec_cache
+
+val default_base : int
+(** 1 lsl 20 — a line number far from any victim data. *)
+
+val conflict_lines : Config.t -> ?base:int -> count:int -> int -> int list
+(** [conflict_lines cfg ~count set] is [count] distinct attacker line
+    numbers that map (under conventional indexing) to [set]. *)
+
+val evict_set :
+  Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> int -> unit
+(** Access [ways] attacker lines mapping to [set] — the "evict" / "prime"
+    step for one set. *)
+
+val prime_all_sets :
+  Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> unit -> unit
+(** Prime every set with [ways] attacker lines. *)
+
+type probe = {
+  true_misses : int;  (** ground truth from the simulator *)
+  classified_misses : int;
+      (** what the attacker concludes after classifying each noisy
+          per-access time (equals [true_misses] when sigma = 0) *)
+  time : float;  (** total observed probe time, noise included *)
+}
+
+val probe_set :
+  Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> int -> probe
+(** Re-access the priming lines of [set]. *)
+
+val probe_all_sets :
+  Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> unit -> probe array
+(** {!probe_set} for every set, indexed by set number. *)

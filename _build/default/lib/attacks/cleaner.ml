@@ -1,0 +1,67 @@
+open Cachesec_cache
+open Cachesec_stats
+
+let victim_pid = 0
+let attacker_pid = 1
+let target_set = 0
+
+let clean_once spec ~rng ~accesses =
+  if accesses < 0 then invalid_arg "Cleaner.clean_once: negative accesses";
+  let scenario =
+    { Factory.victim_pid; victim_lines = [ (0, Attacker.default_base - 1) ] }
+  in
+  let engine = Factory.build spec scenario ~rng in
+  let cfg = engine.Engine.config in
+  let sets = Config.sets cfg and ways = cfg.Config.ways in
+  (* The cleaning game starts from the victim's data being IN the cache;
+     under RF the victim's randomized fills would defeat the seeding
+     itself, so seed with a demand window (the game measures cleaning,
+     not filling). *)
+  engine.Engine.set_window ~pid:victim_pid ~back:0 ~fwd:0;
+  (* Victim seeds the target set. *)
+  let seeded =
+    match spec with
+    | Spec.Newcache _ -> [ 0 ]
+    | Spec.Sa _ | Spec.Sp _ | Spec.Pl _ | Spec.Nomo _ | Spec.Rp _ | Spec.Rf _
+    | Spec.Re _ | Spec.Noisy _ ->
+      List.init ways (fun k -> target_set + (k * sets))
+  in
+  List.iter (fun l -> ignore (engine.Engine.access ~pid:victim_pid l)) seeded;
+  (match spec with
+  | Spec.Pl _ ->
+    List.iter (fun l -> ignore (engine.Engine.lock_line ~pid:victim_pid l)) seeded
+  | _ -> ());
+  (* What must be gone for the attacker to have "cleaned" the set: for
+     Nomo only the victim lines that spilled into shared ways count (the
+     reserved ways are untouchable by design, and the paper's success
+     criterion is evicting all shared lines). *)
+  let targets =
+    match spec with
+    | Spec.Nomo { reserved; _ } ->
+      engine.Engine.dump ()
+      |> List.filter_map (fun (idx, (l : Line.t)) ->
+             if l.owner = victim_pid && idx mod ways >= reserved then Some l.tag
+             else None)
+    | _ -> seeded
+  in
+  (* Attacker: [accesses] distinct reads mapping to the target set. *)
+  let pool =
+    if accesses = 0 then []
+    else Attacker.conflict_lines cfg ~count:accesses target_set
+  in
+  List.iter (fun l -> ignore (engine.Engine.access ~pid:attacker_pid l)) pool;
+  targets <> []
+  && List.for_all (fun l -> not (engine.Engine.peek ~pid:victim_pid l)) targets
+
+let monte_carlo spec ~accesses ~samples ~rng =
+  if samples <= 0 then invalid_arg "Cleaner.monte_carlo: samples must be positive";
+  let wins = ref 0 in
+  for _ = 1 to samples do
+    if clean_once spec ~rng:(Rng.split rng) ~accesses then incr wins
+  done;
+  float_of_int !wins /. float_of_int samples
+
+let sweep spec ~accesses_list ~samples ~rng =
+  List.map
+    (fun accesses -> (accesses, monte_carlo spec ~accesses ~samples ~rng))
+    accesses_list

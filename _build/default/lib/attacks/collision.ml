@@ -1,0 +1,79 @@
+open Cachesec_cache
+open Cachesec_crypto
+open Cachesec_stats
+
+type config = {
+  trials : int;
+  byte_i : int;
+  byte_j : int;
+  victim_prefetch : bool;
+}
+
+let default_config =
+  { trials = 20000; byte_i = 0; byte_j = 4; victim_prefetch = false }
+
+type result = {
+  avg_times : float array;
+  counts : int array;
+  scores : float array;
+  best_delta : int;
+  true_delta : int;
+  nibble_recovered : bool;
+  separation : float;
+}
+
+let validate c =
+  if c.trials <= 0 then invalid_arg "Collision.run: trials must be positive";
+  if c.byte_i < 0 || c.byte_i > 15 || c.byte_j < 0 || c.byte_j > 15 then
+    invalid_arg "Collision.run: byte indices must be in 0..15";
+  if c.byte_i = c.byte_j then invalid_arg "Collision.run: bytes must differ";
+  if c.byte_i mod 4 <> c.byte_j mod 4 then
+    invalid_arg "Collision.run: bytes must share a table (equal mod 4)"
+
+let run ~victim ~rng c =
+  validate c;
+  let engine = Victim.engine victim in
+  let sums = Array.make 256 0. and counts = Array.make 256 0 in
+  for _ = 1 to c.trials do
+    engine.Engine.flush_all ();
+    (* The software mitigation of [34]/[16]: the victim preloads its
+       tables at the start of the security-critical operation, so reuse
+       no longer depends on the secret indices. *)
+    if c.victim_prefetch then Victim.warm_tables victim;
+    let p = Victim.random_plaintext rng in
+    let _, time = Victim.encrypt_timed victim p in
+    let observed =
+      if engine.Engine.sigma = 0. then time
+      else time +. Rng.gaussian rng ~mu:0. ~sigma:engine.Engine.sigma
+    in
+    let delta =
+      Char.code (Bytes.get p c.byte_i) lxor Char.code (Bytes.get p c.byte_j)
+    in
+    sums.(delta) <- sums.(delta) +. observed;
+    counts.(delta) <- counts.(delta) + 1
+  done;
+  let grand_mean =
+    Array.fold_left ( +. ) 0. sums /. float_of_int (Array.fold_left ( + ) 0 counts)
+  in
+  let avg_times =
+    Array.init 256 (fun d ->
+        if counts.(d) = 0 then grand_mean else sums.(d) /. float_of_int counts.(d))
+  in
+  (* Faster is likelier: negate so that higher score = better candidate. *)
+  let scores = Recovery.normalize (Array.map (fun t -> -.t) avg_times) in
+  let key = Aes.key_bytes (Victim.key victim) in
+  let true_delta =
+    Char.code (Bytes.get key c.byte_i) lxor Char.code (Bytes.get key c.byte_j)
+  in
+  let best_delta = Recovery.argmax scores in
+  let epl = Aes_layout.entries_per_line (Victim.layout victim) in
+  {
+    avg_times;
+    counts;
+    scores;
+    best_delta;
+    true_delta;
+    nibble_recovered =
+      Recovery.nibble_recovered ~scores ~true_byte:true_delta ~group_size:epl;
+    separation = Recovery.separation scores ~winner:best_delta;
+  }

@@ -1,0 +1,90 @@
+open Cachesec_cache
+open Cachesec_crypto
+open Cachesec_stats
+
+type config = {
+  trials : int;
+  target_byte : int;
+  target_table_line : int;
+  lock_victim_tables : bool;
+}
+
+let default_config =
+  { trials = 50000; target_byte = 0; target_table_line = 3; lock_victim_tables = false }
+
+type result = {
+  avg_times : float array;
+  counts : int array;
+  scores : float array;
+  best_candidate : int;
+  true_byte : int;
+  nibble_recovered : bool;
+  separation : float;
+}
+
+let validate layout c =
+  if c.trials <= 0 then invalid_arg "Evict_time.run: trials must be positive";
+  if c.target_byte < 0 || c.target_byte > 15 then
+    invalid_arg "Evict_time.run: target_byte must be in 0..15";
+  if c.target_table_line < 0 || c.target_table_line >= Aes_layout.lines_per_table layout
+  then invalid_arg "Evict_time.run: target_table_line out of range"
+
+let run ~victim ~attacker_pid ~rng c =
+  let layout = Victim.layout victim in
+  validate layout c;
+  let engine = Victim.engine victim in
+  let epl = Aes_layout.entries_per_line layout in
+  let table = c.target_byte mod 4 in
+  let target_set =
+    Aes_layout.set_of_entry layout ~table ~index:(c.target_table_line * epl)
+  in
+  if c.lock_victim_tables then ignore (Victim.lock_tables victim);
+  let sums = Array.make 256 0. and counts = Array.make 256 0 in
+  let cfg = engine.Engine.config in
+  let stride = cfg.Config.ways * Config.sets cfg in
+  for trial = 1 to c.trials do
+    Victim.warm_tables victim;
+    (* Fresh conflict lines every trial: each of the [ways] accesses is a
+       miss, so the eviction pressure on the target set is full (with the
+       same lines, later trials mostly hit and evict nothing). *)
+    let base = Attacker.default_base + (trial mod 4096 * stride) in
+    Attacker.evict_set engine rng ~pid:attacker_pid ~base target_set;
+    let p = Victim.random_plaintext rng in
+    let _, time = Victim.encrypt_timed victim p in
+    let observed =
+      if engine.Engine.sigma = 0. then time
+      else time +. Rng.gaussian rng ~mu:0. ~sigma:engine.Engine.sigma
+    in
+    let bin = Char.code (Bytes.get p c.target_byte) in
+    sums.(bin) <- sums.(bin) +. observed;
+    counts.(bin) <- counts.(bin) + 1
+  done;
+  let grand_total = Array.fold_left ( +. ) 0. sums in
+  let grand_count = Array.fold_left ( + ) 0 counts in
+  let grand_mean = grand_total /. float_of_int grand_count in
+  let avg_times =
+    Array.init 256 (fun v ->
+        if counts.(v) = 0 then grand_mean else sums.(v) /. float_of_int counts.(v))
+  in
+  (* Candidate k: plaintext values p with (p xor k) on the evicted line
+     should time high. Score = mean(avg over hot values) - grand mean. *)
+  let scores =
+    Array.init 256 (fun k ->
+        let hot = ref 0. in
+        for low = 0 to epl - 1 do
+          let index = (c.target_table_line * epl) + low in
+          hot := !hot +. avg_times.(index lxor k)
+        done;
+        (!hot /. float_of_int epl) -. grand_mean)
+  in
+  let true_byte = Char.code (Bytes.get (Aes.key_bytes (Victim.key victim)) c.target_byte) in
+  let best_candidate = Recovery.argmax scores in
+  {
+    avg_times;
+    counts;
+    scores;
+    best_candidate;
+    true_byte;
+    nibble_recovered = Recovery.nibble_recovered ~scores ~true_byte ~group_size:epl;
+    separation = Recovery.separation scores ~winner:best_candidate;
+  }

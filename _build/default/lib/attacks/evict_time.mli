@@ -1,0 +1,39 @@
+(** Type 1 — the evict-and-time attack (paper Algorithm 1, Figure 3).
+
+    Each trial: the victim's tables are warm; the attacker evicts the
+    cache set holding one chosen line of the target table; the victim
+    encrypts a random plaintext; the attacker observes the whole block's
+    execution time (plus the cache's Gaussian observation noise) and
+    accumulates it in the bin of the targeted plaintext byte. Plaintext
+    byte values whose first-round lookup [p XOR k] lands on the evicted
+    line show a longer average time, which identifies the key byte's high
+    nibble. *)
+
+
+type config = {
+  trials : int;
+  target_byte : int;  (** which of the 16 key bytes to attack *)
+  target_table_line : int;  (** which line of that byte's table to evict *)
+  lock_victim_tables : bool;
+      (** exercise the PL cache's intended use: prefetch-and-lock the
+          tables before the attack (no-op on other architectures) *)
+}
+
+val default_config : config
+(** 50000 trials, byte 0, table line 3, no locking. (The victim's later
+    rounds touch most table lines anyway, so the per-trial contrast is a
+    fraction of a miss — recovery needs tens of thousands of trials, just
+    as the original attacks did.) *)
+
+type result = {
+  avg_times : float array;  (** 256 bins: mean observed block time per
+                                plaintext-byte value (Figure 9's curve) *)
+  counts : int array;
+  scores : float array;  (** per key-byte-candidate score *)
+  best_candidate : int;
+  true_byte : int;
+  nibble_recovered : bool;  (** line-granularity success *)
+  separation : float;  (** z-score of the winning candidate *)
+}
+
+val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> config -> result

@@ -1,0 +1,66 @@
+open Cachesec_cache
+open Cachesec_crypto
+
+let square_line = 96
+let multiply_line = 97
+
+type result = {
+  observed_ops : Modexp.op option array;
+  slots_read : int;
+  total_slots : int;
+  exponent_guess : int option;
+  exponent_recovered : bool;
+}
+
+let reload_hits engine rng ~pid line =
+  let o = engine.Engine.access ~pid line in
+  let t = Timing.observe_outcome rng ~sigma:engine.Engine.sigma o in
+  Timing.classify t = Outcome.Hit
+
+let run ~engine ~victim_pid ~attacker_pid ~rng ~exponent ?(modulus = 0x7fffffff)
+    ?(base = 7) () =
+  (* Collect the victim's true operation sequence first (it is a pure
+     function of the exponent), then replay it time-sliced through the
+     cache. *)
+  let _, ops = Modexp.modexp_traced ~base ~exponent ~modulus in
+  let observed =
+    Array.map
+      (fun op ->
+        ignore (engine.Engine.flush_line ~pid:attacker_pid square_line);
+        ignore (engine.Engine.flush_line ~pid:attacker_pid multiply_line);
+        (* The victim executes one operation: its routine's code line is
+           fetched through the cache. *)
+        let line =
+          match op with
+          | Modexp.Square -> square_line
+          | Modexp.Multiply -> multiply_line
+        in
+        ignore (engine.Engine.access ~pid:victim_pid line);
+        (* Reload both lines. *)
+        let sq = reload_hits engine rng ~pid:attacker_pid square_line in
+        let mu = reload_hits engine rng ~pid:attacker_pid multiply_line in
+        match (sq, mu) with
+        | true, false -> Some Modexp.Square
+        | false, true -> Some Modexp.Multiply
+        | true, true | false, false -> None)
+      ops
+  in
+  let slots_read =
+    Array.fold_left
+      (fun acc (truth, seen) -> if seen = Some truth then acc + 1 else acc)
+      0
+      (Array.map2 (fun a b -> (a, b)) ops observed)
+  in
+  let exponent_guess =
+    if Array.for_all Option.is_some observed then
+      try Some (Modexp.exponent_of_ops (Array.map Option.get observed))
+      with Invalid_argument _ -> None
+    else None
+  in
+  {
+    observed_ops = observed;
+    slots_read;
+    total_slots = Array.length ops;
+    exponent_guess;
+    exponent_recovered = exponent_guess = Some exponent;
+  }

@@ -1,0 +1,71 @@
+open Cachesec_cache
+open Cachesec_crypto
+
+type config = { trials : int; target_byte : int; victim_prefetch : bool }
+
+let default_config = { trials = 2000; target_byte = 0; victim_prefetch = false }
+
+type result = {
+  line_hit_rate : float array;
+  scores : float array;
+  best_candidate : int;
+  true_byte : int;
+  nibble_recovered : bool;
+  separation : float;
+}
+
+let run ~victim ~attacker_pid ~rng c =
+  if c.trials <= 0 then invalid_arg "Flush_reload.run: trials must be positive";
+  if c.target_byte < 0 || c.target_byte > 15 then
+    invalid_arg "Flush_reload.run: target_byte must be in 0..15";
+  let layout = Victim.layout victim in
+  let engine = Victim.engine victim in
+  let table = c.target_byte mod 4 in
+  let lines = Array.of_list (Aes_layout.table_lines layout ~table) in
+  let nlines = Array.length lines in
+  let epl = Aes_layout.entries_per_line layout in
+  let hit_counts = Array.make nlines 0. in
+  let cand_hits = Array.make 256 0. in
+  for _ = 1 to c.trials do
+    (* Flush the whole shared table region (all five tables) so later-
+       round fetches cannot linger across trials. *)
+    List.iter
+      (fun line -> ignore (engine.Engine.flush_line ~pid:attacker_pid line))
+      (Aes_layout.all_lines layout);
+    (* Prefetching makes every table line victim-touched, drowning the
+       secret-dependent reload signal at operation granularity. *)
+    if c.victim_prefetch then Victim.warm_tables victim;
+    let p = Victim.random_plaintext rng in
+    ignore (Victim.encrypt_quiet victim p);
+    (* Reload: classify each of the attacker's own access times. *)
+    let hit = Array.make nlines false in
+    Array.iteri
+      (fun idx line ->
+        let o = engine.Engine.access ~pid:attacker_pid line in
+        let t = Timing.observe_outcome rng ~sigma:engine.Engine.sigma o in
+        hit.(idx) <- Timing.classify t = Outcome.Hit)
+      lines;
+    Array.iteri
+      (fun idx h -> if h then hit_counts.(idx) <- hit_counts.(idx) +. 1.)
+      hit;
+    let pb = Char.code (Bytes.get p c.target_byte) in
+    for k = 0 to 255 do
+      let predicted = (pb lxor k) / epl in
+      if hit.(predicted) then cand_hits.(k) <- cand_hits.(k) +. 1.
+    done
+  done;
+  let ft = float_of_int c.trials in
+  let line_hit_rate = Array.map (fun x -> x /. ft) hit_counts in
+  let scores = Array.map (fun x -> x /. ft) cand_hits in
+  let true_byte =
+    Char.code (Bytes.get (Aes.key_bytes (Victim.key victim)) c.target_byte)
+  in
+  let best_candidate = Recovery.argmax scores in
+  {
+    line_hit_rate;
+    scores;
+    best_candidate;
+    true_byte;
+    nibble_recovered = Recovery.nibble_recovered ~scores ~true_byte ~group_size:epl;
+    separation = Recovery.separation scores ~winner:best_candidate;
+  }

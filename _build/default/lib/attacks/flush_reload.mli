@@ -1,0 +1,28 @@
+(** Type 4 — the flush-and-reload attack (paper Figure 7).
+
+    The AES tables are a shared library: the attacker can name their
+    lines directly. Each trial he flushes every table line, lets the
+    victim encrypt a random plaintext, then reloads the target table's 16
+    lines and classifies each of his own access times. A reload hit means
+    the victim fetched that line; the candidate key byte whose predicted
+    first-round line was hit most consistently wins. Architectures whose
+    per-process tags prevent cross-context hits (Newcache, RP) produce a
+    flat profile — the paper's p4 = 0. *)
+
+type config = { trials : int; target_byte : int; victim_prefetch : bool }
+
+val default_config : config
+(** 2000 trials, byte 0, no prefetching. [victim_prefetch] applies the
+    paper's cited software mitigation (preload all tables per
+    operation), which blinds operation-granularity reloads. *)
+
+type result = {
+  line_hit_rate : float array;  (** reload hit frequency per target-table line *)
+  scores : float array;
+  best_candidate : int;
+  true_byte : int;
+  nibble_recovered : bool;
+  separation : float;
+}
+
+val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> config -> result

@@ -1,0 +1,61 @@
+open Cachesec_cache
+open Cachesec_crypto
+
+type config = { trials : int; target_byte : int; lock_victim_tables : bool }
+
+let default_config = { trials = 2000; target_byte = 0; lock_victim_tables = false }
+
+type result = {
+  set_miss_rate : float array;
+  scores : float array;
+  best_candidate : int;
+  true_byte : int;
+  nibble_recovered : bool;
+  separation : float;
+}
+
+let run ~victim ~attacker_pid ~rng c =
+  if c.trials <= 0 then invalid_arg "Prime_probe.run: trials must be positive";
+  if c.target_byte < 0 || c.target_byte > 15 then
+    invalid_arg "Prime_probe.run: target_byte must be in 0..15";
+  let layout = Victim.layout victim in
+  let engine = Victim.engine victim in
+  let sets = Config.sets engine.Engine.config in
+  let table = c.target_byte mod 4 in
+  if c.lock_victim_tables then ignore (Victim.lock_tables victim);
+  (* miss_freq.(s) = fraction of trials where probing set s saw >= 1
+     classified miss; cand_hits.(k) accumulates the miss indicator of the
+     set candidate k predicts. *)
+  let miss_freq = Array.make sets 0. in
+  let cand_hits = Array.make 256 0. in
+  let epl = Aes_layout.entries_per_line layout in
+  for _ = 1 to c.trials do
+    Attacker.prime_all_sets engine rng ~pid:attacker_pid ();
+    let p = Victim.random_plaintext rng in
+    ignore (Victim.encrypt_quiet victim p);
+    let probes = Attacker.probe_all_sets engine rng ~pid:attacker_pid () in
+    let missed s = probes.(s).Attacker.classified_misses > 0 in
+    Array.iteri
+      (fun s _ -> if missed s then miss_freq.(s) <- miss_freq.(s) +. 1.)
+      probes;
+    let pb = Char.code (Bytes.get p c.target_byte) in
+    for k = 0 to 255 do
+      let predicted = Aes_layout.set_of_entry layout ~table ~index:(pb lxor k) in
+      if missed predicted then cand_hits.(k) <- cand_hits.(k) +. 1.
+    done
+  done;
+  let ft = float_of_int c.trials in
+  let set_miss_rate = Array.map (fun x -> x /. ft) miss_freq in
+  let scores = Array.map (fun x -> x /. ft) cand_hits in
+  let true_byte =
+    Char.code (Bytes.get (Aes.key_bytes (Victim.key victim)) c.target_byte)
+  in
+  let best_candidate = Recovery.argmax scores in
+  {
+    set_miss_rate;
+    scores;
+    best_candidate;
+    true_byte;
+    nibble_recovered = Recovery.nibble_recovered ~scores ~true_byte ~group_size:epl;
+    separation = Recovery.separation scores ~winner:best_candidate;
+  }

@@ -1,0 +1,30 @@
+(** Type 2 — the prime-and-probe attack (paper Figure 6).
+
+    Each trial: the attacker primes every cache set with his own lines;
+    the victim encrypts a random plaintext; the attacker probes each set
+    and classifies each of his own access times as hit or miss. A
+    candidate key byte predicts which set the victim's first-round lookup
+    touched; the candidate whose predicted sets were missed most
+    consistently wins (for the true candidate the predicted set is missed
+    on {e every} trial on a leaky cache). *)
+
+
+type config = {
+  trials : int;
+  target_byte : int;
+  lock_victim_tables : bool;
+}
+
+val default_config : config
+(** 2000 trials, byte 0, no locking. *)
+
+type result = {
+  set_miss_rate : float array;  (** per-set average classified probe misses *)
+  scores : float array;  (** 256 candidate scores (Figure 10's series) *)
+  best_candidate : int;
+  true_byte : int;
+  nibble_recovered : bool;
+  separation : float;
+}
+
+val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> config -> result

@@ -1,0 +1,47 @@
+open Cachesec_cache
+open Cachesec_crypto
+open Cachesec_stats
+
+type t = {
+  engine : Engine.t;
+  pid : int;
+  key : Aes.key;
+  layout : Aes_layout.t;
+}
+
+let create ~engine ~pid ~key ~layout = { engine; pid; key; layout }
+let pid t = t.pid
+let key t = t.key
+let layout t = t.layout
+let engine t = t.engine
+
+let encrypt_timed t plaintext =
+  let total = ref 0. in
+  let ciphertext, accesses = Aes.encrypt_traced t.key plaintext in
+  Array.iter
+    (fun a ->
+      let line = Aes_layout.line_of_access t.layout a in
+      let o = t.engine.Engine.access ~pid:t.pid line in
+      total :=
+        !total
+        +. (match o.Outcome.event with
+           | Outcome.Hit -> Timing.hit_time
+           | Outcome.Miss -> Timing.miss_time))
+    accesses;
+  (ciphertext, !total)
+
+let encrypt_quiet t plaintext = fst (encrypt_timed t plaintext)
+
+let warm_tables t =
+  List.iter
+    (fun line -> ignore (t.engine.Engine.access ~pid:t.pid line))
+    (Aes_layout.all_lines t.layout)
+
+let lock_tables t =
+  List.fold_left
+    (fun acc line ->
+      if t.engine.Engine.lock_line ~pid:t.pid line then acc + 1 else acc)
+    0
+    (Aes_layout.all_lines t.layout)
+
+let random_plaintext rng = Bytes.init 16 (fun _ -> Char.chr (Rng.int rng 256))

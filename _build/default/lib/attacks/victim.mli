@@ -1,0 +1,37 @@
+(** The victim process: table-based AES-128 run through a cache engine.
+
+    Every table lookup of a block encryption becomes one cache access by
+    the victim's pid; the block's execution time is the sum of the per-
+    access hit/miss latencies (hit = 0, miss = 1), which is what the
+    attacker's coarse timer measures in timing-based attacks. *)
+
+open Cachesec_cache
+open Cachesec_crypto
+
+type t
+
+val create :
+  engine:Engine.t -> pid:int -> key:Aes.key -> layout:Aes_layout.t -> t
+
+val pid : t -> int
+val key : t -> Aes.key
+val layout : t -> Aes_layout.t
+val engine : t -> Engine.t
+
+val encrypt_timed : t -> Bytes.t -> Bytes.t * float
+(** Encrypt one block through the cache; the float is the exact total
+    access time (misses counted at 1.0 each, before observation noise). *)
+
+val encrypt_quiet : t -> Bytes.t -> Bytes.t
+(** Same cache side effects, discarding the time. *)
+
+val warm_tables : t -> unit
+(** Access every table line once (brings them in where the architecture
+    allows it). *)
+
+val lock_tables : t -> int
+(** PL cache: prefetch-and-lock every table line; returns how many locked
+    (0 on architectures without locking). *)
+
+val random_plaintext : Cachesec_stats.Rng.t -> Bytes.t
+(** 16 uniform bytes. *)

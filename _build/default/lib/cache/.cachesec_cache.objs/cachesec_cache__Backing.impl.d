@@ -1,0 +1,1 @@
+lib/cache/backing.ml: Array Cachesec_stats Config Counters Fun Line List Rng Seq

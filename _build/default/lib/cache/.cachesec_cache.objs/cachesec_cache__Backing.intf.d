@@ -1,0 +1,1 @@
+lib/cache/backing.mli: Cachesec_stats Config Counters Line

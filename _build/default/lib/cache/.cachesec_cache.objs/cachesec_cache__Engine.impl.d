@@ -1,0 +1,1 @@
+lib/cache/engine.ml: Config Counters Line Outcome

@@ -1,0 +1,1 @@
+lib/cache/engine.mli: Config Counters Line Outcome

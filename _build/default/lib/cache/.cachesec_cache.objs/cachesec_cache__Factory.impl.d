@@ -1,0 +1,1 @@
+lib/cache/factory.ml: Config List Newcache Noisy Nomo Pl Re Rf Rp Sa Sp Spec

@@ -1,0 +1,1 @@
+lib/cache/factory.mli: Cachesec_stats Config Engine Spec

@@ -1,0 +1,1 @@
+lib/cache/hierarchy.ml: Cachesec_stats Config Counters Engine Hashtbl Outcome Printf Replacement Rng Sa Timing

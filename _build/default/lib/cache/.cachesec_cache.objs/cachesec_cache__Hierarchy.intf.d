@@ -1,0 +1,1 @@
+lib/cache/hierarchy.mli: Cachesec_stats Config Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/line.ml: Array

@@ -1,0 +1,1 @@
+lib/cache/newcache.ml: Array Backing Cachesec_stats Config Counters Engine Hashtbl Line Outcome Printf Rng

@@ -1,0 +1,1 @@
+lib/cache/newcache.mli: Cachesec_stats Config Engine Outcome

@@ -1,0 +1,1 @@
+lib/cache/noisy.ml: Engine Printf Sa

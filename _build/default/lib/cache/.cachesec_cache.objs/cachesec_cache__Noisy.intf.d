@@ -1,0 +1,1 @@
+lib/cache/noisy.mli: Cachesec_stats Config Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/nomo.ml: Address Array Backing Config Counters Engine Line List Option Outcome Printf Replacement

@@ -1,0 +1,1 @@
+lib/cache/nomo.mli: Cachesec_stats Config Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/outcome.ml: Format List Printf String

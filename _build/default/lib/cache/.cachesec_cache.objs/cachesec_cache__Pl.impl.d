@@ -1,0 +1,1 @@
+lib/cache/pl.ml: Address Array Backing Config Counters Engine Int Line List Outcome Printf Replacement

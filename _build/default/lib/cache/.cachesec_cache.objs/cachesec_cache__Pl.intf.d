@@ -1,0 +1,1 @@
+lib/cache/pl.mli: Cachesec_stats Config Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/re.ml: Address Array Backing Cachesec_stats Config Counters Engine Line Outcome Printf Replacement Rng

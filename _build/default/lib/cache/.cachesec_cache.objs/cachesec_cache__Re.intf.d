@@ -1,0 +1,1 @@
+lib/cache/re.mli: Cachesec_stats Config Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/recorder.ml: Engine Int List Outcome

@@ -1,0 +1,1 @@
+lib/cache/recorder.mli: Engine

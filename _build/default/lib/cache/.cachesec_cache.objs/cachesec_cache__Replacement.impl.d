@@ -1,0 +1,1 @@
+lib/cache/replacement.ml: Array Cachesec_stats Line List Rng

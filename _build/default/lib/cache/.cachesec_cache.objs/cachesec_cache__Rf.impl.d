@@ -1,0 +1,1 @@
+lib/cache/rf.ml: Address Array Backing Cachesec_stats Config Counters Engine Hashtbl Line Option Outcome Printf Replacement Rng Stdlib

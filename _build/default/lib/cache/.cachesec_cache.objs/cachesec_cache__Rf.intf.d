@@ -1,0 +1,1 @@
+lib/cache/rf.mli: Cachesec_stats Config Engine Outcome Replacement

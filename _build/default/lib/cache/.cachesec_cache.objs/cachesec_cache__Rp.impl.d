@@ -1,0 +1,1 @@
+lib/cache/rp.ml: Array Backing Cachesec_stats Config Counters Engine Fun Hashtbl Line List Outcome Printf Replacement Rng

@@ -1,0 +1,1 @@
+lib/cache/rp.mli: Cachesec_stats Config Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/sa.ml: Address Array Backing Config Counters Engine Line Outcome Printf Replacement

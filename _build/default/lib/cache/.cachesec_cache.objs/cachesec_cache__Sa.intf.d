@@ -1,0 +1,1 @@
+lib/cache/sa.mli: Cachesec_stats Config Counters Engine Outcome Replacement

@@ -1,0 +1,1 @@
+lib/cache/skewed.mli: Cachesec_stats Config Engine Outcome

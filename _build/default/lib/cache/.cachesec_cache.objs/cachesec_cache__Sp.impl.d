@@ -1,0 +1,1 @@
+lib/cache/sp.ml: Array Backing Config Counters Engine Line List Outcome Printf Replacement

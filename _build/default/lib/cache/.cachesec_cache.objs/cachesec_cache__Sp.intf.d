@@ -1,0 +1,1 @@
+lib/cache/sp.mli: Cachesec_stats Config Engine Outcome Replacement

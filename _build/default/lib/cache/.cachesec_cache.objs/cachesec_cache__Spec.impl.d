@@ -1,0 +1,1 @@
+lib/cache/spec.ml: Format List Replacement

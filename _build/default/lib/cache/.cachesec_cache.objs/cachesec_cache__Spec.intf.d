@@ -1,0 +1,1 @@
+lib/cache/spec.mli: Format Replacement

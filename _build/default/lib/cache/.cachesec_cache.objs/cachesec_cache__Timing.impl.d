@@ -1,0 +1,1 @@
+lib/cache/timing.ml: Cachesec_stats Outcome Rng Special

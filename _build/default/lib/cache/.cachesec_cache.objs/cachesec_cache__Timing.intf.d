@@ -1,0 +1,1 @@
+lib/cache/timing.mli: Cachesec_stats Outcome

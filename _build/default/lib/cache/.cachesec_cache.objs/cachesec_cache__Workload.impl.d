@@ -1,0 +1,1 @@
+lib/cache/workload.ml: Array Cachesec_stats Counters Engine Printf Rng Stdlib

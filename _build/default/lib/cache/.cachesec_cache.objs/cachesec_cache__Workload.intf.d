@@ -1,0 +1,1 @@
+lib/cache/workload.mli: Cachesec_stats Engine

@@ -1,0 +1,50 @@
+open Cachesec_stats
+
+type t = {
+  cfg : Config.t;
+  lines : Line.t array;
+  mutable seq : int;
+  counters : Counters.t;
+  rng : Rng.t;
+}
+
+let create cfg ~rng =
+  {
+    cfg;
+    lines = Line.make_array cfg.Config.lines;
+    seq = 0;
+    counters = Counters.create ();
+    rng;
+  }
+
+let tick t =
+  t.seq <- t.seq + 1;
+  t.seq
+
+let ways_of_set t ~set =
+  let w = t.cfg.Config.ways in
+  if set < 0 || set >= Config.sets t.cfg then
+    invalid_arg "Backing.ways_of_set: set out of range";
+  List.init w (fun i -> (set * w) + i)
+
+let find_way t ~set ~f =
+  List.find_opt (fun i -> f t.lines.(i)) (ways_of_set t ~set)
+
+let find_any t ~f =
+  let n = Array.length t.lines in
+  let rec go i = if i >= n then None else if f t.lines.(i) then Some i else go (i + 1) in
+  go 0
+
+let valid_indices t =
+  Array.to_list
+    (Array.of_seq
+       (Seq.filter_map
+          (fun i -> if t.lines.(i).Line.valid then Some i else None)
+          (Seq.init (Array.length t.lines) Fun.id)))
+
+let dump t = List.map (fun i -> (i, t.lines.(i))) (valid_indices t)
+
+let flush_all t =
+  let displaced = List.length (valid_indices t) in
+  Array.iter Line.invalidate t.lines;
+  Counters.record_eviction t.counters ~count:displaced

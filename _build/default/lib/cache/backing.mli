@@ -1,0 +1,31 @@
+(** Shared physical storage for the set-associative architecture models:
+    a flat line array viewed as [sets] groups of [ways], a global access
+    sequence counter, per-cache counters and an RNG. *)
+
+type t = {
+  cfg : Config.t;
+  lines : Line.t array;
+  mutable seq : int;
+  counters : Counters.t;
+  rng : Cachesec_stats.Rng.t;
+}
+
+val create : Config.t -> rng:Cachesec_stats.Rng.t -> t
+val tick : t -> int
+(** Advance and return the access sequence number. *)
+
+val ways_of_set : t -> set:int -> int list
+(** Global line indices of a set, in way order. *)
+
+val find_way : t -> set:int -> f:(Line.t -> bool) -> int option
+(** First global index in the set whose line satisfies [f]. *)
+
+val find_any : t -> f:(Line.t -> bool) -> int option
+(** First global index anywhere whose line satisfies [f]. *)
+
+val valid_indices : t -> int list
+val dump : t -> (int * Line.t) list
+(** Valid lines with their global index. *)
+
+val flush_all : t -> unit
+(** Invalidate every line, counting the displaced valid ones. *)

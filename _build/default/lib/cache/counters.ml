@@ -1,0 +1,87 @@
+type snapshot = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;
+  read_throughs : int;
+  flushes : int;
+}
+
+let zero =
+  { accesses = 0; hits = 0; misses = 0; evictions = 0; read_throughs = 0; flushes = 0 }
+
+type cell = {
+  mutable accesses : int;
+  mutable hits : int;
+  mutable misses : int;
+  mutable evictions : int;
+  mutable read_throughs : int;
+  mutable flushes : int;
+}
+
+type t = { global : cell; per_pid : (int, cell) Hashtbl.t }
+
+let fresh_cell () =
+  { accesses = 0; hits = 0; misses = 0; evictions = 0; read_throughs = 0; flushes = 0 }
+
+let create () = { global = fresh_cell (); per_pid = Hashtbl.create 8 }
+
+let cell_for t pid =
+  match Hashtbl.find_opt t.per_pid pid with
+  | Some c -> c
+  | None ->
+    let c = fresh_cell () in
+    Hashtbl.replace t.per_pid pid c;
+    c
+
+let bump c (o : Outcome.t) =
+  c.accesses <- c.accesses + 1;
+  (match o.event with
+  | Outcome.Hit -> c.hits <- c.hits + 1
+  | Outcome.Miss -> c.misses <- c.misses + 1);
+  c.evictions <- c.evictions + List.length o.evicted;
+  if Outcome.is_miss o && not o.cached then c.read_throughs <- c.read_throughs + 1
+
+let record t ~pid o =
+  bump t.global o;
+  bump (cell_for t pid) o
+
+let record_flush t ~pid =
+  t.global.flushes <- t.global.flushes + 1;
+  (cell_for t pid).flushes <- (cell_for t pid).flushes + 1
+
+let record_eviction t ~count = t.global.evictions <- t.global.evictions + count
+
+let snap (c : cell) : snapshot =
+  {
+    accesses = c.accesses;
+    hits = c.hits;
+    misses = c.misses;
+    evictions = c.evictions;
+    read_throughs = c.read_throughs;
+    flushes = c.flushes;
+  }
+
+let global t = snap t.global
+
+let for_pid t pid =
+  match Hashtbl.find_opt t.per_pid pid with Some c -> snap c | None -> zero
+
+let hit_rate (s : snapshot) =
+  if s.accesses = 0 then nan else float_of_int s.hits /. float_of_int s.accesses
+
+let reset t =
+  let clear c =
+    c.accesses <- 0;
+    c.hits <- 0;
+    c.misses <- 0;
+    c.evictions <- 0;
+    c.read_throughs <- 0;
+    c.flushes <- 0
+  in
+  clear t.global;
+  Hashtbl.iter (fun _ c -> clear c) t.per_pid
+
+let pp_snapshot ppf (s : snapshot) =
+  Format.fprintf ppf "acc=%d hit=%d miss=%d evict=%d rt=%d flush=%d" s.accesses
+    s.hits s.misses s.evictions s.read_throughs s.flushes

@@ -1,0 +1,28 @@
+(** Per-cache and per-pid access accounting. *)
+
+type snapshot = {
+  accesses : int;
+  hits : int;
+  misses : int;
+  evictions : int;  (** valid lines displaced (any cause) *)
+  read_throughs : int;  (** misses served without caching the line *)
+  flushes : int;
+}
+
+type t
+
+val create : unit -> t
+val record : t -> pid:int -> Outcome.t -> unit
+val record_flush : t -> pid:int -> unit
+val record_eviction : t -> count:int -> unit
+(** Extra evictions not tied to an access outcome (e.g. flush_all). *)
+
+val global : t -> snapshot
+val for_pid : t -> int -> snapshot
+(** All-zero snapshot for a pid never seen. *)
+
+val hit_rate : snapshot -> float
+(** [nan] when no accesses. *)
+
+val reset : t -> unit
+val pp_snapshot : Format.formatter -> snapshot -> unit

@@ -1,0 +1,19 @@
+type t = {
+  name : string;
+  config : Config.t;
+  sigma : float;
+  access : pid:int -> int -> Outcome.t;
+  peek : pid:int -> int -> bool;
+  flush_line : pid:int -> int -> bool;
+  flush_all : unit -> unit;
+  lock_line : pid:int -> int -> bool;
+  unlock_line : pid:int -> int -> bool;
+  set_window : pid:int -> back:int -> fwd:int -> unit;
+  counters : unit -> Counters.snapshot;
+  counters_for : int -> Counters.snapshot;
+  reset_counters : unit -> unit;
+  dump : unit -> (int * Line.t) list;
+}
+
+let no_lock ~pid:_ _ = false
+let no_window ~pid:_ ~back:_ ~fwd:_ = ()

@@ -1,0 +1,40 @@
+(** Uniform, architecture-agnostic cache interface.
+
+    Each architecture module exposes its own typed API plus an [engine]
+    projection to this record of operations, which is what the attack
+    harness, benches and examples drive. Operations that an architecture
+    does not implement (locking outside PL, windows outside RF) are no-ops
+    that return [()] or [false]. *)
+
+type t = {
+  name : string;
+  config : Config.t;
+  sigma : float;
+      (** standard deviation of Gaussian observation noise this cache adds
+          to timing measurements (non-zero only for the noisy cache) *)
+  access : pid:int -> int -> Outcome.t;
+      (** one read of a memory line (line-number addressing) *)
+  peek : pid:int -> int -> bool;
+      (** non-mutating: would [access] hit right now? *)
+  flush_line : pid:int -> int -> bool;
+      (** clflush analogue: remove the line wherever the pid could hit on
+          it; returns whether anything was removed *)
+  flush_all : unit -> unit;  (** invalidate the whole cache *)
+  lock_line : pid:int -> int -> bool;
+      (** PL cache: prefetch and protect a line; [false] if unsupported or
+          the line could not be locked *)
+  unlock_line : pid:int -> int -> bool;
+  set_window : pid:int -> back:int -> fwd:int -> unit;
+      (** RF cache: set the pid's random-fill window; no-op elsewhere *)
+  counters : unit -> Counters.snapshot;
+  counters_for : int -> Counters.snapshot;
+  reset_counters : unit -> unit;
+  dump : unit -> (int * Line.t) list;
+      (** valid lines with their physical way index, for tests/debugging *)
+}
+
+val no_lock : pid:int -> int -> bool
+(** Constant [false]; default for caches without locking. *)
+
+val no_window : pid:int -> back:int -> fwd:int -> unit
+(** No-op; default for caches without random fill. *)

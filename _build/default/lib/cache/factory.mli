@@ -1,0 +1,18 @@
+(** Build a runnable {!Engine.t} from a {!Spec.t} plus scenario bindings. *)
+
+type scenario = {
+  victim_pid : int;
+  victim_lines : (int * int) list;
+      (** inclusive line ranges owned by the victim's security domain
+          (AES tables, victim private data). SP homes these in the victim
+          partition; Nomo protects [victim_pid]; RF applies the spec's
+          window to [victim_pid]. *)
+}
+
+val default_scenario : scenario
+(** victim pid 0 and no owned ranges — fine for single-process use. *)
+
+val build :
+  ?config:Config.t -> Spec.t -> scenario -> rng:Cachesec_stats.Rng.t -> Engine.t
+(** Instantiate. [config]'s [ways] is overridden by the spec's [ways]
+    (its line count and line size are kept); Newcache ignores [ways]. *)

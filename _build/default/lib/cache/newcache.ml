@@ -1,0 +1,109 @@
+open Cachesec_stats
+
+type t = {
+  b : Backing.t;
+  logical_lines : int;
+  (* CAM index: (context, logical index) -> physical line index. Kept in
+     lock-step with the line array so lookups are O(1) instead of a scan
+     over all physical lines. *)
+  cam : (int * int, int) Hashtbl.t;
+}
+
+let create ?(config = Config.fully_associative) ?(extra_bits = 4) ~rng () =
+  if extra_bits < 0 then invalid_arg "Newcache.create: negative extra_bits";
+  {
+    b = Backing.create config ~rng;
+    logical_lines = config.Config.lines lsl extra_bits;
+    cam = Hashtbl.create 1024;
+  }
+
+let config t = t.b.Backing.cfg
+let logical_lines t = t.logical_lines
+let lindex t addr = addr mod t.logical_lines
+(* The stored tag is the full memory-line number, which subsumes the
+   logical tag addr / logical_lines. *)
+
+(* CAM lookup: the physical line holding (context, logical index), if
+   any, verified against the line array. *)
+let cam_find t ~pid addr =
+  match Hashtbl.find_opt t.cam (pid, lindex t addr) with
+  | Some i when t.b.Backing.lines.(i).Line.valid -> Some i
+  | Some _ | None -> None
+
+let cam_remove_entry_of t i =
+  let l = t.b.Backing.lines.(i) in
+  if l.Line.valid then Hashtbl.remove t.cam (l.owner, l.aux)
+
+let full_match t ~pid addr =
+  match cam_find t ~pid addr with
+  | Some i when t.b.Backing.lines.(i).Line.tag = addr -> Some i
+  | Some _ | None -> None
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let outcome =
+    match full_match t ~pid addr with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      (* Tag miss: clear the index-conflicting line to keep the
+         (context, index) CAM key unique. *)
+      let conflict_evicted =
+        match cam_find t ~pid addr with
+        | Some i ->
+          let l = b.lines.(i) in
+          let victim = (l.Line.owner, l.tag) in
+          cam_remove_entry_of t i;
+          Line.invalidate l;
+          [ victim ]
+        | None -> []
+      in
+      let way = Rng.int b.rng (Array.length b.lines) in
+      let victim = b.lines.(way) in
+      let evicted =
+        if victim.Line.valid then (victim.owner, victim.tag) :: conflict_evicted
+        else conflict_evicted
+      in
+      cam_remove_entry_of t way;
+      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      victim.Line.aux <- lindex t addr;
+      Hashtbl.replace t.cam (pid, lindex t addr) way;
+      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid addr = full_match t ~pid addr <> None
+
+let flush_line t ~pid addr =
+  match full_match t ~pid addr with
+  | Some i ->
+    cam_remove_entry_of t i;
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t =
+  Hashtbl.reset t.cam;
+  Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "newcache-%d-logical" t.logical_lines;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

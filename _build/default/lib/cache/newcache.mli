@@ -1,0 +1,37 @@
+(** Newcache (Wang & Lee 2008; Liu et al. 2016).
+
+    Memory maps into an {e ephemeral logical cache}: a per-process
+    direct-mapped cache of [lines * 2^extra_bits] logical lines; logical
+    lines map to the physical array fully associatively. Our model keeps,
+    per physical line, the triple (context, logical index, tag):
+
+    - {e hit}: some physical line matches all three;
+    - {e index miss} (no line matches context+index): the incoming line
+      replaces a uniformly random physical line — the paper's p2 = 1/N;
+    - {e tag miss} (context+index match but tag differs): the conflicting
+      line is invalidated and the incoming line replaces a uniformly
+      random physical line (the randomized arm of the SecRAND policy; we
+      apply it uniformly, a simplification documented in DESIGN.md).
+
+    The per-context mapping is also what zeroes p4 for flush-and-reload:
+    a line fetched by the victim's context can never hit for the
+    attacker's context, even at the same memory address. *)
+
+type t
+
+val create :
+  ?config:Config.t -> ?extra_bits:int -> rng:Cachesec_stats.Rng.t -> unit -> t
+(** [config] wants [ways = lines] conceptually, but only [lines] is used:
+    the physical array is fully associative by construction. [extra_bits]
+    defaults to 4 (logical cache 16x the physical size). *)
+
+val config : t -> Config.t
+val logical_lines : t -> int
+val access : t -> pid:int -> int -> Outcome.t
+val peek : t -> pid:int -> int -> bool
+val flush_line : t -> pid:int -> int -> bool
+(** Removes only the accessor's own context's copy (the PID feature means
+    a pid cannot name another context's line). *)
+
+val flush_all : t -> unit
+val engine : t -> Engine.t

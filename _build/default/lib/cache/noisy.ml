@@ -1,0 +1,13 @@
+type t = { sa : Sa.t; sigma : float }
+
+let create ?config ?policy ?(sigma = 1.0) ~rng () =
+  if sigma < 0. then invalid_arg "Noisy.create: negative sigma";
+  { sa = Sa.create ?config ?policy ~rng (); sigma }
+
+let sigma t = t.sigma
+let access t ~pid addr = Sa.access t.sa ~pid addr
+let peek t ~pid addr = Sa.peek t.sa ~pid addr
+
+let engine t =
+  let e = Sa.engine t.sa in
+  { e with Engine.name = Printf.sprintf "noisy-sigma-%g" t.sigma; sigma = t.sigma }

@@ -1,0 +1,106 @@
+type t = {
+  b : Backing.t;
+  policy : Replacement.policy;
+  reserved : int;
+  protected_pids : int list;
+}
+
+let create ?(config = Config.standard) ?(policy = Replacement.Random) ?reserved
+    ~protected_pids ~rng () =
+  let reserved = Option.value reserved ~default:(config.Config.ways / 4) in
+  if reserved < 0 || reserved >= config.Config.ways then
+    invalid_arg "Nomo.create: reserved must lie in [0, ways)";
+  { b = Backing.create config ~rng; policy; reserved; protected_pids }
+
+let config t = t.b.Backing.cfg
+let reserved_ways t = t.reserved
+let shared_ways t = t.b.Backing.cfg.Config.ways - t.reserved
+let is_protected t pid = List.mem pid t.protected_pids
+let set_of t addr = Address.set_index t.b.Backing.cfg addr
+let matches addr (l : Line.t) = l.valid && l.tag = addr
+
+let split_ways t ~set =
+  let all = Backing.ways_of_set t.b ~set in
+  let rec take n = function
+    | [] -> ([], [])
+    | x :: rest ->
+      if n = 0 then ([], x :: rest)
+      else begin
+        let a, b = take (n - 1) rest in
+        (x :: a, b)
+      end
+  in
+  take t.reserved all
+
+let fill_candidates t ~set ~pid =
+  let reserved, shared = split_ways t ~set in
+  if not (is_protected t pid) then shared
+  else begin
+    let owned =
+      List.length
+        (List.filter
+           (fun i ->
+             let l = t.b.lines.(i) in
+             l.Line.valid && l.owner = pid)
+           (reserved @ shared))
+    in
+    if owned < t.reserved then reserved else shared
+  end
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let set = set_of t addr in
+  let outcome =
+    match Backing.find_way b ~set ~f:(matches addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None -> (
+      match fill_candidates t ~set ~pid with
+      | [] ->
+        (* reserved = 0 for a protected pid never happens (owned < 0 is
+           impossible); shared = [] can only occur if reserved = ways,
+           excluded at create. Still: serve read-through defensively. *)
+        { Outcome.event = Miss; cached = false; fetched = None; evicted = [] }
+      | candidates ->
+        let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+        let victim = b.lines.(way) in
+        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted })
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid:_ addr =
+  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+
+let flush_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name =
+      Printf.sprintf "nomo-%d/%d-reserved" t.reserved (config t).Config.ways;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

@@ -1,0 +1,26 @@
+type event = Hit | Miss
+
+type t = {
+  event : event;
+  cached : bool;
+  fetched : int option;
+  evicted : (int * int) list;
+}
+
+let hit = { event = Hit; cached = true; fetched = None; evicted = [] }
+let event_to_string = function Hit -> "hit" | Miss -> "miss"
+let is_hit t = t.event = Hit
+let is_miss t = t.event = Miss
+
+let pp ppf t =
+  Format.fprintf ppf "%s%s%s" (event_to_string t.event)
+    (match t.fetched with
+    | Some l when not t.cached -> Printf.sprintf " (filled line %d instead)" l
+    | Some _ -> ""
+    | None -> if t.cached then "" else " (uncached)")
+    (match t.evicted with
+    | [] -> ""
+    | ev ->
+      " evicted "
+      ^ String.concat ","
+          (List.map (fun (pid, l) -> Printf.sprintf "%d:%d" pid l) ev))

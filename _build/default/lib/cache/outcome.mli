@@ -1,0 +1,25 @@
+(** The result of one memory access as seen by the timing channel. *)
+
+type event = Hit | Miss
+
+type t = {
+  event : event;
+  cached : bool;
+      (** whether the {e accessed} line resides in the cache afterwards
+          (false for PL read-through and for RF, whose fill may be a
+          different line) *)
+  fetched : int option;
+      (** the memory line actually brought into the cache by this access,
+          if any; differs from the accessed line under random fill *)
+  evicted : (int * int) list;
+      (** [(owner_pid, line)] pairs displaced by this access, including any
+          periodic random evictions an RE cache performs on this access *)
+}
+
+val hit : t
+(** A plain hit: cached, nothing fetched or evicted. *)
+
+val event_to_string : event -> string
+val is_hit : t -> bool
+val is_miss : t -> bool
+val pp : Format.formatter -> t -> unit

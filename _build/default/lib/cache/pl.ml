@@ -1,0 +1,106 @@
+type t = { b : Backing.t; policy : Replacement.policy }
+
+let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
+  { b = Backing.create config ~rng; policy }
+
+let config t = t.b.Backing.cfg
+let set_of t addr = Address.set_index t.b.Backing.cfg addr
+let matches addr (l : Line.t) = l.valid && l.tag = addr
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let set = set_of t addr in
+  let outcome =
+    match Backing.find_way b ~set ~f:(matches addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let candidates = Backing.ways_of_set b ~set in
+      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+      let victim = b.lines.(way) in
+      if victim.Line.valid && victim.locked then
+        (* Protected victim: direct memory-to-processor transfer. *)
+        { Outcome.event = Miss; cached = false; fetched = None; evicted = [] }
+      else begin
+        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      end
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let lock_line t ~pid addr =
+  let b = t.b in
+  let set = set_of t addr in
+  match Backing.find_way b ~set ~f:(matches addr) with
+  | Some i ->
+    b.lines.(i).Line.locked <- true;
+    b.lines.(i).Line.owner <- pid;
+    true
+  | None -> (
+    let seq = Backing.tick b in
+    let unlocked =
+      List.filter
+        (fun i -> not b.lines.(i).Line.locked)
+        (Backing.ways_of_set b ~set)
+    in
+    match unlocked with
+    | [] -> false
+    | candidates ->
+      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+      let victim = b.lines.(way) in
+      let evicted = if victim.Line.valid then 1 else 0 in
+      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      victim.Line.locked <- true;
+      Counters.record_eviction b.counters ~count:evicted;
+      true)
+
+let unlock_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i when t.b.lines.(i).Line.locked && t.b.lines.(i).Line.owner = pid ->
+    t.b.lines.(i).Line.locked <- false;
+    true
+  | Some _ | None -> false
+
+let locked_lines t =
+  Backing.dump t.b
+  |> List.filter_map (fun (_, (l : Line.t)) -> if l.locked then Some l.tag else None)
+  |> List.sort Int.compare
+
+let peek t ~pid:_ addr =
+  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+
+let flush_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i ->
+    let l = t.b.lines.(i) in
+    if l.Line.locked && l.owner <> pid then false
+    else begin
+      Line.invalidate l;
+      Counters.record_flush t.b.counters ~pid;
+      true
+    end
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "pl-%d-way" (config t).Config.ways;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = (fun ~pid addr -> lock_line t ~pid addr);
+    unlock_line = (fun ~pid addr -> unlock_line t ~pid addr);
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

@@ -1,0 +1,97 @@
+open Cachesec_stats
+
+type t = {
+  b : Backing.t;
+  policy : Replacement.policy;
+  interval : int;
+  mutable since_eviction : int;
+  mutable random_evictions : int;
+}
+
+let create ?(config = Config.direct_mapped) ?(policy = Replacement.Random)
+    ?(interval = 10) ~rng () =
+  if interval <= 0 then invalid_arg "Re.create: interval must be positive";
+  {
+    b = Backing.create config ~rng;
+    policy;
+    interval;
+    since_eviction = 0;
+    random_evictions = 0;
+  }
+
+let config t = t.b.Backing.cfg
+let interval t = t.interval
+let random_evictions t = t.random_evictions
+let set_of t addr = Address.set_index t.b.Backing.cfg addr
+let matches addr (l : Line.t) = l.valid && l.tag = addr
+
+(* Fires after every [interval]-th access; evicts a uniformly random slot. *)
+let periodic_eviction t =
+  t.since_eviction <- t.since_eviction + 1;
+  if t.since_eviction >= t.interval then begin
+    t.since_eviction <- 0;
+    t.random_evictions <- t.random_evictions + 1;
+    let slot = Rng.int t.b.rng (Array.length t.b.lines) in
+    let l = t.b.lines.(slot) in
+    if l.Line.valid then begin
+      let victim = (l.Line.owner, l.tag) in
+      Line.invalidate l;
+      [ victim ]
+    end
+    else []
+  end
+  else []
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let set = set_of t addr in
+  let base =
+    match Backing.find_way b ~set ~f:(matches addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let candidates = Backing.ways_of_set b ~set in
+      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+      let victim = b.lines.(way) in
+      let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+  in
+  let random_evicted = periodic_eviction t in
+  let outcome = { base with Outcome.evicted = base.Outcome.evicted @ random_evicted } in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid:_ addr =
+  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+
+let flush_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name =
+      Printf.sprintf "re-%d-way-T%d" (config t).Config.ways t.interval;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

@@ -1,0 +1,58 @@
+type event = {
+  seq : int;
+  pid : int;
+  line : int;
+  hit : bool;
+  kind : [ `Access | `Flush ];
+}
+
+type t = { mutable events : event list; mutable n : int }
+
+let record t ~pid ~line ~hit ~kind =
+  t.n <- t.n + 1;
+  t.events <- { seq = t.n; pid; line; hit; kind } :: t.events
+
+let wrap (e : Engine.t) =
+  let t = { events = []; n = 0 } in
+  let wrapped =
+    {
+      e with
+      Engine.name = e.Engine.name ^ "+recorder";
+      access =
+        (fun ~pid line ->
+          let o = e.Engine.access ~pid line in
+          record t ~pid ~line ~hit:(Outcome.is_hit o) ~kind:`Access;
+          o);
+      flush_line =
+        (fun ~pid line ->
+          let removed = e.Engine.flush_line ~pid line in
+          record t ~pid ~line ~hit:removed ~kind:`Flush;
+          removed);
+    }
+  in
+  (t, wrapped)
+
+let events t = List.rev t.events
+let count t = t.n
+
+let clear t =
+  t.events <- [];
+  t.n <- 0
+
+let lines_touched t ~pid =
+  events t
+  |> List.filter_map (fun ev ->
+         if ev.pid = pid && ev.kind = `Access then Some ev.line else None)
+  |> List.sort_uniq Int.compare
+
+let csv_rows t =
+  List.map
+    (fun ev ->
+      [
+        string_of_int ev.seq;
+        string_of_int ev.pid;
+        string_of_int ev.line;
+        string_of_bool ev.hit;
+        (match ev.kind with `Access -> "access" | `Flush -> "flush");
+      ])
+    (events t)

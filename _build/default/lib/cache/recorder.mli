@@ -1,0 +1,33 @@
+(** Access-trace recording: wrap any engine so every access (and flush)
+    is logged. Useful for debugging attack harnesses, for exporting
+    traces to CSV, and for trace-similarity metrics such as SVF. *)
+
+type event = {
+  seq : int;  (** 1-based position in the recorded stream *)
+  pid : int;
+  line : int;
+  hit : bool;
+  kind : [ `Access | `Flush ];
+}
+
+type t
+
+val wrap : Engine.t -> t * Engine.t
+(** [wrap e] returns the recorder and a new engine that behaves exactly
+    like [e] but logs every [access] and [flush_line] through it. The
+    original engine remains usable (but accesses through it are not
+    recorded). *)
+
+val events : t -> event list
+(** In stream order. *)
+
+val count : t -> int
+val clear : t -> unit
+
+val lines_touched : t -> pid:int -> int list
+(** Distinct lines the pid accessed, ascending. *)
+
+val csv_rows : t -> string list list
+(** seq, pid, line, hit, kind — pair with
+    {!Cachesec_report.Csv.write} and the header
+    ["seq"; "pid"; "line"; "hit"; "kind"]. *)

@@ -1,0 +1,46 @@
+open Cachesec_stats
+
+type policy = Lru | Random | Fifo
+
+let policy_to_string = function Lru -> "lru" | Random -> "random" | Fifo -> "fifo"
+
+let policy_of_string = function
+  | "lru" -> Some Lru
+  | "random" -> Some Random
+  | "fifo" -> Some Fifo
+  | _ -> None
+
+let check lines candidates =
+  if candidates = [] then invalid_arg "Replacement.choose: no candidates";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= Array.length lines then
+        invalid_arg "Replacement.choose: candidate out of range")
+    candidates
+
+let first_invalid lines candidates =
+  List.find_opt (fun i -> not lines.(i).Line.valid) candidates
+
+let min_by key lines candidates =
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun best i -> if key lines.(i) < key lines.(best) then i else best)
+      first rest
+
+let lru_victim lines ~candidates =
+  check lines candidates;
+  match first_invalid lines candidates with
+  | Some i -> i
+  | None -> min_by (fun (l : Line.t) -> l.last_use) lines candidates
+
+let choose policy rng lines ~candidates =
+  check lines candidates;
+  match first_invalid lines candidates with
+  | Some i -> i
+  | None -> (
+    match policy with
+    | Lru -> min_by (fun (l : Line.t) -> l.last_use) lines candidates
+    | Fifo -> min_by (fun (l : Line.t) -> l.fill_seq) lines candidates
+    | Random -> List.nth candidates (Rng.int rng (List.length candidates)))

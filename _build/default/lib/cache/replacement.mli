@@ -1,0 +1,22 @@
+(** Replacement policies.
+
+    A policy selects the victim way among a candidate subset of a set's
+    lines. Invalid candidates are always preferred (a fill never evicts
+    while free space remains), matching every design in the paper. *)
+
+type policy = Lru | Random | Fifo
+
+val policy_to_string : policy -> string
+val policy_of_string : string -> policy option
+
+val choose :
+  policy -> Cachesec_stats.Rng.t -> Line.t array -> candidates:int list -> int
+(** [choose policy rng lines ~candidates] picks the victim way index from
+    [candidates] (indices into [lines]):
+    - any invalid candidate first (lowest index);
+    - otherwise by policy: LRU = least [last_use], FIFO = least [fill_seq],
+      Random = uniform over candidates.
+    Raises [Invalid_argument] when [candidates] is empty or out of range. *)
+
+val lru_victim : Line.t array -> candidates:int list -> int
+(** The LRU choice alone (exposed for tests). *)

@@ -1,0 +1,98 @@
+open Cachesec_stats
+
+type t = {
+  b : Backing.t;
+  policy : Replacement.policy;
+  default_window : int * int;
+  windows : (int, int * int) Hashtbl.t;
+}
+
+let create ?(config = Config.standard) ?(policy = Replacement.Random)
+    ?(default_window = (0, 0)) ~rng () =
+  let back, fwd = default_window in
+  if back < 0 || fwd < 0 then invalid_arg "Rf.create: negative window";
+  { b = Backing.create config ~rng; policy; default_window; windows = Hashtbl.create 8 }
+
+let config t = t.b.Backing.cfg
+
+let window t ~pid =
+  Option.value (Hashtbl.find_opt t.windows pid) ~default:t.default_window
+
+let set_window t ~pid ~back ~fwd =
+  if back < 0 || fwd < 0 then invalid_arg "Rf.set_window: negative window";
+  Hashtbl.replace t.windows pid (back, fwd)
+
+let set_of t addr = Address.set_index t.b.Backing.cfg addr
+let matches addr (l : Line.t) = l.valid && l.tag = addr
+
+let fill_line t ~pid line ~seq =
+  let b = t.b in
+  let set = set_of t line in
+  match Backing.find_way b ~set ~f:(matches line) with
+  | Some _ -> (None, [])  (* already cached; nothing to do *)
+  | None ->
+    let candidates = Backing.ways_of_set b ~set in
+    let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+    let victim = b.lines.(way) in
+    let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+    Line.fill victim ~tag:line ~owner:pid ~seq;
+    (Some line, evicted)
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let set = set_of t addr in
+  let outcome =
+    match Backing.find_way b ~set ~f:(matches addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let back, fwd = window t ~pid in
+      (* Uniform over the window [addr - back, addr + fwd], clamped to
+         non-negative lines. A zero window is exactly demand fetch and
+         draws no randomness (so RF(0,0) replays an SA cache's RNG
+         stream bit-for-bit). *)
+      let lo = Stdlib.max 0 (addr - back) and hi = addr + fwd in
+      let target = if lo = hi then lo else lo + Rng.int b.rng (hi - lo + 1) in
+      let fetched, evicted = fill_line t ~pid target ~seq in
+      {
+        Outcome.event = Miss;
+        cached = fetched = Some addr;
+        fetched;
+        evicted;
+      }
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid:_ addr =
+  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+
+let flush_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "rf-%d-way" (config t).Config.ways;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = (fun ~pid ~back ~fwd -> set_window t ~pid ~back ~fwd);
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

@@ -1,0 +1,114 @@
+open Cachesec_stats
+
+type t = {
+  b : Backing.t;
+  policy : Replacement.policy;
+  tables : (int, int array) Hashtbl.t;
+}
+
+let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
+  { b = Backing.create config ~rng; policy; tables = Hashtbl.create 8 }
+
+let config t = t.b.Backing.cfg
+let sets t = Config.sets t.b.Backing.cfg
+
+let table_of t pid =
+  match Hashtbl.find_opt t.tables pid with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Array.init (sets t) Fun.id in
+    Hashtbl.replace t.tables pid tbl;
+    tbl
+
+let table t ~pid = Array.copy (table_of t pid)
+
+let set_identity t ~pid =
+  Hashtbl.replace t.tables pid (Array.init (sets t) Fun.id)
+
+let physical_set t ~pid addr = (table_of t pid).(addr mod sets t)
+
+(* PID feature: the tag array conceptually stores the owning context. *)
+let matches ~pid addr (l : Line.t) = l.valid && l.tag = addr && l.owner = pid
+
+let swap_mapping t ~pid ~logical ~target_set =
+  let tbl = table_of t pid in
+  (* Find the logical index currently mapped to [target_set] and exchange
+     it with [logical] so the table stays a bijection. *)
+  let other = ref logical in
+  Array.iteri (fun i s -> if s = target_set then other := i) tbl;
+  let tmp = tbl.(logical) in
+  tbl.(logical) <- tbl.(!other);
+  tbl.(!other) <- tmp
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let logical = addr mod sets t in
+  let set = physical_set t ~pid addr in
+  let outcome =
+    match Backing.find_way b ~set ~f:(matches ~pid addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let candidates = Backing.ways_of_set b ~set in
+      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+      let victim = b.lines.(way) in
+      if (not victim.Line.valid) || victim.owner = pid then begin
+        (* Internal miss: replace in place. *)
+        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      end
+      else begin
+        (* External miss: random set, random line there, swap mappings. *)
+        let s' = Rng.int b.rng (sets t) in
+        let candidates' = Backing.ways_of_set b ~set:s' in
+        let way' =
+          List.nth candidates' (Rng.int b.rng (List.length candidates'))
+        in
+        let victim' = b.lines.(way') in
+        let evicted =
+          if victim'.Line.valid then [ (victim'.owner, victim'.tag) ] else []
+        in
+        Line.fill victim' ~tag:addr ~owner:pid ~seq;
+        swap_mapping t ~pid ~logical ~target_set:s';
+        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      end
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid addr =
+  Backing.find_way t.b ~set:(physical_set t ~pid addr) ~f:(matches ~pid addr)
+  <> None
+
+let flush_line t ~pid addr =
+  match
+    Backing.find_way t.b ~set:(physical_set t ~pid addr) ~f:(matches ~pid addr)
+  with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "rp-%d-way" (config t).Config.ways;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

@@ -1,0 +1,62 @@
+type t = { b : Backing.t; policy : Replacement.policy }
+
+let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
+  { b = Backing.create config ~rng; policy }
+
+let config t = t.b.Backing.cfg
+let policy t = t.policy
+let set_of t addr = Address.set_index t.b.Backing.cfg addr
+let matches addr (l : Line.t) = l.valid && l.tag = addr
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let set = set_of t addr in
+  let outcome =
+    match Backing.find_way b ~set ~f:(matches addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let candidates = Backing.ways_of_set b ~set in
+      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+      let victim = b.lines.(way) in
+      let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid:_ addr =
+  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+
+let flush_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+let counters t = t.b.Backing.counters
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "sa-%d-way-%s" (config t).Config.ways
+        (Replacement.policy_to_string t.policy);
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

@@ -1,0 +1,92 @@
+open Cachesec_stats
+
+type t = {
+  b : Backing.t;
+  (* (pid, bank) -> secret slot permutation for that domain and bank. *)
+  keys : (int * int, int array) Hashtbl.t;
+}
+
+let create ?(config = Config.standard) ~rng () =
+  { b = Backing.create config ~rng; keys = Hashtbl.create 16 }
+
+let config t = t.b.Backing.cfg
+let banks t = t.b.Backing.cfg.Config.ways
+let slots_per_bank t = Config.sets t.b.Backing.cfg
+
+let key_of t ~pid ~bank =
+  match Hashtbl.find_opt t.keys (pid, bank) with
+  | Some p -> p
+  | None ->
+    let p = Rng.permutation t.b.rng (slots_per_bank t) in
+    Hashtbl.replace t.keys (pid, bank) p;
+    p
+
+let slot_of t ~pid ~bank addr =
+  (* Mix the tag bits into the index before the secret permutation so
+     that lines sharing a conventional set index still scatter. *)
+  let s = slots_per_bank t in
+  let mixed = (addr + ((addr / s) * 7)) mod s in
+  (key_of t ~pid ~bank).(mixed)
+
+(* Physical index of (bank, slot): bank-major layout. *)
+let cell t ~bank ~slot = (bank * slots_per_bank t) + slot
+
+let find t ~pid addr =
+  let rec go bank =
+    if bank >= banks t then None
+    else begin
+      let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
+      let l = t.b.Backing.lines.(i) in
+      if l.Line.valid && l.owner = pid && l.tag = addr then Some i else go (bank + 1)
+    end
+  in
+  go 0
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let outcome =
+    match find t ~pid addr with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let bank = Rng.int b.rng (banks t) in
+      let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
+      let victim = b.lines.(i) in
+      let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid addr = find t ~pid addr <> None
+
+let flush_line t ~pid addr =
+  match find t ~pid addr with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "skewed-%d-bank" (banks t);
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

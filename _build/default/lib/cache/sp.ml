@@ -1,0 +1,97 @@
+type t = {
+  b : Backing.t;
+  policy : Replacement.policy;
+  partitions : int;
+  home : int -> int;
+  partition_of_pid : int -> int;
+}
+
+let create ?(config = Config.standard) ?(policy = Replacement.Random)
+    ?(partitions = 2) ~home ~partition_of_pid ~rng () =
+  if partitions <= 0 then invalid_arg "Sp.create: partitions must be positive";
+  if Config.sets config mod partitions <> 0 then
+    invalid_arg "Sp.create: partitions must divide the set count";
+  { b = Backing.create config ~rng; policy; partitions; home; partition_of_pid }
+
+let create_two_domain ?config ?policy ~victim_pid ~victim_lines ~rng () =
+  let in_victim_ranges line =
+    List.exists (fun (lo, hi) -> line >= lo && line <= hi) victim_lines
+  in
+  let home line = if in_victim_ranges line then 0 else 1 in
+  let partition_of_pid pid = if pid = victim_pid then 0 else 1 in
+  create ?config ?policy ~partitions:2 ~home ~partition_of_pid ~rng ()
+
+let config t = t.b.Backing.cfg
+let sets_per_partition t = Config.sets t.b.Backing.cfg / t.partitions
+
+let check_partition t p who =
+  if p < 0 || p >= t.partitions then
+    invalid_arg (Printf.sprintf "Sp: %s returned partition %d of %d" who p t.partitions)
+
+(* The set of a line is determined by its home partition, so both processes
+   agree on where a shared line lives. *)
+let set_of t addr =
+  let p = t.home addr in
+  check_partition t p "home";
+  let per = sets_per_partition t in
+  (p * per) + (addr mod per)
+
+let matches addr (l : Line.t) = l.valid && l.tag = addr
+
+let access t ~pid addr =
+  let b = t.b in
+  let seq = Backing.tick b in
+  let set = set_of t addr in
+  let outcome =
+    match Backing.find_way b ~set ~f:(matches addr) with
+    | Some i ->
+      Line.touch b.lines.(i) ~seq;
+      Outcome.hit
+    | None ->
+      let own = t.partition_of_pid pid in
+      check_partition t own "partition_of_pid";
+      if own <> t.home addr then
+        (* Cross-partition miss: served from memory, nothing displaced. *)
+        { Outcome.event = Miss; cached = false; fetched = None; evicted = [] }
+      else begin
+        let candidates = Backing.ways_of_set b ~set in
+        let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+        let victim = b.lines.(way) in
+        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      end
+  in
+  Counters.record b.counters ~pid outcome;
+  outcome
+
+let peek t ~pid:_ addr =
+  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+
+let flush_line t ~pid addr =
+  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
+  | Some i ->
+    Line.invalidate t.b.lines.(i);
+    Counters.record_flush t.b.counters ~pid;
+    true
+  | None -> false
+
+let flush_all t = Backing.flush_all t.b
+
+let engine t =
+  {
+    Engine.name = Printf.sprintf "sp-%d-part-%d-way" t.partitions (config t).Config.ways;
+    config = config t;
+    sigma = 0.;
+    access = (fun ~pid addr -> access t ~pid addr);
+    peek = (fun ~pid addr -> peek t ~pid addr);
+    flush_line = (fun ~pid addr -> flush_line t ~pid addr);
+    flush_all = (fun () -> flush_all t);
+    lock_line = Engine.no_lock;
+    unlock_line = Engine.no_lock;
+    set_window = Engine.no_window;
+    counters = (fun () -> Counters.global t.b.Backing.counters);
+    counters_for = (fun pid -> Counters.for_pid t.b.Backing.counters pid);
+    reset_counters = (fun () -> Counters.reset t.b.Backing.counters);
+    dump = (fun () -> Backing.dump t.b);
+  }

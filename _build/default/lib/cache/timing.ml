@@ -1,0 +1,18 @@
+open Cachesec_stats
+
+let hit_time = 0.
+let miss_time = 1.
+
+let observe rng ~sigma event =
+  let base = match event with Outcome.Hit -> hit_time | Outcome.Miss -> miss_time in
+  if sigma = 0. then base else Rng.gaussian rng ~mu:base ~sigma
+
+let observe_outcome rng ~sigma (o : Outcome.t) = observe rng ~sigma o.event
+
+let classify ?(threshold = 0.5) time =
+  if time > threshold then Outcome.Miss else Outcome.Hit
+
+let error_probability ~sigma =
+  if sigma < 0. then invalid_arg "Timing.error_probability: negative sigma";
+  if sigma = 0. then 0.
+  else 1. -. Special.normal_cdf (1. /. (2. *. sigma))

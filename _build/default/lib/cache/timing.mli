@@ -1,0 +1,26 @@
+(** The timing channel.
+
+    The paper normalises the channel exactly this way (Section 3.7): a hit
+    observes time 0, a miss observes time 1, and the observation carries
+    additive Gaussian noise N(0, sigma^2) — sigma = 0 for every cache but
+    the noisy cache. *)
+
+val hit_time : float
+(** 0.0 *)
+
+val miss_time : float
+(** 1.0 *)
+
+val observe : Cachesec_stats.Rng.t -> sigma:float -> Outcome.event -> float
+(** The time the attacker's timer reads for one access. *)
+
+val observe_outcome : Cachesec_stats.Rng.t -> sigma:float -> Outcome.t -> float
+
+val classify : ?threshold:float -> float -> Outcome.event
+(** Maximum-likelihood decision between the two Gaussians: times above
+    [threshold] (default 0.5, the midpoint) read as a miss. *)
+
+val error_probability : sigma:float -> float
+(** Probability that {!classify} mislabels an observation,
+    [1 - Phi(1 / (2 sigma))]; 0 when [sigma = 0]. This is [1 - p5] of the
+    paper's Figure 4. *)

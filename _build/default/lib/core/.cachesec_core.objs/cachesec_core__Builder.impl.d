@@ -1,0 +1,1 @@
+lib/core/builder.ml: Edge Graph List Node

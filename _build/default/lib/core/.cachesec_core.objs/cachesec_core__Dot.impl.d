@@ -1,0 +1,1 @@
+lib/core/dot.ml: Buffer Edge Graph List Node Pas Printf String

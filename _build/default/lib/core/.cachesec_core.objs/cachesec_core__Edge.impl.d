@@ -1,0 +1,1 @@
+lib/core/edge.ml: Float Format Int List

@@ -1,0 +1,1 @@
+lib/core/edge.mli: Format

@@ -1,0 +1,1 @@
+lib/core/graph.ml: Edge Hashtbl Int List Map Node Option Printf Queue String

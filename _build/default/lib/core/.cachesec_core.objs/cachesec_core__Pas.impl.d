@@ -1,0 +1,1 @@
+lib/core/pas.ml: Edge Graph Hashtbl Int List Node

@@ -1,0 +1,1 @@
+lib/core/pas.mli: Edge Graph Node

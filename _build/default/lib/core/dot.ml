@@ -1,0 +1,52 @@
+let escape s =
+  String.concat ""
+    (List.map
+       (fun c -> match c with '"' -> "\\\"" | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let node_attrs (n : Node.t) =
+  match n.role with
+  | Node.Victim_origin -> "shape=doublecircle, color=firebrick"
+  | Node.Attacker_origin -> "shape=diamond, color=navy"
+  | Node.Observation -> "shape=box, color=darkgreen"
+  | Node.Internal -> "shape=ellipse"
+
+let to_string ?(name = "pifg") g =
+  let buf = Buffer.create 512 in
+  let critical =
+    Pas.security_critical_edges g |> List.map (fun (e : Edge.t) -> e.id)
+  in
+  Buffer.add_string buf (Printf.sprintf "digraph \"%s\" {\n" (escape name));
+  Buffer.add_string buf "  rankdir=TB;\n";
+  List.iter
+    (fun (n : Node.t) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  n%d [label=\"%s\", %s];\n" n.id (escape n.label)
+           (node_attrs n)))
+    (Graph.nodes g);
+  List.iter
+    (fun (e : Edge.t) ->
+      let bold = if List.mem e.id critical then ", style=bold" else "" in
+      let label =
+        if e.label = "" then Printf.sprintf "%.4g" e.prob
+        else Printf.sprintf "%s=%.4g" (escape e.label) e.prob
+      in
+      match e.parents with
+      | [ p ] ->
+        Buffer.add_string buf
+          (Printf.sprintf "  n%d -> n%d [label=\"%s\"%s];\n" p e.child label bold)
+      | parents ->
+        (* Render a multi-parent edge through an intermediate point node. *)
+        let join = Printf.sprintf "j%d" e.id in
+        Buffer.add_string buf
+          (Printf.sprintf "  %s [shape=point, label=\"\"];\n" join);
+        List.iter
+          (fun p ->
+            Buffer.add_string buf
+              (Printf.sprintf "  n%d -> %s [dir=none%s];\n" p join bold))
+          parents;
+        Buffer.add_string buf
+          (Printf.sprintf "  %s -> n%d [label=\"%s\"%s];\n" join e.child label bold))
+    (Graph.edges g);
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf

@@ -1,0 +1,9 @@
+(** Graphviz (DOT) export of a PIFG.
+
+    Victim origins render as double circles, attacker origins as diamonds,
+    observations as boxes; security-critical edges are drawn bold with their
+    probability as the edge label. Useful for inspecting attack models
+    visually: [dune exec pas-tool -- dot evict-time sa | dot -Tpng ...]. *)
+
+val to_string : ?name:string -> Graph.t -> string
+(** Render the graph as a DOT digraph. [name] defaults to ["pifg"]. *)

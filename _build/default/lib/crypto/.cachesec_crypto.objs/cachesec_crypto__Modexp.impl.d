@@ -1,0 +1,1 @@
+lib/crypto/modexp.ml: Array List

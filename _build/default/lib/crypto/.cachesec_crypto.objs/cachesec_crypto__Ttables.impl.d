@@ -1,0 +1,1 @@
+lib/crypto/ttables.ml: Array Gf256 Sbox

@@ -1,0 +1,56 @@
+(** Table-based AES-128, instrumented for cache-trace extraction.
+
+    The encryption path is the classic 32-bit T-table implementation whose
+    table lookups are precisely the memory accesses the paper's four
+    attacks observe. [encrypt_traced] reports every lookup as a
+    [(table, index)] pair in program order: 16 lookups into te0..te3 per
+    round for rounds 1-9 (round 1's indices are plaintext XOR key — the
+    leak exploited by first-round attacks), then 16 final-round lookups
+    into te4.
+
+    Correctness is pinned to the FIPS-197 vectors in the test suite, and
+    [decrypt] (a byte-oriented inverse cipher) provides the round-trip
+    oracle for property tests. *)
+
+type key
+(** Expanded AES-128 key schedule. *)
+
+val key_of_bytes : Bytes.t -> key
+(** Expand a 16-byte key. Raises [Invalid_argument] on wrong length. *)
+
+val key_of_hex : string -> key
+(** Expand a 32-hex-digit key. *)
+
+val key_bytes : key -> Bytes.t
+(** The original 16-byte key material. *)
+
+type access = { table : int; index : int }
+(** One table lookup: [table] in 0..3 for te0..te3, 4 for the final-round
+    table; [index] in 0..255. *)
+
+val encrypt : key -> Bytes.t -> Bytes.t
+(** Encrypt one 16-byte block. Raises [Invalid_argument] on wrong length. *)
+
+val encrypt_traced : key -> Bytes.t -> Bytes.t * access array
+(** Encrypt and report the 160 table lookups in program order. *)
+
+val first_round_accesses : key -> Bytes.t -> access array
+(** Just the 16 first-round lookups (computable without encrypting), in
+    byte order: byte i reads table [i mod 4] at index
+    [plaintext.(i) lxor key.(i)]. *)
+
+val decrypt : key -> Bytes.t -> Bytes.t
+(** Inverse cipher (byte-oriented; untraced). *)
+
+val round10_key : key -> Bytes.t
+(** The last round key (words w40..w43) as 16 bytes — what a last-round
+    attack recovers directly. *)
+
+val key_of_round10 : Bytes.t -> key
+(** Invert the AES-128 key schedule: rebuild the full schedule (and the
+    master key) from the last round key. Inverse of {!round10_key}:
+    [key_bytes (key_of_round10 (round10_key k)) = key_bytes k]. *)
+
+val hex_of_bytes : Bytes.t -> string
+val bytes_of_hex : string -> Bytes.t
+(** Raises [Invalid_argument] on odd length or non-hex characters. *)

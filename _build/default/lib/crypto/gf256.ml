@@ -1,0 +1,46 @@
+let poly = 0x11b
+
+let xtime b =
+  let b = b lsl 1 in
+  if b land 0x100 <> 0 then b lxor poly else b
+
+(* Slow carry-less multiply used only to build the log tables. *)
+let mul_slow a b =
+  let rec go a b acc =
+    if b = 0 then acc
+    else begin
+      let acc = if b land 1 <> 0 then acc lxor a else acc in
+      go (xtime a) (b lsr 1) acc
+    end
+  in
+  go a b 0
+
+(* 3 generates the multiplicative group of GF(2^8). *)
+let exp_table, log_table =
+  let exp = Array.make 512 0 and log = Array.make 256 0 in
+  let x = ref 1 in
+  for i = 0 to 254 do
+    exp.(i) <- !x;
+    log.(!x) <- i;
+    x := mul_slow !x 3
+  done;
+  for i = 255 to 511 do
+    exp.(i) <- exp.(i - 255)
+  done;
+  (exp, log)
+
+let mul a b =
+  if a = 0 || b = 0 then 0 else exp_table.(log_table.(a) + log_table.(b))
+
+let inv a = if a = 0 then 0 else exp_table.(255 - log_table.(a))
+
+let pow b e =
+  if e < 0 then invalid_arg "Gf256.pow: negative exponent";
+  let rec go acc b e =
+    if e = 0 then acc
+    else begin
+      let acc = if e land 1 = 1 then mul acc b else acc in
+      go acc (mul b b) (e lsr 1)
+    end
+  in
+  go 1 b e

@@ -1,0 +1,16 @@
+(** Arithmetic in GF(2^8) with the AES reduction polynomial
+    x^8 + x^4 + x^3 + x + 1 (0x11b). Everything here is generated at
+    module initialisation — no magic constant tables are embedded. *)
+
+val xtime : int -> int
+(** Multiplication by x (i.e. by 2), reduced. Argument and result are
+    bytes (0..255). *)
+
+val mul : int -> int -> int
+(** Field multiplication via log/antilog tables (generator 3). *)
+
+val inv : int -> int
+(** Multiplicative inverse; [inv 0 = 0] by the AES convention. *)
+
+val pow : int -> int -> int
+(** [pow b e] with [e >= 0]; [pow 0 0 = 1]. *)

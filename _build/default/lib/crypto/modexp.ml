@@ -1,0 +1,67 @@
+type op = Square | Multiply
+
+let check_modulus m =
+  if m < 2 || m >= 1 lsl 31 then
+    invalid_arg "Modexp: modulus must lie in [2, 2^31)"
+
+let bits_of n =
+  let rec go acc n = if n = 0 then acc else go (acc + 1) (n lsr 1) in
+  go 0 n
+
+let core ~base ~exponent ~modulus sink =
+  check_modulus modulus;
+  if exponent < 0 then invalid_arg "Modexp: negative exponent";
+  if base < 0 then invalid_arg "Modexp: negative base";
+  let base = base mod modulus in
+  if exponent = 0 then 1 mod modulus
+  else begin
+    let nbits = bits_of exponent in
+    let acc = ref base in
+    (* Left-to-right over the bits below the leading one. *)
+    for i = nbits - 2 downto 0 do
+      sink Square;
+      acc := !acc * !acc mod modulus;
+      if (exponent lsr i) land 1 = 1 then begin
+        sink Multiply;
+        acc := !acc * base mod modulus
+      end
+    done;
+    !acc
+  end
+
+let modexp ~base ~exponent ~modulus = core ~base ~exponent ~modulus ignore
+
+let modexp_traced ~base ~exponent ~modulus =
+  let ops = ref [] in
+  let r = core ~base ~exponent ~modulus (fun op -> ops := op :: !ops) in
+  (r, Array.of_list (List.rev !ops))
+
+let exponent_of_ops ops =
+  (* Start from the implicit leading 1; each Square appends a 0 bit,
+     each Multiply sets the bit just appended. *)
+  let e = ref 1 in
+  let last_was_square = ref false in
+  Array.iter
+    (fun op ->
+      match op with
+      | Square ->
+        e := !e lsl 1;
+        last_was_square := true
+      | Multiply ->
+        if not !last_was_square then
+          invalid_arg "Modexp.exponent_of_ops: Multiply without Square";
+        e := !e lor 1;
+        last_was_square := false)
+    ops;
+  !e
+
+let op_count ~exponent =
+  if exponent < 2 then 0
+  else begin
+    let nbits = bits_of exponent in
+    let ones =
+      let rec go acc n = if n = 0 then acc else go (acc + (n land 1)) (n lsr 1) in
+      go 0 exponent
+    in
+    nbits - 1 + (ones - 1)
+  end

@@ -1,0 +1,29 @@
+(** Left-to-right square-and-multiply modular exponentiation — the
+    classic instruction-footprint victim of flush-and-reload (Yarom &
+    Falkner's GnuPG RSA attack). The paper stresses that side channels
+    target implementation shape rather than a specific algorithm; this
+    second victim exercises exactly that: the secret here is the
+    {e operation sequence}, not a table index.
+
+    Arithmetic is exact for moduli below 2^31 (products stay within the
+    63-bit native int). *)
+
+type op = Square | Multiply
+
+val modexp : base:int -> exponent:int -> modulus:int -> int
+(** [base^exponent mod modulus]. [modulus] must be in [2, 2^31);
+    [exponent] non-negative; [base] any non-negative int. *)
+
+val modexp_traced : base:int -> exponent:int -> modulus:int -> int * op array
+(** Also returns the operation sequence the secret exponent induces:
+    for each bit below the leading one, a [Square] followed by a
+    [Multiply] iff the bit is 1. Empty for exponents < 2. *)
+
+val exponent_of_ops : op array -> int
+(** Reconstruct the exponent from a complete operation trace (the
+    attacker's decoding step). The leading 1 bit is implicit.
+    Raises [Invalid_argument] on a malformed trace (Multiply not
+    preceded by Square). *)
+
+val op_count : exponent:int -> int
+(** Length of the trace: (bits - 1) squares + (ones - 1) multiplies. *)

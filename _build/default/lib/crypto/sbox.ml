@@ -1,0 +1,17 @@
+(* Affine transform over GF(2): b'_i = b_i + b_{i+4} + b_{i+5} + b_{i+6}
+   + b_{i+7} + c_i with c = 0x63, indices mod 8. Implemented with byte
+   rotations. *)
+let rotl8 b n = ((b lsl n) lor (b lsr (8 - n))) land 0xff
+
+let affine b =
+  b lxor rotl8 b 1 lxor rotl8 b 2 lxor rotl8 b 3 lxor rotl8 b 4 lxor 0x63
+
+let forward = Array.init 256 (fun x -> affine (Gf256.inv x))
+
+let inverse =
+  let inv = Array.make 256 0 in
+  Array.iteri (fun x y -> inv.(y) <- x) forward;
+  inv
+
+let sub x = forward.(x land 0xff)
+let inv_sub x = inverse.(x land 0xff)

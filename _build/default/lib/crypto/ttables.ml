@@ -1,0 +1,25 @@
+let mask = 0xffffffff
+let rotr32 w n = ((w lsr n) lor (w lsl (32 - n))) land mask
+
+let te0 =
+  Array.init 256 (fun x ->
+      let s = Sbox.forward.(x) in
+      let s2 = Gf256.xtime s in
+      let s3 = s2 lxor s in
+      ((s2 lsl 24) lor (s lsl 16) lor (s lsl 8) lor s3) land mask)
+
+let tables = Array.init 4 (fun i -> Array.map (fun w -> rotr32 w (8 * i)) te0)
+
+let te i =
+  if i < 0 || i > 3 then invalid_arg "Ttables.te: index must be in 0..3";
+  tables.(i)
+
+let te4 =
+  Array.init 256 (fun x ->
+      let s = Sbox.forward.(x) in
+      ((s lsl 24) lor (s lsl 16) lor (s lsl 8) lor s) land mask)
+
+let table_count = 5
+let entries_per_table = 256
+let entry_bytes = 4
+let table_bytes = entries_per_table * entry_bytes

@@ -1,0 +1,26 @@
+(** The four round-transform lookup tables (T-tables) of table-based AES
+    plus the final-round table, exactly the memory objects that leak in
+    the paper's attacks.
+
+    Entry layout: [te 0].(x) packs the column (2s, s, s, 3s) with
+    s = SubBytes(x) into one 32-bit word, and [te i] is [te 0] rotated
+    right by 8i bits — the classic OpenSSL arrangement: each table is
+    256 four-byte entries = 1 KB = 16 cache lines of 64 B. *)
+
+val te : int -> int array
+(** [te i] for i in 0..3. Raises [Invalid_argument] otherwise. *)
+
+val te4 : int array
+(** Final-round table: s replicated into all four bytes. *)
+
+val table_count : int
+(** 5: te0..te3 and te4. *)
+
+val entries_per_table : int
+(** 256 *)
+
+val entry_bytes : int
+(** 4 *)
+
+val table_bytes : int
+(** 1024 *)

@@ -1,0 +1,1 @@
+lib/experiments/covert.ml: Attacker Bool Cachesec_attacks Cachesec_cache Cachesec_report Cachesec_stats Config Engine Factory List Mutual_information Outcome Printf Rng Spec Stdlib Table Timing

@@ -1,0 +1,1 @@
+lib/experiments/covert.mli: Cachesec_cache

@@ -1,0 +1,1 @@
+lib/experiments/edge_measure.ml: Cachesec_analysis Cachesec_attacks Cachesec_cache Cachesec_report Cachesec_stats Config Edge_probs Engine Factory Float Line List Option Outcome Printf Rng Spec Table

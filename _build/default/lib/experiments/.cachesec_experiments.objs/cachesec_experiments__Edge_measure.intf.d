@@ -1,0 +1,1 @@
+lib/experiments/edge_measure.mli: Cachesec_cache

@@ -1,0 +1,1 @@
+lib/experiments/learning_curves.mli: Cachesec_cache

@@ -1,0 +1,1 @@
+lib/experiments/llc.mli: Cachesec_cache Figures

@@ -1,0 +1,1 @@
+lib/experiments/mitigation.ml: Cachesec_attacks Cachesec_cache Cachesec_report Collision Evict_time Figures Flush_reload List Setup Spec Table

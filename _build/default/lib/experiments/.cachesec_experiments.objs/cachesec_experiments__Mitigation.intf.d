@@ -1,0 +1,1 @@
+lib/experiments/mitigation.mli: Figures

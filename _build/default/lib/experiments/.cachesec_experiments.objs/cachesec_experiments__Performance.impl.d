@@ -1,0 +1,1 @@
+lib/experiments/performance.ml: Cachesec_analysis Cachesec_attacks Cachesec_cache Cachesec_report Cachesec_stats Config Factory List Perf_model Printf Replacement Rng Sa Skewed Spec Table Workload

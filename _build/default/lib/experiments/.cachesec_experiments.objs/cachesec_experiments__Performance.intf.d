@@ -1,0 +1,1 @@
+lib/experiments/performance.mli: Cachesec_cache

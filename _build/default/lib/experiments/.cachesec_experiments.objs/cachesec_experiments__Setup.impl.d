@@ -1,0 +1,1 @@
+lib/experiments/setup.ml: Aes Aes_layout Cachesec_attacks Cachesec_cache Cachesec_crypto Cachesec_stats Config Engine Factory Rng Spec Victim

@@ -1,0 +1,1 @@
+lib/experiments/setup.mli: Cachesec_attacks Cachesec_cache Cachesec_stats Engine Spec Victim

@@ -1,0 +1,1 @@
+lib/experiments/svf.mli: Cachesec_cache

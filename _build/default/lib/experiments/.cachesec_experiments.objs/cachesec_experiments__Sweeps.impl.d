@@ -1,0 +1,1 @@
+lib/experiments/sweeps.ml: Attack_models Attack_type Cachesec_analysis Cachesec_cache Cachesec_report Config List Prepas Printf Replacement Spec Table

@@ -1,0 +1,1 @@
+lib/experiments/tables.ml: Array Attack_models Attack_type Cachesec_analysis Cachesec_cache Cachesec_report Config Edge_probs List Pas_tables Printf Replacement Resilience Spec String Table

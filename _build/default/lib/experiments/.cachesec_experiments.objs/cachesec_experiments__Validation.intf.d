@@ -1,0 +1,1 @@
+lib/experiments/validation.mli: Cachesec_analysis Cachesec_cache Figures

@@ -1,0 +1,166 @@
+open Cachesec_stats
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_analysis
+open Cachesec_report
+
+type scale = Quick | Full
+
+let trials_for scale n =
+  match scale with Full -> n | Quick -> Stdlib.max 50 (n / 10)
+
+let figure4 () =
+  let sigmas = List.init 31 (fun i -> float_of_int i /. 10.) in
+  let series =
+    [
+      {
+        Plot.name = "p5 = P(attacker classifies correctly)";
+        points = List.map (fun (s, p) -> (s, p)) (Noise.figure4_series ~sigmas);
+      };
+    ]
+  in
+  "Figure 4: observation-noise edge probability p5 vs sigma\n"
+  ^ Plot.render ~x_label:"noise sigma (hit/miss gap = 1)" ~y_min:0.5 ~y_max:1.0
+      series
+  ^ Printf.sprintf "  at the paper's sigma = 1: p5 = %.3f (paper: 0.691)\n"
+      (Noise.p5 ~sigma:1.)
+
+let figure8_specs =
+  [
+    ("SA/RP/RF 8-way", Spec.Sa { ways = 8; policy = Replacement.Random });
+    ("SA/RP/RF 32-way", Spec.Sa { ways = 32; policy = Replacement.Random });
+    ("RE 8-way T=10", Spec.Re { ways = 8; policy = Replacement.Random; interval = 10 });
+    ("Nomo 8-way 1/4", Spec.Nomo { ways = 8; policy = Replacement.Random; reserved = 2 });
+    ("Newcache", Spec.paper_newcache);
+    ("SP / PL (locked)", Spec.paper_sp);
+  ]
+
+let figure8_series ~ks = Prepas.figure8_series ~specs:figure8_specs ~ks
+
+let figure8 () =
+  let ks = List.init 25 (fun i -> i * 5) in
+  let series =
+    List.map
+      (fun (name, pts) ->
+        {
+          Plot.name;
+          points = List.map (fun (k, p) -> (float_of_int k, p)) pts;
+        })
+      (figure8_series ~ks)
+  in
+  "Figure 8: pre-PAS vs attacker accesses k (random replacement)\n"
+  ^ Plot.render ~x_label:"attacker memory accesses k" ~y_min:0. ~y_max:1. series
+
+(* Downsample a 256-point curve for terminal display. *)
+let curve_of_times times =
+  Array.to_list (Array.mapi (fun i t -> (float_of_int i, t)) times)
+
+let figure9 ?(scale = Full) ?(seed = 42) () =
+  let run spec =
+    let s = Setup.make ~seed spec in
+    let config =
+      {
+        Evict_time.default_config with
+        Evict_time.trials = trials_for scale 50000;
+      }
+    in
+    ( s,
+      Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+        ~rng:s.Setup.rng config )
+  in
+  let render (s, (r : Evict_time.result)) =
+    let plot =
+      Plot.render ~height:12
+        ~x_label:"plaintext byte value (target byte 0)"
+        [ { Plot.name = Spec.display_name s.Setup.spec; points = curve_of_times r.avg_times } ]
+    in
+    Printf.sprintf
+      "%s\n%s  key byte high nibble recovered: %b (winner 0x%02x, true 0x%02x, \
+       z = %.1f)\n"
+      (Spec.display_name s.Setup.spec)
+      plot r.nibble_recovered r.best_candidate r.true_byte r.separation
+  in
+  let sa = run Spec.paper_sa and nc = run Spec.paper_newcache in
+  "Figure 9: evict-and-time validation, SA cache (leaks) vs Newcache (flat)\n\n"
+  ^ render sa ^ "\n" ^ render nc
+
+let figure10_specs =
+  [
+    Spec.paper_sa;
+    Spec.paper_sp;
+    Spec.paper_pl;
+    Spec.paper_newcache;
+    Spec.paper_rp;
+    Spec.paper_re;
+  ]
+
+let figure10 ?(scale = Full) ?(seed = 42) () =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "Figure 10: prime-and-probe validation across six caches\n\
+     (normalised candidate-key scores; a spike at the true byte's nibble = leak)\n\n";
+  List.iter
+    (fun spec ->
+      let s = Setup.make ~seed spec in
+      let config =
+        {
+          Prime_probe.default_config with
+          Prime_probe.trials = trials_for scale 1500;
+          lock_victim_tables = (match spec with Spec.Pl _ -> true | _ -> false);
+        }
+      in
+      let r =
+        Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng config
+      in
+      let normalized = Recovery.normalize r.Prime_probe.scores in
+      Buffer.add_string buf
+        (Printf.sprintf "%s\n%s  nibble recovered: %b (winner 0x%02x, true 0x%02x)\n\n"
+           (Spec.display_name spec)
+           (Plot.render ~height:10 ~x_label:"key byte candidate"
+              [ { Plot.name = Spec.display_name spec; points = curve_of_times normalized } ])
+           r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
+           r.Prime_probe.true_byte))
+    figure10_specs;
+  Buffer.contents buf
+
+let prepas_crosscheck ?(scale = Full) ?(seed = 7) () =
+  let samples = trials_for scale 2000 in
+  let ks = [ 4; 8; 16; 32; 64 ] in
+  let specs =
+    [
+      Spec.paper_sa;
+      Spec.paper_sp;
+      Spec.paper_pl;
+      Spec.paper_nomo;
+      Spec.paper_newcache;
+      Spec.paper_rp;
+      Spec.paper_rf;
+      Spec.Re { ways = 8; policy = Replacement.Random; interval = 10 };
+    ]
+  in
+  let rng = Rng.create ~seed in
+  let headers = "Cache" :: List.map (fun k -> Printf.sprintf "k=%d" k) ks in
+  let rows =
+    List.concat_map
+      (fun spec ->
+        let analytical =
+          List.map (fun k -> Table.fmt_prob (Prepas.for_spec spec ~k)) ks
+        in
+        let empirical =
+          List.map
+            (fun k ->
+              Table.fmt_prob
+                (Cleaner.monte_carlo spec ~accesses:k ~samples ~rng:(Rng.split rng)))
+            ks
+        in
+        [
+          (Spec.display_name spec ^ " (closed form)") :: analytical;
+          (Spec.display_name spec ^ " (Monte Carlo)") :: empirical;
+        ])
+      specs
+  in
+  "Pre-PAS: closed form (paper Section 5) vs Monte-Carlo cleaning game\n\
+   (RE shown 8-way to exhibit the free-lunch effect; RP's Monte Carlo is \n\
+   lower than the closed form by design - see DESIGN.md)\n"
+  ^ Table.render ~headers ~rows ()

@@ -1,0 +1,35 @@
+(** Rendered reproductions of the paper's figures.
+
+    Figures 4 and 8 are analytical curves; Figures 9 and 10 are
+    validation experiments that run the actual attacks against the cache
+    simulator (the substitute for the simulation studies the paper cites
+    in Section 6). *)
+
+type scale = Quick | Full
+(** Quick keeps trial counts small enough for the test suite; Full is
+    what the bench harness uses. *)
+
+val trials_for : scale -> int -> int
+(** [trials_for Quick n] divides [n] by 10 (min 50). *)
+
+val figure4 : unit -> string
+(** p5 (attacker's per-observation success probability) vs noise sigma. *)
+
+val figure8 : unit -> string
+(** Analytical pre-PAS vs attacker accesses k, random replacement, for
+    the paper's cache set: 8/32-way SA-RP-RF, RE, Nomo, Newcache, SP/PL. *)
+
+val figure8_series : ks:int list -> (string * (int * float) list) list
+(** The data behind {!figure8} (exposed for CSV export and tests). *)
+
+val figure9 : ?scale:scale -> ?seed:int -> unit -> string
+(** Evict-and-time validation on the conventional SA cache vs Newcache:
+    average encryption time per plaintext-byte value (flat = no leak). *)
+
+val figure10 : ?scale:scale -> ?seed:int -> unit -> string
+(** Prime-and-probe validation across six caches (SA, SP, PL, Newcache,
+    RP, RE): normalised candidate-key score profiles. *)
+
+val prepas_crosscheck : ?scale:scale -> ?seed:int -> unit -> string
+(** Closed-form pre-PAS vs Monte-Carlo cleaning game, per architecture,
+    with the documented RP deviation called out. *)

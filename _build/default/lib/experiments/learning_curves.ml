@@ -1,0 +1,77 @@
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_analysis
+open Cachesec_report
+
+type curve = {
+  arch : string;
+  pas_type4 : float;
+  points : (int * float) list;
+}
+
+let default_grid = [ 50; 100; 200; 400; 800; 1600; 3200 ]
+
+let run_curve ?(seed = 61) ?(seeds = 8) ?(grid = default_grid) spec =
+  if seeds <= 0 then invalid_arg "Learning_curves.run_curve: seeds must be positive";
+  let points =
+    List.map
+      (fun trials ->
+        let wins = ref 0 in
+        for i = 0 to seeds - 1 do
+          let s = Setup.make ~seed:(seed + (1000 * i)) spec in
+          let r =
+            Flush_reload.run ~victim:s.Setup.victim
+              ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+              { Flush_reload.trials; target_byte = 0; victim_prefetch = false }
+          in
+          if r.Flush_reload.nibble_recovered then incr wins
+        done;
+        (trials, float_of_int !wins /. float_of_int seeds))
+      grid
+  in
+  {
+    arch = Spec.display_name spec;
+    pas_type4 = Attack_models.pas Attack_type.Flush_and_reload spec ();
+    points;
+  }
+
+let standard_specs =
+  [ Spec.paper_sa; Spec.paper_re; Spec.paper_noisy; Spec.paper_rf;
+    Spec.paper_newcache ]
+
+let table ?seed ?seeds () =
+  List.map (fun spec -> run_curve ?seed ?seeds spec) standard_specs
+
+let render curves =
+  let grid =
+    match curves with [] -> [] | c :: _ -> List.map fst c.points
+  in
+  let headers =
+    "Cache" :: "PAS T4"
+    :: List.map (fun t -> Printf.sprintf "n=%d" t) grid
+  in
+  let rows =
+    List.map
+      (fun c ->
+        c.arch :: Table.fmt_prob c.pas_type4
+        :: List.map (fun (_, f) -> Printf.sprintf "%.2f" f) c.points)
+      curves
+  in
+  "Sample complexity of flush-and-reload (nibble-recovery frequency over\n\
+   seeds vs trial count): higher PAS means fewer trials; PAS ~ 0 never\n\
+   converges - the operational reading of the metric.\n"
+  ^ Table.render ~headers ~rows ()
+
+let csv_rows curves =
+  List.concat_map
+    (fun c ->
+      List.map
+        (fun (t, f) ->
+          [
+            c.arch;
+            Printf.sprintf "%.6g" c.pas_type4;
+            string_of_int t;
+            Printf.sprintf "%.4f" f;
+          ])
+        c.points)
+    curves

@@ -1,0 +1,90 @@
+open Cachesec_stats
+open Cachesec_cache
+open Cachesec_crypto
+open Cachesec_attacks
+open Cachesec_analysis
+open Cachesec_report
+
+type row = {
+  arch : string;
+  pas_type4 : float;
+  mi_bits : float;
+  normalized : float;
+}
+
+(* One flush-and-reload observation against a single secret-dependent
+   victim access — the channel-capacity view: the victim performs just
+   the byte-0 first-round lookup, so a fully leaky cache transmits the
+   whole 4-bit line index per trial. (A full encryption touches ~90% of
+   every table and drowns per-trial MI for every architecture alike;
+   aggregating over trials is what the attack modules do instead.)
+   Y is the first classified reload hit among the 16 lines, 16 = none. *)
+let observe_once (s : Setup.t) rng =
+  let engine = s.Setup.engine in
+  let victim = s.Setup.victim in
+  let layout = Victim.layout victim in
+  let lines = Array.of_list (Aes_layout.table_lines layout ~table:0) in
+  List.iter
+    (fun line ->
+      ignore
+        (engine.Cachesec_cache.Engine.flush_line ~pid:s.Setup.attacker_pid line))
+    (Aes_layout.all_lines layout);
+  let p = Victim.random_plaintext rng in
+  let k0 = Char.code (Bytes.get (Aes.key_bytes (Victim.key victim)) 0) in
+  let secret_index = Char.code (Bytes.get p 0) lxor k0 in
+  let secret_line = secret_index / 16 in
+  (* The victim's single security-critical access. *)
+  ignore
+    (engine.Cachesec_cache.Engine.access ~pid:(Victim.pid victim)
+       (Aes_layout.line_of_entry layout ~table:0 ~index:secret_index));
+  let observation = ref 16 in
+  Array.iteri
+    (fun idx line ->
+      let o = engine.Cachesec_cache.Engine.access ~pid:s.Setup.attacker_pid line in
+      let t =
+        Cachesec_cache.Timing.observe_outcome rng
+          ~sigma:engine.Cachesec_cache.Engine.sigma o
+      in
+      if
+        !observation = 16
+        && Cachesec_cache.Timing.classify t = Cachesec_cache.Outcome.Hit
+      then observation := idx)
+    lines;
+  (secret_line, !observation)
+
+let run_row ?(seed = 23) ?(trials = 1500) spec =
+  let s = Setup.make ~seed spec in
+  let joint = Mutual_information.create ~x_card:16 ~y_card:17 in
+  for _ = 1 to trials do
+    let x, y = observe_once s s.Setup.rng in
+    Mutual_information.observe joint ~x ~y
+  done;
+  {
+    arch = Spec.display_name spec;
+    pas_type4 = Attack_models.pas Attack_type.Flush_and_reload spec ();
+    mi_bits = Mutual_information.mi joint;
+    normalized = Mutual_information.normalized_mi joint;
+  }
+
+let table ?seed ?trials () =
+  List.map (fun spec -> run_row ?seed ?trials spec) Spec.all_paper
+
+let render rows =
+  let body =
+    List.map
+      (fun r ->
+        [
+          r.arch;
+          Table.fmt_prob r.pas_type4;
+          Printf.sprintf "%.2f" r.mi_bits;
+          Printf.sprintf "%.2f" r.normalized;
+        ])
+      rows
+  in
+  "PAS (design-time) vs mutual information (measured), flush-and-reload:\n\
+   X = victim's secret first-round line (4 bits), Y = attacker's first\n\
+   reload hit. The plug-in MI estimator has a small positive bias on\n\
+   protected caches (finite-sample noise), so compare ranks, not zeros.\n"
+  ^ Table.render
+      ~headers:[ "Cache"; "PAS Type 4"; "MI (bits)"; "MI / H(X)" ]
+      ~rows:body ()

@@ -1,0 +1,73 @@
+open Cachesec_stats
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_analysis
+open Cachesec_report
+
+type row = { arch : string; svf : float; pas_type2 : float }
+
+let run_row ?(seed = 47) ?(intervals = 80) spec =
+  let s = Setup.make ~seed spec in
+  let engine = s.Setup.engine in
+  let layout = Victim.layout s.Setup.victim in
+  let sets = Config.sets engine.Engine.config in
+  let rng = s.Setup.rng in
+  (* PL's intended use, as everywhere else: prefetch-and-lock. *)
+  (match spec with
+  | Spec.Pl _ -> ignore (Victim.lock_tables s.Setup.victim)
+  | _ -> ());
+  (* One secret line and one probe-miss vector per interval. *)
+  let secrets = Array.make intervals 0 in
+  let observations = Array.make intervals [||] in
+  for t = 0 to intervals - 1 do
+    Attacker.prime_all_sets engine rng ~pid:s.Setup.attacker_pid ();
+    let index = Rng.int rng 256 in
+    secrets.(t) <- index / Aes_layout.entries_per_line layout;
+    ignore
+      (engine.Engine.access ~pid:0
+         (Aes_layout.line_of_entry layout ~table:0 ~index));
+    let probes = Attacker.probe_all_sets engine rng ~pid:s.Setup.attacker_pid () in
+    observations.(t) <-
+      Array.map (fun p -> float_of_int p.Attacker.classified_misses) probes;
+    ignore sets
+  done;
+  (* Pairwise similarities. *)
+  let pairs = intervals * (intervals - 1) / 2 in
+  let oracle = Array.make pairs 0. in
+  let observed = Array.make pairs 0. in
+  let k = ref 0 in
+  for i = 0 to intervals - 1 do
+    for j = i + 1 to intervals - 1 do
+      oracle.(!k) <- (if secrets.(i) = secrets.(j) then 1. else 0.);
+      let c = Correlation.pearson observations.(i) observations.(j) in
+      observed.(!k) <- (if Float.is_nan c then 0. else c);
+      incr k
+    done
+  done;
+  let svf =
+    let c = Correlation.pearson oracle observed in
+    if Float.is_nan c then 0. else c
+  in
+  {
+    arch = Spec.display_name spec;
+    svf;
+    pas_type2 = Attack_models.pas Attack_type.Prime_and_probe spec ();
+  }
+
+let table ?seed ?intervals () =
+  List.map (fun spec -> run_row ?seed ?intervals spec) Spec.all_paper
+
+let render rows =
+  let body =
+    List.map
+      (fun r ->
+        [ r.arch; Printf.sprintf "%.2f" r.svf; Table.fmt_prob r.pas_type2 ])
+      rows
+  in
+  "Simplified SVF (Demme et al. [5]) vs PAS Type 2: interval-similarity\n\
+   correlation between the victim's secret lines and the attacker's\n\
+   prime-probe observations. The metrics agree on the clear-cut designs;\n\
+   the noisy cache shows SVF's known sensitivity to observation noise\n\
+   (the pitfall Zhang et al. [36] criticise), and SVF needs a run per\n\
+   design while PAS is closed-form.\n"
+  ^ Table.render ~headers:[ "Cache"; "SVF"; "PAS Type 2" ] ~rows:body ()

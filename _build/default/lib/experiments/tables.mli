@@ -1,0 +1,24 @@
+(** Rendered reproductions of the paper's Tables 3, 5, 6 and 7. *)
+
+val table3 : unit -> string
+(** Edge probabilities and PAS of evict-and-time for the nine caches. *)
+
+val table5 : unit -> string
+(** Same for the cache-collision attack. *)
+
+val table6 : unit -> string
+(** PAS of all four attack types, with the paper's printed value beside
+    each computed value. *)
+
+val table7 : unit -> string
+(** Resilience classification, computed vs paper. *)
+
+val table6_csv_rows : unit -> string list list
+(** arch, type, computed PAS, paper PAS — for CSV export. *)
+
+val table6_alt_geometry : unit -> string
+(** The same PAS computation at a 16 KB / 4-way design point — the
+    model's parametric generality. *)
+
+val all : unit -> string
+(** All four tables concatenated with headers. *)

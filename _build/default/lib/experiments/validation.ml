@@ -1,0 +1,134 @@
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_analysis
+open Cachesec_report
+
+type cell = {
+  arch : string;
+  attack : Attack_type.t;
+  pas : float;
+  predicted_leak : bool;
+  recovered : bool;
+  separation : float;
+  agrees : bool;
+  note : string;
+}
+
+(* Explanations for the documented analytical-vs-simulated gaps. *)
+let known_note spec attack =
+  match (spec, attack) with
+  | Spec.Nomo _, Attack_type.Evict_and_time ->
+    "paper's Nomo PAS assumes the victim exceeds its reserved ways; the \
+     5KB AES footprint fits in 2 ways/set, so the simulated Nomo protects"
+  | Spec.Rf _, Attack_type.Evict_and_time ->
+    "random fill keeps the tables un-warm, attenuating the timing \
+     contrast that the PIFG counts from eviction success alone"
+  | Spec.Rf _, Attack_type.Prime_and_probe ->
+    "the RF window fill is mildly set-biased (3/129 vs 2/129 toward the \
+     accessed line's set), so a many-trial prime-and-probe still recovers \
+     the nibble; the paper's RF Type 2 PAS is likewise non-zero"
+  | Spec.Noisy _, Attack_type.Cache_collision ->
+    "whole-block dilution leaves a ~0.1-miss contrast; sigma=1 noise \
+     pushes detection beyond this trial budget (more trials recover it)"
+  | Spec.Noisy _, _ ->
+    "sigma=1 noise lowers the per-trial signal; detection is borderline \
+     at this trial budget"
+  | _ -> ""
+
+let lock_for spec =
+  match spec with Spec.Pl _ -> true | _ -> false
+
+let run_cell ?(scale = Figures.Full) ?(seed = 42) spec attack =
+  let s = Setup.make ~seed spec in
+  let t n = Figures.trials_for scale n in
+  let recovered, separation =
+    match attack with
+    | Attack_type.Evict_and_time ->
+      let r =
+        Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng
+          {
+            Evict_time.default_config with
+            Evict_time.trials = t 50000;
+            lock_victim_tables = lock_for spec;
+          }
+      in
+      (r.Evict_time.nibble_recovered, r.Evict_time.separation)
+    | Attack_type.Prime_and_probe ->
+      let r =
+        Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng
+          {
+            Prime_probe.default_config with
+            Prime_probe.trials = t 3000;
+            lock_victim_tables = lock_for spec;
+          }
+      in
+      (r.Prime_probe.nibble_recovered, r.Prime_probe.separation)
+    | Attack_type.Cache_collision ->
+      let r =
+        Collision.run ~victim:s.Setup.victim ~rng:s.Setup.rng
+          { Collision.default_config with Collision.trials = t 250000 }
+      in
+      (r.Collision.nibble_recovered, r.Collision.separation)
+    | Attack_type.Flush_and_reload ->
+      let r =
+        Flush_reload.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+          ~rng:s.Setup.rng
+          { Flush_reload.default_config with Flush_reload.trials = t 3000 }
+      in
+      (r.Flush_reload.nibble_recovered, r.Flush_reload.separation)
+  in
+  let pas = Attack_models.pas attack spec () in
+  (* The paper's own Table 7 judgment: noise-based PAS reduction does not
+     count as resilience (repetition defeats it). *)
+  let predicted_leak = Resilience.classify spec attack = Resilience.Low in
+  let agrees = predicted_leak = recovered in
+  {
+    arch = Spec.display_name spec;
+    attack;
+    pas;
+    predicted_leak;
+    recovered;
+    separation;
+    agrees;
+    note = (if agrees then "" else known_note spec attack);
+  }
+
+let matrix ?scale ?seed () =
+  List.concat_map
+    (fun spec ->
+      List.map (fun attack -> run_cell ?scale ?seed spec attack) Attack_type.all)
+    Spec.all_paper
+
+let agreement_rate cells =
+  if cells = [] then nan
+  else begin
+    let ok = List.length (List.filter (fun c -> c.agrees) cells) in
+    float_of_int ok /. float_of_int (List.length cells)
+  end
+
+let render cells =
+  let headers =
+    [ "Cache"; "Attack"; "PAS"; "predicted"; "simulated"; "agree"; "note" ]
+  in
+  let rows =
+    List.map
+      (fun c ->
+        [
+          c.arch;
+          Attack_type.short c.attack;
+          Table.fmt_prob c.pas;
+          (if c.predicted_leak then "leak" else "safe");
+          (if c.recovered then "leak" else "safe");
+          (if c.agrees then "yes" else "NO");
+          c.note;
+        ])
+      cells
+  in
+  let aligns =
+    [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Left ]
+  in
+  "Validation matrix: PIFG prediction vs simulated attack outcome\n"
+  ^ Table.render ~aligns ~headers ~rows ()
+  ^ Printf.sprintf "agreement: %.0f%%\n" (100. *. agreement_rate cells)

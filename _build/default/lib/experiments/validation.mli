@@ -1,0 +1,28 @@
+(** End-to-end validation matrix: run every attack against every
+    architecture in the simulator and compare the empirical outcome with
+    the PIFG prediction (the role of the paper's Section 6). *)
+
+type cell = {
+  arch : string;
+  attack : Cachesec_analysis.Attack_type.t;
+  pas : float;  (** analytical prediction *)
+  predicted_leak : bool;  (** PAS above the resilience threshold *)
+  recovered : bool;  (** did the simulated attack recover the nibble? *)
+  separation : float;
+  agrees : bool;  (** empirical outcome matches the prediction *)
+  note : string;  (** explanation for the documented disagreements *)
+}
+
+val run_cell :
+  ?scale:Figures.scale ->
+  ?seed:int ->
+  Cachesec_cache.Spec.t ->
+  Cachesec_analysis.Attack_type.t ->
+  cell
+
+val matrix : ?scale:Figures.scale -> ?seed:int -> unit -> cell list
+(** All 9 x 4 combinations. *)
+
+val render : cell list -> string
+val agreement_rate : cell list -> float
+(** Fraction of cells where prediction and simulation agree. *)

@@ -1,0 +1,1 @@
+lib/report/plot.ml: Array Buffer Float List Option Printf Stdlib String

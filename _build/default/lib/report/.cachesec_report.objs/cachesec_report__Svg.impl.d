@@ -1,0 +1,1 @@
+lib/report/svg.ml: Array Buffer Filename Float List Option Plot Printf String Sys Unix

@@ -1,0 +1,81 @@
+type series = { name : string; points : (float * float) list }
+
+let glyphs = [| '*'; 'o'; '+'; 'x'; '#'; '@'; '%'; '&'; '~'; '$' |]
+
+let render ?(width = 72) ?(height = 20) ?(x_label = "") ?(y_label = "") ?y_min
+    ?y_max series =
+  let all_points = List.concat_map (fun s -> s.points) series in
+  if all_points = [] then "(no data to plot)\n"
+  else begin
+    let xs = List.map fst all_points and ys = List.map snd all_points in
+    let x_lo = List.fold_left Float.min infinity xs in
+    let x_hi = List.fold_left Float.max neg_infinity xs in
+    let y_lo = Option.value y_min ~default:(List.fold_left Float.min infinity ys) in
+    let y_hi = Option.value y_max ~default:(List.fold_left Float.max neg_infinity ys) in
+    let x_span = if x_hi -. x_lo <= 0. then 1. else x_hi -. x_lo in
+    let y_span = if y_hi -. y_lo <= 0. then 1. else y_hi -. y_lo in
+    let grid = Array.make_matrix height width ' ' in
+    List.iteri
+      (fun si s ->
+        let glyph = glyphs.(si mod Array.length glyphs) in
+        List.iter
+          (fun (x, y) ->
+            let cx =
+              int_of_float ((x -. x_lo) /. x_span *. float_of_int (width - 1))
+            in
+            let cy =
+              int_of_float ((y -. y_lo) /. y_span *. float_of_int (height - 1))
+            in
+            if cx >= 0 && cx < width && cy >= 0 && cy < height then
+              grid.(height - 1 - cy).(cx) <- glyph)
+          s.points)
+      series;
+    let buf = Buffer.create 1024 in
+    if y_label <> "" then Buffer.add_string buf (y_label ^ "\n");
+    Array.iteri
+      (fun row line ->
+        let y_val =
+          y_hi -. (float_of_int row /. float_of_int (height - 1) *. y_span)
+        in
+        Buffer.add_string buf (Printf.sprintf "%10.3g |" y_val);
+        Buffer.add_string buf (String.init width (fun i -> line.(i)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 11 ' ' ^ "+" ^ String.make width '-');
+    Buffer.add_char buf '\n';
+    Buffer.add_string buf
+      (Printf.sprintf "%s%-10.4g%s%10.4g" (String.make 12 ' ') x_lo
+         (String.make (Stdlib.max 1 (width - 20)) ' ')
+         x_hi);
+    Buffer.add_char buf '\n';
+    if x_label <> "" then
+      Buffer.add_string buf (String.make 12 ' ' ^ x_label ^ "\n");
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "    %c %s\n" glyphs.(si mod Array.length glyphs) s.name))
+      series;
+    Buffer.contents buf
+  end
+
+let render_bars ?(width = 50) entries =
+  if entries = [] then "(no data)\n"
+  else begin
+    let max_v =
+      List.fold_left (fun acc (_, v) -> Float.max acc (Float.abs v)) 0. entries
+    in
+    let name_w =
+      List.fold_left (fun acc (n, _) -> Stdlib.max acc (String.length n)) 0 entries
+    in
+    let buf = Buffer.create 256 in
+    List.iter
+      (fun (name, v) ->
+        let n =
+          if max_v = 0. then 0
+          else int_of_float (Float.abs v /. max_v *. float_of_int width)
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "%-*s | %s %g\n" name_w name (String.make n '#') v))
+      entries;
+    Buffer.contents buf
+  end

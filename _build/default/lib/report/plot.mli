@@ -1,0 +1,22 @@
+(** ASCII line plots for the paper's figures (no plotting library is
+    available in the sealed environment). Each series gets a glyph; points
+    are projected onto a character grid with axes and a legend. *)
+
+type series = { name : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?y_min:float ->
+  ?y_max:float ->
+  series list ->
+  string
+(** Defaults: 72x20 grid. Ranges are computed from the data unless
+    overridden. Empty input or all-empty series yields a note instead of
+    a plot. *)
+
+val render_bars : ?width:int -> (string * float) list -> string
+(** Horizontal bar chart scaled to the maximum value, for quick profile
+    views (e.g. per-candidate scores). *)

@@ -1,0 +1,127 @@
+let colors =
+  [| "#1f77b4"; "#d62728"; "#2ca02c"; "#9467bd"; "#ff7f0e"; "#8c564b";
+     "#e377c2"; "#17becf"; "#bcbd22"; "#7f7f7f" |]
+
+let esc s =
+  String.concat ""
+    (List.map
+       (fun c ->
+         match c with
+         | '<' -> "&lt;"
+         | '>' -> "&gt;"
+         | '&' -> "&amp;"
+         | '"' -> "&quot;"
+         | c -> String.make 1 c)
+       (List.init (String.length s) (String.get s)))
+
+let fmt_tick v =
+  if Float.abs v >= 1000. || (Float.abs v < 0.01 && v <> 0.) then
+    Printf.sprintf "%.1e" v
+  else Printf.sprintf "%.3g" v
+
+let line_chart ?(width = 640) ?(height = 400) ?(title = "") ?(x_label = "")
+    ?(y_label = "") ?y_min ?y_max (series : Plot.series list) =
+  let buf = Buffer.create 4096 in
+  let doc body =
+    Printf.sprintf
+      "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"%d\" height=\"%d\" \
+       viewBox=\"0 0 %d %d\" font-family=\"monospace\" font-size=\"12\">\n\
+       <rect width=\"%d\" height=\"%d\" fill=\"white\"/>\n%s</svg>\n"
+      width height width height width height body
+  in
+  let points = List.concat_map (fun (s : Plot.series) -> s.Plot.points) series in
+  if points = [] then doc "<text x=\"20\" y=\"30\">(no data)</text>\n"
+  else begin
+    let xs = List.map fst points and ys = List.map snd points in
+    let x_lo = List.fold_left Float.min infinity xs in
+    let x_hi = List.fold_left Float.max neg_infinity xs in
+    let y_lo = Option.value y_min ~default:(List.fold_left Float.min infinity ys) in
+    let y_hi = Option.value y_max ~default:(List.fold_left Float.max neg_infinity ys) in
+    let x_span = if x_hi -. x_lo <= 0. then 1. else x_hi -. x_lo in
+    let y_span = if y_hi -. y_lo <= 0. then 1. else y_hi -. y_lo in
+    (* Plot area margins. *)
+    let ml = 70 and mr = 20 and mt = 40 and mb = 55 in
+    let pw = width - ml - mr and ph = height - mt - mb in
+    let px x = float_of_int ml +. ((x -. x_lo) /. x_span *. float_of_int pw) in
+    let py y =
+      float_of_int (mt + ph) -. ((y -. y_lo) /. y_span *. float_of_int ph)
+    in
+    let addf fmt = Printf.ksprintf (Buffer.add_string buf) fmt in
+    if title <> "" then
+      addf "<text x=\"%d\" y=\"22\" font-size=\"14\">%s</text>\n" ml (esc title);
+    (* Axes. *)
+    addf
+      "<rect x=\"%d\" y=\"%d\" width=\"%d\" height=\"%d\" fill=\"none\" \
+       stroke=\"#444\"/>\n"
+      ml mt pw ph;
+    (* Ticks and grid. *)
+    for i = 0 to 4 do
+      let f = float_of_int i /. 4. in
+      let xv = x_lo +. (f *. x_span) and yv = y_lo +. (f *. y_span) in
+      let xp = px xv and yp = py yv in
+      addf
+        "<line x1=\"%.1f\" y1=\"%d\" x2=\"%.1f\" y2=\"%d\" stroke=\"#ddd\"/>\n"
+        xp mt xp (mt + ph);
+      addf
+        "<line x1=\"%d\" y1=\"%.1f\" x2=\"%d\" y2=\"%.1f\" stroke=\"#ddd\"/>\n"
+        ml yp (ml + pw) yp;
+      addf
+        "<text x=\"%.1f\" y=\"%d\" text-anchor=\"middle\">%s</text>\n" xp
+        (mt + ph + 18) (esc (fmt_tick xv));
+      addf
+        "<text x=\"%d\" y=\"%.1f\" text-anchor=\"end\">%s</text>\n" (ml - 6)
+        (yp +. 4.) (esc (fmt_tick yv))
+    done;
+    if x_label <> "" then
+      addf
+        "<text x=\"%d\" y=\"%d\" text-anchor=\"middle\">%s</text>\n"
+        (ml + (pw / 2)) (height - 12) (esc x_label);
+    if y_label <> "" then
+      addf
+        "<text x=\"16\" y=\"%d\" transform=\"rotate(-90 16 %d)\" \
+         text-anchor=\"middle\">%s</text>\n"
+        (mt + (ph / 2)) (mt + (ph / 2)) (esc y_label);
+    (* Series. *)
+    List.iteri
+      (fun si (s : Plot.series) ->
+        let color = colors.(si mod Array.length colors) in
+        let pts =
+          List.sort (fun (a, _) (b, _) -> compare a b) s.Plot.points
+        in
+        let path =
+          String.concat " "
+            (List.map (fun (x, y) -> Printf.sprintf "%.1f,%.1f" (px x) (py y)) pts)
+        in
+        addf
+          "<polyline points=\"%s\" fill=\"none\" stroke=\"%s\" \
+           stroke-width=\"1.5\"/>\n"
+          path color;
+        List.iter
+          (fun (x, y) ->
+            addf
+              "<circle cx=\"%.1f\" cy=\"%.1f\" r=\"2.4\" fill=\"%s\"/>\n"
+              (px x) (py y) color)
+          pts;
+        (* Legend entry. *)
+        let ly = mt + 8 + (si * 16) in
+        addf
+          "<line x1=\"%d\" y1=\"%d\" x2=\"%d\" y2=\"%d\" stroke=\"%s\" \
+           stroke-width=\"2\"/>\n"
+          (ml + 10) ly (ml + 30) ly color;
+        addf "<text x=\"%d\" y=\"%d\">%s</text>\n" (ml + 36) (ly + 4)
+          (esc s.Plot.name))
+      series;
+    doc (Buffer.contents buf)
+  end
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "/" && dir <> "." && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    (try Unix.mkdir dir 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ())
+  end
+
+let write ~path doc =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  output_string oc doc;
+  close_out oc

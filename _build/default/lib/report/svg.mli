@@ -1,0 +1,21 @@
+(** Self-contained SVG line charts (no plotting library exists in the
+    sealed environment; SVG is just XML). The bench harness writes the
+    paper's figures under results/ in this format alongside the ASCII
+    renderings. *)
+
+val line_chart :
+  ?width:int ->
+  ?height:int ->
+  ?title:string ->
+  ?x_label:string ->
+  ?y_label:string ->
+  ?y_min:float ->
+  ?y_max:float ->
+  Plot.series list ->
+  string
+(** An SVG document: axes with ticks, one polyline + point markers per
+    series, a legend. Empty input yields a small placeholder document.
+    Default canvas 640x400. *)
+
+val write : path:string -> string -> unit
+(** Write an SVG document, creating parent directories as needed. *)

@@ -1,0 +1,1 @@
+lib/stats/coupon.ml: Array Float Rng Special

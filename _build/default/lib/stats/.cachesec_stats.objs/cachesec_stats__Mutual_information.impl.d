@@ -1,0 +1,1 @@
+lib/stats/mutual_information.ml: Array Float

@@ -1,0 +1,54 @@
+let statistic ~observed ~expected =
+  let n = Array.length observed in
+  if n = 0 || n <> Array.length expected then
+    invalid_arg "Chi2.statistic: arrays must have equal positive length";
+  let acc = ref 0. in
+  for i = 0 to n - 1 do
+    if expected.(i) <= 0. then
+      invalid_arg "Chi2.statistic: expected counts must be positive";
+    let d = float_of_int observed.(i) -. expected.(i) in
+    acc := !acc +. (d *. d /. expected.(i))
+  done;
+  !acc
+
+let cdf ~df x =
+  if df <= 0 then invalid_arg "Chi2.cdf: df must be positive";
+  if x <= 0. then 0.
+  else begin
+    (* Wilson-Hilferty: (X/df)^(1/3) ~ N(1 - 2/(9 df), 2/(9 df)). *)
+    let k = float_of_int df in
+    let z =
+      (((x /. k) ** (1. /. 3.)) -. (1. -. (2. /. (9. *. k))))
+      /. sqrt (2. /. (9. *. k))
+    in
+    Special.normal_cdf z
+  end
+
+let p_value ~df x = 1. -. cdf ~df x
+
+let critical_value ~df ~alpha =
+  if alpha <= 0. || alpha >= 1. then
+    invalid_arg "Chi2.critical_value: alpha must lie in (0, 1)";
+  let target = 1. -. alpha in
+  let rec widen hi = if cdf ~df hi < target then widen (2. *. hi) else hi in
+  let hi = widen (float_of_int df) in
+  let rec bisect lo hi n =
+    if n = 0 then (lo +. hi) /. 2.
+    else begin
+      let mid = (lo +. hi) /. 2. in
+      if cdf ~df mid < target then bisect mid hi (n - 1) else bisect lo mid (n - 1)
+    end
+  in
+  bisect 0. hi 80
+
+let uniform_fit ~observed =
+  let n = Array.length observed in
+  if n < 2 then invalid_arg "Chi2.uniform_fit: need at least two cells";
+  let total = float_of_int (Array.fold_left ( + ) 0 observed) in
+  if total = 0. then 1.
+  else begin
+    let expected = Array.make n (total /. float_of_int n) in
+    p_value ~df:(n - 1) (statistic ~observed ~expected)
+  end
+
+let fits_uniform ?(alpha = 0.001) observed = uniform_fit ~observed >= alpha

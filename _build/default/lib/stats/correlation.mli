@@ -1,0 +1,16 @@
+(** Correlation measures between observation series.
+
+    The attack key-recovery stage scores candidate keys by how strongly the
+    predicted leakage correlates with the measured timings (the "pattern
+    correlation" style of analysis cited by the paper as SVF/CSV). *)
+
+val pearson : float array -> float array -> float
+(** Pearson product-moment correlation of two equal-length series.
+    [nan] when either series is constant or shorter than two points.
+    Raises [Invalid_argument] on length mismatch. *)
+
+val spearman : float array -> float array -> float
+(** Rank correlation: Pearson on fractional ranks (average ranks on ties). *)
+
+val ranks : float array -> float array
+(** Fractional ranks of a series, 1-based, ties averaged. *)

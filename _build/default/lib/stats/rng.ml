@@ -1,0 +1,60 @@
+type t = { state : Random.State.t; mutable spare : float option }
+(* [spare] caches the second variate produced by each Box-Muller step. *)
+
+let create ~seed = { state = Random.State.make [| seed; 0x9e3779b9 |]; spare = None }
+
+let split t =
+  let seed = Random.State.bits t.state in
+  { state = Random.State.make [| seed; 0x85ebca6b |]; spare = None }
+
+let copy t = { state = Random.State.copy t.state; spare = t.spare }
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound must be positive";
+  Random.State.int t.state bound
+
+let float t bound = Random.State.float t.state bound
+let bool t = Random.State.bool t.state
+let bits t = Random.State.bits t.state
+
+let pick t a =
+  if Array.length a = 0 then invalid_arg "Rng.pick: empty array";
+  a.(int t (Array.length a))
+
+let pick_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.pick_list: empty list"
+  | l -> List.nth l (int t (List.length l))
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let permutation t n =
+  let a = Array.init n (fun i -> i) in
+  shuffle_in_place t a;
+  a
+
+let gaussian t ~mu ~sigma =
+  if sigma < 0. then invalid_arg "Rng.gaussian: negative sigma";
+  if sigma = 0. then mu
+  else
+    match t.spare with
+    | Some z ->
+      t.spare <- None;
+      mu +. (sigma *. z)
+    | None ->
+      (* Box-Muller: two uniforms give two independent standard normals. *)
+      let rec nonzero () =
+        let u = float t 1.0 in
+        if u > 0. then u else nonzero ()
+      in
+      let u1 = nonzero () and u2 = float t 1.0 in
+      let r = sqrt (-2. *. log u1) in
+      let theta = 2. *. Float.pi *. u2 in
+      t.spare <- Some (r *. sin theta);
+      mu +. (sigma *. (r *. cos theta))

@@ -1,0 +1,33 @@
+(** Special mathematical functions needed by the paper's closed forms.
+
+    The pre-PAS formulas (Section 5 of the paper) use inclusion-exclusion
+    sums with binomial coefficients, and the observation-noise edge
+    probability p5 (Section 3.7, Figure 4) uses the complementary error
+    function. None of these exist in the OCaml standard library. *)
+
+val erf : float -> float
+(** Error function, [erf x = 2/sqrt(pi) * int_0^x exp(-t^2) dt].
+    Absolute error below 1.3e-7 over the real line. *)
+
+val erfc : float -> float
+(** Complementary error function, [1 - erf x]. *)
+
+val normal_cdf : ?mu:float -> ?sigma:float -> float -> float
+(** [normal_cdf ~mu ~sigma x] is P(X <= x) for X ~ N(mu, sigma^2).
+    Defaults: [mu = 0.], [sigma = 1.]. *)
+
+val normal_pdf : ?mu:float -> ?sigma:float -> float -> float
+(** Density of N(mu, sigma^2) at a point. *)
+
+val log_factorial : int -> float
+(** [log_factorial n] is ln(n!). Exact summation cached up to a limit,
+    Stirling series beyond. [n] must be non-negative. *)
+
+val log_binomial : int -> int -> float
+(** [log_binomial n k] is ln(C(n,k)); [neg_infinity] when [k < 0 || k > n]. *)
+
+val binomial : int -> int -> float
+(** [binomial n k] is C(n,k) as a float (exact for moderate arguments). *)
+
+val log1mexp : float -> float
+(** [log1mexp x] is ln(1 - exp x) for [x < 0], computed stably. *)

@@ -1,0 +1,28 @@
+(** Streaming summary statistics (Welford's online algorithm).
+
+    Used to accumulate per-plaintext-byte timing bins in the attacks
+    (Algorithm 1 of the paper keeps a running sum; we also need variance to
+    judge statistical separation of the bins). *)
+
+type t
+(** A mutable accumulator. *)
+
+val create : unit -> t
+val add : t -> float -> unit
+val count : t -> int
+val mean : t -> float
+(** Mean of the observations; [nan] when empty. *)
+
+val variance : t -> float
+(** Unbiased sample variance; [nan] with fewer than two observations. *)
+
+val std : t -> float
+val min : t -> float
+val max : t -> float
+val total : t -> float
+val merge : t -> t -> t
+(** [merge a b] is a fresh accumulator equivalent to having seen both
+    streams (Chan et al. parallel update). *)
+
+val of_array : float array -> t
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Builder Cachesec_core Dot Edge Float Fun Graph Hashtbl Int List Node Option Pas Printf QCheck QCheck_alcotest Random Stdlib String

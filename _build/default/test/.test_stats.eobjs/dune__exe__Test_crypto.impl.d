@@ -1,0 +1,1 @@
+test/test_crypto.ml: Aes Alcotest Array Bytes Cachesec_crypto Char Fun Gf256 List QCheck QCheck_alcotest Sbox Ttables

@@ -1,0 +1,1 @@
+test/test_distributions.ml: Alcotest Array Cachesec_analysis Cachesec_cache Cachesec_stats Chi2 Config List Newcache Outcome Printf Re Rf Rng Rp Sa Skewed String Timing Workload

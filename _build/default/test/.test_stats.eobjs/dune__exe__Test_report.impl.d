@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Cachesec_report Csv Filename List Plot QCheck QCheck_alcotest String Svg Sys Table

@@ -1,0 +1,1 @@
+test/test_stats.ml: Alcotest Array Cachesec_stats Correlation Coupon Float Fun Histogram List Mutual_information QCheck QCheck_alcotest Rng Special Summary

@@ -1,0 +1,774 @@
+(* Tests for the cache simulator substrate: geometry, policies and the
+   architecture-specific security mechanisms of all nine caches. *)
+
+open Cachesec_stats
+open Cachesec_cache
+
+let qtest ?(count = 100) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+let rng () = Rng.create ~seed:1234
+
+(* --- Config / Address ------------------------------------------------- *)
+
+let test_config () =
+  let c = Config.standard in
+  Alcotest.(check int) "sets" 64 (Config.sets c);
+  Alcotest.(check int) "capacity" (32 * 1024) (Config.capacity_bytes c);
+  Alcotest.(check int) "fa sets" 1 (Config.sets Config.fully_associative);
+  Alcotest.(check int) "dm sets" 512 (Config.sets Config.direct_mapped);
+  Alcotest.check_raises "non pow2 lines"
+    (Invalid_argument "Config.v: lines must be a positive power of two")
+    (fun () -> ignore (Config.v ~line_bytes:64 ~lines:500 ~ways:4));
+  Alcotest.check_raises "ways divide"
+    (Invalid_argument "Config.v: ways must divide lines") (fun () ->
+      ignore (Config.v ~line_bytes:64 ~lines:512 ~ways:7))
+
+let test_address () =
+  let c = Config.standard in
+  Alcotest.(check int) "line of byte" 2 (Address.line_of_byte c 128);
+  Alcotest.(check int) "byte of line" 128 (Address.byte_of_line c 2);
+  Alcotest.(check int) "set" 1 (Address.set_index c 65);
+  Alcotest.(check int) "tag" 1 (Address.tag c 65);
+  Alcotest.(check (list int)) "range lines" [ 0; 1 ]
+    (Address.lines_in_byte_range c ~first:0 ~length:100);
+  Alcotest.(check (list int)) "empty range" []
+    (Address.lines_in_byte_range c ~first:0 ~length:0)
+
+let prop_address_roundtrip =
+  qtest "line = tag*sets + set" QCheck.(int_range 0 1000000) (fun line ->
+      let c = Config.standard in
+      (Address.tag c line * Config.sets c) + Address.set_index c line = line)
+
+(* --- Line / Replacement ---------------------------------------------- *)
+
+let test_line () =
+  let l = Line.make () in
+  Alcotest.(check bool) "fresh invalid" false l.Line.valid;
+  Line.fill l ~tag:42 ~owner:7 ~seq:3;
+  Alcotest.(check bool) "filled" true l.Line.valid;
+  Alcotest.(check int) "tag" 42 l.Line.tag;
+  Alcotest.(check int) "owner" 7 l.Line.owner;
+  l.Line.locked <- true;
+  Line.touch l ~seq:9;
+  Alcotest.(check int) "touched" 9 l.Line.last_use;
+  Alcotest.(check int) "fill seq kept" 3 l.Line.fill_seq;
+  Line.fill l ~tag:1 ~owner:1 ~seq:10;
+  Alcotest.(check bool) "fill clears lock" false l.Line.locked;
+  Line.invalidate l;
+  Alcotest.(check bool) "invalidated" false l.Line.valid
+
+let filled_lines n =
+  let lines = Line.make_array n in
+  Array.iteri (fun i l -> Line.fill l ~tag:i ~owner:0 ~seq:(i + 1)) lines;
+  lines
+
+let test_replacement_invalid_first () =
+  let lines = filled_lines 4 in
+  Line.invalidate lines.(2);
+  let r = rng () in
+  List.iter
+    (fun policy ->
+      Alcotest.(check int)
+        (Replacement.policy_to_string policy ^ " picks invalid")
+        2
+        (Replacement.choose policy r lines ~candidates:[ 0; 1; 2; 3 ]))
+    [ Replacement.Lru; Replacement.Random; Replacement.Fifo ]
+
+let test_replacement_lru () =
+  let lines = filled_lines 4 in
+  Line.touch lines.(0) ~seq:100;
+  Alcotest.(check int) "least recent" 1
+    (Replacement.lru_victim lines ~candidates:[ 0; 1; 2; 3 ]);
+  Alcotest.(check int) "restricted candidates" 2
+    (Replacement.lru_victim lines ~candidates:[ 0; 2 ])
+
+let test_replacement_fifo () =
+  let lines = filled_lines 4 in
+  Line.touch lines.(0) ~seq:100;
+  (* FIFO ignores touches: oldest fill wins. *)
+  let r = rng () in
+  Alcotest.(check int) "oldest fill" 0
+    (Replacement.choose Replacement.Fifo r lines ~candidates:[ 0; 1; 2; 3 ])
+
+let test_replacement_random_uniform () =
+  let lines = filled_lines 8 in
+  let r = rng () in
+  let counts = Array.make 8 0 in
+  for _ = 1 to 8000 do
+    let v =
+      Replacement.choose Replacement.Random r lines
+        ~candidates:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
+    in
+    counts.(v) <- counts.(v) + 1
+  done;
+  Array.iter
+    (fun c ->
+      Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
+    counts
+
+let test_replacement_errors () =
+  let lines = filled_lines 2 in
+  let r = rng () in
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Replacement.choose: no candidates") (fun () ->
+      ignore (Replacement.choose Replacement.Lru r lines ~candidates:[]));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Replacement.choose: candidate out of range") (fun () ->
+      ignore (Replacement.choose Replacement.Lru r lines ~candidates:[ 5 ]))
+
+(* --- Counters ---------------------------------------------------------- *)
+
+let test_counters () =
+  let c = Counters.create () in
+  Counters.record c ~pid:0 Outcome.hit;
+  Counters.record c ~pid:1
+    { Outcome.event = Miss; cached = true; fetched = Some 1; evicted = [ (0, 5) ] };
+  Counters.record c ~pid:1
+    { Outcome.event = Miss; cached = false; fetched = None; evicted = [] };
+  Counters.record_flush c ~pid:0;
+  let g = Counters.global c in
+  Alcotest.(check int) "accesses" 3 g.Counters.accesses;
+  Alcotest.(check int) "hits" 1 g.Counters.hits;
+  Alcotest.(check int) "misses" 2 g.Counters.misses;
+  Alcotest.(check int) "evictions" 1 g.Counters.evictions;
+  Alcotest.(check int) "read throughs" 1 g.Counters.read_throughs;
+  Alcotest.(check int) "flushes" 1 g.Counters.flushes;
+  let p1 = Counters.for_pid c 1 in
+  Alcotest.(check int) "pid1 misses" 2 p1.Counters.misses;
+  Alcotest.(check int) "unknown pid" 0 (Counters.for_pid c 9).Counters.accesses;
+  Alcotest.(check (float 1e-9)) "hit rate" (1. /. 3.) (Counters.hit_rate g);
+  Counters.reset c;
+  Alcotest.(check int) "reset" 0 (Counters.global c).Counters.accesses
+
+(* --- SA ----------------------------------------------------------------- *)
+
+let test_sa_miss_then_hit () =
+  let sa = Sa.create ~rng:(rng ()) () in
+  let o1 = Sa.access sa ~pid:0 100 in
+  Alcotest.(check bool) "first miss" true (Outcome.is_miss o1);
+  Alcotest.(check bool) "cached" true o1.Outcome.cached;
+  let o2 = Sa.access sa ~pid:0 100 in
+  Alcotest.(check bool) "then hit" true (Outcome.is_hit o2)
+
+let test_sa_cross_pid_hit () =
+  let sa = Sa.create ~rng:(rng ()) () in
+  ignore (Sa.access sa ~pid:0 100);
+  Alcotest.(check bool) "other pid hits same line" true
+    (Outcome.is_hit (Sa.access sa ~pid:1 100))
+
+let test_sa_eviction_reported () =
+  let sa = Sa.create ~rng:(rng ()) () in
+  let sets = Config.sets (Sa.config sa) in
+  (* Fill one set completely, then overflow it. *)
+  for k = 0 to 7 do
+    ignore (Sa.access sa ~pid:0 (5 + (k * sets)))
+  done;
+  let o = Sa.access sa ~pid:1 (5 + (8 * sets)) in
+  Alcotest.(check int) "one eviction" 1 (List.length o.Outcome.evicted);
+  let owner, line = List.hd o.Outcome.evicted in
+  Alcotest.(check int) "victim owner" 0 owner;
+  Alcotest.(check int) "victim in same set" 5 (line mod sets)
+
+let test_sa_peek_nonmutating () =
+  let sa = Sa.create ~rng:(rng ()) () in
+  ignore (Sa.access sa ~pid:0 7);
+  Alcotest.(check bool) "peek true" true (Sa.peek sa ~pid:0 7);
+  Alcotest.(check bool) "peek false" false (Sa.peek sa ~pid:0 8);
+  let before = (Counters.global (Sa.counters sa)).Counters.accesses in
+  ignore (Sa.peek sa ~pid:0 7);
+  Alcotest.(check int) "no access recorded" before
+    (Counters.global (Sa.counters sa)).Counters.accesses
+
+let test_sa_flush () =
+  let sa = Sa.create ~rng:(rng ()) () in
+  ignore (Sa.access sa ~pid:0 7);
+  Alcotest.(check bool) "flush removes" true (Sa.flush_line sa ~pid:1 7);
+  Alcotest.(check bool) "absent now" false (Sa.peek sa ~pid:0 7);
+  Alcotest.(check bool) "second flush false" false (Sa.flush_line sa ~pid:1 7);
+  ignore (Sa.access sa ~pid:0 7);
+  Sa.flush_all sa;
+  Alcotest.(check bool) "flush all" false (Sa.peek sa ~pid:0 7)
+
+let test_sa_lru_exact () =
+  let config = Config.v ~line_bytes:64 ~lines:8 ~ways:2 in
+  let sa = Sa.create ~config ~policy:Replacement.Lru ~rng:(rng ()) () in
+  (* Set 0 of 4 sets: lines 0, 4, 8 map there. *)
+  ignore (Sa.access sa ~pid:0 0);
+  ignore (Sa.access sa ~pid:0 4);
+  ignore (Sa.access sa ~pid:0 0);  (* 0 is now most recent *)
+  let o = Sa.access sa ~pid:0 8 in
+  Alcotest.(check (list (pair int int))) "LRU evicts 4" [ (0, 4) ]
+    o.Outcome.evicted
+
+let test_sa_fully_associative () =
+  let sa = Sa.create ~config:Config.fully_associative ~rng:(rng ()) () in
+  (* 512 distinct lines fit regardless of addresses. *)
+  for i = 0 to 511 do
+    ignore (Sa.access sa ~pid:0 (i * 64))
+  done;
+  let snap = Counters.global (Sa.counters sa) in
+  Alcotest.(check int) "no evictions while filling" 0 snap.Counters.evictions
+
+let test_sa_engine () =
+  let e = Sa.engine (Sa.create ~rng:(rng ()) ()) in
+  Alcotest.(check string) "name" "sa-8-way-random" e.Engine.name;
+  Alcotest.(check (float 0.)) "no noise" 0. e.Engine.sigma;
+  Alcotest.(check bool) "lock unsupported" false (e.Engine.lock_line ~pid:0 3);
+  ignore (e.Engine.access ~pid:0 3);
+  Alcotest.(check int) "dump size" 1 (List.length (e.Engine.dump ()))
+
+(* --- SP ----------------------------------------------------------------- *)
+
+let make_sp () =
+  Sp.create_two_domain ~victim_pid:0 ~victim_lines:[ (0, 99) ] ~rng:(rng ()) ()
+
+let test_sp_basic () =
+  let sp = make_sp () in
+  Alcotest.(check int) "sets per partition" 32 (Sp.sets_per_partition sp);
+  let o = Sp.access sp ~pid:0 5 in
+  Alcotest.(check bool) "victim fill ok" true o.Outcome.cached;
+  Alcotest.(check bool) "victim hit" true (Outcome.is_hit (Sp.access sp ~pid:0 5))
+
+let test_sp_cross_partition_read_through () =
+  let sp = make_sp () in
+  (* Attacker (pid 1) misses on a victim-homed line: read-through. *)
+  let o = Sp.access sp ~pid:1 5 in
+  Alcotest.(check bool) "miss" true (Outcome.is_miss o);
+  Alcotest.(check bool) "not cached" false o.Outcome.cached;
+  Alcotest.(check (list (pair int int))) "nothing evicted" [] o.Outcome.evicted
+
+let test_sp_shared_line_hit () =
+  let sp = make_sp () in
+  ignore (Sp.access sp ~pid:0 5);
+  (* The victim fetched a shared (victim-homed) line: the attacker's
+     subsequent read hits - the paper's flush-and-reload channel. *)
+  Alcotest.(check bool) "attacker hits victim-fetched line" true
+    (Outcome.is_hit (Sp.access sp ~pid:1 5))
+
+let test_sp_attacker_cannot_evict_victim () =
+  let sp = make_sp () in
+  for i = 0 to 99 do
+    ignore (Sp.access sp ~pid:0 i)
+  done;
+  (* Attacker hammers his own space; no victim line may disappear. *)
+  for i = 0 to 5000 do
+    ignore (Sp.access sp ~pid:1 (1000 + i))
+  done;
+  let victim_lines_alive =
+    List.for_all (fun i -> Sp.peek sp ~pid:0 i) (List.init 100 Fun.id)
+  in
+  Alcotest.(check bool) "all victim lines alive" true victim_lines_alive
+
+let test_sp_validation () =
+  Alcotest.check_raises "partitions divide"
+    (Invalid_argument "Sp.create: partitions must divide the set count")
+    (fun () ->
+      ignore
+        (Sp.create ~partitions:3 ~home:(fun _ -> 0) ~partition_of_pid:(fun _ -> 0)
+           ~rng:(rng ()) ()))
+
+(* --- PL ----------------------------------------------------------------- *)
+
+let test_pl_lock_protects () =
+  let pl = Pl.create ~rng:(rng ()) () in
+  Alcotest.(check bool) "lock ok" true (Pl.lock_line pl ~pid:0 5);
+  Alcotest.(check bool) "present" true (Pl.peek pl ~pid:0 5);
+  (* Exhaustive attacker pressure on the same set cannot dislodge it. *)
+  let sets = Config.sets (Pl.config pl) in
+  for k = 1 to 2000 do
+    ignore (Pl.access pl ~pid:1 (5 + (k * sets)))
+  done;
+  Alcotest.(check bool) "still locked in" true (Pl.peek pl ~pid:0 5);
+  Alcotest.(check (list int)) "locked lines" [ 5 ] (Pl.locked_lines pl)
+
+let test_pl_read_through_on_locked_victim () =
+  let pl = Pl.create ~rng:(rng ()) () in
+  let sets = Config.sets (Pl.config pl) in
+  (* Lock the whole set: every later miss on that set is read-through. *)
+  for k = 0 to 7 do
+    Alcotest.(check bool) "lock fill" true (Pl.lock_line pl ~pid:0 (5 + (k * sets)))
+  done;
+  let o = Pl.access pl ~pid:1 (5 + (8 * sets)) in
+  Alcotest.(check bool) "miss" true (Outcome.is_miss o);
+  Alcotest.(check bool) "read through" false o.Outcome.cached;
+  (* And the 9th lock attempt fails: no unlocked way left. *)
+  Alcotest.(check bool) "no way to lock" false
+    (Pl.lock_line pl ~pid:0 (5 + (9 * sets)))
+
+let test_pl_unlock_owner_only () =
+  let pl = Pl.create ~rng:(rng ()) () in
+  ignore (Pl.lock_line pl ~pid:0 5);
+  Alcotest.(check bool) "other pid cannot unlock" false (Pl.unlock_line pl ~pid:1 5);
+  Alcotest.(check bool) "owner unlocks" true (Pl.unlock_line pl ~pid:0 5);
+  Alcotest.(check (list int)) "no locks left" [] (Pl.locked_lines pl)
+
+let test_pl_flush_respects_lock () =
+  let pl = Pl.create ~rng:(rng ()) () in
+  ignore (Pl.lock_line pl ~pid:0 5);
+  Alcotest.(check bool) "attacker flush denied" false (Pl.flush_line pl ~pid:1 5);
+  Alcotest.(check bool) "owner flush ok" true (Pl.flush_line pl ~pid:0 5)
+
+let test_pl_unlocked_behaves_normally () =
+  let pl = Pl.create ~rng:(rng ()) () in
+  ignore (Pl.access pl ~pid:0 5);
+  Alcotest.(check bool) "hit" true (Outcome.is_hit (Pl.access pl ~pid:0 5))
+
+(* --- Nomo ---------------------------------------------------------------- *)
+
+let make_nomo () =
+  Nomo.create ~protected_pids:[ 0 ] ~rng:(rng ()) ()
+
+let test_nomo_geometry () =
+  let nm = make_nomo () in
+  Alcotest.(check int) "reserved default w/4" 2 (Nomo.reserved_ways nm);
+  Alcotest.(check int) "shared" 6 (Nomo.shared_ways nm);
+  Alcotest.(check bool) "protected" true (Nomo.is_protected nm 0);
+  Alcotest.(check bool) "unprotected" false (Nomo.is_protected nm 1)
+
+let test_nomo_attacker_cannot_monopolize () =
+  let nm = make_nomo () in
+  let sets = Config.sets (Nomo.config nm) in
+  (* Victim parks two lines (fits the reservation). *)
+  ignore (Nomo.access nm ~pid:0 5);
+  ignore (Nomo.access nm ~pid:0 (5 + sets));
+  (* Attacker hammers the same set with thousands of lines. *)
+  for k = 2 to 3000 do
+    ignore (Nomo.access nm ~pid:1 (5 + (k * sets)))
+  done;
+  Alcotest.(check bool) "victim line 1 alive" true (Nomo.peek nm ~pid:0 5);
+  Alcotest.(check bool) "victim line 2 alive" true
+    (Nomo.peek nm ~pid:0 (5 + sets))
+
+let test_nomo_victim_spills_when_exceeding () =
+  let nm = Nomo.create ~reserved:1 ~protected_pids:[ 0 ] ~rng:(rng ()) () in
+  let sets = Config.sets (Nomo.config nm) in
+  (* Attacker owns the shared ways first. *)
+  for k = 0 to 6 do
+    ignore (Nomo.access nm ~pid:1 (1000 * sets |> fun b -> b + 5 + (k * sets)))
+  done;
+  (* Victim inserts two lines: the second must displace someone in the
+     shared ways (interference). *)
+  ignore (Nomo.access nm ~pid:0 5);
+  let o = Nomo.access nm ~pid:0 (5 + sets) in
+  Alcotest.(check bool) "spill evicts attacker" true
+    (List.exists (fun (owner, _) -> owner = 1) o.Outcome.evicted)
+
+let test_nomo_validation () =
+  Alcotest.check_raises "reserved = ways"
+    (Invalid_argument "Nomo.create: reserved must lie in [0, ways)") (fun () ->
+      ignore (Nomo.create ~reserved:8 ~protected_pids:[] ~rng:(rng ()) ()))
+
+(* --- Newcache -------------------------------------------------------------- *)
+
+let test_newcache_hit_after_fill () =
+  let nc = Newcache.create ~rng:(rng ()) () in
+  Alcotest.(check int) "logical lines" (512 * 16) (Newcache.logical_lines nc);
+  ignore (Newcache.access nc ~pid:0 7);
+  Alcotest.(check bool) "hit" true (Outcome.is_hit (Newcache.access nc ~pid:0 7))
+
+let test_newcache_pid_isolation () =
+  let nc = Newcache.create ~rng:(rng ()) () in
+  ignore (Newcache.access nc ~pid:0 7);
+  Alcotest.(check bool) "other context misses same address" true
+    (Outcome.is_miss (Newcache.access nc ~pid:1 7));
+  (* Both copies can coexist. *)
+  Alcotest.(check bool) "victim copy alive" true (Newcache.peek nc ~pid:0 7)
+
+let test_newcache_index_conflict () =
+  let nc = Newcache.create ~extra_bits:0 ~rng:(rng ()) () in
+  (* extra_bits 0: logical lines = 512, so addresses 7 and 519 share a
+     logical index; caching the second must invalidate the first. *)
+  ignore (Newcache.access nc ~pid:0 7);
+  let o = Newcache.access nc ~pid:0 (7 + 512) in
+  Alcotest.(check bool) "conflict evicted old" true
+    (List.mem (0, 7) o.Outcome.evicted);
+  Alcotest.(check bool) "old gone" false (Newcache.peek nc ~pid:0 7);
+  Alcotest.(check bool) "new present" true (Newcache.peek nc ~pid:0 (7 + 512))
+
+let test_newcache_flush_own_only () =
+  let nc = Newcache.create ~rng:(rng ()) () in
+  ignore (Newcache.access nc ~pid:0 7);
+  Alcotest.(check bool) "attacker flush misses victim copy" false
+    (Newcache.flush_line nc ~pid:1 7);
+  Alcotest.(check bool) "victim flush works" true (Newcache.flush_line nc ~pid:0 7)
+
+let test_newcache_cam_consistency () =
+  (* After a busy random workload, peek must agree with a full scan of
+     the dumped lines (the CAM index never desynchronises). *)
+  let nc = Newcache.create ~rng:(rng ()) () in
+  let e = Newcache.engine nc in
+  let r = rng () in
+  for _ = 1 to 5000 do
+    let pid = Rng.int r 2 and addr = Rng.int r 2000 in
+    match Rng.int r 10 with
+    | 0 -> ignore (e.Engine.flush_line ~pid addr)
+    | 1 when Rng.int r 50 = 0 -> e.Engine.flush_all ()
+    | _ -> ignore (e.Engine.access ~pid addr)
+  done;
+  let dumped = e.Engine.dump () in
+  for pid = 0 to 1 do
+    for addr = 0 to 1999 do
+      let scan =
+        List.exists
+          (fun (_, (l : Line.t)) -> l.Line.owner = pid && l.Line.tag = addr)
+          dumped
+      in
+      if scan <> e.Engine.peek ~pid addr then
+        Alcotest.failf "cam desync pid=%d addr=%d (scan=%b)" pid addr scan
+    done
+  done
+
+let test_newcache_random_eviction_spread () =
+  let nc = Newcache.create ~rng:(rng ()) () in
+  (* Fill all 512 physical lines, then insert more and check the
+     evictions hit many distinct victims. *)
+  for i = 0 to 511 do
+    ignore (Newcache.access nc ~pid:0 i)
+  done;
+  let evicted = Hashtbl.create 64 in
+  for i = 512 to 767 do
+    let o = Newcache.access nc ~pid:0 (i + 100000) in
+    List.iter (fun (_, line) -> Hashtbl.replace evicted line ()) o.Outcome.evicted;
+    ignore i
+  done;
+  Alcotest.(check bool) "many distinct victims" true
+    (Hashtbl.length evicted > 150)
+
+(* --- RP ---------------------------------------------------------------- *)
+
+let test_rp_same_pid_hit () =
+  let rp = Rp.create ~rng:(rng ()) () in
+  ignore (Rp.access rp ~pid:0 5);
+  Alcotest.(check bool) "hit" true (Outcome.is_hit (Rp.access rp ~pid:0 5))
+
+let test_rp_pid_isolation () =
+  let rp = Rp.create ~rng:(rng ()) () in
+  ignore (Rp.access rp ~pid:0 5);
+  Alcotest.(check bool) "cross-context miss" true
+    (Outcome.is_miss (Rp.access rp ~pid:1 5))
+
+let test_rp_table_bijection_under_load () =
+  let rp = Rp.create ~rng:(rng ()) () in
+  let r = rng () in
+  for _ = 1 to 5000 do
+    ignore (Rp.access rp ~pid:(Rng.int r 2) (Rng.int r 4096))
+  done;
+  List.iter
+    (fun pid ->
+      let tbl = Rp.table rp ~pid in
+      let seen = Array.make (Array.length tbl) false in
+      Array.iter (fun s -> seen.(s) <- true) tbl;
+      Alcotest.(check bool)
+        (Printf.sprintf "pid %d table is a bijection" pid)
+        true
+        (Array.for_all Fun.id seen))
+    [ 0; 1 ]
+
+let test_rp_set_identity () =
+  let rp = Rp.create ~rng:(rng ()) () in
+  let r = rng () in
+  for _ = 1 to 1000 do
+    ignore (Rp.access rp ~pid:0 (Rng.int r 4096))
+  done;
+  Rp.set_identity rp ~pid:0;
+  let tbl = Rp.table rp ~pid:0 in
+  Alcotest.(check bool) "identity restored" true
+    (Array.for_all Fun.id (Array.mapi (fun i s -> i = s) tbl))
+
+let test_rp_external_miss_randomizes () =
+  let rp = Rp.create ~rng:(rng ()) () in
+  let sets = Config.sets (Rp.config rp) in
+  (* Victim owns all of (his) set 5. *)
+  for k = 0 to 7 do
+    ignore (Rp.access rp ~pid:0 (5 + (k * sets)))
+  done;
+  (* Attacker storms logical set 5 with 50 distinct lines. On SA this
+     would clean the set almost surely; RP's randomized interference
+     handling (random set + table swap) must leave most victim lines
+     alive. *)
+  for k = 0 to 49 do
+    ignore (Rp.access rp ~pid:1 (100032 + 5 + (k * sets)))
+  done;
+  let survivors =
+    List.length
+      (List.filter
+         (fun k -> Rp.peek rp ~pid:0 (5 + (k * sets)))
+         (List.init 8 Fun.id))
+  in
+  Alcotest.(check bool) "most victim lines survive" true (survivors >= 4)
+
+(* --- RF ---------------------------------------------------------------- *)
+
+let test_rf_demand_fetch_default () =
+  let rf = Rf.create ~rng:(rng ()) () in
+  Alcotest.(check (pair int int)) "default window" (0, 0) (Rf.window rf ~pid:0);
+  let o = Rf.access rf ~pid:0 100 in
+  Alcotest.(check bool) "window 0 caches the line" true o.Outcome.cached;
+  Alcotest.(check bool) "hit after" true (Outcome.is_hit (Rf.access rf ~pid:0 100))
+
+let test_rf_window_fetch () =
+  let rf = Rf.create ~rng:(rng ()) () in
+  Rf.set_window rf ~pid:0 ~back:64 ~fwd:64;
+  let in_window = ref 0 and accessed_cached = ref 0 in
+  for i = 0 to 199 do
+    let addr = 100 + (i * 200) in
+    let o = Rf.access rf ~pid:0 addr in
+    (match o.Outcome.fetched with
+    | Some l when l >= addr - 64 && l <= addr + 64 -> incr in_window
+    | Some _ -> Alcotest.fail "fetch outside window"
+    | None -> incr in_window (* already-cached window line: no fill *));
+    if o.Outcome.cached then incr accessed_cached
+  done;
+  Alcotest.(check int) "fills stay in window" 200 !in_window;
+  (* P(cached) = 1/129 per miss: expect a handful at most. *)
+  Alcotest.(check bool) "accessed line rarely cached" true (!accessed_cached < 15)
+
+let test_rf_window_validation () =
+  let rf = Rf.create ~rng:(rng ()) () in
+  Alcotest.check_raises "negative window"
+    (Invalid_argument "Rf.set_window: negative window") (fun () ->
+      Rf.set_window rf ~pid:0 ~back:(-1) ~fwd:0)
+
+let test_rf_per_pid_windows () =
+  let rf = Rf.create ~rng:(rng ()) () in
+  Rf.set_window rf ~pid:0 ~back:8 ~fwd:8;
+  Alcotest.(check (pair int int)) "victim window" (8, 8) (Rf.window rf ~pid:0);
+  Alcotest.(check (pair int int)) "attacker stays demand" (0, 0)
+    (Rf.window rf ~pid:1);
+  (* The attacker's own accesses behave conventionally. *)
+  let o = Rf.access rf ~pid:1 5000 in
+  Alcotest.(check bool) "attacker demand fetch" true o.Outcome.cached
+
+(* --- RE ---------------------------------------------------------------- *)
+
+let test_re_periodic_eviction () =
+  let re = Re.create ~interval:10 ~rng:(rng ()) () in
+  for i = 0 to 99 do
+    ignore (Re.access re ~pid:0 i)
+  done;
+  Alcotest.(check int) "10 periodic evictions" 10 (Re.random_evictions re)
+
+let test_re_interval_one () =
+  let re = Re.create ~interval:1 ~rng:(rng ()) () in
+  for i = 0 to 9 do
+    ignore (Re.access re ~pid:0 i)
+  done;
+  Alcotest.(check int) "every access" 10 (Re.random_evictions re)
+
+let test_re_eviction_in_outcome () =
+  let re =
+    Re.create ~config:(Config.v ~line_bytes:64 ~lines:2 ~ways:1) ~interval:1
+      ~rng:(rng ()) ()
+  in
+  ignore (Re.access re ~pid:0 0);
+  ignore (Re.access re ~pid:0 1);
+  (* With only two slots and an eviction per access, outcomes soon carry
+     periodic evictions. *)
+  let saw_extra = ref false in
+  for i = 2 to 40 do
+    let o = Re.access re ~pid:0 (i mod 2) in
+    if Outcome.is_hit o && o.Outcome.evicted <> [] then saw_extra := true
+  done;
+  Alcotest.(check bool) "periodic eviction reported on hits" true !saw_extra
+
+let test_re_validation () =
+  Alcotest.check_raises "interval"
+    (Invalid_argument "Re.create: interval must be positive") (fun () ->
+      ignore (Re.create ~interval:0 ~rng:(rng ()) ()))
+
+(* --- Noisy / Timing ------------------------------------------------------ *)
+
+let test_noisy () =
+  let n = Noisy.create ~sigma:1.5 ~rng:(rng ()) () in
+  Alcotest.(check (float 0.)) "sigma stored" 1.5 (Noisy.sigma n);
+  let e = Noisy.engine n in
+  Alcotest.(check (float 0.)) "engine sigma" 1.5 e.Engine.sigma;
+  ignore (Noisy.access n ~pid:0 3);
+  Alcotest.(check bool) "behaves like SA" true (Noisy.peek n ~pid:0 3);
+  Alcotest.check_raises "negative sigma"
+    (Invalid_argument "Noisy.create: negative sigma") (fun () ->
+      ignore (Noisy.create ~sigma:(-1.) ~rng:(rng ()) ()))
+
+let test_timing () =
+  let r = rng () in
+  Alcotest.(check (float 0.)) "hit time" 0.
+    (Timing.observe r ~sigma:0. Outcome.Hit);
+  Alcotest.(check (float 0.)) "miss time" 1.
+    (Timing.observe r ~sigma:0. Outcome.Miss);
+  Alcotest.(check bool) "classify miss" true
+    (Timing.classify 0.9 = Outcome.Miss);
+  Alcotest.(check bool) "classify hit" true (Timing.classify 0.1 = Outcome.Hit);
+  Alcotest.(check (float 0.)) "no error without noise" 0.
+    (Timing.error_probability ~sigma:0.);
+  Alcotest.(check (float 1e-3)) "error at sigma 1" 0.3085
+    (Timing.error_probability ~sigma:1.)
+
+let test_timing_error_empirical () =
+  let r = rng () in
+  let sigma = 0.8 in
+  let errors = ref 0 in
+  let n = 20000 in
+  for i = 1 to n do
+    let event = if i mod 2 = 0 then Outcome.Hit else Outcome.Miss in
+    let t = Timing.observe r ~sigma event in
+    if Timing.classify t <> event then incr errors
+  done;
+  let expected = Timing.error_probability ~sigma in
+  Alcotest.(check (float 0.02)) "empirical error rate" expected
+    (float_of_int !errors /. float_of_int n)
+
+(* --- Spec / Factory ------------------------------------------------------ *)
+
+let test_spec_names () =
+  Alcotest.(check int) "nine architectures" 9 (List.length Spec.all_paper);
+  List.iter
+    (fun spec ->
+      match Spec.of_name (Spec.name spec) with
+      | Some s ->
+        Alcotest.(check string) "roundtrip" (Spec.name spec) (Spec.name s)
+      | None -> Alcotest.failf "of_name failed for %s" (Spec.name spec))
+    Spec.all_paper;
+  Alcotest.(check (option string)) "unknown" None
+    (Option.map Spec.name (Spec.of_name "bogus"))
+
+let test_factory_builds_all () =
+  let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 79) ] } in
+  List.iter
+    (fun spec ->
+      let e = Factory.build spec scenario ~rng:(rng ()) in
+      let o = e.Engine.access ~pid:0 5 in
+      Alcotest.(check bool)
+        (Spec.name spec ^ " first access misses")
+        true (Outcome.is_miss o))
+    Spec.all_paper
+
+let test_factory_sp_homing () =
+  let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 79) ] } in
+  let e = Factory.build Spec.paper_sp scenario ~rng:(rng ()) in
+  (* Attacker read-through on victim-homed line. *)
+  let o = e.Engine.access ~pid:1 5 in
+  Alcotest.(check bool) "read through" false o.Outcome.cached
+
+let test_factory_rf_window () =
+  let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 79) ] } in
+  let e = Factory.build Spec.paper_rf scenario ~rng:(rng ()) in
+  (* The victim's window is the paper's 129 lines: his misses usually do
+     not cache the accessed line. *)
+  let cached = ref 0 in
+  for i = 0 to 99 do
+    let o = e.Engine.access ~pid:0 (200 + (i * 300)) in
+    if o.Outcome.cached then incr cached
+  done;
+  Alcotest.(check bool) "victim accesses rarely cached" true (!cached < 10);
+  (* The attacker's accesses stay demand-fetched. *)
+  let o = e.Engine.access ~pid:1 999999 in
+  Alcotest.(check bool) "attacker demand" true o.Outcome.cached
+
+let () =
+  Alcotest.run "cache"
+    [
+      ( "geometry",
+        [
+          Alcotest.test_case "config" `Quick test_config;
+          Alcotest.test_case "address" `Quick test_address;
+          prop_address_roundtrip;
+        ] );
+      ( "replacement",
+        [
+          Alcotest.test_case "line state" `Quick test_line;
+          Alcotest.test_case "invalid first" `Quick test_replacement_invalid_first;
+          Alcotest.test_case "lru" `Quick test_replacement_lru;
+          Alcotest.test_case "fifo" `Quick test_replacement_fifo;
+          Alcotest.test_case "random uniform" `Quick test_replacement_random_uniform;
+          Alcotest.test_case "errors" `Quick test_replacement_errors;
+        ] );
+      ("counters", [ Alcotest.test_case "arithmetic" `Quick test_counters ]);
+      ( "sa",
+        [
+          Alcotest.test_case "miss then hit" `Quick test_sa_miss_then_hit;
+          Alcotest.test_case "cross-pid hit" `Quick test_sa_cross_pid_hit;
+          Alcotest.test_case "eviction reported" `Quick test_sa_eviction_reported;
+          Alcotest.test_case "peek non-mutating" `Quick test_sa_peek_nonmutating;
+          Alcotest.test_case "flush" `Quick test_sa_flush;
+          Alcotest.test_case "lru exact" `Quick test_sa_lru_exact;
+          Alcotest.test_case "fully associative" `Quick test_sa_fully_associative;
+          Alcotest.test_case "engine" `Quick test_sa_engine;
+        ] );
+      ( "sp",
+        [
+          Alcotest.test_case "basics" `Quick test_sp_basic;
+          Alcotest.test_case "cross-partition read-through" `Quick
+            test_sp_cross_partition_read_through;
+          Alcotest.test_case "shared line hit" `Quick test_sp_shared_line_hit;
+          Alcotest.test_case "no cross eviction" `Quick
+            test_sp_attacker_cannot_evict_victim;
+          Alcotest.test_case "validation" `Quick test_sp_validation;
+        ] );
+      ( "pl",
+        [
+          Alcotest.test_case "lock protects" `Quick test_pl_lock_protects;
+          Alcotest.test_case "read-through on locked" `Quick
+            test_pl_read_through_on_locked_victim;
+          Alcotest.test_case "unlock owner only" `Quick test_pl_unlock_owner_only;
+          Alcotest.test_case "flush respects lock" `Quick test_pl_flush_respects_lock;
+          Alcotest.test_case "unlocked normal" `Quick test_pl_unlocked_behaves_normally;
+        ] );
+      ( "nomo",
+        [
+          Alcotest.test_case "geometry" `Quick test_nomo_geometry;
+          Alcotest.test_case "non-monopolizable" `Quick
+            test_nomo_attacker_cannot_monopolize;
+          Alcotest.test_case "victim spills" `Quick
+            test_nomo_victim_spills_when_exceeding;
+          Alcotest.test_case "validation" `Quick test_nomo_validation;
+        ] );
+      ( "newcache",
+        [
+          Alcotest.test_case "hit after fill" `Quick test_newcache_hit_after_fill;
+          Alcotest.test_case "pid isolation" `Quick test_newcache_pid_isolation;
+          Alcotest.test_case "index conflict" `Quick test_newcache_index_conflict;
+          Alcotest.test_case "flush own only" `Quick test_newcache_flush_own_only;
+          Alcotest.test_case "cam consistency" `Quick test_newcache_cam_consistency;
+          Alcotest.test_case "eviction spread" `Quick
+            test_newcache_random_eviction_spread;
+        ] );
+      ( "rp",
+        [
+          Alcotest.test_case "same pid hit" `Quick test_rp_same_pid_hit;
+          Alcotest.test_case "pid isolation" `Quick test_rp_pid_isolation;
+          Alcotest.test_case "bijection under load" `Quick
+            test_rp_table_bijection_under_load;
+          Alcotest.test_case "set identity" `Quick test_rp_set_identity;
+          Alcotest.test_case "external miss randomizes" `Quick
+            test_rp_external_miss_randomizes;
+        ] );
+      ( "rf",
+        [
+          Alcotest.test_case "demand fetch default" `Quick test_rf_demand_fetch_default;
+          Alcotest.test_case "window fetch" `Quick test_rf_window_fetch;
+          Alcotest.test_case "window validation" `Quick test_rf_window_validation;
+          Alcotest.test_case "per-pid windows" `Quick test_rf_per_pid_windows;
+        ] );
+      ( "re",
+        [
+          Alcotest.test_case "periodic eviction" `Quick test_re_periodic_eviction;
+          Alcotest.test_case "interval one" `Quick test_re_interval_one;
+          Alcotest.test_case "eviction in outcome" `Quick test_re_eviction_in_outcome;
+          Alcotest.test_case "validation" `Quick test_re_validation;
+        ] );
+      ( "noisy & timing",
+        [
+          Alcotest.test_case "noisy" `Quick test_noisy;
+          Alcotest.test_case "timing" `Quick test_timing;
+          Alcotest.test_case "timing error empirical" `Quick
+            test_timing_error_empirical;
+        ] );
+      ( "spec & factory",
+        [
+          Alcotest.test_case "spec names" `Quick test_spec_names;
+          Alcotest.test_case "factory builds all" `Quick test_factory_builds_all;
+          Alcotest.test_case "sp homing" `Quick test_factory_sp_homing;
+          Alcotest.test_case "rf window" `Quick test_factory_rf_window;
+        ] );
+    ]

@@ -1,0 +1,264 @@
+(* Tests for the from-scratch AES-128: field arithmetic, generated
+   tables, FIPS-197 vectors and the trace instrumentation. *)
+
+open Cachesec_crypto
+
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
+(* --- GF(2^8) ----------------------------------------------------------- *)
+
+let test_xtime () =
+  (* FIPS-197 4.2.1: {57} * {02} = {ae}, and iterated doublings. *)
+  Alcotest.(check int) "57*2" 0xae (Gf256.xtime 0x57);
+  Alcotest.(check int) "ae*2" 0x47 (Gf256.xtime 0xae);
+  Alcotest.(check int) "47*2" 0x8e (Gf256.xtime 0x47);
+  Alcotest.(check int) "8e*2" 0x07 (Gf256.xtime 0x8e)
+
+let test_mul_known () =
+  (* FIPS-197 example: {57} * {13} = {fe}. *)
+  Alcotest.(check int) "57*13" 0xfe (Gf256.mul 0x57 0x13);
+  Alcotest.(check int) "zero" 0 (Gf256.mul 0 0x42);
+  Alcotest.(check int) "identity" 0x42 (Gf256.mul 1 0x42)
+
+let prop_mul_commutative =
+  qtest "mul commutative" QCheck.(pair (int_bound 255) (int_bound 255))
+    (fun (a, b) -> Gf256.mul a b = Gf256.mul b a)
+
+let prop_mul_associative =
+  qtest "mul associative"
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c) -> Gf256.mul a (Gf256.mul b c) = Gf256.mul (Gf256.mul a b) c)
+
+let prop_mul_distributes =
+  qtest "mul distributes over xor"
+    QCheck.(triple (int_bound 255) (int_bound 255) (int_bound 255))
+    (fun (a, b, c) ->
+      Gf256.mul a (b lxor c) = Gf256.mul a b lxor Gf256.mul a c)
+
+let prop_inverse =
+  qtest "a * inv a = 1" QCheck.(int_range 1 255) (fun a ->
+      Gf256.mul a (Gf256.inv a) = 1)
+
+let test_inv_zero () = Alcotest.(check int) "inv 0" 0 (Gf256.inv 0)
+
+let prop_pow =
+  qtest "pow matches iterated mul"
+    QCheck.(pair (int_bound 255) (int_bound 10))
+    (fun (b, e) ->
+      let rec naive acc n = if n = 0 then acc else naive (Gf256.mul acc b) (n - 1) in
+      Gf256.pow b e = naive 1 e)
+
+(* --- S-box -------------------------------------------------------------- *)
+
+let test_sbox_known () =
+  Alcotest.(check int) "sbox 00" 0x63 Sbox.forward.(0x00);
+  Alcotest.(check int) "sbox 53" 0xed Sbox.forward.(0x53);
+  Alcotest.(check int) "sbox ff" 0x16 Sbox.forward.(0xff);
+  Alcotest.(check int) "inv 63" 0x00 Sbox.inverse.(0x63)
+
+let test_sbox_bijection () =
+  let seen = Array.make 256 false in
+  Array.iter (fun y -> seen.(y) <- true) Sbox.forward;
+  Alcotest.(check bool) "bijection" true (Array.for_all Fun.id seen);
+  for x = 0 to 255 do
+    Alcotest.(check int) "inverse" x Sbox.inverse.(Sbox.forward.(x))
+  done
+
+let test_sbox_no_fixed_points () =
+  for x = 0 to 255 do
+    if Sbox.forward.(x) = x then Alcotest.failf "fixed point at %d" x;
+    if Sbox.forward.(x) = x lxor 0xff then
+      Alcotest.failf "opposite fixed point at %d" x
+  done
+
+(* --- T-tables ------------------------------------------------------------ *)
+
+let test_te0_known () =
+  (* The canonical OpenSSL values. *)
+  Alcotest.(check int) "te0[0]" 0xc66363a5 (Ttables.te 0).(0);
+  Alcotest.(check int) "te0[1]" 0xf87c7c84 (Ttables.te 0).(1);
+  (* s = 0x16: word is (2s, s, s, 3s) = 2c 16 16 3a. *)
+  Alcotest.(check int) "te0[255]" 0x2c16163a (Ttables.te 0).(255)
+
+let test_te_rotations () =
+  let rotr w n = ((w lsr n) lor (w lsl (32 - n))) land 0xffffffff in
+  for i = 1 to 3 do
+    for x = 0 to 255 do
+      if (Ttables.te i).(x) <> rotr (Ttables.te 0).(x) (8 * i) then
+        Alcotest.failf "te%d[%d] is not te0 rotated" i x
+    done
+  done
+
+let test_te4 () =
+  for x = 0 to 255 do
+    let s = Sbox.forward.(x) in
+    let expected = (s lsl 24) lor (s lsl 16) lor (s lsl 8) lor s in
+    if Ttables.te4.(x) <> expected then Alcotest.failf "te4[%d]" x
+  done
+
+let test_te_bounds () =
+  Alcotest.check_raises "te 4 is not a round table"
+    (Invalid_argument "Ttables.te: index must be in 0..3") (fun () ->
+      ignore (Ttables.te 4))
+
+(* --- AES ------------------------------------------------------------------ *)
+
+let test_fips_c1 () =
+  let k = Aes.key_of_hex "000102030405060708090a0b0c0d0e0f" in
+  let p = Aes.bytes_of_hex "00112233445566778899aabbccddeeff" in
+  Alcotest.(check string) "FIPS C.1" "69c4e0d86a7b0430d8cdb78070b4c55a"
+    (Aes.hex_of_bytes (Aes.encrypt k p))
+
+let test_fips_appendix_b () =
+  let k = Aes.key_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let p = Aes.bytes_of_hex "3243f6a8885a308d313198a2e0370734" in
+  Alcotest.(check string) "FIPS B" "3925841d02dc09fbdc118597196a0b32"
+    (Aes.hex_of_bytes (Aes.encrypt k p))
+
+let test_decrypt_vectors () =
+  let k = Aes.key_of_hex "000102030405060708090a0b0c0d0e0f" in
+  let c = Aes.bytes_of_hex "69c4e0d86a7b0430d8cdb78070b4c55a" in
+  Alcotest.(check string) "decrypt C.1" "00112233445566778899aabbccddeeff"
+    (Aes.hex_of_bytes (Aes.decrypt k c))
+
+let bytes16 =
+  QCheck.make
+    ~print:(fun b -> Aes.hex_of_bytes b)
+    QCheck.Gen.(map Bytes.of_string (string_size ~gen:char (return 16)))
+
+let prop_roundtrip =
+  qtest ~count:100 "decrypt after encrypt" QCheck.(pair bytes16 bytes16)
+    (fun (kb, p) ->
+      let k = Aes.key_of_bytes kb in
+      Bytes.equal (Aes.decrypt k (Aes.encrypt k p)) p)
+
+let prop_encrypt_injective =
+  qtest ~count:100 "distinct plaintexts, distinct ciphertexts"
+    QCheck.(triple bytes16 bytes16 bytes16) (fun (kb, p1, p2) ->
+      let k = Aes.key_of_bytes kb in
+      Bytes.equal p1 p2
+      || not (Bytes.equal (Aes.encrypt k p1) (Aes.encrypt k p2)))
+
+let test_trace_shape () =
+  let k = Aes.key_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let p = Aes.bytes_of_hex "3243f6a8885a308d313198a2e0370734" in
+  let c, trace = Aes.encrypt_traced k p in
+  Alcotest.(check string) "ciphertext unchanged"
+    (Aes.hex_of_bytes (Aes.encrypt k p))
+    (Aes.hex_of_bytes c);
+  Alcotest.(check int) "160 lookups" 160 (Array.length trace);
+  (* Rounds 1..9 touch te0..te3; the final 16 touch te4. *)
+  Array.iteri
+    (fun i (a : Aes.access) ->
+      let expected_table = if i < 144 then i mod 4 else 4 in
+      if a.table <> expected_table then
+        Alcotest.failf "lookup %d in table %d (expected %d)" i a.table
+          expected_table;
+      if a.index < 0 || a.index > 255 then Alcotest.failf "index out of range")
+    trace
+
+let test_first_round_accesses () =
+  let k = Aes.key_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  let p = Aes.bytes_of_hex "3243f6a8885a308d313198a2e0370734" in
+  let fra = Aes.first_round_accesses k p in
+  Alcotest.(check int) "16 accesses" 16 (Array.length fra);
+  (* Byte i reads table (i mod 4) at p[i] xor k[i]. *)
+  Array.iteri
+    (fun i (a : Aes.access) ->
+      Alcotest.(check int) "table" (i mod 4) a.table;
+      Alcotest.(check int) "index"
+        (Char.code (Bytes.get p i) lxor Char.code (Bytes.get (Aes.key_bytes k) i))
+        a.index)
+    fra;
+  (* And the traced first round contains exactly these lookups. *)
+  let _, trace = Aes.encrypt_traced k p in
+  let traced_first = Array.sub trace 0 16 in
+  let sort a =
+    let l = Array.to_list a in
+    List.sort compare (List.map (fun (x : Aes.access) -> (x.table, x.index)) l)
+  in
+  Alcotest.(check (list (pair int int))) "first round matches trace"
+    (sort fra) (sort traced_first)
+
+let test_key_expansion_known () =
+  (* FIPS-197 Appendix A.1: first expanded words for the 2b7e... key. *)
+  let k = Aes.key_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  (* We verify via a known 1-block encryption of zeros instead of
+     exposing the schedule: the NIST ECB-AES128 known answer. *)
+  let p = Aes.bytes_of_hex "6bc1bee22e409f96e93d7e117393172a" in
+  Alcotest.(check string) "NIST KAT" "3ad77bb40d7a3660a89ecaf32466ef97"
+    (Aes.hex_of_bytes (Aes.encrypt k p))
+
+let test_validation () =
+  Alcotest.check_raises "bad key" (Invalid_argument "Aes.key_of_bytes: need 16 bytes")
+    (fun () -> ignore (Aes.key_of_bytes (Bytes.create 5)));
+  Alcotest.check_raises "bad block"
+    (Invalid_argument "Aes.encrypt: need a 16-byte block") (fun () ->
+      ignore (Aes.encrypt (Aes.key_of_bytes (Bytes.create 16)) (Bytes.create 3)));
+  Alcotest.check_raises "odd hex" (Invalid_argument "Aes.bytes_of_hex: odd length")
+    (fun () -> ignore (Aes.bytes_of_hex "abc"));
+  Alcotest.check_raises "bad hex digit"
+    (Invalid_argument "Aes.bytes_of_hex: non-hex character") (fun () ->
+      ignore (Aes.bytes_of_hex "zz"))
+
+let prop_hex_roundtrip =
+  qtest "hex roundtrip" QCheck.(string_gen QCheck.Gen.char) (fun s ->
+      let b = Bytes.of_string s in
+      Bytes.equal b (Aes.bytes_of_hex (Aes.hex_of_bytes b)))
+
+let prop_key_schedule_inverts =
+  qtest ~count:100 "round-10 key inverts back to the master key" bytes16
+    (fun kb ->
+      let k = Aes.key_of_bytes kb in
+      Bytes.equal (Aes.key_bytes (Aes.key_of_round10 (Aes.round10_key k))) kb)
+
+let test_round10_known () =
+  (* FIPS-197 Appendix A.1 final round key for the 2b7e... key. *)
+  let k = Aes.key_of_hex "2b7e151628aed2a6abf7158809cf4f3c" in
+  Alcotest.(check string) "w40..w43" "d014f9a8c9ee2589e13f0cc8b6630ca6"
+    (Aes.hex_of_bytes (Aes.round10_key k))
+
+let () =
+  Alcotest.run "crypto"
+    [
+      ( "gf256",
+        [
+          Alcotest.test_case "xtime" `Quick test_xtime;
+          Alcotest.test_case "mul known" `Quick test_mul_known;
+          prop_mul_commutative;
+          prop_mul_associative;
+          prop_mul_distributes;
+          prop_inverse;
+          Alcotest.test_case "inv zero" `Quick test_inv_zero;
+          prop_pow;
+        ] );
+      ( "sbox",
+        [
+          Alcotest.test_case "known values" `Quick test_sbox_known;
+          Alcotest.test_case "bijection" `Quick test_sbox_bijection;
+          Alcotest.test_case "no fixed points" `Quick test_sbox_no_fixed_points;
+        ] );
+      ( "ttables",
+        [
+          Alcotest.test_case "te0 known" `Quick test_te0_known;
+          Alcotest.test_case "rotations" `Quick test_te_rotations;
+          Alcotest.test_case "te4" `Quick test_te4;
+          Alcotest.test_case "bounds" `Quick test_te_bounds;
+        ] );
+      ( "aes",
+        [
+          Alcotest.test_case "FIPS C.1" `Quick test_fips_c1;
+          Alcotest.test_case "FIPS appendix B" `Quick test_fips_appendix_b;
+          Alcotest.test_case "decrypt vector" `Quick test_decrypt_vectors;
+          prop_roundtrip;
+          prop_encrypt_injective;
+          Alcotest.test_case "trace shape" `Quick test_trace_shape;
+          Alcotest.test_case "first round accesses" `Quick test_first_round_accesses;
+          Alcotest.test_case "NIST KAT" `Quick test_key_expansion_known;
+          Alcotest.test_case "validation" `Quick test_validation;
+          prop_hex_roundtrip;
+          prop_key_schedule_inverts;
+          Alcotest.test_case "round-10 key known" `Quick test_round10_known;
+        ] );
+    ]
