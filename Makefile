@@ -1,0 +1,26 @@
+# Convenience entry points; `make check` is the tier-1 gate CI runs.
+
+.PHONY: all build test check fmt bench-smoke clean
+
+all: build
+
+build:
+	dune build
+
+test:
+	dune runtest
+
+check: build test
+
+# Formatting is advisory: ocamlformat may not be installed everywhere,
+# so the alias degrades to a no-op instead of failing the gate.
+fmt:
+	-dune fmt
+
+# Fast end-to-end exercise of the reproduction harness, including the
+# Domain-parallel trial runtime (results are --jobs invariant).
+bench-smoke: build
+	dune exec bench/main.exe -- --quick --no-perf --jobs 2
+
+clean:
+	dune clean

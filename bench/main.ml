@@ -8,13 +8,16 @@
    throughput).
 
    Flags: --quick (reduced trial counts), --no-perf (skip Bechamel),
-   --no-sim (analytical sections only). *)
+   --no-sim (analytical sections only), --jobs N (shard the Monte-Carlo
+   sections over N domains; 0 = one per core; results are identical for
+   any N). *)
 
 open Cachesec_experiments
 
 let quick = ref false
 let perf = ref true
 let sim = ref true
+let jobs = ref 1
 
 let parse_args () =
   Arg.parse
@@ -22,20 +25,39 @@ let parse_args () =
       ("--quick", Arg.Set quick, " reduced trial counts");
       ("--no-perf", Arg.Clear perf, " skip Bechamel micro-benchmarks");
       ("--no-sim", Arg.Clear sim, " skip simulation-based sections");
+      ( "--jobs",
+        Arg.Set_int jobs,
+        "N run trial batches on N domains (0 = one per core; default 1)" );
     ]
     (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--no-perf] [--no-sim]"
+    "bench/main.exe [--quick] [--no-perf] [--no-sim] [--jobs N]"
 
+(* Each section body is a thunk so the harness can report the
+   wall-clock spent inside it (the interesting number when comparing
+   --jobs settings: the rendered output itself never changes). *)
 let section title body =
   Printf.printf "\n================================================================\n";
   Printf.printf "== %s\n" title;
   Printf.printf "================================================================\n%!";
-  print_string body;
+  let t0 = Unix.gettimeofday () in
+  let text = body () in
+  let dt = Unix.gettimeofday () -. t0 in
+  print_string text;
   print_newline ();
-  flush stdout
+  Printf.printf "-- section wall-clock: %.2f s (jobs=%d)\n%!" dt !jobs
+
+(* mkdir -p for every export target, once, before any writer runs. *)
+let ensure_results_dirs () =
+  let mkdir_p path =
+    try Unix.mkdir path 0o755
+    with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+  in
+  mkdir_p "results";
+  mkdir_p "results/dot"
 
 let export_csvs cells =
   let open Cachesec_report in
+  ensure_results_dirs ();
   Csv.write ~path:"results/table6_pas.csv"
     ~header:[ "arch"; "attack"; "pas_computed"; "pas_paper" ]
     ~rows:(Tables.table6_csv_rows ());
@@ -113,8 +135,6 @@ let export_csvs cells =
           in
           let doc = Cachesec_core.Dot.to_string ~name g in
           let path = Printf.sprintf "results/dot/%s.dot" name in
-          (try Unix.mkdir "results" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
-          (try Unix.mkdir "results/dot" 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
           let oc = open_out path in
           output_string oc doc;
           close_out oc)
@@ -245,61 +265,66 @@ let run_perf () =
 let () =
   parse_args ();
   let scale = if !quick then Figures.Quick else Figures.Full in
+  let jobs = !jobs in
   Printf.printf
     "cachesec reproduction harness - He & Lee, 'How secure is your cache \
      against side-channel attacks?', MICRO-50 (2017)\n";
-  section "Table 3 (Type 1 edge probabilities and PAS)" (Tables.table3 ());
-  section "Table 5 (Type 3 edge probabilities and PAS)" (Tables.table5 ());
-  section "Table 6 (PAS of 4 attack types x 9 caches)" (Tables.table6 ());
-  section "Table 7 (resilience classification)" (Tables.table7 ());
-  section "Figure 4 (noise edge probability p5)" (Figures.figure4 ());
-  section "Figure 8 (pre-PAS, closed forms)" (Figures.figure8 ());
-  section "Table 6 at an alternative geometry (16 KB, 4-way)"
-    (Tables.table6_alt_geometry ());
-  section "Design-space sweeps (analytical)" (Sweeps.render ());
+  section "Table 3 (Type 1 edge probabilities and PAS)" (fun () ->
+      Tables.table3 ());
+  section "Table 5 (Type 3 edge probabilities and PAS)" (fun () ->
+      Tables.table5 ());
+  section "Table 6 (PAS of 4 attack types x 9 caches)" (fun () ->
+      Tables.table6 ());
+  section "Table 7 (resilience classification)" (fun () -> Tables.table7 ());
+  section "Figure 4 (noise edge probability p5)" (fun () -> Figures.figure4 ());
+  section "Figure 8 (pre-PAS, closed forms)" (fun () -> Figures.figure8 ());
+  section "Table 6 at an alternative geometry (16 KB, 4-way)" (fun () ->
+      Tables.table6_alt_geometry ());
+  section "Design-space sweeps (analytical)" (fun () -> Sweeps.render ());
   let cells = ref None in
   if !sim then begin
-    section "Figure 9 (evict-and-time validation)" (Figures.figure9 ~scale ());
-    section "Figure 10 (prime-and-probe validation)" (Figures.figure10 ~scale ());
-    section "Pre-PAS cross-check (Section 5)" (Figures.prepas_crosscheck ~scale ());
-    let matrix = Validation.matrix ~scale () in
-    cells := Some matrix;
-    section "Validation matrix (9 caches x 4 attacks)" (Validation.render matrix);
-    section "Ablations" (Ablations.all ~scale ());
-    section "Extension: skewed randomized cache" (Extension.skewed_report ~scale ());
-    section "Extension: multi-line evictions" (Extension.multi_line_report ());
-    section "Extension: PAS vs mutual information"
-      (Metrics.render
-         (Metrics.table ~trials:(Figures.trials_for scale 2000) ()));
-    section "Extension: PAS vs SVF"
-      (Svf.render (Svf.table ~intervals:(Figures.trials_for scale 80) ()));
-    section "Extension: covert channels"
-      (Covert.render (Covert.table ~bits:(Figures.trials_for scale 2000) ()));
-    (let curves =
-       Learning_curves.table ~seeds:(if !quick then 3 else 8) ()
-     in
-     section "Extension: sample complexity (trials to recovery)"
-       (Learning_curves.render curves);
-     Cachesec_report.Csv.write ~path:"results/learning_curves.csv"
-       ~header:[ "arch"; "pas_type4"; "trials"; "recovery_rate" ]
-       ~rows:(Learning_curves.csv_rows curves));
-    section "Performance: victim hit rates"
-      (Performance.hit_rate_table
-         ~accesses:(Figures.trials_for scale 60000) ());
-    section "Performance: IRM models vs simulator"
-      (Performance.model_table
-         ~accesses:(Figures.trials_for scale 120000) ());
-    section "Edge-level validation (micro-measured conditionals)"
-      (Edge_measure.render
-         (Edge_measure.table
-            ~samples:(if !quick then 4000 else 20000)
-            ()));
-    section "Software mitigations (prefetch / prefetch-and-lock)"
-      (Mitigation.report ~scale ());
-    section "Extension: LLC attack through a two-level hierarchy"
-      (Llc.report ~scale ());
-    section "Extension: exponent leak (square-and-multiply victim)"
-      (let render spec =
+    section "Figure 9 (evict-and-time validation)" (fun () ->
+        Figures.figure9 ~scale ~jobs ());
+    section "Figure 10 (prime-and-probe validation)" (fun () ->
+        Figures.figure10 ~scale ~jobs ());
+    section "Pre-PAS cross-check (Section 5)" (fun () ->
+        Figures.prepas_crosscheck ~scale ~jobs ());
+    section "Validation matrix (9 caches x 4 attacks)" (fun () ->
+        let matrix = Validation.matrix ~scale ~jobs () in
+        cells := Some matrix;
+        Validation.render matrix);
+    section "Ablations" (fun () -> Ablations.all ~scale ~jobs ());
+    section "Extension: skewed randomized cache" (fun () ->
+        Extension.skewed_report ~scale ());
+    section "Extension: multi-line evictions" (fun () ->
+        Extension.multi_line_report ());
+    section "Extension: PAS vs mutual information" (fun () ->
+        Metrics.render (Metrics.table ~trials:(Figures.trials_for scale 2000) ()));
+    section "Extension: PAS vs SVF" (fun () ->
+        Svf.render (Svf.table ~intervals:(Figures.trials_for scale 80) ()));
+    section "Extension: covert channels" (fun () ->
+        Covert.render (Covert.table ~bits:(Figures.trials_for scale 2000) ()));
+    section "Extension: sample complexity (trials to recovery)" (fun () ->
+        let curves =
+          Learning_curves.table ~seeds:(if !quick then 3 else 8) ~jobs ()
+        in
+        Cachesec_report.Csv.write ~path:"results/learning_curves.csv"
+          ~header:[ "arch"; "pas_type4"; "trials"; "recovery_rate" ]
+          ~rows:(Learning_curves.csv_rows curves);
+        Learning_curves.render curves);
+    section "Performance: victim hit rates" (fun () ->
+        Performance.hit_rate_table ~accesses:(Figures.trials_for scale 60000) ());
+    section "Performance: IRM models vs simulator" (fun () ->
+        Performance.model_table ~accesses:(Figures.trials_for scale 120000) ());
+    section "Edge-level validation (micro-measured conditionals)" (fun () ->
+        Edge_measure.render
+          (Edge_measure.table ~samples:(if !quick then 4000 else 20000) ()));
+    section "Software mitigations (prefetch / prefetch-and-lock)" (fun () ->
+        Mitigation.report ~scale ());
+    section "Extension: LLC attack through a two-level hierarchy" (fun () ->
+        Llc.report ~scale ());
+    section "Extension: exponent leak (square-and-multiply victim)" (fun () ->
+      let render spec =
          let rng = Cachesec_stats.Rng.create ~seed:8 in
          let scenario =
            { Cachesec_cache.Factory.victim_pid = 0; victim_lines = [ (0, 200) ] }
@@ -324,8 +349,8 @@ let () =
          (List.map render
             Cachesec_cache.Spec.
               [ paper_sa; paper_sp; paper_newcache; paper_rp; paper_rf; paper_noisy ]));
-    section "Full-key recovery (flush-and-reload, all 16 bytes)"
-      (let s = Setup.make Cachesec_cache.Spec.paper_sa in
+    section "Full-key recovery (flush-and-reload, all 16 bytes)" (fun () ->
+       let s = Setup.make Cachesec_cache.Spec.paper_sa in
        let sa =
          Cachesec_attacks.Full_key.flush_reload ~victim:s.Setup.victim
            ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
@@ -341,7 +366,8 @@ let () =
          (Cachesec_attacks.Full_key.render sa)
          (Cachesec_attacks.Full_key.render nc));
     section "Complete 128-bit key (last-round attack + schedule inversion)"
-      (let run spec trials =
+      (fun () ->
+       let run spec trials =
          let s = Setup.make spec in
          let r =
            Cachesec_attacks.Last_round.run ~victim:s.Setup.victim
@@ -360,9 +386,11 @@ let () =
        run Cachesec_cache.Spec.paper_sa 3000
        ^ run Cachesec_cache.Spec.paper_newcache 1000)
   end;
-  section "CSV export" "";
-  export_csvs !cells;
+  section "CSV export" (fun () ->
+      export_csvs !cells;
+      "");
   if !perf then begin
-    section "Bechamel micro-benchmarks" "";
-    run_perf ()
+    section "Bechamel micro-benchmarks" (fun () ->
+        run_perf ();
+        "")
   end

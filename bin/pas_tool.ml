@@ -59,6 +59,14 @@ let seed_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trial counts.")
 
+let jobs_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "jobs"; "j" ] ~docv:"N"
+        ~doc:
+          "Shard Monte-Carlo trials over $(docv) domains (0 = one per \
+           core). Results are independent of $(docv).")
+
 let scale_of_quick quick = if quick then Figures.Quick else Figures.Full
 
 (* --- commands ------------------------------------------------------- *)
@@ -90,13 +98,15 @@ let figures_cmd =
       & opt (some int) None
       & info [ "figure"; "f" ] ~docv:"N" ~doc:"Print only figure N (4, 8, 9 or 10).")
   in
-  let run which quick seed =
+  let run which quick seed jobs =
     let scale = scale_of_quick quick in
     let all = which = None in
     if all || which = Some 4 then print_string (Figures.figure4 ());
     if all || which = Some 8 then print_string (Figures.figure8 ());
-    if all || which = Some 9 then print_string (Figures.figure9 ~scale ~seed ());
-    if all || which = Some 10 then print_string (Figures.figure10 ~scale ~seed ());
+    if all || which = Some 9 then
+      print_string (Figures.figure9 ~scale ~seed ~jobs ());
+    if all || which = Some 10 then
+      print_string (Figures.figure10 ~scale ~seed ~jobs ());
     match which with
     | Some n when not (List.mem n [ 4; 8; 9; 10 ]) ->
       Printf.eprintf "no figure %d (have 4, 8, 9, 10)\n" n
@@ -104,7 +114,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's Figures 4, 8, 9 and 10.")
-    Term.(const run $ which $ quick_arg $ seed_arg)
+    Term.(const run $ which $ quick_arg $ seed_arg $ jobs_arg)
 
 let pas_cmd =
   let run spec attack =
@@ -179,17 +189,17 @@ let simulate_cmd =
       & opt (some int) None
       & info [ "trials" ] ~docv:"N" ~doc:"Override the attack's trial count.")
   in
-  let run spec attack trials seed =
-    let s = Setup.make ~seed spec in
+  (* Trials fan out over the Driver's batch plan, so --jobs shards the
+     campaign over domains without changing the verdict. *)
+  let run spec attack trials seed jobs =
     let lock = match spec with Spec.Pl _ -> true | _ -> false in
-    let report name recovered best true_v separation =
+    let report recovered best true_v separation =
       Printf.printf
         "%s vs %s: %s\n  winner 0x%02x, true 0x%02x, z = %.2f\n"
         (Attack_type.name attack) (Spec.display_name spec)
         (if recovered then "key nibble RECOVERED (cache leaks)"
          else "key nibble NOT recovered")
-        best true_v separation;
-      ignore name
+        best true_v separation
     in
     match attack with
     | Attack_type.Evict_and_time ->
@@ -202,11 +212,8 @@ let simulate_cmd =
           lock_victim_tables = lock;
         }
       in
-      let r =
-        Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng cfg
-      in
-      report "et" r.Evict_time.nibble_recovered r.Evict_time.best_candidate
+      let r = Driver.evict_time ~jobs ~seed spec cfg in
+      report r.Evict_time.nibble_recovered r.Evict_time.best_candidate
         r.Evict_time.true_byte r.Evict_time.separation
     | Attack_type.Prime_and_probe ->
       let open Cachesec_attacks in
@@ -219,11 +226,8 @@ let simulate_cmd =
           lock_victim_tables = lock;
         }
       in
-      let r =
-        Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng cfg
-      in
-      report "pp" r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
+      let r = Driver.prime_probe ~jobs ~seed spec cfg in
+      report r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
         r.Prime_probe.true_byte r.Prime_probe.separation
     | Attack_type.Cache_collision ->
       let open Cachesec_attacks in
@@ -234,8 +238,8 @@ let simulate_cmd =
             Option.value trials ~default:Collision.default_config.Collision.trials;
         }
       in
-      let r = Collision.run ~victim:s.Setup.victim ~rng:s.Setup.rng cfg in
-      report "col" r.Collision.nibble_recovered r.Collision.best_delta
+      let r = Driver.collision ~jobs ~seed spec cfg in
+      report r.Collision.nibble_recovered r.Collision.best_delta
         r.Collision.true_delta r.Collision.separation
     | Attack_type.Flush_and_reload ->
       let open Cachesec_attacks in
@@ -247,27 +251,26 @@ let simulate_cmd =
               ~default:Flush_reload.default_config.Flush_reload.trials;
         }
       in
-      let r =
-        Flush_reload.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng cfg
-      in
-      report "fr" r.Flush_reload.nibble_recovered r.Flush_reload.best_candidate
+      let r = Driver.flush_reload ~jobs ~seed spec cfg in
+      report r.Flush_reload.nibble_recovered r.Flush_reload.best_candidate
         r.Flush_reload.true_byte r.Flush_reload.separation
   in
   Cmd.v
     (Cmd.info "simulate"
-       ~doc:"Run a simulated attack against a cache architecture.")
-    Term.(const run $ cache_arg $ attack_arg $ trials_arg $ seed_arg)
+       ~doc:
+         "Run a simulated attack against a cache architecture (trials \
+          sharded over --jobs domains).")
+    Term.(const run $ cache_arg $ attack_arg $ trials_arg $ seed_arg $ jobs_arg)
 
 let validate_cmd =
-  let run quick seed =
+  let run quick seed jobs =
     let scale = scale_of_quick quick in
-    print_string (Validation.render (Validation.matrix ~scale ~seed ()))
+    print_string (Validation.render (Validation.matrix ~scale ~seed ~jobs ()))
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the full 9-cache x 4-attack validation matrix.")
-    Term.(const run $ quick_arg $ seed_arg)
+    Term.(const run $ quick_arg $ seed_arg $ jobs_arg)
 
 let perf_cmd =
   let accesses =

@@ -25,6 +25,13 @@ val clean_once :
   Spec.t -> rng:Cachesec_stats.Rng.t -> accesses:int -> bool
 (** One sample of the cleaning game on a fresh cache. *)
 
+val count_wins :
+  Spec.t -> accesses:int -> samples:int -> rng:Cachesec_stats.Rng.t -> int
+(** Number of successful samples out of [samples] — the mergeable
+    (additive) partial behind {!monte_carlo}, used by the trial runtime
+    to shard the cleaning game across Domains. [samples] must be
+    positive. *)
+
 val monte_carlo :
   Spec.t -> accesses:int -> samples:int -> rng:Cachesec_stats.Rng.t -> float
 (** Fraction of successful samples. [samples] must be positive. *)

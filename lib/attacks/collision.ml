@@ -30,11 +30,23 @@ let validate c =
   if c.byte_i mod 4 <> c.byte_j mod 4 then
     invalid_arg "Collision.run: bytes must share a table (equal mod 4)"
 
-let run ~victim ~rng c =
-  validate c;
+(* --- partial (mergeable) trial accumulators -------------------------- *)
+
+type partial = { sums : float array; counts : int array }
+
+let empty_partial () = { sums = Array.make 256 0.; counts = Array.make 256 0 }
+
+let merge_partial a b =
+  {
+    sums = Array.init 256 (fun i -> a.sums.(i) +. b.sums.(i));
+    counts = Array.init 256 (fun i -> a.counts.(i) + b.counts.(i));
+  }
+
+let run_span ~victim ~rng ~count c =
+  validate { c with trials = count };
   let engine = Victim.engine victim in
-  let sums = Array.make 256 0. and counts = Array.make 256 0 in
-  for _ = 1 to c.trials do
+  let { sums; counts } = empty_partial () in
+  for _ = 1 to count do
     engine.Engine.flush_all ();
     (* The software mitigation of [34]/[16]: the victim preloads its
        tables at the start of the security-critical operation, so reuse
@@ -52,6 +64,9 @@ let run ~victim ~rng c =
     sums.(delta) <- sums.(delta) +. observed;
     counts.(delta) <- counts.(delta) + 1
   done;
+  { sums; counts }
+
+let finalize ~victim c { sums; counts } =
   let grand_mean =
     Array.fold_left ( +. ) 0. sums /. float_of_int (Array.fold_left ( + ) 0 counts)
   in
@@ -77,3 +92,7 @@ let run ~victim ~rng c =
       Recovery.nibble_recovered ~scores ~true_byte:true_delta ~group_size:epl;
     separation = Recovery.separation scores ~winner:best_delta;
   }
+
+let run ~victim ~rng c =
+  validate c;
+  finalize ~victim c (run_span ~victim ~rng ~count:c.trials c)

@@ -35,3 +35,16 @@ type result = {
 val run : victim:Victim.t -> rng:Cachesec_stats.Rng.t -> config -> result
 (** The cache is flushed before every trial (the cleaning prerequisite
     whose feasibility Section 5 / {!Cleaner} quantifies separately). *)
+
+(** {2 Sharded execution} — see {!Evict_time} for the model. Trials are
+    exchangeable (the cache is flushed per trial), so spans merge freely. *)
+
+type partial
+
+val empty_partial : unit -> partial
+val merge_partial : partial -> partial -> partial
+
+val run_span :
+  victim:Victim.t -> rng:Cachesec_stats.Rng.t -> count:int -> config -> partial
+
+val finalize : victim:Victim.t -> config -> partial -> result

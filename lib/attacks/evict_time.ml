@@ -29,9 +29,26 @@ let validate layout c =
   if c.target_table_line < 0 || c.target_table_line >= Aes_layout.lines_per_table layout
   then invalid_arg "Evict_time.run: target_table_line out of range"
 
-let run ~victim ~attacker_pid ~rng c =
+(* --- partial (mergeable) trial accumulators -------------------------- *)
+
+type partial = { sums : float array; counts : int array }
+
+let empty_partial () = { sums = Array.make 256 0.; counts = Array.make 256 0 }
+
+let merge_partial a b =
+  {
+    sums = Array.init 256 (fun i -> a.sums.(i) +. b.sums.(i));
+    counts = Array.init 256 (fun i -> a.counts.(i) + b.counts.(i));
+  }
+
+(* One contiguous span of the global trial index space, [first+1 ..
+   first+count]. The global index matters: the attacker rotates through
+   4096 distinct conflict-line bases keyed on it, and keeping that keyed
+   on the *global* trial number makes a sharded run visit exactly the
+   same base sequence as a monolithic one. *)
+let run_span ~victim ~attacker_pid ~rng ~first ~count c =
   let layout = Victim.layout victim in
-  validate layout c;
+  validate layout { c with trials = count };
   let engine = Victim.engine victim in
   let epl = Aes_layout.entries_per_line layout in
   let table = c.target_byte mod 4 in
@@ -39,10 +56,10 @@ let run ~victim ~attacker_pid ~rng c =
     Aes_layout.set_of_entry layout ~table ~index:(c.target_table_line * epl)
   in
   if c.lock_victim_tables then ignore (Victim.lock_tables victim);
-  let sums = Array.make 256 0. and counts = Array.make 256 0 in
+  let { sums; counts } = empty_partial () in
   let cfg = engine.Engine.config in
   let stride = cfg.Config.ways * Config.sets cfg in
-  for trial = 1 to c.trials do
+  for trial = first + 1 to first + count do
     Victim.warm_tables victim;
     (* Fresh conflict lines every trial: each of the [ways] accesses is a
        miss, so the eviction pressure on the target set is full (with the
@@ -59,6 +76,11 @@ let run ~victim ~attacker_pid ~rng c =
     sums.(bin) <- sums.(bin) +. observed;
     counts.(bin) <- counts.(bin) + 1
   done;
+  { sums; counts }
+
+let finalize ~victim c { sums; counts } =
+  let layout = Victim.layout victim in
+  let epl = Aes_layout.entries_per_line layout in
   let grand_total = Array.fold_left ( +. ) 0. sums in
   let grand_count = Array.fold_left ( + ) 0 counts in
   let grand_mean = grand_total /. float_of_int grand_count in
@@ -88,3 +110,7 @@ let run ~victim ~attacker_pid ~rng c =
     nibble_recovered = Recovery.nibble_recovered ~scores ~true_byte ~group_size:epl;
     separation = Recovery.separation scores ~winner:best_candidate;
   }
+
+let run ~victim ~attacker_pid ~rng c =
+  validate (Victim.layout victim) c;
+  finalize ~victim c (run_span ~victim ~attacker_pid ~rng ~first:0 ~count:c.trials c)

@@ -37,3 +37,32 @@ type result = {
 }
 
 val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> config -> result
+(** [run] is [run_span] over the whole trial range followed by
+    {!finalize} — the serial reference path. *)
+
+(** {2 Sharded execution}
+
+    The trial loop decomposes into mergeable partial accumulators so the
+    Domain-parallel trial runtime can execute disjoint spans of the trial
+    index space against independent per-shard victims and fold the spans
+    back together (associatively, in span order). *)
+
+type partial
+(** Per-plaintext-byte timing sums and counts for a span of trials. *)
+
+val empty_partial : unit -> partial
+val merge_partial : partial -> partial -> partial
+
+val run_span :
+  victim:Victim.t ->
+  attacker_pid:int ->
+  rng:Cachesec_stats.Rng.t ->
+  first:int ->
+  count:int ->
+  config ->
+  partial
+(** Execute global trials [first+1 .. first+count]. The config's
+    [trials] field is ignored by the span (the span length is [count]);
+    the global index keys the attacker's conflict-line base rotation. *)
+
+val finalize : victim:Victim.t -> config -> partial -> result

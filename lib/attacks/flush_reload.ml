@@ -14,10 +14,28 @@ type result = {
   separation : float;
 }
 
-let run ~victim ~attacker_pid ~rng c =
+let validate c =
   if c.trials <= 0 then invalid_arg "Flush_reload.run: trials must be positive";
   if c.target_byte < 0 || c.target_byte > 15 then
-    invalid_arg "Flush_reload.run: target_byte must be in 0..15";
+    invalid_arg "Flush_reload.run: target_byte must be in 0..15"
+
+(* --- partial (mergeable) trial accumulators -------------------------- *)
+
+type partial = { hit_counts : float array; cand_hits : float array; span : int }
+
+let merge_partial a b =
+  if Array.length a.hit_counts <> Array.length b.hit_counts then
+    invalid_arg "Flush_reload.merge_partial: line-count mismatch";
+  {
+    hit_counts =
+      Array.init (Array.length a.hit_counts) (fun i ->
+          a.hit_counts.(i) +. b.hit_counts.(i));
+    cand_hits = Array.init 256 (fun k -> a.cand_hits.(k) +. b.cand_hits.(k));
+    span = a.span + b.span;
+  }
+
+let run_span ~victim ~attacker_pid ~rng ~count c =
+  validate { c with trials = count };
   let layout = Victim.layout victim in
   let engine = Victim.engine victim in
   let table = c.target_byte mod 4 in
@@ -26,7 +44,7 @@ let run ~victim ~attacker_pid ~rng c =
   let epl = Aes_layout.entries_per_line layout in
   let hit_counts = Array.make nlines 0. in
   let cand_hits = Array.make 256 0. in
-  for _ = 1 to c.trials do
+  for _ = 1 to count do
     (* Flush the whole shared table region (all five tables) so later-
        round fetches cannot linger across trials. *)
     List.iter
@@ -54,7 +72,11 @@ let run ~victim ~attacker_pid ~rng c =
       if hit.(predicted) then cand_hits.(k) <- cand_hits.(k) +. 1.
     done
   done;
-  let ft = float_of_int c.trials in
+  { hit_counts; cand_hits; span = count }
+
+let finalize ~victim c { hit_counts; cand_hits; span } =
+  let epl = Aes_layout.entries_per_line (Victim.layout victim) in
+  let ft = float_of_int span in
   let line_hit_rate = Array.map (fun x -> x /. ft) hit_counts in
   let scores = Array.map (fun x -> x /. ft) cand_hits in
   let true_byte =
@@ -69,3 +91,7 @@ let run ~victim ~attacker_pid ~rng c =
     nibble_recovered = Recovery.nibble_recovered ~scores ~true_byte ~group_size:epl;
     separation = Recovery.separation scores ~winner:best_candidate;
   }
+
+let run ~victim ~attacker_pid ~rng c =
+  validate c;
+  finalize ~victim c (run_span ~victim ~attacker_pid ~rng ~count:c.trials c)

@@ -26,3 +26,20 @@ type result = {
 }
 
 val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> config -> result
+
+(** {2 Sharded execution} — see {!Evict_time} for the model. Trials are
+    exchangeable (every table line is flushed per trial). *)
+
+type partial
+
+val merge_partial : partial -> partial -> partial
+
+val run_span :
+  victim:Victim.t ->
+  attacker_pid:int ->
+  rng:Cachesec_stats.Rng.t ->
+  count:int ->
+  config ->
+  partial
+
+val finalize : victim:Victim.t -> config -> partial -> result

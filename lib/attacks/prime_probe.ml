@@ -14,22 +14,39 @@ type result = {
   separation : float;
 }
 
-let run ~victim ~attacker_pid ~rng c =
+let validate c =
   if c.trials <= 0 then invalid_arg "Prime_probe.run: trials must be positive";
   if c.target_byte < 0 || c.target_byte > 15 then
-    invalid_arg "Prime_probe.run: target_byte must be in 0..15";
+    invalid_arg "Prime_probe.run: target_byte must be in 0..15"
+
+(* --- partial (mergeable) trial accumulators -------------------------- *)
+
+type partial = { miss_freq : float array; cand_hits : float array; span : int }
+(* miss_freq.(s) = #trials in the span where probing set s saw >= 1
+   classified miss; cand_hits.(k) accumulates the miss indicator of the
+   set candidate k predicts; [span] is the trial count folded in. *)
+
+let merge_partial a b =
+  if Array.length a.miss_freq <> Array.length b.miss_freq then
+    invalid_arg "Prime_probe.merge_partial: set-count mismatch";
+  {
+    miss_freq =
+      Array.init (Array.length a.miss_freq) (fun s ->
+          a.miss_freq.(s) +. b.miss_freq.(s));
+    cand_hits = Array.init 256 (fun k -> a.cand_hits.(k) +. b.cand_hits.(k));
+    span = a.span + b.span;
+  }
+
+let run_span ~victim ~attacker_pid ~rng ~count c =
+  validate { c with trials = count };
   let layout = Victim.layout victim in
   let engine = Victim.engine victim in
   let sets = Config.sets engine.Engine.config in
   let table = c.target_byte mod 4 in
   if c.lock_victim_tables then ignore (Victim.lock_tables victim);
-  (* miss_freq.(s) = fraction of trials where probing set s saw >= 1
-     classified miss; cand_hits.(k) accumulates the miss indicator of the
-     set candidate k predicts. *)
   let miss_freq = Array.make sets 0. in
   let cand_hits = Array.make 256 0. in
-  let epl = Aes_layout.entries_per_line layout in
-  for _ = 1 to c.trials do
+  for _ = 1 to count do
     Attacker.prime_all_sets engine rng ~pid:attacker_pid ();
     let p = Victim.random_plaintext rng in
     ignore (Victim.encrypt_quiet victim p);
@@ -44,7 +61,12 @@ let run ~victim ~attacker_pid ~rng c =
       if missed predicted then cand_hits.(k) <- cand_hits.(k) +. 1.
     done
   done;
-  let ft = float_of_int c.trials in
+  { miss_freq; cand_hits; span = count }
+
+let finalize ~victim c { miss_freq; cand_hits; span } =
+  let layout = Victim.layout victim in
+  let epl = Aes_layout.entries_per_line layout in
+  let ft = float_of_int span in
   let set_miss_rate = Array.map (fun x -> x /. ft) miss_freq in
   let scores = Array.map (fun x -> x /. ft) cand_hits in
   let true_byte =
@@ -59,3 +81,7 @@ let run ~victim ~attacker_pid ~rng c =
     nibble_recovered = Recovery.nibble_recovered ~scores ~true_byte ~group_size:epl;
     separation = Recovery.separation scores ~winner:best_candidate;
   }
+
+let run ~victim ~attacker_pid ~rng c =
+  validate c;
+  finalize ~victim c (run_span ~victim ~attacker_pid ~rng ~count:c.trials c)

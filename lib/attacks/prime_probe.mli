@@ -28,3 +28,24 @@ type result = {
 }
 
 val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> config -> result
+
+(** {2 Sharded execution} — see {!Evict_time} for the model. Trials are
+    exchangeable here (no global-index dependence), so a span is
+    identified by its length alone. *)
+
+type partial
+
+val merge_partial : partial -> partial -> partial
+(** Associative and commutative; raises [Invalid_argument] when the two
+    partials were produced against different cache geometries. *)
+
+val run_span :
+  victim:Victim.t ->
+  attacker_pid:int ->
+  rng:Cachesec_stats.Rng.t ->
+  count:int ->
+  config ->
+  partial
+(** Accumulate [count] trials ([config.trials] is ignored by the span). *)
+
+val finalize : victim:Victim.t -> config -> partial -> result

@@ -3,25 +3,24 @@ open Cachesec_attacks
 open Cachesec_analysis
 open Cachesec_report
 
-let run_collision ~scale ~seed spec trials =
-  let s = Setup.make ~seed spec in
-  Collision.run ~victim:s.Setup.victim ~rng:s.Setup.rng
+(* Both helpers fan their trials out over the trial runtime; ablation
+   outcomes are independent of [jobs]. *)
+let run_collision ?jobs ~scale ~seed spec trials =
+  Driver.collision ?jobs ~seed spec
     { Collision.default_config with Collision.trials = Figures.trials_for scale trials }
 
-let run_evict_time ~scale ~seed spec trials =
-  let s = Setup.make ~seed spec in
-  Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-    ~rng:s.Setup.rng
+let run_evict_time ?jobs ~scale ~seed spec trials =
+  Driver.evict_time ?jobs ~seed spec
     { Evict_time.default_config with Evict_time.trials = Figures.trials_for scale trials }
 
-let rf_window ?(scale = Figures.Full) ?(seed = 11) () =
+let rf_window ?(scale = Figures.Full) ?(seed = 11) ?jobs () =
   let windows = [ 0; 4; 16; 64; 128 ] in
   let rows =
     List.map
       (fun w ->
         let spec = Spec.Rf { ways = 8; policy = Replacement.Random; back = w; fwd = w } in
         let pas = Attack_models.pas Attack_type.Cache_collision spec () in
-        let r = run_collision ~scale ~seed spec 100000 in
+        let r = run_collision ?jobs ~scale ~seed spec 100000 in
         [
           string_of_int w;
           Table.fmt_prob pas;
@@ -35,14 +34,14 @@ let rf_window ?(scale = Figures.Full) ?(seed = 11) () =
       ~headers:[ "window w"; "PAS (analytic)"; "nibble recovered"; "z" ]
       ~rows ()
 
-let re_interval ?(scale = Figures.Full) ?(seed = 12) () =
+let re_interval ?(scale = Figures.Full) ?(seed = 12) ?jobs () =
   let intervals = [ 1; 2; 5; 10; 100 ] in
   let rows =
     List.map
       (fun t ->
         let spec = Spec.Re { ways = 1; policy = Replacement.Random; interval = t } in
         let pas = Attack_models.pas Attack_type.Cache_collision spec () in
-        let r = run_collision ~scale ~seed spec 100000 in
+        let r = run_collision ?jobs ~scale ~seed spec 100000 in
         [
           string_of_int t;
           Table.fmt_prob pas;
@@ -56,7 +55,7 @@ let re_interval ?(scale = Figures.Full) ?(seed = 12) () =
       ~headers:[ "interval T"; "PAS (analytic)"; "nibble recovered"; "z" ]
       ~rows ()
 
-let noise_sigma ?(scale = Figures.Full) ?(seed = 13) () =
+let noise_sigma ?(scale = Figures.Full) ?(seed = 13) ?jobs () =
   let sigmas = [ 0.; 0.25; 0.5; 1.; 2. ] in
   let rows =
     List.map
@@ -67,7 +66,7 @@ let noise_sigma ?(scale = Figures.Full) ?(seed = 13) () =
           if sigma = 0. then 1
           else Noise.trials_to_overcome ~sigma ~confidence:0.99
         in
-        let r = run_evict_time ~scale ~seed spec 50000 in
+        let r = run_evict_time ?jobs ~scale ~seed spec 50000 in
         [
           Printf.sprintf "%g" sigma;
           Table.fmt_prob (Noise.p5 ~sigma);
@@ -83,14 +82,14 @@ let noise_sigma ?(scale = Figures.Full) ?(seed = 13) () =
         [ "sigma"; "p5"; "PAS (analytic)"; "avg trials to 99%"; "nibble recovered" ]
       ~rows ()
 
-let nomo_reserved ?(scale = Figures.Full) ?(seed = 14) () =
+let nomo_reserved ?(scale = Figures.Full) ?(seed = 14) ?jobs () =
   let reservations = [ 0; 1; 2; 4 ] in
   let rows =
     List.map
       (fun reserved ->
         let spec = Spec.Nomo { ways = 8; policy = Replacement.Random; reserved } in
         let pas = Attack_models.pas Attack_type.Evict_and_time spec () in
-        let r = run_evict_time ~scale ~seed spec 50000 in
+        let r = run_evict_time ?jobs ~scale ~seed spec 50000 in
         [
           Printf.sprintf "%d/8" reserved;
           Table.fmt_prob pas;
@@ -105,12 +104,12 @@ let nomo_reserved ?(scale = Figures.Full) ?(seed = 14) () =
       ~headers:[ "reserved"; "PAS (analytic)"; "nibble recovered"; "z" ]
       ~rows ()
 
-let replacement_policy ?(scale = Figures.Full) ?(seed = 15) () =
+let replacement_policy ?(scale = Figures.Full) ?(seed = 15) ?jobs () =
   let rows =
     List.map
       (fun policy ->
         let spec = Spec.Sa { ways = 8; policy } in
-        let r = run_evict_time ~scale ~seed spec 50000 in
+        let r = run_evict_time ?jobs ~scale ~seed spec 50000 in
         [
           Replacement.policy_to_string policy;
           string_of_bool r.Evict_time.nibble_recovered;
@@ -127,12 +126,12 @@ let replacement_policy ?(scale = Figures.Full) ?(seed = 15) () =
       ~headers:[ "policy"; "nibble recovered"; "z" ]
       ~rows ()
 
-let all ?scale ?seed () =
+let all ?scale ?seed ?jobs () =
   String.concat "\n"
     [
-      rf_window ?scale ?seed ();
-      re_interval ?scale ?seed ();
-      noise_sigma ?scale ?seed ();
-      nomo_reserved ?scale ?seed ();
-      replacement_policy ?scale ?seed ();
+      rf_window ?scale ?seed ?jobs ();
+      re_interval ?scale ?seed ?jobs ();
+      noise_sigma ?scale ?seed ?jobs ();
+      nomo_reserved ?scale ?seed ?jobs ();
+      replacement_policy ?scale ?seed ?jobs ();
     ]

@@ -1,27 +1,32 @@
 (** Ablation sweeps over the design parameters DESIGN.md calls out:
     the RF window, the RE eviction interval, the noisy cache's sigma and
     Nomo's reservation. Each sweep reports the analytical PIFG prediction
-    next to a simulated attack outcome. *)
+    next to a simulated attack outcome.
 
-val rf_window : ?scale:Figures.scale -> ?seed:int -> unit -> string
+    Every sweep fans its trials out over the Domain-parallel trial
+    runtime; [?jobs] follows {!Cachesec_runtime.Scheduler.resolve_jobs}
+    (absent = serial, [0] = auto) and the rendered tables are
+    independent of it. *)
+
+val rf_window : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Cache-collision attack vs the random-fill window size: the paper's
     p0 = 1/(Wa+Wb+1) against recovery of the key-byte XOR. *)
 
-val re_interval : ?scale:Figures.scale -> ?seed:int -> unit -> string
+val re_interval : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Cache-collision attack vs the random-eviction interval: p4 =
     1 - 1/(N T). *)
 
-val noise_sigma : ?scale:Figures.scale -> ?seed:int -> unit -> string
+val noise_sigma : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Evict-and-time vs sigma: p5 = Phi(1/(2 sigma)), the trials an
     averaging attacker needs, and the empirical outcome. *)
 
-val nomo_reserved : ?scale:Figures.scale -> ?seed:int -> unit -> string
+val nomo_reserved : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Evict-and-time vs Nomo's reserved ways: protection appears exactly
     when the victim's per-set footprint fits the reservation. *)
 
-val replacement_policy : ?scale:Figures.scale -> ?seed:int -> unit -> string
+val replacement_policy : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Evict-and-time under LRU vs random vs FIFO: deterministic policies
     make the eviction stage certain, which is why the paper evaluates
     with random replacement. *)
 
-val all : ?scale:Figures.scale -> ?seed:int -> unit -> string
+val all : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string

@@ -1,0 +1,128 @@
+open Cachesec_stats
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_runtime
+
+(* Shard 0 reuses the experiment's root seed verbatim, so a run that fits
+   in a single shard is bit-identical to the legacy monolithic serial
+   loop (and to every result recorded before the trial-runtime refactor).
+   Later shards draw well-separated seeds from the pure hash. *)
+let shard_seed ~seed i = if i = 0 then seed else Rng.derive_seed seed i
+
+let setup_for ~seed spec (b : Scheduler.batch) =
+  Setup.make ~seed:(shard_seed ~seed b.Scheduler.index) spec
+
+let fold_partials merge = function
+  | [||] -> invalid_arg "Driver: empty batch plan"
+  | parts ->
+    let acc = ref parts.(0) in
+    for i = 1 to Array.length parts - 1 do
+      acc := merge !acc parts.(i)
+    done;
+    !acc
+
+(* Per-attack shard sizes. They are properties of the *experiment
+   definition*, never of the worker count: changing [jobs] must not
+   change the batch plan, or determinism across job counts is lost.
+   Sizes are chosen so a typical full-scale run yields enough batches to
+   keep every core busy while a quick-scale run stays in one batch. *)
+let evict_time_batch = 4096 (* also the attacker's base-rotation period *)
+let prime_probe_batch = 256
+let collision_batch = 8192
+let flush_reload_batch = 256
+let cleaning_batch = 250
+
+let evict_time ?jobs ?(batch = evict_time_batch) ~seed spec
+    (c : Evict_time.config) =
+  let plan = Scheduler.plan ~total:c.Evict_time.trials ~batch_size:batch in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~seed spec b in
+    Evict_time.run_span ~victim:s.Setup.victim
+      ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+      ~first:b.Scheduler.first ~count:b.Scheduler.count c
+  in
+  let merged =
+    fold_partials Evict_time.merge_partial (Scheduler.map_array ?jobs shard plan)
+  in
+  Evict_time.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+
+let prime_probe ?jobs ?(batch = prime_probe_batch) ~seed spec
+    (c : Prime_probe.config) =
+  let plan = Scheduler.plan ~total:c.Prime_probe.trials ~batch_size:batch in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~seed spec b in
+    Prime_probe.run_span ~victim:s.Setup.victim
+      ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+      ~count:b.Scheduler.count c
+  in
+  let merged =
+    fold_partials Prime_probe.merge_partial (Scheduler.map_array ?jobs shard plan)
+  in
+  Prime_probe.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+
+let collision ?jobs ?(batch = collision_batch) ~seed spec (c : Collision.config) =
+  let plan = Scheduler.plan ~total:c.Collision.trials ~batch_size:batch in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~seed spec b in
+    Collision.run_span ~victim:s.Setup.victim ~rng:s.Setup.rng
+      ~count:b.Scheduler.count c
+  in
+  let merged =
+    fold_partials Collision.merge_partial (Scheduler.map_array ?jobs shard plan)
+  in
+  Collision.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+
+let flush_reload ?jobs ?(batch = flush_reload_batch) ~seed spec
+    (c : Flush_reload.config) =
+  let plan = Scheduler.plan ~total:c.Flush_reload.trials ~batch_size:batch in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~seed spec b in
+    Flush_reload.run_span ~victim:s.Setup.victim
+      ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+      ~count:b.Scheduler.count c
+  in
+  let merged =
+    fold_partials Flush_reload.merge_partial
+      (Scheduler.map_array ?jobs shard plan)
+  in
+  Flush_reload.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+
+(* --- pre-PAS cleaning game ------------------------------------------- *)
+
+let cleaning_game ?jobs ?(batch = cleaning_batch) ~seed spec ~accesses ~samples =
+  if samples <= 0 then invalid_arg "Driver.cleaning_game: samples must be positive";
+  let plan = Scheduler.plan ~total:samples ~batch_size:batch in
+  let shard (b : Scheduler.batch) =
+    let rng = Rng.create ~seed:(shard_seed ~seed b.Scheduler.index) in
+    Cleaner.count_wins spec ~accesses ~samples:b.Scheduler.count ~rng
+  in
+  let wins = Array.fold_left ( + ) 0 (Scheduler.map_array ?jobs shard plan) in
+  float_of_int wins /. float_of_int samples
+
+(* --- merged timing statistics ---------------------------------------- *)
+
+let timing_stats ?jobs ?(batch = 512) ?(lo = 0.) ?(hi = 40.) ?(bins = 80) ~seed
+    spec ~trials () =
+  if trials <= 0 then invalid_arg "Driver.timing_stats: trials must be positive";
+  let plan = Scheduler.plan ~total:trials ~batch_size:batch in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~seed spec b in
+    let h = Histogram.create ~lo ~hi ~bins in
+    let sum = Summary.create () in
+    for _ = 1 to b.Scheduler.count do
+      let p = Victim.random_plaintext s.Setup.rng in
+      let _, time = Victim.encrypt_timed s.Setup.victim p in
+      let sigma = s.Setup.engine.Engine.sigma in
+      let observed =
+        if sigma = 0. then time
+        else time +. Rng.gaussian s.Setup.rng ~mu:0. ~sigma
+      in
+      Histogram.add h observed;
+      Summary.add sum observed
+    done;
+    (h, sum)
+  in
+  let parts = Scheduler.map_array ?jobs shard plan in
+  fold_partials
+    (fun (ha, sa) (hb, sb) -> (Histogram.merge ha hb, Summary.merge sa sb))
+    parts

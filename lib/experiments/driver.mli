@@ -1,0 +1,56 @@
+(** The trial runtime's experiments-side driver.
+
+    Every Monte-Carlo experiment in this layer is expressed as a batch
+    plan over the trial index space ({!Cachesec_runtime.Scheduler.plan}):
+    each batch builds its own fully independent world — a fresh
+    {!Setup.t} (engine, victim, RNG) seeded from the pure hash
+    [Rng.derive_seed seed batch_index] — runs the attack's [run_span]
+    over its slice, and the mergeable partials are folded back together
+    in batch order. Because the plan and the seeds depend only on the
+    experiment definition (never on [jobs]), running with [jobs:1] and
+    [jobs:n] produces bit-identical results; [jobs] buys wall-clock
+    only.
+
+    [?jobs] everywhere follows
+    {!Cachesec_runtime.Scheduler.resolve_jobs}: absent = serial, [0] =
+    auto ([Domain.recommended_domain_count]), [n > 0] = exactly [n]
+    Domains. *)
+
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_stats
+
+val shard_seed : seed:int -> int -> int
+(** Seed of shard [i]: the root [seed] itself for shard 0 (keeping
+    single-batch runs bit-identical to the legacy serial loops), a
+    derived seed otherwise. *)
+
+val evict_time :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Evict_time.config ->
+  Evict_time.result
+
+val prime_probe :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Prime_probe.config ->
+  Prime_probe.result
+
+val collision :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Collision.config ->
+  Collision.result
+
+val flush_reload :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Flush_reload.config ->
+  Flush_reload.result
+
+val cleaning_game :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> accesses:int ->
+  samples:int -> float
+(** Sharded {!Cleaner.monte_carlo}: fraction of cleaning-game wins over
+    [samples] independent games of [accesses] attacker reads. *)
+
+val timing_stats :
+  ?jobs:int -> ?batch:int -> ?lo:float -> ?hi:float -> ?bins:int ->
+  seed:int -> Spec.t -> trials:int -> unit -> Histogram.t * Summary.t
+(** Distribution of observed whole-encryption times over random
+    plaintexts (the simulated counterpart of the paper's hit/miss timing
+    separation): per-batch histograms and summaries merged with
+    {!Histogram.merge} / {!Summary.merge}. *)

@@ -55,29 +55,26 @@ let figure8 () =
 let curve_of_times times =
   Array.to_list (Array.mapi (fun i t -> (float_of_int i, t)) times)
 
-let figure9 ?(scale = Full) ?(seed = 42) () =
+let figure9 ?(scale = Full) ?(seed = 42) ?jobs () =
   let run spec =
-    let s = Setup.make ~seed spec in
     let config =
       {
         Evict_time.default_config with
         Evict_time.trials = trials_for scale 50000;
       }
     in
-    ( s,
-      Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-        ~rng:s.Setup.rng config )
+    (spec, Driver.evict_time ?jobs ~seed spec config)
   in
-  let render (s, (r : Evict_time.result)) =
+  let render (spec, (r : Evict_time.result)) =
     let plot =
       Plot.render ~height:12
         ~x_label:"plaintext byte value (target byte 0)"
-        [ { Plot.name = Spec.display_name s.Setup.spec; points = curve_of_times r.avg_times } ]
+        [ { Plot.name = Spec.display_name spec; points = curve_of_times r.avg_times } ]
     in
     Printf.sprintf
       "%s\n%s  key byte high nibble recovered: %b (winner 0x%02x, true 0x%02x, \
        z = %.1f)\n"
-      (Spec.display_name s.Setup.spec)
+      (Spec.display_name spec)
       plot r.nibble_recovered r.best_candidate r.true_byte r.separation
   in
   let sa = run Spec.paper_sa and nc = run Spec.paper_newcache in
@@ -94,14 +91,13 @@ let figure10_specs =
     Spec.paper_re;
   ]
 
-let figure10 ?(scale = Full) ?(seed = 42) () =
+let figure10 ?(scale = Full) ?(seed = 42) ?jobs () =
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "Figure 10: prime-and-probe validation across six caches\n\
      (normalised candidate-key scores; a spike at the true byte's nibble = leak)\n\n";
   List.iter
     (fun spec ->
-      let s = Setup.make ~seed spec in
       let config =
         {
           Prime_probe.default_config with
@@ -109,10 +105,7 @@ let figure10 ?(scale = Full) ?(seed = 42) () =
           lock_victim_tables = (match spec with Spec.Pl _ -> true | _ -> false);
         }
       in
-      let r =
-        Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng config
-      in
+      let r = Driver.prime_probe ?jobs ~seed spec config in
       let normalized = Recovery.normalize r.Prime_probe.scores in
       Buffer.add_string buf
         (Printf.sprintf "%s\n%s  nibble recovered: %b (winner 0x%02x, true 0x%02x)\n\n"
@@ -124,7 +117,7 @@ let figure10 ?(scale = Full) ?(seed = 42) () =
     figure10_specs;
   Buffer.contents buf
 
-let prepas_crosscheck ?(scale = Full) ?(seed = 7) () =
+let prepas_crosscheck ?(scale = Full) ?(seed = 7) ?jobs () =
   let samples = trials_for scale 2000 in
   let ks = [ 4; 8; 16; 32; 64 ] in
   let specs =
@@ -139,26 +132,33 @@ let prepas_crosscheck ?(scale = Full) ?(seed = 7) () =
       Spec.Re { ways = 8; policy = Replacement.Random; interval = 10 };
     ]
   in
-  let rng = Rng.create ~seed in
   let headers = "Cache" :: List.map (fun k -> Printf.sprintf "k=%d" k) ks in
+  let nks = List.length ks in
+  (* Every (spec, k) cell is an independent Monte-Carlo surface: it gets
+     its own derived seed and fans its samples out over the trial
+     runtime, so the whole cross-check is reproducible cell-by-cell and
+     jobs-invariant. *)
   let rows =
-    List.concat_map
-      (fun spec ->
-        let analytical =
-          List.map (fun k -> Table.fmt_prob (Prepas.for_spec spec ~k)) ks
-        in
-        let empirical =
-          List.map
-            (fun k ->
-              Table.fmt_prob
-                (Cleaner.monte_carlo spec ~accesses:k ~samples ~rng:(Rng.split rng)))
-            ks
-        in
-        [
-          (Spec.display_name spec ^ " (closed form)") :: analytical;
-          (Spec.display_name spec ^ " (Monte Carlo)") :: empirical;
-        ])
-      specs
+    List.concat
+      (List.mapi
+         (fun si spec ->
+           let analytical =
+             List.map (fun k -> Table.fmt_prob (Prepas.for_spec spec ~k)) ks
+           in
+           let empirical =
+             List.mapi
+               (fun ki k ->
+                 let cell_seed = Rng.derive_seed seed ((si * nks) + ki + 1) in
+                 Table.fmt_prob
+                   (Driver.cleaning_game ?jobs ~seed:cell_seed spec ~accesses:k
+                      ~samples))
+               ks
+           in
+           [
+             (Spec.display_name spec ^ " (closed form)") :: analytical;
+             (Spec.display_name spec ^ " (Monte Carlo)") :: empirical;
+           ])
+         specs)
   in
   "Pre-PAS: closed form (paper Section 5) vs Monte-Carlo cleaning game\n\
    (RE shown 8-way to exhibit the free-lunch effect; RP's Monte Carlo is \n\

@@ -22,14 +22,19 @@ val figure8 : unit -> string
 val figure8_series : ks:int list -> (string * (int * float) list) list
 (** The data behind {!figure8} (exposed for CSV export and tests). *)
 
-val figure9 : ?scale:scale -> ?seed:int -> unit -> string
+val figure9 : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Evict-and-time validation on the conventional SA cache vs Newcache:
-    average encryption time per plaintext-byte value (flat = no leak). *)
+    average encryption time per plaintext-byte value (flat = no leak).
+    Trials are sharded over the Domain-parallel trial runtime; the
+    rendered figure is independent of [jobs]. *)
 
-val figure10 : ?scale:scale -> ?seed:int -> unit -> string
+val figure10 : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Prime-and-probe validation across six caches (SA, SP, PL, Newcache,
-    RP, RE): normalised candidate-key score profiles. *)
+    RP, RE): normalised candidate-key score profiles. [?jobs] as in
+    {!figure9}. *)
 
-val prepas_crosscheck : ?scale:scale -> ?seed:int -> unit -> string
+val prepas_crosscheck : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
 (** Closed-form pre-PAS vs Monte-Carlo cleaning game, per architecture,
-    with the documented RP deviation called out. *)
+    with the documented RP deviation called out. Each (cache, k) cell
+    runs its sample budget through the trial runtime under a derived
+    seed. *)

@@ -2,6 +2,7 @@ open Cachesec_cache
 open Cachesec_attacks
 open Cachesec_analysis
 open Cachesec_report
+open Cachesec_runtime
 
 type curve = {
   arch : string;
@@ -11,22 +12,37 @@ type curve = {
 
 let default_grid = [ 50; 100; 200; 400; 800; 1600; 3200 ]
 
-let run_curve ?(seed = 61) ?(seeds = 8) ?(grid = default_grid) spec =
+(* The (trials x seed-instance) cross product is a flat bag of
+   independent campaigns, so the whole curve fans out over the
+   scheduler. Each instance keeps the legacy [seed + 1000 i] derivation,
+   which makes the curve identical to the old serial loop for any
+   [jobs]. *)
+let run_curve ?(seed = 61) ?(seeds = 8) ?jobs ?(grid = default_grid) spec =
   if seeds <= 0 then invalid_arg "Learning_curves.run_curve: seeds must be positive";
+  let work =
+    Array.of_list
+      (List.concat_map
+         (fun trials -> List.init seeds (fun i -> (trials, i)))
+         grid)
+  in
+  let campaign (trials, i) =
+    let s = Setup.make ~seed:(seed + (1000 * i)) spec in
+    let r =
+      Flush_reload.run ~victim:s.Setup.victim
+        ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+        { Flush_reload.trials; target_byte = 0; victim_prefetch = false }
+    in
+    if r.Flush_reload.nibble_recovered then 1 else 0
+  in
+  let wins = Scheduler.map_array ?jobs campaign work in
   let points =
-    List.map
-      (fun trials ->
-        let wins = ref 0 in
+    List.mapi
+      (fun gi trials ->
+        let total = ref 0 in
         for i = 0 to seeds - 1 do
-          let s = Setup.make ~seed:(seed + (1000 * i)) spec in
-          let r =
-            Flush_reload.run ~victim:s.Setup.victim
-              ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
-              { Flush_reload.trials; target_byte = 0; victim_prefetch = false }
-          in
-          if r.Flush_reload.nibble_recovered then incr wins
+          total := !total + wins.((gi * seeds) + i)
         done;
-        (trials, float_of_int !wins /. float_of_int seeds))
+        (trials, float_of_int !total /. float_of_int seeds))
       grid
   in
   {
@@ -39,8 +55,8 @@ let standard_specs =
   [ Spec.paper_sa; Spec.paper_re; Spec.paper_noisy; Spec.paper_rf;
     Spec.paper_newcache ]
 
-let table ?seed ?seeds () =
-  List.map (fun spec -> run_curve ?seed ?seeds spec) standard_specs
+let table ?seed ?seeds ?jobs () =
+  List.map (fun spec -> run_curve ?seed ?seeds ?jobs spec) standard_specs
 
 let render curves =
   let grid =

@@ -14,15 +14,20 @@ type curve = {
 val run_curve :
   ?seed:int ->
   ?seeds:int ->
+  ?jobs:int ->
   ?grid:int list ->
   Cachesec_cache.Spec.t ->
   curve
-(** Defaults: 8 seeds, trials grid [50; 100; ...; 3200]. *)
+(** Defaults: 8 seeds, trials grid [50; 100; ...; 3200]. The
+    (trials x seed) campaigns fan out over the Domain-parallel trial
+    runtime; [?jobs] follows {!Cachesec_runtime.Scheduler.resolve_jobs}
+    and the curve is independent of it (each campaign keeps its legacy
+    per-instance seed). *)
 
 val standard_specs : Cachesec_cache.Spec.t list
 (** SA (PAS 1.0), RE (0.9998), Noisy (0.691), RF (7.75e-3),
     Newcache (0). *)
 
-val table : ?seed:int -> ?seeds:int -> unit -> curve list
+val table : ?seed:int -> ?seeds:int -> ?jobs:int -> unit -> curve list
 val render : curve list -> string
 val csv_rows : curve list -> string list list

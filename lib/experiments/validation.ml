@@ -38,15 +38,16 @@ let known_note spec attack =
 let lock_for spec =
   match spec with Spec.Pl _ -> true | _ -> false
 
-let run_cell ?(scale = Figures.Full) ?(seed = 42) spec attack =
-  let s = Setup.make ~seed spec in
+(* Each cell fans its trials out over the trial runtime (Driver): the
+   batch plan and per-batch seeds depend only on [(seed, scale)], so any
+   [jobs] value yields the same cell — enforced by test_runtime. *)
+let run_cell ?(scale = Figures.Full) ?(seed = 42) ?jobs spec attack =
   let t n = Figures.trials_for scale n in
   let recovered, separation =
     match attack with
     | Attack_type.Evict_and_time ->
       let r =
-        Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng
+        Driver.evict_time ?jobs ~seed spec
           {
             Evict_time.default_config with
             Evict_time.trials = t 50000;
@@ -56,8 +57,7 @@ let run_cell ?(scale = Figures.Full) ?(seed = 42) spec attack =
       (r.Evict_time.nibble_recovered, r.Evict_time.separation)
     | Attack_type.Prime_and_probe ->
       let r =
-        Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng
+        Driver.prime_probe ?jobs ~seed spec
           {
             Prime_probe.default_config with
             Prime_probe.trials = t 3000;
@@ -67,14 +67,13 @@ let run_cell ?(scale = Figures.Full) ?(seed = 42) spec attack =
       (r.Prime_probe.nibble_recovered, r.Prime_probe.separation)
     | Attack_type.Cache_collision ->
       let r =
-        Collision.run ~victim:s.Setup.victim ~rng:s.Setup.rng
+        Driver.collision ?jobs ~seed spec
           { Collision.default_config with Collision.trials = t 250000 }
       in
       (r.Collision.nibble_recovered, r.Collision.separation)
     | Attack_type.Flush_and_reload ->
       let r =
-        Flush_reload.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
-          ~rng:s.Setup.rng
+        Driver.flush_reload ?jobs ~seed spec
           { Flush_reload.default_config with Flush_reload.trials = t 3000 }
       in
       (r.Flush_reload.nibble_recovered, r.Flush_reload.separation)
@@ -95,10 +94,12 @@ let run_cell ?(scale = Figures.Full) ?(seed = 42) spec attack =
     note = (if agrees then "" else known_note spec attack);
   }
 
-let matrix ?scale ?seed () =
+let matrix ?scale ?seed ?jobs () =
   List.concat_map
     (fun spec ->
-      List.map (fun attack -> run_cell ?scale ?seed spec attack) Attack_type.all)
+      List.map
+        (fun attack -> run_cell ?scale ?seed ?jobs spec attack)
+        Attack_type.all)
     Spec.all_paper
 
 let agreement_rate cells =

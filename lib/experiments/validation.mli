@@ -16,11 +16,15 @@ type cell = {
 val run_cell :
   ?scale:Figures.scale ->
   ?seed:int ->
+  ?jobs:int ->
   Cachesec_cache.Spec.t ->
   Cachesec_analysis.Attack_type.t ->
   cell
+(** One cell, its trials sharded over the trial runtime. [?jobs] follows
+    {!Cachesec_runtime.Scheduler.resolve_jobs} (absent = serial, [0] =
+    auto); the cell's value is independent of [jobs]. *)
 
-val matrix : ?scale:Figures.scale -> ?seed:int -> unit -> cell list
+val matrix : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> cell list
 (** All 9 x 4 combinations. *)
 
 val render : cell list -> string

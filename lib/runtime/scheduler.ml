@@ -1,0 +1,104 @@
+(* Work-stealing-free static execution of independent trial instances.
+
+   Parallelism model: the instance index space [0, n) is the unit of
+   scheduling. Workers (OCaml 5 Domains) pull the next index from an
+   atomic counter and write the result into its slot of a pre-sized
+   results array. Because instance [i]'s RNG is derived purely from
+   [(seed_base, i)] (see {!Trial}), the contents of the results array do
+   not depend on which worker ran which index or in what order — only
+   the wall-clock does. All merging therefore happens after the join, in
+   index order, which makes [jobs:1] and [jobs:n] bit-identical. *)
+
+let default_jobs () = Domain.recommended_domain_count ()
+
+let resolve_jobs jobs =
+  match jobs with
+  | None -> 1
+  | Some 0 -> default_jobs ()
+  | Some j when j < 0 ->
+    invalid_arg "Scheduler.run: jobs must be non-negative (0 = auto)"
+  | Some j -> j
+
+(* [parallel_init ~jobs n f] is [Array.init n f] computed by [jobs]
+   domains. Exceptions raised by [f] are captured and re-raised (the
+   first one observed) after every domain has joined, so no domain is
+   leaked. *)
+let parallel_init ~jobs n f =
+  if n < 0 then invalid_arg "Scheduler: negative instance count";
+  if n = 0 then [||]
+  else if jobs <= 1 || n = 1 then Array.init n f
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker () =
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match f i with
+          | v -> slots.(i) <- Some v
+          | exception e ->
+            (* Keep the first failure; losers of the race are dropped. *)
+            ignore
+              (Atomic.compare_and_set failure None
+                 (Some (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ()
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
+    in
+    worker ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function
+        | Some v -> v
+        | None -> assert false (* every index < n was claimed and ran *))
+      slots
+  end
+
+let run ?jobs trial ~instances =
+  let jobs = resolve_jobs jobs in
+  parallel_init ~jobs instances (fun i -> Trial.run_instance trial i)
+
+let run_reduce ?jobs ~merge trial ~instances =
+  match run ?jobs trial ~instances with
+  | [||] -> invalid_arg "Scheduler.run_reduce: zero instances"
+  | results ->
+    let acc = ref results.(0) in
+    for i = 1 to Array.length results - 1 do
+      acc := merge !acc results.(i)
+    done;
+    !acc
+
+let map_array ?jobs f xs =
+  let jobs = resolve_jobs jobs in
+  parallel_init ~jobs (Array.length xs) (fun i -> f xs.(i))
+
+let map_list ?jobs f xs =
+  Array.to_list (map_array ?jobs f (Array.of_list xs))
+
+(* --- batch planning -------------------------------------------------- *)
+
+type batch = { index : int; first : int; count : int }
+
+let plan ~total ~batch_size =
+  if total < 0 then invalid_arg "Scheduler.plan: negative total";
+  if batch_size <= 0 then invalid_arg "Scheduler.plan: batch_size must be positive";
+  let n = (total + batch_size - 1) / batch_size in
+  Array.init n (fun i ->
+      let first = i * batch_size in
+      { index = i; first; count = min batch_size (total - first) })
+
+type timed = { wall_s : float; jobs : int }
+
+let timed ?jobs f =
+  let j = resolve_jobs jobs in
+  let t0 = Unix.gettimeofday () in
+  let v = f () in
+  (v, { wall_s = Unix.gettimeofday () -. t0; jobs = j })

@@ -1,0 +1,47 @@
+(** Deterministic serial / Domain-parallel execution of trial families.
+
+    The scheduler's contract: for any trial family [t] and instance count
+    [n], [run ~jobs:j t ~instances:n] returns the same array for every
+    [j] — parallelism changes wall-clock only. This holds because each
+    instance draws from its own derived generator ({!Trial.rng_for}) and
+    results are written into per-instance slots, with any reduction
+    performed after the join in index order. *)
+
+val default_jobs : unit -> int
+(** [Domain.recommended_domain_count ()]. *)
+
+val resolve_jobs : int option -> int
+(** [None] is serial ([1]); [Some 0] is auto ({!default_jobs}); [Some j]
+    with [j > 0] is exactly [j] workers. Raises [Invalid_argument] on
+    negative [j]. *)
+
+val run : ?jobs:int -> 'a Trial.t -> instances:int -> 'a array
+(** Execute instances [0 .. instances-1]; result [i] is instance [i]'s.
+    [?jobs] follows {!resolve_jobs}. Exceptions raised by a trial body
+    are re-raised in the caller after all workers join. *)
+
+val run_reduce : ?jobs:int -> merge:('a -> 'a -> 'a) -> 'a Trial.t -> instances:int -> 'a
+(** [run] followed by a left fold of [merge] in index order (so [merge]
+    need only be associative, not commutative). Raises [Invalid_argument]
+    when [instances = 0]. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Order-preserving parallel map for heterogeneous work units (e.g. the
+    36 validation-matrix cells). The caller is responsible for making
+    [f] independent of execution order — in this library every such [f]
+    seeds its own RNG from the element. *)
+
+val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+
+type batch = { index : int; first : int; count : int }
+
+val plan : total:int -> batch_size:int -> batch array
+(** Split [total] trial repetitions into contiguous batches of at most
+    [batch_size]. The plan depends only on [(total, batch_size)] — never
+    on [jobs] — which is what keeps batched merges identical across
+    worker counts. *)
+
+type timed = { wall_s : float; jobs : int }
+
+val timed : ?jobs:int -> (unit -> 'a) -> 'a * timed
+(** Wall-clock a section, recording the resolved worker count. *)

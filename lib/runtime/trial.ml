@@ -1,0 +1,11 @@
+open Cachesec_stats
+
+type 'a t = { name : string; seed_base : int; run : rng:Rng.t -> 'a }
+
+let make ?(name = "trial") ~seed_base run = { name; seed_base; run }
+
+let seed_for t i = Rng.derive_seed t.seed_base i
+let rng_for t i = Rng.create ~seed:(seed_for t i)
+let run_instance t i = t.run ~rng:(rng_for t i)
+
+let map f t = { t with run = (fun ~rng -> f (t.run ~rng)) }

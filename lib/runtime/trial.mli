@@ -1,0 +1,33 @@
+(** A [Trial] is one independently repeatable unit of Monte-Carlo work.
+
+    Every experiment in the library (validation-matrix cells, figure
+    curves, pre-PAS cleaning games, learning curves) is some number of
+    statistically independent repetitions of a closed-over computation.
+    A trial family captures that computation together with a [seed_base];
+    repetition [i] always runs against [Rng.create
+    ~seed:(Rng.derive_seed seed_base i)] — never a shared stream — so the
+    result of repetition [i] is a pure function of [(seed_base, i)] and
+    serial and Domain-parallel executions are bit-identical. *)
+
+open Cachesec_stats
+
+type 'a t = {
+  name : string;  (** label for logging / scheduler stats *)
+  seed_base : int;  (** root of the per-instance seed derivation *)
+  run : rng:Rng.t -> 'a;  (** the trial body; must draw only from [rng] *)
+}
+
+val make : ?name:string -> seed_base:int -> (rng:Rng.t -> 'a) -> 'a t
+
+val seed_for : 'a t -> int -> int
+(** [seed_for t i] is the derived seed of instance [i]. *)
+
+val rng_for : 'a t -> int -> Rng.t
+(** A fresh generator for instance [i]; equal [(seed_base, i)] give equal
+    streams. *)
+
+val run_instance : 'a t -> int -> 'a
+(** [run_instance t i] executes the body against [rng_for t i]. *)
+
+val map : ('a -> 'b) -> 'a t -> 'b t
+(** Post-compose a pure function onto the trial body. *)

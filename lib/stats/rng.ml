@@ -1,13 +1,36 @@
-type t = { state : Random.State.t; mutable spare : float option }
+type t = {
+  state : Random.State.t;
+  seed : int;  (** the seed this generator was created from *)
+  mutable spare : float option;
+}
 (* [spare] caches the second variate produced by each Box-Muller step. *)
 
-let create ~seed = { state = Random.State.make [| seed; 0x9e3779b9 |]; spare = None }
+let create ~seed = { state = Random.State.make [| seed; 0x9e3779b9 |]; seed; spare = None }
 
 let split t =
   let seed = Random.State.bits t.state in
-  { state = Random.State.make [| seed; 0x85ebca6b |]; spare = None }
+  { state = Random.State.make [| seed; 0x85ebca6b |]; seed; spare = None }
 
-let copy t = { state = Random.State.copy t.state; spare = t.spare }
+let copy t = { state = Random.State.copy t.state; seed = t.seed; spare = t.spare }
+
+let seed t = t.seed
+
+(* SplitMix64-style finalizer adapted to OCaml's 63-bit ints: two rounds
+   of xorshift-multiply with odd constants (xorshift64* / golden-ratio
+   increments, truncated to fit the native int range), then a final mask
+   keeping the result non-negative. Quality requirement here is stream
+   separation for Monte-Carlo trial seeding, not cryptographic strength. *)
+let mask62 = 0x3FFFFFFFFFFFFFFF
+
+let mix z =
+  let z = (z lxor (z lsr 30)) * 0x2545F4914F6CDD1D in
+  let z = (z lxor (z lsr 27)) * 0x1B03738712FAD5C9 in
+  (z lxor (z lsr 31)) land mask62
+
+let derive_seed base i =
+  mix ((mix (base + 0x165667B19E3779F9) lxor i) + (i * 0x3779B97F4A7C15))
+
+let derive t i = create ~seed:(derive_seed t.seed i)
 
 let int t bound =
   if bound <= 0 then invalid_arg "Rng.int: bound must be positive";

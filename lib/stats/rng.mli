@@ -19,6 +19,23 @@ val split : t -> t
 val copy : t -> t
 (** [copy t] duplicates the current state without advancing [t]. *)
 
+val seed : t -> int
+(** The seed [t] was created from ({!create}, {!derive}); for a generator
+    obtained via {!split}, the freshly drawn child seed. *)
+
+val derive_seed : int -> int -> int
+(** [derive_seed base i] is a pure SplitMix64-style hash of the pair
+    [(base, i)]: a well-separated child seed for the [i]-th member of a
+    trial family rooted at [base]. Unlike {!split} it involves no generator
+    state, so trial [i]'s stream is a function of [(base, i)] alone —
+    the property the Domain-parallel scheduler relies on for bit-identical
+    serial/parallel runs. *)
+
+val derive : t -> int -> t
+(** [derive t i] is [create ~seed:(derive_seed (seed t) i)]. Pure with
+    respect to [t]: it does not advance [t], and equal [(seed t, i)] pairs
+    give equal streams. *)
+
 val int : t -> int -> int
 (** [int t bound] is uniform over [0, bound-1]. [bound] must be positive. *)
 

@@ -28,13 +28,15 @@ let normal_pdf ?(mu = 0.) ?(sigma = 1.) x =
 
 let cache_limit = 4096
 
+(* Computed eagerly at module initialisation (before any Domain is
+   spawned): a lazy here would be a data race if two trial-runtime
+   workers forced it concurrently, and the table costs only ~4k logs. *)
 let log_factorial_table =
-  lazy
-    (let t = Array.make (cache_limit + 1) 0. in
-     for n = 2 to cache_limit do
-       t.(n) <- t.(n - 1) +. log (float_of_int n)
-     done;
-     t)
+  let t = Array.make (cache_limit + 1) 0. in
+  for n = 2 to cache_limit do
+    t.(n) <- t.(n - 1) +. log (float_of_int n)
+  done;
+  t
 
 (* Stirling series with the first correction terms; only used past the
    cached range where it is accurate to ~1e-12 relative. *)
@@ -48,7 +50,7 @@ let stirling n =
 
 let log_factorial n =
   if n < 0 then invalid_arg "Special.log_factorial: negative argument";
-  if n <= cache_limit then (Lazy.force log_factorial_table).(n) else stirling n
+  if n <= cache_limit then log_factorial_table.(n) else stirling n
 
 let log_binomial n k =
   if k < 0 || k > n then neg_infinity

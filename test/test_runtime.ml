@@ -1,0 +1,228 @@
+(* The trial runtime's contract: jobs changes wall-clock, never results.
+
+   Serial (jobs:1) and Domain-parallel (jobs:4, more workers than this
+   machine may have cores) executions of the same trial family, driver
+   campaign, or validation cell must be bit-identical. *)
+
+open Cachesec_stats
+open Cachesec_runtime
+open Cachesec_cache
+open Cachesec_experiments
+
+(* --- Trial ----------------------------------------------------------- *)
+
+let test_trial_seed_derivation () =
+  let t = Trial.make ~seed_base:99 (fun ~rng -> Rng.int rng 1_000_000) in
+  Alcotest.(check int)
+    "seed_for matches Rng.derive_seed" (Rng.derive_seed 99 7)
+    (Trial.seed_for t 7);
+  (* Instance i is a pure function of (seed_base, i). *)
+  Alcotest.(check int)
+    "run_instance replays" (Trial.run_instance t 7) (Trial.run_instance t 7);
+  (* Distinct instances get distinct streams. *)
+  Alcotest.(check bool)
+    "instances differ" true
+    (Trial.run_instance t 0 <> Trial.run_instance t 1
+    || Trial.run_instance t 1 <> Trial.run_instance t 2)
+
+let test_trial_map () =
+  let t = Trial.make ~seed_base:5 (fun ~rng -> Rng.int rng 100) in
+  let doubled = Trial.map (fun x -> 2 * x) t in
+  Alcotest.(check int)
+    "map post-composes"
+    (2 * Trial.run_instance t 3)
+    (Trial.run_instance doubled 3)
+
+(* --- Scheduler ------------------------------------------------------- *)
+
+let test_resolve_jobs () =
+  Alcotest.(check int) "absent = serial" 1 (Scheduler.resolve_jobs None);
+  Alcotest.(check int) "explicit" 3 (Scheduler.resolve_jobs (Some 3));
+  Alcotest.(check int)
+    "auto = recommended" (Scheduler.default_jobs ())
+    (Scheduler.resolve_jobs (Some 0));
+  Alcotest.check_raises "negative"
+    (Invalid_argument "Scheduler.run: jobs must be non-negative (0 = auto)")
+    (fun () -> ignore (Scheduler.resolve_jobs (Some (-1))))
+
+let test_scheduler_serial_parallel_identical () =
+  let t =
+    Trial.make ~seed_base:1234 (fun ~rng ->
+        (* A body with real RNG consumption. *)
+        let acc = ref 0 in
+        for _ = 1 to 100 do
+          acc := !acc + Rng.int rng 1000
+        done;
+        !acc)
+  in
+  let serial = Scheduler.run ~jobs:1 t ~instances:37 in
+  let parallel = Scheduler.run ~jobs:4 t ~instances:37 in
+  let auto = Scheduler.run ~jobs:0 t ~instances:37 in
+  Alcotest.(check (array int)) "jobs:1 = jobs:4" serial parallel;
+  Alcotest.(check (array int)) "jobs:1 = jobs:auto" serial auto
+
+let test_scheduler_run_reduce_order () =
+  (* String concatenation is associative but not commutative: the fold
+     must happen in index order regardless of worker count. *)
+  let t = Trial.make ~seed_base:0 (fun ~rng -> ignore rng; "") in
+  let t = { t with Trial.run = (fun ~rng -> string_of_int (Rng.int rng 10)) } in
+  let a = Scheduler.run_reduce ~jobs:1 ~merge:( ^ ) t ~instances:25 in
+  let b = Scheduler.run_reduce ~jobs:4 ~merge:( ^ ) t ~instances:25 in
+  Alcotest.(check string) "ordered fold" a b;
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Scheduler.run_reduce: zero instances")
+    (fun () ->
+      ignore (Scheduler.run_reduce ~merge:( ^ ) t ~instances:0))
+
+let test_scheduler_map_array () =
+  let xs = Array.init 50 (fun i -> i) in
+  let f i = i * i in
+  Alcotest.(check (array int))
+    "map_array order-preserving" (Array.map f xs)
+    (Scheduler.map_array ~jobs:4 f xs);
+  Alcotest.(check (list int))
+    "map_list" (List.map f (Array.to_list xs))
+    (Scheduler.map_list ~jobs:4 f (Array.to_list xs))
+
+let test_scheduler_exception_propagates () =
+  let t =
+    Trial.make ~seed_base:0 (fun ~rng ->
+        ignore rng;
+        failwith "boom")
+  in
+  Alcotest.check_raises "worker exception re-raised" (Failure "boom")
+    (fun () -> ignore (Scheduler.run ~jobs:4 t ~instances:8))
+
+let test_plan () =
+  let plan = Scheduler.plan ~total:10 ~batch_size:4 in
+  Alcotest.(check int) "batches" 3 (Array.length plan);
+  Array.iteri
+    (fun i (b : Scheduler.batch) ->
+      Alcotest.(check int) "index" i b.Scheduler.index)
+    plan;
+  let covered =
+    Array.fold_left (fun acc (b : Scheduler.batch) -> acc + b.Scheduler.count) 0 plan
+  in
+  Alcotest.(check int) "covers total" 10 covered;
+  Alcotest.(check int) "last first" 8 plan.(2).Scheduler.first;
+  Alcotest.(check int) "last count" 2 plan.(2).Scheduler.count
+
+(* --- Driver: jobs-invariance of real experiments --------------------- *)
+
+let spec = Spec.paper_sa
+
+let test_driver_flush_reload_invariant () =
+  let cfg =
+    { Cachesec_attacks.Flush_reload.default_config with
+      Cachesec_attacks.Flush_reload.trials = 600 (* spans 3 batches of 256 *)
+    }
+  in
+  let r1 = Driver.flush_reload ~jobs:1 ~seed:42 spec cfg in
+  let r4 = Driver.flush_reload ~jobs:4 ~seed:42 spec cfg in
+  Alcotest.(check bool)
+    "same verdict" r1.Cachesec_attacks.Flush_reload.nibble_recovered
+    r4.Cachesec_attacks.Flush_reload.nibble_recovered;
+  Alcotest.(check int)
+    "same winner" r1.Cachesec_attacks.Flush_reload.best_candidate
+    r4.Cachesec_attacks.Flush_reload.best_candidate;
+  Alcotest.(check (float 0.))
+    "same separation" r1.Cachesec_attacks.Flush_reload.separation
+    r4.Cachesec_attacks.Flush_reload.separation
+
+let test_driver_cleaning_game_invariant () =
+  let p1 = Driver.cleaning_game ~jobs:1 ~seed:7 spec ~accesses:16 ~samples:600 in
+  let p4 = Driver.cleaning_game ~jobs:4 ~seed:7 spec ~accesses:16 ~samples:600 in
+  Alcotest.(check (float 0.)) "bit-identical probability" p1 p4
+
+let test_driver_timing_stats_invariant () =
+  let h1, s1 = Driver.timing_stats ~jobs:1 ~seed:9 spec ~trials:1500 () in
+  let h4, s4 = Driver.timing_stats ~jobs:4 ~seed:9 spec ~trials:1500 () in
+  Alcotest.(check (array int))
+    "identical merged histograms" (Histogram.counts h1) (Histogram.counts h4);
+  Alcotest.(check int) "identical totals" (Histogram.total h1) (Histogram.total h4);
+  Alcotest.(check int) "identical counts" (Summary.count s1) (Summary.count s4);
+  Alcotest.(check (float 1e-9)) "identical means" (Summary.mean s1) (Summary.mean s4)
+
+let cell_testable =
+  let pp ppf (c : Validation.cell) =
+    Format.fprintf ppf "{%s %s pas=%g pred=%b rec=%b sep=%g}" c.Validation.arch
+      (Cachesec_analysis.Attack_type.name c.Validation.attack)
+      c.Validation.pas c.Validation.predicted_leak c.Validation.recovered
+      c.Validation.separation
+  in
+  (* [compare] rather than [=]: a cell with zero observed variance has
+     separation = nan, and nan must compare equal to itself here. *)
+  Alcotest.testable pp (fun a b -> compare a b = 0)
+
+let test_validation_cells_jobs_invariant () =
+  (* Two full cells of the validation matrix, one per attack family that
+     exercises a different run_span, at Quick scale. *)
+  let check_cell spec attack =
+    let c1 =
+      Validation.run_cell ~scale:Figures.Quick ~seed:42 ~jobs:1 spec attack
+    in
+    let c4 =
+      Validation.run_cell ~scale:Figures.Quick ~seed:42 ~jobs:4 spec attack
+    in
+    Alcotest.check cell_testable
+      (Spec.name spec ^ " cell identical across jobs")
+      c1 c4
+  in
+  check_cell Spec.paper_sa Cachesec_analysis.Attack_type.Flush_and_reload;
+  check_cell Spec.paper_sa Cachesec_analysis.Attack_type.Evict_and_time;
+  check_cell Spec.paper_newcache Cachesec_analysis.Attack_type.Prime_and_probe;
+  check_cell Spec.paper_rf Cachesec_analysis.Attack_type.Cache_collision
+
+let test_learning_curve_jobs_invariant () =
+  let c1 =
+    Learning_curves.run_curve ~seed:61 ~seeds:3 ~jobs:1 ~grid:[ 50; 100 ]
+      Spec.paper_sa
+  in
+  let c4 =
+    Learning_curves.run_curve ~seed:61 ~seeds:3 ~jobs:4 ~grid:[ 50; 100 ]
+      Spec.paper_sa
+  in
+  Alcotest.(check bool) "identical curves" true (c1 = c4)
+
+let test_timed_reports_jobs () =
+  let x, t = Scheduler.timed ~jobs:2 (fun () -> 40 + 2) in
+  Alcotest.(check int) "value" 42 x;
+  Alcotest.(check int) "resolved jobs" 2 t.Scheduler.jobs;
+  Alcotest.(check bool) "non-negative wall" true (t.Scheduler.wall_s >= 0.)
+
+let () =
+  Alcotest.run "runtime"
+    [
+      ( "trial",
+        [
+          Alcotest.test_case "seed derivation" `Quick test_trial_seed_derivation;
+          Alcotest.test_case "map" `Quick test_trial_map;
+        ] );
+      ( "scheduler",
+        [
+          Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
+          Alcotest.test_case "serial = parallel" `Quick
+            test_scheduler_serial_parallel_identical;
+          Alcotest.test_case "run_reduce order" `Quick
+            test_scheduler_run_reduce_order;
+          Alcotest.test_case "map_array / map_list" `Quick
+            test_scheduler_map_array;
+          Alcotest.test_case "exception propagates" `Quick
+            test_scheduler_exception_propagates;
+          Alcotest.test_case "plan" `Quick test_plan;
+          Alcotest.test_case "timed" `Quick test_timed_reports_jobs;
+        ] );
+      ( "driver",
+        [
+          Alcotest.test_case "flush-reload jobs-invariant" `Quick
+            test_driver_flush_reload_invariant;
+          Alcotest.test_case "cleaning game jobs-invariant" `Quick
+            test_driver_cleaning_game_invariant;
+          Alcotest.test_case "timing stats jobs-invariant" `Quick
+            test_driver_timing_stats_invariant;
+          Alcotest.test_case "validation cells jobs-invariant" `Quick
+            test_validation_cells_jobs_invariant;
+          Alcotest.test_case "learning curve jobs-invariant" `Quick
+            test_learning_curve_jobs_invariant;
+        ] );
+    ]

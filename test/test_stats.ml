@@ -90,6 +90,82 @@ let prop_shuffle_multiset =
       Rng.shuffle_in_place r a;
       List.sort compare (Array.to_list a) = List.sort compare l)
 
+(* --- Rng.derive: the scheduler's determinism contract ---------------- *)
+
+let test_rng_derive_deterministic () =
+  (* Equal (seed, i) pairs give equal derived streams, across copy and
+     across independently created parents. *)
+  let a = Rng.create ~seed:21 in
+  let b = Rng.create ~seed:21 in
+  let c = Rng.copy a in
+  let da = Rng.derive a 5 and db = Rng.derive b 5 and dc = Rng.derive c 5 in
+  for _ = 1 to 50 do
+    let x = Rng.int da 1000000 in
+    Alcotest.(check int) "fresh parent" x (Rng.int db 1000000);
+    Alcotest.(check int) "copied parent" x (Rng.int dc 1000000)
+  done
+
+let test_rng_derive_pure () =
+  (* derive never advances the parent: the parent's stream after a
+     derive is the stream it would have produced anyway. *)
+  let a = Rng.create ~seed:22 in
+  let witness = Rng.copy a in
+  ignore (Rng.derive a 3);
+  ignore (Rng.derive a 4);
+  for _ = 1 to 20 do
+    Alcotest.(check int) "parent unperturbed" (Rng.int witness 1000000)
+      (Rng.int a 1000000)
+  done;
+  Alcotest.(check int) "seed preserved" 22 (Rng.seed a)
+
+let test_rng_derive_seed_disperses () =
+  (* Nearby (base, i) pairs must land on distinct, well-separated
+     seeds: a 32x32 grid of neighbours has no collisions. *)
+  let module IS = Set.Make (Int) in
+  let seeds = ref IS.empty in
+  for base = 0 to 31 do
+    for i = 0 to 31 do
+      seeds := IS.add (Rng.derive_seed base i) !seeds
+    done
+  done;
+  Alcotest.(check int) "1024 distinct seeds" 1024 (IS.cardinal !seeds)
+
+let prop_derive_sibling_correlation =
+  (* Sibling streams (same base, adjacent indices) must look pairwise
+     independent: the Pearson correlation of 2000 uniform draws stays
+     within Monte-Carlo noise. *)
+  qtest ~count:40 "sibling streams uncorrelated"
+    QCheck.(pair small_nat small_nat)
+    (fun (base, i) ->
+      let a = Rng.create ~seed:(Rng.derive_seed base i) in
+      let b = Rng.create ~seed:(Rng.derive_seed base (i + 1)) in
+      let n = 2000 in
+      let sx = ref 0. and sy = ref 0. in
+      let sxx = ref 0. and syy = ref 0. and sxy = ref 0. in
+      for _ = 1 to n do
+        let x = Rng.float a 1. and y = Rng.float b 1. in
+        sx := !sx +. x;
+        sy := !sy +. y;
+        sxx := !sxx +. (x *. x);
+        syy := !syy +. (y *. y);
+        sxy := !sxy +. (x *. y)
+      done;
+      let nf = float_of_int n in
+      let mx = !sx /. nf and my = !sy /. nf in
+      let cov = (!sxy /. nf) -. (mx *. my) in
+      let vx = (!sxx /. nf) -. (mx *. mx) in
+      let vy = (!syy /. nf) -. (my *. my) in
+      Float.abs (cov /. sqrt (vx *. vy)) < 0.1)
+
+let prop_derive_child_vs_parent =
+  (* A derived child must not replay its parent's stream. *)
+  qtest ~count:50 "child differs from parent" QCheck.small_nat (fun base ->
+      let parent = Rng.create ~seed:base in
+      let child = Rng.derive parent 0 in
+      let xs = List.init 20 (fun _ -> Rng.int parent 1000000) in
+      let ys = List.init 20 (fun _ -> Rng.int child 1000000) in
+      xs <> ys)
+
 (* --- Special --------------------------------------------------------- *)
 
 let test_erf_known () =
@@ -245,6 +321,31 @@ let prop_histogram_conservation =
       let in_range = Array.fold_left ( + ) 0 (Histogram.counts h) in
       in_range + Histogram.underflow h + Histogram.overflow h = List.length xs)
 
+let prop_histogram_merge =
+  (* merge over a partition equals one histogram over the whole sample:
+     the property the per-shard merge in the trial runtime relies on. *)
+  qtest "merge of shards = whole"
+    QCheck.(pair (list (float_bound_inclusive 20.)) (list (float_bound_inclusive 20.)))
+    (fun (xs, ys) ->
+      let mk zs =
+        let h = Histogram.create ~lo:2. ~hi:12. ~bins:7 in
+        List.iter (Histogram.add h) zs;
+        h
+      in
+      let merged = Histogram.merge (mk xs) (mk ys) in
+      let whole = mk (xs @ ys) in
+      Histogram.counts merged = Histogram.counts whole
+      && Histogram.underflow merged = Histogram.underflow whole
+      && Histogram.overflow merged = Histogram.overflow whole
+      && Histogram.total merged = Histogram.total whole)
+
+let test_histogram_merge_incompatible () =
+  let a = Histogram.create ~lo:0. ~hi:1. ~bins:4 in
+  let b = Histogram.create ~lo:0. ~hi:2. ~bins:4 in
+  Alcotest.check_raises "binning mismatch"
+    (Invalid_argument "Histogram.merge: incompatible binning") (fun () ->
+      ignore (Histogram.merge a b))
+
 (* --- Coupon ---------------------------------------------------------- *)
 
 let test_coupon_edge_cases () =
@@ -361,6 +462,13 @@ let () =
           Alcotest.test_case "bool fair" `Quick test_rng_bool_fair;
           prop_permutation;
           prop_shuffle_multiset;
+          Alcotest.test_case "derive deterministic" `Quick
+            test_rng_derive_deterministic;
+          Alcotest.test_case "derive pure" `Quick test_rng_derive_pure;
+          Alcotest.test_case "derive_seed disperses" `Quick
+            test_rng_derive_seed_disperses;
+          prop_derive_sibling_correlation;
+          prop_derive_child_vs_parent;
         ] );
       ( "special",
         [
@@ -388,6 +496,9 @@ let () =
           Alcotest.test_case "density" `Quick test_histogram_density;
           Alcotest.test_case "invalid" `Quick test_histogram_invalid;
           prop_histogram_conservation;
+          prop_histogram_merge;
+          Alcotest.test_case "merge incompatible" `Quick
+            test_histogram_merge_incompatible;
         ] );
       ( "coupon",
         [
