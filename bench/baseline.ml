@@ -1,0 +1,17 @@
+(* Capture the CURRENT engines' simulator throughput as the regression
+   baseline. bench/main.exe compares every later run's BENCH_cache.json
+   against this file and prints per-row speedups, so re-run this only
+   when you intend to move the goalposts (e.g. after landing a perf PR,
+   to re-baseline for the next one):
+
+     dune exec bench/baseline.exe -- bench/BENCH_cache.baseline.json *)
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1)
+    else "BENCH_cache.baseline.json"
+  in
+  let entries = Cachesec_experiments.Throughput.run () in
+  Cachesec_experiments.Throughput.write ~path entries;
+  print_string (Cachesec_experiments.Throughput.render entries);
+  Printf.printf "baseline written to %s\n" path

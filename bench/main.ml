@@ -386,6 +386,17 @@ let () =
        run Cachesec_cache.Spec.paper_sa 3000
        ^ run Cachesec_cache.Spec.paper_newcache 1000)
   end;
+  (* Always runs (even under --no-sim / --no-perf): this is the perf
+     regression gate. Writes results/BENCH_cache.json in a frozen format
+     directly comparable across checkouts; the committed
+     bench/BENCH_cache.baseline.json holds the pre-optimization numbers. *)
+  section "Simulator throughput (accesses/sec per architecture x policy)"
+    (fun () ->
+      let entries = Throughput.run ~quick:!quick () in
+      ensure_results_dirs ();
+      Throughput.write ~path:"results/BENCH_cache.json" entries;
+      Throughput.render ~baseline:"bench/BENCH_cache.baseline.json" entries
+      ^ "  wrote results/BENCH_cache.json\n");
   section "CSV export" (fun () ->
       export_csvs !cells;
       "");

@@ -21,30 +21,67 @@ let tick t =
   t.seq <- t.seq + 1;
   t.seq
 
+(* --- hot path: bounded int loops over the flat [lines] array, index
+   arithmetic instead of per-access list construction. -------------- *)
+
+let base_of_set t ~set = set * t.cfg.Config.ways
+
+(* The scan loops live at top level and take every free variable as an
+   argument: without flambda, a local [let rec] capturing [lines]/[tag]
+   allocates its closure on each call, which would put ~6 minor words
+   back on the hit path. Top-level direct calls allocate nothing. *)
+let rec scan_tag (lines : Line.t array) tag i stop =
+  if i >= stop then -1
+  else
+    let l = lines.(i) in
+    if l.Line.valid && l.Line.tag = tag then i else scan_tag lines tag (i + 1) stop
+
+let rec scan_tag_owned (lines : Line.t array) tag owner i stop =
+  if i >= stop then -1
+  else
+    let l = lines.(i) in
+    if l.Line.valid && l.Line.tag = tag && l.Line.owner = owner then i
+    else scan_tag_owned lines tag owner (i + 1) stop
+
+(* Global index of the valid line in [set] holding [tag], or -1. *)
+let find_tag t ~set ~tag =
+  let base = set * t.cfg.Config.ways in
+  scan_tag t.lines tag base (base + t.cfg.Config.ways)
+
+(* As [find_tag], additionally requiring the filling pid to match (the
+   RP cache's PID feature: the tag array stores the owning context). *)
+let find_tag_owned t ~set ~tag ~owner =
+  let base = set * t.cfg.Config.ways in
+  scan_tag_owned t.lines tag owner base (base + t.cfg.Config.ways)
+
+(* --- cold paths ---------------------------------------------------- *)
+
 let ways_of_set t ~set =
   let w = t.cfg.Config.ways in
   if set < 0 || set >= Config.sets t.cfg then
     invalid_arg "Backing.ways_of_set: set out of range";
   List.init w (fun i -> (set * w) + i)
 
-let find_way t ~set ~f =
-  List.find_opt (fun i -> f t.lines.(i)) (ways_of_set t ~set)
-
-let find_any t ~f =
-  let n = Array.length t.lines in
-  let rec go i = if i >= n then None else if f t.lines.(i) then Some i else go (i + 1) in
-  go 0
-
 let valid_indices t =
-  Array.to_list
-    (Array.of_seq
-       (Seq.filter_map
-          (fun i -> if t.lines.(i).Line.valid then Some i else None)
-          (Seq.init (Array.length t.lines) Fun.id)))
+  let acc = ref [] in
+  for i = Array.length t.lines - 1 downto 0 do
+    if t.lines.(i).Line.valid then acc := i :: !acc
+  done;
+  !acc
 
-let dump t = List.map (fun i -> (i, t.lines.(i))) (valid_indices t)
+let dump t =
+  let acc = ref [] in
+  for i = Array.length t.lines - 1 downto 0 do
+    if t.lines.(i).Line.valid then acc := (i, t.lines.(i)) :: !acc
+  done;
+  !acc
 
 let flush_all t =
-  let displaced = List.length (valid_indices t) in
-  Array.iter Line.invalidate t.lines;
-  Counters.record_eviction t.counters ~count:displaced
+  (* Count and invalidate in one pass over the array. *)
+  let displaced = ref 0 in
+  for i = 0 to Array.length t.lines - 1 do
+    let l = t.lines.(i) in
+    if l.Line.valid then incr displaced;
+    Line.invalidate l
+  done;
+  Counters.record_eviction t.counters ~count:!displaced

@@ -1,6 +1,10 @@
 (** Shared physical storage for the set-associative architecture models:
     a flat line array viewed as [sets] groups of [ways], a global access
-    sequence counter, per-cache counters and an RNG. *)
+    sequence counter, per-cache counters and an RNG.
+
+    The per-access probes ({!find_tag}, {!find_tag_owned}) and the range
+    helpers are allocation-free bounded loops; list-producing helpers
+    ({!ways_of_set}, {!valid_indices}, {!dump}) are for cold paths. *)
 
 type t = {
   cfg : Config.t;
@@ -11,21 +15,31 @@ type t = {
 }
 
 val create : Config.t -> rng:Cachesec_stats.Rng.t -> t
+
 val tick : t -> int
 (** Advance and return the access sequence number. *)
 
+val base_of_set : t -> set:int -> int
+(** Global index of [set]'s first way; the set occupies the contiguous
+    range [base, base + ways). *)
+
+val find_tag : t -> set:int -> tag:int -> int
+(** Global index of the valid line in [set] holding [tag], or -1.
+    Allocation-free. *)
+
+val find_tag_owned : t -> set:int -> tag:int -> owner:int -> int
+(** As {!find_tag}, additionally requiring [owner] to have filled the
+    line (RP's PID feature). Allocation-free. *)
+
 val ways_of_set : t -> set:int -> int list
-(** Global line indices of a set, in way order. *)
-
-val find_way : t -> set:int -> f:(Line.t -> bool) -> int option
-(** First global index in the set whose line satisfies [f]. *)
-
-val find_any : t -> f:(Line.t -> bool) -> int option
-(** First global index anywhere whose line satisfies [f]. *)
+(** Global line indices of a set, in way order (cold paths only, e.g.
+    PL way-locking). *)
 
 val valid_indices : t -> int list
+
 val dump : t -> (int * Line.t) list
 (** Valid lines with their global index. *)
 
 val flush_all : t -> unit
-(** Invalidate every line, counting the displaced valid ones. *)
+(** Invalidate every line, counting the displaced valid ones, in one
+    array pass. *)

@@ -26,10 +26,13 @@ let fresh_cell () =
 
 let create () = { global = fresh_cell (); per_pid = Hashtbl.create 8 }
 
+(* [Hashtbl.find] + preallocated [Not_found] rather than [find_opt]: the
+   option wrapper is a minor-heap allocation on every access and this
+   runs on the hit fast path. *)
 let cell_for t pid =
-  match Hashtbl.find_opt t.per_pid pid with
-  | Some c -> c
-  | None ->
+  match Hashtbl.find t.per_pid pid with
+  | c -> c
+  | exception Not_found ->
     let c = fresh_cell () in
     Hashtbl.replace t.per_pid pid c;
     c
@@ -39,8 +42,14 @@ let bump c (o : Outcome.t) =
   (match o.event with
   | Outcome.Hit -> c.hits <- c.hits + 1
   | Outcome.Miss -> c.misses <- c.misses + 1);
-  c.evictions <- c.evictions + List.length o.evicted;
-  if Outcome.is_miss o && not o.cached then c.read_throughs <- c.read_throughs + 1
+  (match o.evicted with
+  | Some _ -> c.evictions <- c.evictions + 1
+  | None -> ());
+  (match o.also_evicted with
+  | Some _ -> c.evictions <- c.evictions + 1
+  | None -> ());
+  if o.event = Outcome.Miss && not o.cached then
+    c.read_throughs <- c.read_throughs + 1
 
 let record t ~pid o =
   bump t.global o;
@@ -48,7 +57,8 @@ let record t ~pid o =
 
 let record_flush t ~pid =
   t.global.flushes <- t.global.flushes + 1;
-  (cell_for t pid).flushes <- (cell_for t pid).flushes + 1
+  let c = cell_for t pid in
+  c.flushes <- c.flushes + 1
 
 let record_eviction t ~count = t.global.evictions <- t.global.evictions + count
 

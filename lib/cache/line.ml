@@ -30,3 +30,5 @@ let fill t ~tag ~owner ~seq =
   t.aux <- 0
 
 let touch t ~seq = t.last_use <- seq
+
+let victim t = if t.valid then Some (t.owner, t.tag) else None

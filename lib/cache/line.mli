@@ -24,3 +24,7 @@ val fill : t -> tag:int -> owner:int -> seq:int -> unit
 
 val touch : t -> seq:int -> unit
 (** Record a hit for LRU bookkeeping. *)
+
+val victim : t -> (int * int) option
+(** [(owner, tag)] if the line is valid — the eviction payload produced
+    when this line is displaced. Allocates only when valid. *)

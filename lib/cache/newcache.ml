@@ -1,21 +1,30 @@
 open Cachesec_stats
 
+(* CAM keys are packed ints ((context, logical index) in one immediate
+   word), so probes allocate neither a tuple key nor hash a block: the
+   polymorphic [Hashtbl] primitives specialise to one [caml_hash] call
+   and an unboxed compare. (A [Hashtbl.Make] functor over int was
+   measured ~30% slower end to end here: without flambda each bucket
+   probe pays indirect closure calls for [equal]/[hash], whereas the
+   polymorphic table runs them in the C runtime.) *)
 type t = {
   b : Backing.t;
   logical_lines : int;
-  (* CAM index: (context, logical index) -> physical line index. Kept in
-     lock-step with the line array so lookups are O(1) instead of a scan
-     over all physical lines. *)
-  cam : (int * int, int) Hashtbl.t;
+  lbits : int;  (** bits of a logical index: [1 lsl lbits = logical_lines] *)
+  (* CAM index: packed (context, logical index) key -> physical line
+     index. Kept in lock-step with the line array so lookups are O(1)
+     instead of a scan over all physical lines. *)
+  cam : (int, int) Hashtbl.t;
 }
 
 let create ?(config = Config.fully_associative) ?(extra_bits = 4) ~rng () =
   if extra_bits < 0 then invalid_arg "Newcache.create: negative extra_bits";
-  {
-    b = Backing.create config ~rng;
-    logical_lines = config.Config.lines lsl extra_bits;
-    cam = Hashtbl.create 1024;
-  }
+  let logical_lines = config.Config.lines lsl extra_bits in
+  let lbits =
+    let rec go b = if 1 lsl b >= logical_lines then b else go (b + 1) in
+    go 0
+  in
+  { b = Backing.create config ~rng; logical_lines; lbits; cam = Hashtbl.create 1024 }
 
 let config t = t.b.Backing.cfg
 let logical_lines t = t.logical_lines
@@ -23,68 +32,77 @@ let lindex t addr = addr mod t.logical_lines
 (* The stored tag is the full memory-line number, which subsumes the
    logical tag addr / logical_lines. *)
 
-(* CAM lookup: the physical line holding (context, logical index), if
-   any, verified against the line array. *)
-let cam_find t ~pid addr =
-  match Hashtbl.find_opt t.cam (pid, lindex t addr) with
-  | Some i when t.b.Backing.lines.(i).Line.valid -> Some i
-  | Some _ | None -> None
+(* Packed CAM key: context in the high bits, logical index below. *)
+let cam_key t ~pid lindex = (pid lsl t.lbits) lor lindex
+
+(* CAM lookup: physical index of the line holding (context, logical
+   index), verified against the line array, or -1. Allocation-free. *)
+let cam_find t ~pid ~lindex =
+  match Hashtbl.find t.cam (cam_key t ~pid lindex) with
+  | i -> if t.b.Backing.lines.(i).Line.valid then i else -1
+  | exception Not_found -> -1
 
 let cam_remove_entry_of t i =
   let l = t.b.Backing.lines.(i) in
-  if l.Line.valid then Hashtbl.remove t.cam (l.owner, l.aux)
+  if l.Line.valid then Hashtbl.remove t.cam (cam_key t ~pid:l.owner l.Line.aux)
 
 let full_match t ~pid addr =
-  match cam_find t ~pid addr with
-  | Some i when t.b.Backing.lines.(i).Line.tag = addr -> Some i
-  | Some _ | None -> None
+  let i = cam_find t ~pid ~lindex:(lindex t addr) in
+  if i >= 0 && t.b.Backing.lines.(i).Line.tag = addr then i else -1
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
+  let li = lindex t addr in
+  let m = cam_find t ~pid ~lindex:li in
   let outcome =
-    match full_match t ~pid addr with
-    | Some i ->
-      Line.touch b.lines.(i) ~seq;
+    if m >= 0 && b.lines.(m).Line.tag = addr then begin
+      Line.touch b.lines.(m) ~seq;
       Outcome.hit
-    | None ->
-      (* Tag miss: clear the index-conflicting line to keep the
-         (context, index) CAM key unique. *)
+    end
+    else begin
+      (* Tag miss: clear the index-conflicting line (the [m >= 0] case)
+         to keep the (context, index) CAM key unique. *)
       let conflict_evicted =
-        match cam_find t ~pid addr with
-        | Some i ->
-          let l = b.lines.(i) in
-          let victim = (l.Line.owner, l.tag) in
-          cam_remove_entry_of t i;
+        if m >= 0 then begin
+          let l = b.lines.(m) in
+          let victim = Line.victim l in
+          cam_remove_entry_of t m;
           Line.invalidate l;
-          [ victim ]
-        | None -> []
+          victim
+        end
+        else None
       in
       let way = Rng.int b.rng (Array.length b.lines) in
       let victim = b.lines.(way) in
-      let evicted =
-        if victim.Line.valid then (victim.owner, victim.tag) :: conflict_evicted
-        else conflict_evicted
-      in
+      let evicted = Line.victim victim in
       cam_remove_entry_of t way;
       Line.fill victim ~tag:addr ~owner:pid ~seq;
-      victim.Line.aux <- lindex t addr;
-      Hashtbl.replace t.cam (pid, lindex t addr) way;
-      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      victim.Line.aux <- li;
+      Hashtbl.replace t.cam (cam_key t ~pid li) way;
+      {
+        Outcome.event = Miss;
+        cached = true;
+        fetched = Some addr;
+        evicted;
+        also_evicted = conflict_evicted;
+      }
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid addr = full_match t ~pid addr <> None
+let peek t ~pid addr = full_match t ~pid addr >= 0
 
 let flush_line t ~pid addr =
-  match full_match t ~pid addr with
-  | Some i ->
+  let i = full_match t ~pid addr in
+  if i >= 0 then begin
     cam_remove_entry_of t i;
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t =
   Hashtbl.reset t.cam;

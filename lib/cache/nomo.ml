@@ -17,72 +17,76 @@ let reserved_ways t = t.reserved
 let shared_ways t = t.b.Backing.cfg.Config.ways - t.reserved
 let is_protected t pid = List.mem pid t.protected_pids
 let set_of t addr = Address.set_index t.b.Backing.cfg addr
-let matches addr (l : Line.t) = l.valid && l.tag = addr
 
-let split_ways t ~set =
-  let all = Backing.ways_of_set t.b ~set in
-  let rec take n = function
-    | [] -> ([], [])
-    | x :: rest ->
-      if n = 0 then ([], x :: rest)
-      else begin
-        let a, b = take (n - 1) rest in
-        (x :: a, b)
-      end
-  in
-  take t.reserved all
+(* Top-level loop (all state as arguments): a local [let rec] capturing
+   [lines]/[stop]/[pid] would allocate its closure on every miss under
+   the non-flambda compiler. *)
+let rec count_owned (lines : Line.t array) pid i stop n =
+  if i >= stop then n
+  else
+    let l = lines.(i) in
+    count_owned lines pid (i + 1) stop
+      (if l.Line.valid && l.Line.owner = pid then n + 1 else n)
 
-let fill_candidates t ~set ~pid =
-  let reserved, shared = split_ways t ~set in
-  if not (is_protected t pid) then shared
-  else begin
-    let owned =
-      List.length
-        (List.filter
-           (fun i ->
-             let l = t.b.lines.(i) in
-             l.Line.valid && l.owner = pid)
-           (reserved @ shared))
-    in
-    if owned < t.reserved then reserved else shared
-  end
+(* Valid lines in [base, base + len) filled by [pid]. Allocation-free. *)
+let owned_in_range t ~base ~len ~pid =
+  count_owned t.b.Backing.lines pid base (base + len) 0
+
+(* The set's ways split into two contiguous slices: the first [reserved]
+   ways and the shared remainder. A protected pid that holds fewer than
+   [reserved] lines in the whole set fills into the reserved slice;
+   everyone else fills into the shared slice. Returns (base, len). *)
+let fill_range t ~set ~pid =
+  let base = Backing.base_of_set t.b ~set in
+  let w = t.b.Backing.cfg.Config.ways in
+  if not (is_protected t pid) then (base + t.reserved, w - t.reserved)
+  else if owned_in_range t ~base ~len:w ~pid < t.reserved then
+    (base, t.reserved)
+  else (base + t.reserved, w - t.reserved)
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
   let set = set_of t addr in
+  let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
-    match Backing.find_way b ~set ~f:(matches addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None -> (
-      match fill_candidates t ~set ~pid with
-      | [] ->
+    end
+    else begin
+      let cand_base, cand_len = fill_range t ~set ~pid in
+      if cand_len <= 0 then
         (* reserved = 0 for a protected pid never happens (owned < 0 is
-           impossible); shared = [] can only occur if reserved = ways,
-           excluded at create. Still: serve read-through defensively. *)
-        { Outcome.event = Miss; cached = false; fetched = None; evicted = [] }
-      | candidates ->
-        let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+           impossible); an empty shared slice can only occur if
+           reserved = ways, excluded at create. Still: serve
+           read-through defensively. *)
+        Outcome.miss_uncached
+      else begin
+        let way =
+          Replacement.choose t.policy b.rng b.lines ~base:cand_base
+            ~len:cand_len
+        in
         let victim = b.lines.(way) in
-        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        let evicted = Line.victim victim in
         Line.fill victim ~tag:addr ~owner:pid ~seq;
-        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted })
+        Outcome.fill ~fetched:addr ~evicted
+      end
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid:_ addr =
-  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

@@ -4,13 +4,39 @@ type t = {
   event : event;
   cached : bool;
   fetched : int option;
-  evicted : (int * int) list;
+  evicted : (int * int) option;
+  also_evicted : (int * int) option;
 }
 
-let hit = { event = Hit; cached = true; fetched = None; evicted = [] }
+let hit =
+  { event = Hit; cached = true; fetched = None; evicted = None; also_evicted = None }
+
+let miss_uncached =
+  {
+    event = Miss;
+    cached = false;
+    fetched = None;
+    evicted = None;
+    also_evicted = None;
+  }
+
+let fill ~fetched ~evicted =
+  { event = Miss; cached = true; fetched = Some fetched; evicted; also_evicted = None }
+
 let event_to_string = function Hit -> "hit" | Miss -> "miss"
 let is_hit t = t.event = Hit
 let is_miss t = t.event = Miss
+
+let eviction_count t =
+  (match t.evicted with Some _ -> 1 | None -> 0)
+  + (match t.also_evicted with Some _ -> 1 | None -> 0)
+
+let evictions t =
+  match (t.evicted, t.also_evicted) with
+  | None, None -> []
+  | Some e, None -> [ e ]
+  | None, Some e -> [ e ]
+  | Some e1, Some e2 -> [ e1; e2 ]
 
 let pp ppf t =
   Format.fprintf ppf "%s%s%s" (event_to_string t.event)
@@ -18,7 +44,7 @@ let pp ppf t =
     | Some l when not t.cached -> Printf.sprintf " (filled line %d instead)" l
     | Some _ -> ""
     | None -> if t.cached then "" else " (uncached)")
-    (match t.evicted with
+    (match evictions t with
     | [] -> ""
     | ev ->
       " evicted "

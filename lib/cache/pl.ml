@@ -5,42 +5,48 @@ let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
 
 let config t = t.b.Backing.cfg
 let set_of t addr = Address.set_index t.b.Backing.cfg addr
-let matches addr (l : Line.t) = l.valid && l.tag = addr
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
   let set = set_of t addr in
+  let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
-    match Backing.find_way b ~set ~f:(matches addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
-      let candidates = Backing.ways_of_set b ~set in
-      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+    end
+    else begin
+      let way =
+        Replacement.choose t.policy b.rng b.lines
+          ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
+      in
       let victim = b.lines.(way) in
       if victim.Line.valid && victim.locked then
         (* Protected victim: direct memory-to-processor transfer. *)
-        { Outcome.event = Miss; cached = false; fetched = None; evicted = [] }
+        Outcome.miss_uncached
       else begin
-        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        let evicted = Line.victim victim in
         Line.fill victim ~tag:addr ~owner:pid ~seq;
-        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+        Outcome.fill ~fetched:addr ~evicted
       end
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
+(* Cold path: locking may need the victim choice restricted to the
+   unlocked (non-contiguous) ways, so it keeps the list form. *)
 let lock_line t ~pid addr =
   let b = t.b in
   let set = set_of t addr in
-  match Backing.find_way b ~set ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag b ~set ~tag:addr in
+  if i >= 0 then begin
     b.lines.(i).Line.locked <- true;
     b.lines.(i).Line.owner <- pid;
     true
-  | None -> (
+  end
+  else begin
     let seq = Backing.tick b in
     let unlocked =
       List.filter
@@ -50,32 +56,33 @@ let lock_line t ~pid addr =
     match unlocked with
     | [] -> false
     | candidates ->
-      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+      let way = Replacement.choose_among t.policy b.rng b.lines ~candidates in
       let victim = b.lines.(way) in
       let evicted = if victim.Line.valid then 1 else 0 in
       Line.fill victim ~tag:addr ~owner:pid ~seq;
       victim.Line.locked <- true;
       Counters.record_eviction b.counters ~count:evicted;
-      true)
+      true
+  end
 
 let unlock_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i when t.b.lines.(i).Line.locked && t.b.lines.(i).Line.owner = pid ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 && t.b.lines.(i).Line.locked && t.b.lines.(i).Line.owner = pid then begin
     t.b.lines.(i).Line.locked <- false;
     true
-  | Some _ | None -> false
+  end
+  else false
 
 let locked_lines t =
   Backing.dump t.b
   |> List.filter_map (fun (_, (l : Line.t)) -> if l.locked then Some l.tag else None)
   |> List.sort Int.compare
 
-let peek t ~pid:_ addr =
-  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 then begin
     let l = t.b.lines.(i) in
     if l.Line.locked && l.owner <> pid then false
     else begin
@@ -83,7 +90,8 @@ let flush_line t ~pid addr =
       Counters.record_flush t.b.counters ~pid;
       true
     end
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

@@ -23,7 +23,6 @@ let config t = t.b.Backing.cfg
 let interval t = t.interval
 let random_evictions t = t.random_evictions
 let set_of t addr = Address.set_index t.b.Backing.cfg addr
-let matches addr (l : Line.t) = l.valid && l.tag = addr
 
 (* Fires after every [interval]-th access; evicts a uniformly random slot. *)
 let periodic_eviction t =
@@ -33,47 +32,53 @@ let periodic_eviction t =
     t.random_evictions <- t.random_evictions + 1;
     let slot = Rng.int t.b.rng (Array.length t.b.lines) in
     let l = t.b.lines.(slot) in
-    if l.Line.valid then begin
-      let victim = (l.Line.owner, l.tag) in
-      Line.invalidate l;
-      [ victim ]
-    end
-    else []
+    let victim = Line.victim l in
+    if l.Line.valid then Line.invalidate l;
+    victim
   end
-  else []
+  else None
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
   let set = set_of t addr in
+  let i = Backing.find_tag b ~set ~tag:addr in
   let base =
-    match Backing.find_way b ~set ~f:(matches addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
-      let candidates = Backing.ways_of_set b ~set in
-      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+    end
+    else begin
+      let way =
+        Replacement.choose t.policy b.rng b.lines
+          ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
+      in
       let victim = b.lines.(way) in
-      let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+      let evicted = Line.victim victim in
       Line.fill victim ~tag:addr ~owner:pid ~seq;
-      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      Outcome.fill ~fetched:addr ~evicted
+    end
   in
-  let random_evicted = periodic_eviction t in
-  let outcome = { base with Outcome.evicted = base.Outcome.evicted @ random_evicted } in
+  let outcome =
+    (* The off-beat (interval - 1 of interval) accesses pass [base]
+       through untouched, so plain RE hits stay allocation-free. *)
+    match periodic_eviction t with
+    | None -> base
+    | Some _ as v -> { base with Outcome.also_evicted = v }
+  in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid:_ addr =
-  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

@@ -10,7 +10,67 @@ let policy_of_string = function
   | "fifo" -> Some Fifo
   | _ -> None
 
-let check lines candidates =
+(* --- hot path: candidates are the contiguous index range
+   [base, base + len) (one set, or a contiguous slice of one for Nomo's
+   reserved/shared split). No lists, no options, no closures: every
+   scan is a bounded int loop and the only allocation anywhere below is
+   [invalid_arg]'s on the error path. ------------------------------- *)
+
+let check lines ~base ~len =
+  if len <= 0 then invalid_arg "Replacement.choose: no candidates";
+  if base < 0 || base + len > Array.length lines then
+    invalid_arg "Replacement.choose: candidate out of range"
+
+(* The loops are top-level recursive functions with every free variable
+   passed explicitly: without flambda a local [let rec] capturing
+   [lines]/[stop] allocates its closure per call, defeating the whole
+   point of the range API. *)
+let rec scan_invalid (lines : Line.t array) i stop =
+  if i >= stop then -1
+  else if not lines.(i).Line.valid then i
+  else scan_invalid lines (i + 1) stop
+
+(* First invalid index in the range, or -1 (a fill never evicts while
+   free space remains, matching every design in the paper). *)
+let first_invalid lines ~base ~len = scan_invalid lines base (base + len)
+
+let rec scan_min_last_use (lines : Line.t array) i stop best =
+  if i >= stop then best
+  else
+    scan_min_last_use lines (i + 1) stop
+      (if lines.(i).Line.last_use < lines.(best).Line.last_use then i else best)
+
+let min_last_use (lines : Line.t array) ~base ~len =
+  scan_min_last_use lines (base + 1) (base + len) base
+
+let rec scan_min_fill_seq (lines : Line.t array) i stop best =
+  if i >= stop then best
+  else
+    scan_min_fill_seq lines (i + 1) stop
+      (if lines.(i).Line.fill_seq < lines.(best).Line.fill_seq then i else best)
+
+let min_fill_seq (lines : Line.t array) ~base ~len =
+  scan_min_fill_seq lines (base + 1) (base + len) base
+
+let lru_victim lines ~base ~len =
+  check lines ~base ~len;
+  let i = first_invalid lines ~base ~len in
+  if i >= 0 then i else min_last_use lines ~base ~len
+
+let choose policy rng lines ~base ~len =
+  check lines ~base ~len;
+  let i = first_invalid lines ~base ~len in
+  if i >= 0 then i
+  else
+    match policy with
+    | Lru -> min_last_use lines ~base ~len
+    | Fifo -> min_fill_seq lines ~base ~len
+    | Random -> base + Rng.int rng len
+
+(* --- cold path: arbitrary (possibly non-contiguous) candidate sets,
+   e.g. the unlocked ways of a PL set during [lock_line]. ----------- *)
+
+let check_list lines candidates =
   if candidates = [] then invalid_arg "Replacement.choose: no candidates";
   List.iter
     (fun i ->
@@ -18,10 +78,7 @@ let check lines candidates =
         invalid_arg "Replacement.choose: candidate out of range")
     candidates
 
-let first_invalid lines candidates =
-  List.find_opt (fun i -> not lines.(i).Line.valid) candidates
-
-let min_by key lines candidates =
+let min_by key (lines : Line.t array) candidates =
   match candidates with
   | [] -> assert false
   | first :: rest ->
@@ -29,15 +86,9 @@ let min_by key lines candidates =
       (fun best i -> if key lines.(i) < key lines.(best) then i else best)
       first rest
 
-let lru_victim lines ~candidates =
-  check lines candidates;
-  match first_invalid lines candidates with
-  | Some i -> i
-  | None -> min_by (fun (l : Line.t) -> l.last_use) lines candidates
-
-let choose policy rng lines ~candidates =
-  check lines candidates;
-  match first_invalid lines candidates with
+let choose_among policy rng lines ~candidates =
+  check_list lines candidates;
+  match List.find_opt (fun i -> not lines.(i).Line.valid) candidates with
   | Some i -> i
   | None -> (
     match policy with

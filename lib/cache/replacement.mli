@@ -2,7 +2,14 @@
 
     A policy selects the victim way among a candidate subset of a set's
     lines. Invalid candidates are always preferred (a fill never evicts
-    while free space remains), matching every design in the paper. *)
+    while free space remains), matching every design in the paper.
+
+    The hot-path entry point {!choose} takes the candidate ways as a
+    contiguous index range [(base, len)] — which every per-access fill
+    in the simulator has: a whole set, or a contiguous slice of one
+    (Nomo's reserved/shared split) — and runs allocation-free.
+    {!choose_among} keeps the general list form for cold paths with
+    non-contiguous candidates (PL way-locking). *)
 
 type policy = Lru | Random | Fifo
 
@@ -10,13 +17,20 @@ val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 
 val choose :
-  policy -> Cachesec_stats.Rng.t -> Line.t array -> candidates:int list -> int
-(** [choose policy rng lines ~candidates] picks the victim way index from
-    [candidates] (indices into [lines]):
+  policy -> Cachesec_stats.Rng.t -> Line.t array -> base:int -> len:int -> int
+(** [choose policy rng lines ~base ~len] picks the victim index from the
+    range [base, base + len) of [lines]:
     - any invalid candidate first (lowest index);
-    - otherwise by policy: LRU = least [last_use], FIFO = least [fill_seq],
-      Random = uniform over candidates.
-    Raises [Invalid_argument] when [candidates] is empty or out of range. *)
+    - otherwise by policy: LRU = least [last_use], FIFO = least
+      [fill_seq], Random = uniform over the range (one RNG draw).
+    Allocation-free. Raises [Invalid_argument] when the range is empty
+    or out of bounds. *)
 
-val lru_victim : Line.t array -> candidates:int list -> int
+val choose_among :
+  policy -> Cachesec_stats.Rng.t -> Line.t array -> candidates:int list -> int
+(** As {!choose} over an explicit candidate list (invalid-first order is
+    list order; Random is [List.nth] over the list). For cold paths with
+    non-contiguous candidates only. *)
+
+val lru_victim : Line.t array -> base:int -> len:int -> int
 (** The LRU choice alone (exposed for tests). *)

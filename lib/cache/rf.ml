@@ -23,31 +23,43 @@ let set_window t ~pid ~back ~fwd =
   Hashtbl.replace t.windows pid (back, fwd)
 
 let set_of t addr = Address.set_index t.b.Backing.cfg addr
-let matches addr (l : Line.t) = l.valid && l.tag = addr
 
-let fill_line t ~pid line ~seq =
+(* Install [line] unless already cached; the filled outcome for an
+   access to [addr] that randomly fetched [line]. *)
+let fill_line t ~pid ~addr line ~seq =
   let b = t.b in
   let set = set_of t line in
-  match Backing.find_way b ~set ~f:(matches line) with
-  | Some _ -> (None, [])  (* already cached; nothing to do *)
-  | None ->
-    let candidates = Backing.ways_of_set b ~set in
-    let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+  if Backing.find_tag b ~set ~tag:line >= 0 then
+    (* already cached; nothing fetched, nothing displaced *)
+    Outcome.miss_uncached
+  else begin
+    let way =
+      Replacement.choose t.policy b.rng b.lines
+        ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
+    in
     let victim = b.lines.(way) in
-    let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+    let evicted = Line.victim victim in
     Line.fill victim ~tag:line ~owner:pid ~seq;
-    (Some line, evicted)
+    {
+      Outcome.event = Miss;
+      cached = line = addr;
+      fetched = Some line;
+      evicted;
+      also_evicted = None;
+    }
+  end
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
   let set = set_of t addr in
+  let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
-    match Backing.find_way b ~set ~f:(matches addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
+    end
+    else begin
       let back, fwd = window t ~pid in
       (* Uniform over the window [addr - back, addr + fwd], clamped to
          non-negative lines. A zero window is exactly demand fetch and
@@ -55,27 +67,22 @@ let access t ~pid addr =
          stream bit-for-bit). *)
       let lo = Stdlib.max 0 (addr - back) and hi = addr + fwd in
       let target = if lo = hi then lo else lo + Rng.int b.rng (hi - lo + 1) in
-      let fetched, evicted = fill_line t ~pid target ~seq in
-      {
-        Outcome.event = Miss;
-        cached = fetched = Some addr;
-        fetched;
-        evicted;
-      }
+      fill_line t ~pid ~addr target ~seq
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid:_ addr =
-  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

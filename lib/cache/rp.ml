@@ -27,9 +27,6 @@ let set_identity t ~pid =
 
 let physical_set t ~pid addr = (table_of t pid).(addr mod sets t)
 
-(* PID feature: the tag array conceptually stores the owning context. *)
-let matches ~pid addr (l : Line.t) = l.valid && l.tag = addr && l.owner = pid
-
 let swap_mapping t ~pid ~logical ~target_set =
   let tbl = table_of t pid in
   (* Find the logical index currently mapped to [target_set] and exchange
@@ -45,53 +42,58 @@ let access t ~pid addr =
   let seq = Backing.tick b in
   let logical = addr mod sets t in
   let set = physical_set t ~pid addr in
+  (* PID feature: the tag array conceptually stores the owning context,
+     so the probe requires the owner to match too. *)
+  let i = Backing.find_tag_owned b ~set ~tag:addr ~owner:pid in
   let outcome =
-    match Backing.find_way b ~set ~f:(matches ~pid addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
-      let candidates = Backing.ways_of_set b ~set in
-      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+    end
+    else begin
+      let w = b.cfg.Config.ways in
+      let way =
+        Replacement.choose t.policy b.rng b.lines
+          ~base:(Backing.base_of_set b ~set) ~len:w
+      in
       let victim = b.lines.(way) in
       if (not victim.Line.valid) || victim.owner = pid then begin
         (* Internal miss: replace in place. *)
-        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        let evicted = Line.victim victim in
         Line.fill victim ~tag:addr ~owner:pid ~seq;
-        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+        Outcome.fill ~fetched:addr ~evicted
       end
       else begin
         (* External miss: random set, random line there, swap mappings. *)
         let s' = Rng.int b.rng (sets t) in
-        let candidates' = Backing.ways_of_set b ~set:s' in
-        let way' =
-          List.nth candidates' (Rng.int b.rng (List.length candidates'))
-        in
+        let way' = Backing.base_of_set b ~set:s' + Rng.int b.rng w in
         let victim' = b.lines.(way') in
-        let evicted =
-          if victim'.Line.valid then [ (victim'.owner, victim'.tag) ] else []
-        in
+        let evicted = Line.victim victim' in
         Line.fill victim' ~tag:addr ~owner:pid ~seq;
         swap_mapping t ~pid ~logical ~target_set:s';
-        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+        Outcome.fill ~fetched:addr ~evicted
       end
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
 let peek t ~pid addr =
-  Backing.find_way t.b ~set:(physical_set t ~pid addr) ~f:(matches ~pid addr)
-  <> None
+  Backing.find_tag_owned t.b ~set:(physical_set t ~pid addr) ~tag:addr
+    ~owner:pid
+  >= 0
 
 let flush_line t ~pid addr =
-  match
-    Backing.find_way t.b ~set:(physical_set t ~pid addr) ~f:(matches ~pid addr)
-  with
-  | Some i ->
+  let i =
+    Backing.find_tag_owned t.b ~set:(physical_set t ~pid addr) ~tag:addr
+      ~owner:pid
+  in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

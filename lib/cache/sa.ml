@@ -6,38 +6,43 @@ let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
 let config t = t.b.Backing.cfg
 let policy t = t.policy
 let set_of t addr = Address.set_index t.b.Backing.cfg addr
-let matches addr (l : Line.t) = l.valid && l.tag = addr
 
+(* The hit path allocates nothing: tag probe and LRU touch are int
+   loops/stores and the outcome is the preallocated [Outcome.hit]. *)
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
   let set = set_of t addr in
+  let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
-    match Backing.find_way b ~set ~f:(matches addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
-      let candidates = Backing.ways_of_set b ~set in
-      let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+    end
+    else begin
+      let way =
+        Replacement.choose t.policy b.rng b.lines
+          ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
+      in
       let victim = b.lines.(way) in
-      let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+      let evicted = Line.victim victim in
       Line.fill victim ~tag:addr ~owner:pid ~seq;
-      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      Outcome.fill ~fetched:addr ~evicted
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid:_ addr =
-  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 let counters t = t.b.Backing.counters

@@ -2,8 +2,10 @@ open Cachesec_stats
 
 type t = {
   b : Backing.t;
-  (* (pid, bank) -> secret slot permutation for that domain and bank. *)
-  keys : (int * int, int array) Hashtbl.t;
+  (* packed (pid, bank) -> secret slot permutation for that domain and
+     bank. The key is [pid * banks + bank] (an int, so the per-probe
+     lookup allocates neither a tuple nor an option). *)
+  keys : (int, int array) Hashtbl.t;
 }
 
 let create ?(config = Config.standard) ~rng () =
@@ -14,11 +16,12 @@ let banks t = t.b.Backing.cfg.Config.ways
 let slots_per_bank t = Config.sets t.b.Backing.cfg
 
 let key_of t ~pid ~bank =
-  match Hashtbl.find_opt t.keys (pid, bank) with
-  | Some p -> p
-  | None ->
+  let k = (pid * banks t) + bank in
+  match Hashtbl.find t.keys k with
+  | p -> p
+  | exception Not_found ->
     let p = Rng.permutation t.b.rng (slots_per_bank t) in
-    Hashtbl.replace t.keys (pid, bank) p;
+    Hashtbl.replace t.keys k p;
     p
 
 let slot_of t ~pid ~bank addr =
@@ -31,45 +34,52 @@ let slot_of t ~pid ~bank addr =
 (* Physical index of (bank, slot): bank-major layout. *)
 let cell t ~bank ~slot = (bank * slots_per_bank t) + slot
 
-let find t ~pid addr =
-  let rec go bank =
-    if bank >= banks t then None
-    else begin
-      let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
-      let l = t.b.Backing.lines.(i) in
-      if l.Line.valid && l.owner = pid && l.tag = addr then Some i else go (bank + 1)
-    end
-  in
-  go 0
+(* Top-level probe loop (state passed explicitly) so the non-flambda
+   compiler emits no per-call closure. *)
+let rec probe_banks t pid addr bank n =
+  if bank >= n then -1
+  else begin
+    let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
+    let l = t.b.Backing.lines.(i) in
+    if l.Line.valid && l.owner = pid && l.tag = addr then i
+    else probe_banks t pid addr (bank + 1) n
+  end
+
+(* Physical index of the bank cell holding [addr] for [pid], or -1.
+   Allocation-free once the per-(pid, bank) permutations exist. *)
+let find t ~pid addr = probe_banks t pid addr 0 (banks t)
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
+  let i = find t ~pid addr in
   let outcome =
-    match find t ~pid addr with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
+    end
+    else begin
       let bank = Rng.int b.rng (banks t) in
       let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
       let victim = b.lines.(i) in
-      let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+      let evicted = Line.victim victim in
       Line.fill victim ~tag:addr ~owner:pid ~seq;
-      { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+      Outcome.fill ~fetched:addr ~evicted
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid addr = find t ~pid addr <> None
+let peek t ~pid addr = find t ~pid addr >= 0
 
 let flush_line t ~pid addr =
-  match find t ~pid addr with
-  | Some i ->
+  let i = find t ~pid addr in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

@@ -36,45 +36,47 @@ let set_of t addr =
   let per = sets_per_partition t in
   (p * per) + (addr mod per)
 
-let matches addr (l : Line.t) = l.valid && l.tag = addr
-
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
   let set = set_of t addr in
+  let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
-    match Backing.find_way b ~set ~f:(matches addr) with
-    | Some i ->
+    if i >= 0 then begin
       Line.touch b.lines.(i) ~seq;
       Outcome.hit
-    | None ->
+    end
+    else begin
       let own = t.partition_of_pid pid in
       check_partition t own "partition_of_pid";
       if own <> t.home addr then
         (* Cross-partition miss: served from memory, nothing displaced. *)
-        { Outcome.event = Miss; cached = false; fetched = None; evicted = [] }
+        Outcome.miss_uncached
       else begin
-        let candidates = Backing.ways_of_set b ~set in
-        let way = Replacement.choose t.policy b.rng b.lines ~candidates in
+        let way =
+          Replacement.choose t.policy b.rng b.lines
+            ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
+        in
         let victim = b.lines.(way) in
-        let evicted = if victim.Line.valid then [ (victim.owner, victim.tag) ] else [] in
+        let evicted = Line.victim victim in
         Line.fill victim ~tag:addr ~owner:pid ~seq;
-        { Outcome.event = Miss; cached = true; fetched = Some addr; evicted }
+        Outcome.fill ~fetched:addr ~evicted
       end
+    end
   in
   Counters.record b.counters ~pid outcome;
   outcome
 
-let peek t ~pid:_ addr =
-  Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) <> None
+let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
-  match Backing.find_way t.b ~set:(set_of t addr) ~f:(matches addr) with
-  | Some i ->
+  let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
+  if i >= 0 then begin
     Line.invalidate t.b.lines.(i);
     Counters.record_flush t.b.counters ~pid;
     true
-  | None -> false
+  end
+  else false
 
 let flush_all t = Backing.flush_all t.b
 

@@ -57,6 +57,29 @@ let display_name = function
 let of_name s =
   List.find_opt (fun spec -> name spec = s) all_paper
 
+let with_policy spec policy =
+  match spec with
+  | Sa r -> Sa { r with policy }
+  | Sp r -> Sp { r with policy }
+  | Pl r -> Pl { r with policy }
+  | Nomo r -> Nomo { r with policy }
+  | Newcache _ as s -> s
+  | Rp r -> Rp { r with policy }
+  | Rf r -> Rf { r with policy }
+  | Re r -> Re { r with policy }
+  | Noisy r -> Noisy { r with policy }
+
+let policy_of = function
+  | Sa { policy; _ }
+  | Sp { policy; _ }
+  | Pl { policy; _ }
+  | Nomo { policy; _ }
+  | Rp { policy; _ }
+  | Rf { policy; _ }
+  | Re { policy; _ }
+  | Noisy { policy; _ } -> Some policy
+  | Newcache _ -> None
+
 let pp ppf t =
   match t with
   | Sa { ways; policy } ->

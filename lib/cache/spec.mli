@@ -48,4 +48,11 @@ val display_name : t -> string
 val of_name : string -> t option
 (** Inverse of {!name} over the paper configurations. *)
 
+val with_policy : t -> Replacement.policy -> t
+(** The same architecture under a different replacement policy. Identity
+    on {!Newcache}, whose SecRAND replacement is part of the design. *)
+
+val policy_of : t -> Replacement.policy option
+(** The spec's replacement policy; [None] for {!Newcache}. *)
+
 val pp : Format.formatter -> t -> unit

@@ -1,0 +1,156 @@
+(* Simulator-throughput measurement: raw accesses/second through
+   [Engine.access] for each architecture x replacement policy. The
+   numbers feed a machine-readable BENCH_cache.json so perf work across
+   PRs has a trajectory to regress against (CacheFX-style: a
+   cache-security evaluation framework lives or dies by simulated
+   accesses/second).
+
+   The access pattern, seeds and entry order are deliberately frozen:
+   two files produced by different checkouts of this module are directly
+   comparable entry by entry. *)
+
+open Cachesec_stats
+open Cachesec_cache
+
+type entry = {
+  arch : string;
+  policy : string;
+  accesses : int;
+  seconds : float;
+  per_sec : float;
+}
+
+let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 200) ] }
+
+(* Mixed working set: ~60% of addresses inside a hot 600-line region
+   (hit-heavy once warm), the rest spread over 4096 lines (miss-heavy).
+   Precomputed so the timed loop does no RNG work and no allocation. *)
+let make_addresses ~accesses ~seed =
+  let rng = Rng.create ~seed in
+  Array.init accesses (fun _ ->
+      if Rng.int rng 10 < 6 then Rng.int rng 600 else Rng.int rng 4096)
+
+let measure ?(accesses = 200_000) ?(seed = 0xBE7C) spec =
+  let rng = Rng.create ~seed in
+  let engine = Factory.build spec scenario ~rng:(Rng.split rng) in
+  let addrs = make_addresses ~accesses ~seed:(seed lxor 0x5A5A) in
+  (* Warm-up pass so the measurement reflects steady state, not cold
+     compulsory misses. *)
+  let warm = min accesses 20_000 in
+  for i = 0 to warm - 1 do
+    ignore (engine.Engine.access ~pid:(i land 1) addrs.(i))
+  done;
+  let t0 = Unix.gettimeofday () in
+  for i = 0 to accesses - 1 do
+    ignore (engine.Engine.access ~pid:(i land 1) addrs.(i))
+  done;
+  let dt = Unix.gettimeofday () -. t0 in
+  let dt = if dt <= 0. then epsilon_float else dt in
+  {
+    arch = Spec.name spec;
+    policy =
+      (match Spec.policy_of spec with
+      | Some p -> Replacement.policy_to_string p
+      | None -> "secrand");
+    accesses;
+    seconds = dt;
+    per_sec = float_of_int accesses /. dt;
+  }
+
+(* 9 architectures x {lru, random, fifo} (Newcache's SecRAND replacement
+   is part of the design, so it contributes a single row). *)
+let cases () =
+  List.concat_map
+    (fun spec ->
+      match Spec.policy_of spec with
+      | None -> [ spec ]
+      | Some _ ->
+        List.map (Spec.with_policy spec)
+          [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])
+    Spec.all_paper
+
+let run ?(quick = false) () =
+  let accesses = if quick then 40_000 else 400_000 in
+  List.map (fun spec -> measure ~accesses spec) (cases ())
+
+(* --- JSON (flat, line-oriented: one entry per line, fixed key order,
+   so the file doubles as its own parser format) ------------------- *)
+
+let entry_to_json e =
+  Printf.sprintf
+    "{\"arch\": \"%s\", \"policy\": \"%s\", \"accesses\": %d, \"seconds\": \
+     %.6f, \"accesses_per_sec\": %.1f}"
+    e.arch e.policy e.accesses e.seconds e.per_sec
+
+let to_json entries =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf "{\n  \"schema\": \"bench_cache/v1\",\n  \"entries\": [\n";
+  List.iteri
+    (fun i e ->
+      Buffer.add_string buf "    ";
+      Buffer.add_string buf (entry_to_json e);
+      if i < List.length entries - 1 then Buffer.add_char buf ',';
+      Buffer.add_char buf '\n')
+    entries;
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+let write ~path entries =
+  let oc = open_out path in
+  output_string oc (to_json entries);
+  close_out oc
+
+(* Reads files produced by [write]: scans each line for an entry object
+   with the fixed key order above. Returns [] when the file is absent or
+   holds no entries (never raises). *)
+let read ~path =
+  match open_in path with
+  | exception Sys_error _ -> []
+  | ic ->
+    let entries = ref [] in
+    (try
+       while true do
+         let line = String.trim (input_line ic) in
+         let line =
+           if String.length line > 0 && line.[String.length line - 1] = ',' then
+             String.sub line 0 (String.length line - 1)
+           else line
+         in
+         match
+           Scanf.sscanf line
+             "{\"arch\": %S, \"policy\": %S, \"accesses\": %d, \"seconds\": \
+              %f, \"accesses_per_sec\": %f}"
+             (fun arch policy accesses seconds per_sec ->
+               { arch; policy; accesses; seconds; per_sec })
+         with
+         | e -> entries := e :: !entries
+         | exception Scanf.Scan_failure _ -> ()
+         | exception End_of_file -> ()
+       done
+     with End_of_file -> ());
+    close_in ic;
+    List.rev !entries
+
+let find entries ~arch ~policy =
+  List.find_opt (fun e -> e.arch = arch && e.policy = policy) entries
+
+(* Render the current run, with speedup columns against a baseline file
+   when one is present. *)
+let render ?baseline entries =
+  let buf = Buffer.create 1024 in
+  let base = match baseline with None -> [] | Some path -> read ~path in
+  Buffer.add_string buf
+    (Printf.sprintf "  %-10s %-8s %14s %10s\n" "arch" "policy" "accesses/sec"
+       "vs base");
+  List.iter
+    (fun e ->
+      let vs =
+        match find base ~arch:e.arch ~policy:e.policy with
+        | Some b when b.per_sec > 0. ->
+          Printf.sprintf "%9.2fx" (e.per_sec /. b.per_sec)
+        | Some _ | None -> "         -"
+      in
+      Buffer.add_string buf
+        (Printf.sprintf "  %-10s %-8s %14.0f %s\n" e.arch e.policy e.per_sec vs))
+    entries;
+  Buffer.contents buf

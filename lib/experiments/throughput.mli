@@ -1,0 +1,35 @@
+(** Simulator-throughput benchmark: accesses/second through
+    [Engine.access] per architecture x replacement policy, with a
+    machine-readable JSON export ([BENCH_cache.json]) whose format is
+    frozen so runs from different PRs are directly comparable. *)
+
+type entry = {
+  arch : string;
+  policy : string;  (** "lru" | "random" | "fifo" | "secrand" (Newcache) *)
+  accesses : int;  (** timed accesses (after a warm-up pass) *)
+  seconds : float;
+  per_sec : float;
+}
+
+val measure : ?accesses:int -> ?seed:int -> Cachesec_cache.Spec.t -> entry
+(** Time [accesses] engine accesses over a frozen mixed working set
+    (hot 600-line region + 4096-line spread), after a warm-up pass. *)
+
+val cases : unit -> Cachesec_cache.Spec.t list
+(** The 25 benchmark rows: 8 policied architectures x {lru, random,
+    fifo} plus Newcache (SecRAND only). *)
+
+val run : ?quick:bool -> unit -> entry list
+(** Measure every case (40k accesses each under [quick], 400k otherwise). *)
+
+val to_json : entry list -> string
+val write : path:string -> entry list -> unit
+
+val read : path:string -> entry list
+(** Parse a file produced by {!write}; [[]] if absent or unparseable. *)
+
+val find : entry list -> arch:string -> policy:string -> entry option
+
+val render : ?baseline:string -> entry list -> string
+(** Human-readable table; when [baseline] names a readable
+    {!write}-format file, adds a per-row speedup column against it. *)

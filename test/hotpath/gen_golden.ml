@@ -1,0 +1,18 @@
+(* Regenerate the hot-path golden digests from the CURRENT engines.
+
+   Only run this when a change to simulated behaviour is intended; the
+   whole point of the recorded file is that pure performance work must
+   NOT change it. Usage:
+
+     dune exec test/hotpath/gen_golden.exe -- test/golden/hotpath.golden *)
+
+open Hotpath_workload
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "hotpath.golden"
+  in
+  let entries = Workload.all_digests () in
+  Workload.write_golden ~path entries;
+  List.iter (fun (name, d) -> Printf.printf "%-18s %s\n" name d) entries;
+  Printf.printf "wrote %d golden digests to %s\n" (List.length entries) path

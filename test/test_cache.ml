@@ -72,16 +72,16 @@ let test_replacement_invalid_first () =
       Alcotest.(check int)
         (Replacement.policy_to_string policy ^ " picks invalid")
         2
-        (Replacement.choose policy r lines ~candidates:[ 0; 1; 2; 3 ]))
+        (Replacement.choose policy r lines ~base:0 ~len:4))
     [ Replacement.Lru; Replacement.Random; Replacement.Fifo ]
 
 let test_replacement_lru () =
   let lines = filled_lines 4 in
   Line.touch lines.(0) ~seq:100;
   Alcotest.(check int) "least recent" 1
-    (Replacement.lru_victim lines ~candidates:[ 0; 1; 2; 3 ]);
-  Alcotest.(check int) "restricted candidates" 2
-    (Replacement.lru_victim lines ~candidates:[ 0; 2 ])
+    (Replacement.lru_victim lines ~base:0 ~len:4);
+  Alcotest.(check int) "restricted range" 2
+    (Replacement.lru_victim lines ~base:2 ~len:2)
 
 let test_replacement_fifo () =
   let lines = filled_lines 4 in
@@ -89,17 +89,14 @@ let test_replacement_fifo () =
   (* FIFO ignores touches: oldest fill wins. *)
   let r = rng () in
   Alcotest.(check int) "oldest fill" 0
-    (Replacement.choose Replacement.Fifo r lines ~candidates:[ 0; 1; 2; 3 ])
+    (Replacement.choose Replacement.Fifo r lines ~base:0 ~len:4)
 
 let test_replacement_random_uniform () =
   let lines = filled_lines 8 in
   let r = rng () in
   let counts = Array.make 8 0 in
   for _ = 1 to 8000 do
-    let v =
-      Replacement.choose Replacement.Random r lines
-        ~candidates:[ 0; 1; 2; 3; 4; 5; 6; 7 ]
-    in
+    let v = Replacement.choose Replacement.Random r lines ~base:0 ~len:8 in
     counts.(v) <- counts.(v) + 1
   done;
   Array.iter
@@ -107,25 +104,47 @@ let test_replacement_random_uniform () =
       Alcotest.(check bool) "roughly uniform" true (c > 800 && c < 1200))
     counts
 
+(* choose / choose_among agree: on a contiguous range they are the same
+   selector (including the single RNG draw of the Random policy). *)
+let test_replacement_range_list_agree () =
+  let lines = filled_lines 8 in
+  Line.touch lines.(3) ~seq:50;
+  List.iter
+    (fun policy ->
+      let r1 = Rng.create ~seed:77 and r2 = Rng.create ~seed:77 in
+      for _ = 1 to 200 do
+        Alcotest.(check int)
+          (Replacement.policy_to_string policy ^ " range = list")
+          (Replacement.choose_among policy r1 lines
+             ~candidates:[ 2; 3; 4; 5; 6 ])
+          (Replacement.choose policy r2 lines ~base:2 ~len:5)
+      done)
+    [ Replacement.Lru; Replacement.Random; Replacement.Fifo ]
+
 let test_replacement_errors () =
   let lines = filled_lines 2 in
   let r = rng () in
   Alcotest.check_raises "empty"
     (Invalid_argument "Replacement.choose: no candidates") (fun () ->
-      ignore (Replacement.choose Replacement.Lru r lines ~candidates:[]));
+      ignore (Replacement.choose Replacement.Lru r lines ~base:0 ~len:0));
   Alcotest.check_raises "out of range"
     (Invalid_argument "Replacement.choose: candidate out of range") (fun () ->
-      ignore (Replacement.choose Replacement.Lru r lines ~candidates:[ 5 ]))
+      ignore (Replacement.choose Replacement.Lru r lines ~base:1 ~len:2));
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Replacement.choose: no candidates") (fun () ->
+      ignore (Replacement.choose_among Replacement.Lru r lines ~candidates:[]));
+  Alcotest.check_raises "list out of range"
+    (Invalid_argument "Replacement.choose: candidate out of range") (fun () ->
+      ignore
+        (Replacement.choose_among Replacement.Lru r lines ~candidates:[ 5 ]))
 
 (* --- Counters ---------------------------------------------------------- *)
 
 let test_counters () =
   let c = Counters.create () in
   Counters.record c ~pid:0 Outcome.hit;
-  Counters.record c ~pid:1
-    { Outcome.event = Miss; cached = true; fetched = Some 1; evicted = [ (0, 5) ] };
-  Counters.record c ~pid:1
-    { Outcome.event = Miss; cached = false; fetched = None; evicted = [] };
+  Counters.record c ~pid:1 (Outcome.fill ~fetched:1 ~evicted:(Some (0, 5)));
+  Counters.record c ~pid:1 Outcome.miss_uncached;
   Counters.record_flush c ~pid:0;
   let g = Counters.global c in
   Alcotest.(check int) "accesses" 3 g.Counters.accesses;
@@ -165,8 +184,8 @@ let test_sa_eviction_reported () =
     ignore (Sa.access sa ~pid:0 (5 + (k * sets)))
   done;
   let o = Sa.access sa ~pid:1 (5 + (8 * sets)) in
-  Alcotest.(check int) "one eviction" 1 (List.length o.Outcome.evicted);
-  let owner, line = List.hd o.Outcome.evicted in
+  Alcotest.(check int) "one eviction" 1 (Outcome.eviction_count o);
+  let owner, line = List.hd (Outcome.evictions o) in
   Alcotest.(check int) "victim owner" 0 owner;
   Alcotest.(check int) "victim in same set" 5 (line mod sets)
 
@@ -199,7 +218,7 @@ let test_sa_lru_exact () =
   ignore (Sa.access sa ~pid:0 0);  (* 0 is now most recent *)
   let o = Sa.access sa ~pid:0 8 in
   Alcotest.(check (list (pair int int))) "LRU evicts 4" [ (0, 4) ]
-    o.Outcome.evicted
+    (Outcome.evictions o)
 
 let test_sa_fully_associative () =
   let sa = Sa.create ~config:Config.fully_associative ~rng:(rng ()) () in
@@ -236,7 +255,7 @@ let test_sp_cross_partition_read_through () =
   let o = Sp.access sp ~pid:1 5 in
   Alcotest.(check bool) "miss" true (Outcome.is_miss o);
   Alcotest.(check bool) "not cached" false o.Outcome.cached;
-  Alcotest.(check (list (pair int int))) "nothing evicted" [] o.Outcome.evicted
+  Alcotest.(check (list (pair int int))) "nothing evicted" [] (Outcome.evictions o)
 
 let test_sp_shared_line_hit () =
   let sp = make_sp () in
@@ -352,7 +371,7 @@ let test_nomo_victim_spills_when_exceeding () =
   ignore (Nomo.access nm ~pid:0 5);
   let o = Nomo.access nm ~pid:0 (5 + sets) in
   Alcotest.(check bool) "spill evicts attacker" true
-    (List.exists (fun (owner, _) -> owner = 1) o.Outcome.evicted)
+    (List.exists (fun (owner, _) -> owner = 1) (Outcome.evictions o))
 
 let test_nomo_validation () =
   Alcotest.check_raises "reserved = ways"
@@ -382,7 +401,7 @@ let test_newcache_index_conflict () =
   ignore (Newcache.access nc ~pid:0 7);
   let o = Newcache.access nc ~pid:0 (7 + 512) in
   Alcotest.(check bool) "conflict evicted old" true
-    (List.mem (0, 7) o.Outcome.evicted);
+    (List.mem (0, 7) (Outcome.evictions o));
   Alcotest.(check bool) "old gone" false (Newcache.peek nc ~pid:0 7);
   Alcotest.(check bool) "new present" true (Newcache.peek nc ~pid:0 (7 + 512))
 
@@ -429,7 +448,7 @@ let test_newcache_random_eviction_spread () =
   let evicted = Hashtbl.create 64 in
   for i = 512 to 767 do
     let o = Newcache.access nc ~pid:0 (i + 100000) in
-    List.iter (fun (_, line) -> Hashtbl.replace evicted line ()) o.Outcome.evicted;
+    List.iter (fun (_, line) -> Hashtbl.replace evicted line ()) (Outcome.evictions o);
     ignore i
   done;
   Alcotest.(check bool) "many distinct victims" true
@@ -568,7 +587,7 @@ let test_re_eviction_in_outcome () =
   let saw_extra = ref false in
   for i = 2 to 40 do
     let o = Re.access re ~pid:0 (i mod 2) in
-    if Outcome.is_hit o && o.Outcome.evicted <> [] then saw_extra := true
+    if Outcome.is_hit o && Outcome.eviction_count o > 0 then saw_extra := true
   done;
   Alcotest.(check bool) "periodic eviction reported on hits" true !saw_extra
 
@@ -681,6 +700,8 @@ let () =
           Alcotest.test_case "lru" `Quick test_replacement_lru;
           Alcotest.test_case "fifo" `Quick test_replacement_fifo;
           Alcotest.test_case "random uniform" `Quick test_replacement_random_uniform;
+          Alcotest.test_case "range/list agree" `Quick
+            test_replacement_range_list_agree;
           Alcotest.test_case "errors" `Quick test_replacement_errors;
         ] );
       ("counters", [ Alcotest.test_case "arithmetic" `Quick test_counters ]);

@@ -60,7 +60,7 @@ let test_sa_replacement_uniform () =
       ignore (Sa.access sa ~pid:0 (3 + (k * sets)))
     done;
     let o = Sa.access sa ~pid:1 (3 + (8 * sets)) in
-    match o.Outcome.evicted with
+    match Outcome.evictions o with
     | [ (_, line) ] -> counts.(line / sets) <- counts.(line / sets) + 1
     | _ -> Alcotest.fail "expected exactly one eviction"
   done;
@@ -82,7 +82,7 @@ let test_newcache_eviction_uniform () =
            choice gives uniform victims over any partition of the
            resident lines. *)
         counts.(line mod 16) <- counts.(line mod 16) + 1)
-      o.Outcome.evicted
+      (Outcome.evictions o)
   done;
   check_uniform "newcache eviction" counts
 
@@ -114,7 +114,7 @@ let test_rp_interference_set_uniform () =
     done;
     (* First attacker access to logical set 9 interferes. *)
     let o = Rp.access rp ~pid:1 (100032 + 9) in
-    match o.Outcome.evicted with
+    match Outcome.evictions o with
     | [ (_, line) ] -> counts.(line mod sets) <- counts.(line mod sets) + 1
     | [] -> ()  (* random set had an invalid way: no victim line *)
     | _ -> Alcotest.fail "one eviction at most"
@@ -142,7 +142,7 @@ let test_re_slot_uniform () =
     let o = Re.access re ~pid:0 (i mod 512) in
     List.iter
       (fun (_, line) -> counts.(line mod 16) <- counts.(line mod 16) + 1)
-      o.Outcome.evicted
+      (Outcome.evictions o)
   done;
   check_uniform "re periodic slot" counts
 
@@ -160,7 +160,7 @@ let test_skewed_bank_uniform () =
     let o = Skewed.access c ~pid:0 (200000 + i) in
     List.iter
       (fun (_, line) -> counts.(line land 7) <- counts.(line land 7) + 1)
-      o.Outcome.evicted
+      (Outcome.evictions o)
   done;
   check_uniform "skewed eviction spread" counts
 

@@ -1,0 +1,96 @@
+(* Golden-trace equivalence + allocation guard for the zero-allocation
+   hot path.
+
+   The digests in test/golden/hotpath.golden were recorded from the
+   pre-optimization (seed) engines. Every optimized engine must replay
+   the frozen 20k-op workload bit-identically: same per-op outcomes
+   (including eviction payloads), same counters, same final line dump.
+   Any divergence means the "performance" change altered simulated
+   behaviour and must be rejected.
+
+   The allocation guard additionally pins the SA/LRU hit path to
+   (essentially) zero minor-heap words per access: a warm cache is
+   hammered with hits and the [Gc.minor_words] delta is asserted to be
+   far below one word per access. *)
+
+open Cachesec_stats
+open Cachesec_cache
+open Hotpath_workload
+
+(* Under [dune runtest] the cwd is the test directory (the golden file
+   is declared as a dep); under a bare [dune exec] from the repo root it
+   lives one level down. *)
+let golden_path =
+  if Sys.file_exists "golden/hotpath.golden" then "golden/hotpath.golden"
+  else "test/golden/hotpath.golden"
+
+let test_golden_traces () =
+  let golden = Workload.read_golden ~path:golden_path in
+  Alcotest.(check bool)
+    "golden file present and non-empty" true
+    (List.length golden > 0);
+  let current = Workload.all_digests () in
+  (* Same case set, same order. *)
+  Alcotest.(check (list string))
+    "case names" (List.map fst golden) (List.map fst current);
+  List.iter2
+    (fun (name, want) (_, got) ->
+      Alcotest.(check string) (Printf.sprintf "digest %s" name) want got)
+    golden current
+
+(* --- allocation guard ------------------------------------------------- *)
+
+let test_sa_lru_hit_path_allocation_free () =
+  let rng = Rng.create ~seed:42 in
+  let sa = Sa.create ~config:Config.standard ~policy:Replacement.Lru ~rng () in
+  let sets = Config.sets (Sa.config sa) in
+  (* Warm: make lines 0 .. sets-1 resident (one per set, way 0). *)
+  for addr = 0 to sets - 1 do
+    ignore (Sa.access sa ~pid:0 addr)
+  done;
+  (* Hammer hits; every access must return the preallocated
+     [Outcome.hit] and allocate nothing on the minor heap. *)
+  let iters = 100_000 in
+  let before = Gc.minor_words () in
+  for i = 0 to iters - 1 do
+    ignore (Sa.access sa ~pid:0 (i mod sets))
+  done;
+  let after = Gc.minor_words () in
+  (* Each [Gc.minor_words] call itself boxes a float (2-3 words); allow
+     a small constant slack but nothing proportional to [iters]. *)
+  let delta = after -. before in
+  if delta > 64. then
+    Alcotest.failf "SA/LRU hit path allocated %.0f minor words over %d hits"
+      delta iters
+
+let test_sa_random_miss_path_allocation_lean () =
+  (* Misses allocate the outcome record and its [Some] payloads - a
+     small bounded amount, not O(ways) scan lists as before. Budget:
+     well under 20 words per access. *)
+  let rng = Rng.create ~seed:43 in
+  let sa = Sa.create ~config:Config.standard ~policy:Replacement.Random ~rng () in
+  let iters = 50_000 in
+  (* Distinct tags per set so every access misses and evicts. *)
+  let before = Gc.minor_words () in
+  for i = 0 to iters - 1 do
+    ignore (Sa.access sa ~pid:0 i)
+  done;
+  let after = Gc.minor_words () in
+  let per_access = (after -. before) /. float_of_int iters in
+  if per_access > 20. then
+    Alcotest.failf "SA/Random miss path allocates %.1f minor words/access"
+      per_access
+
+let () =
+  Alcotest.run "hotpath"
+    [
+      ( "golden-trace",
+        [ Alcotest.test_case "all engines bit-identical" `Quick test_golden_traces ] );
+      ( "allocation",
+        [
+          Alcotest.test_case "sa/lru hit path zero-alloc" `Quick
+            test_sa_lru_hit_path_allocation_free;
+          Alcotest.test_case "sa/random miss path lean" `Quick
+            test_sa_random_miss_path_allocation_lean;
+        ] );
+    ]
