@@ -11,7 +11,9 @@ let () =
     if Array.length Sys.argv > 1 then Sys.argv.(1)
     else "BENCH_cache.baseline.json"
   in
-  let entries = Cachesec_experiments.Throughput.run () in
+  let entries =
+    Cachesec_experiments.Throughput.bench Cachesec_runtime.Run.default
+  in
   Cachesec_experiments.Throughput.write ~path entries;
   print_string (Cachesec_experiments.Throughput.render entries);
   Printf.printf "baseline written to %s\n" path

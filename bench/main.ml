@@ -10,41 +10,34 @@
    Flags: --quick (reduced trial counts), --no-perf (skip Bechamel),
    --no-sim (analytical sections only), --jobs N (shard the Monte-Carlo
    sections over N domains; 0 = one per core; results are identical for
-   any N). *)
+   any N), --progress (human-readable telemetry on stderr), --metrics
+   PATH (telemetry/v1 JSON written at exit). The context flags are the
+   same Cmdliner term pas_tool uses ({!Cachesec_runtime.Run.of_cmdline}). *)
 
 open Cachesec_experiments
-
-let quick = ref false
-let perf = ref true
-let sim = ref true
-let jobs = ref 1
-
-let parse_args () =
-  Arg.parse
-    [
-      ("--quick", Arg.Set quick, " reduced trial counts");
-      ("--no-perf", Arg.Clear perf, " skip Bechamel micro-benchmarks");
-      ("--no-sim", Arg.Clear sim, " skip simulation-based sections");
-      ( "--jobs",
-        Arg.Set_int jobs,
-        "N run trial batches on N domains (0 = one per core; default 1)" );
-    ]
-    (fun a -> raise (Arg.Bad ("unexpected argument " ^ a)))
-    "bench/main.exe [--quick] [--no-perf] [--no-sim] [--jobs N]"
+open Cachesec_runtime
+open Cachesec_telemetry
 
 (* Each section body is a thunk so the harness can report the
    wall-clock spent inside it (the interesting number when comparing
-   --jobs settings: the rendered output itself never changes). *)
-let section title body =
+   --jobs settings: the rendered output itself never changes). With an
+   active telemetry context, [Scheduler.timed] additionally brackets the
+   section in a span named after it and reports the span id, so the
+   console output can be cross-referenced against TELEMETRY_*.json. *)
+let section (ctx : Run.ctx) title body =
   Printf.printf "\n================================================================\n";
   Printf.printf "== %s\n" title;
   Printf.printf "================================================================\n%!";
-  let t0 = Unix.gettimeofday () in
-  let text = body () in
-  let dt = Unix.gettimeofday () -. t0 in
+  let text, t =
+    Scheduler.timed ?jobs:ctx.Run.jobs ~tm:ctx.Run.telemetry ~name:title
+      (fun () -> body ())
+  in
   print_string text;
   print_newline ();
-  Printf.printf "-- section wall-clock: %.2f s (jobs=%d)\n%!" dt !jobs
+  Printf.printf "-- section wall-clock: %.2f s (jobs=%d%s)\n%!"
+    t.Scheduler.wall_s t.Scheduler.jobs
+    (if t.Scheduler.span_id = 0 then ""
+     else Printf.sprintf ", telemetry span %d" t.Scheduler.span_id)
 
 (* mkdir -p for every export target, once, before any writer runs. *)
 let ensure_results_dirs () =
@@ -224,7 +217,7 @@ let perf_tests () =
   Test.make_grouped ~name:"cachesec"
     (table_tests @ sim_tests @ arch_tests @ crypto_tests)
 
-let run_perf () =
+let run_perf ~quick () =
   let open Bechamel in
   let benchmark () =
     let ols =
@@ -233,7 +226,7 @@ let run_perf () =
     let instances = Toolkit.Instance.[ monotonic_clock ] in
     let cfg =
       Benchmark.cfg ~limit:2000
-        ~quota:(Time.second (if !quick then 0.2 else 0.5))
+        ~quota:(Time.second (if quick then 0.2 else 0.5))
         ~stabilize:true ()
     in
     let raw = Benchmark.all cfg instances (perf_tests ()) in
@@ -262,10 +255,16 @@ let run_perf () =
     (fun (name, est) -> Printf.printf "%-45s %15.1f\n" name est)
     entries
 
-let () =
-  parse_args ();
-  let scale = if !quick then Figures.Quick else Figures.Full in
-  let jobs = !jobs in
+(* Historical section seeds, frozen so the harness output stays directly
+   comparable across checkouts (they predate the shared --seed flag and
+   are deliberately not overridden by it). *)
+let crosscheck_seed = 7
+let learning_curves_seed = 61
+
+let main perf sim (ctx : Run.ctx) =
+  let quick = ctx.Run.quick in
+  let scale = if quick then Figures.Quick else Figures.Full in
+  let section title body = section ctx title body in
   Printf.printf
     "cachesec reproduction harness - He & Lee, 'How secure is your cache \
      against side-channel attacks?', MICRO-50 (2017)\n";
@@ -282,18 +281,18 @@ let () =
       Tables.table6_alt_geometry ());
   section "Design-space sweeps (analytical)" (fun () -> Sweeps.render ());
   let cells = ref None in
-  if !sim then begin
+  if sim then begin
     section "Figure 9 (evict-and-time validation)" (fun () ->
-        Figures.figure9 ~scale ~jobs ());
+        Figures.render_figure9 ctx);
     section "Figure 10 (prime-and-probe validation)" (fun () ->
-        Figures.figure10 ~scale ~jobs ());
+        Figures.render_figure10 ctx);
     section "Pre-PAS cross-check (Section 5)" (fun () ->
-        Figures.prepas_crosscheck ~scale ~jobs ());
+        Figures.render_prepas_crosscheck (Run.with_seed crosscheck_seed ctx));
     section "Validation matrix (9 caches x 4 attacks)" (fun () ->
-        let matrix = Validation.matrix ~scale ~jobs () in
+        let matrix = Validation.cells ctx in
         cells := Some matrix;
         Validation.render matrix);
-    section "Ablations" (fun () -> Ablations.all ~scale ~jobs ());
+    section "Ablations" (fun () -> Ablations.render ctx);
     section "Extension: skewed randomized cache" (fun () ->
         Extension.skewed_report ~scale ());
     section "Extension: multi-line evictions" (fun () ->
@@ -306,7 +305,9 @@ let () =
         Covert.render (Covert.table ~bits:(Figures.trials_for scale 2000) ()));
     section "Extension: sample complexity (trials to recovery)" (fun () ->
         let curves =
-          Learning_curves.table ~seeds:(if !quick then 3 else 8) ~jobs ()
+          Learning_curves.curves
+            ~seeds:(if quick then 3 else 8)
+            (Run.with_seed learning_curves_seed ctx)
         in
         Cachesec_report.Csv.write ~path:"results/learning_curves.csv"
           ~header:[ "arch"; "pas_type4"; "trials"; "recovery_rate" ]
@@ -318,7 +319,7 @@ let () =
         Performance.model_table ~accesses:(Figures.trials_for scale 120000) ());
     section "Edge-level validation (micro-measured conditionals)" (fun () ->
         Edge_measure.render
-          (Edge_measure.table ~samples:(if !quick then 4000 else 20000) ()));
+          (Edge_measure.table ~samples:(if quick then 4000 else 20000) ()));
     section "Software mitigations (prefetch / prefetch-and-lock)" (fun () ->
         Mitigation.report ~scale ());
     section "Extension: LLC attack through a two-level hierarchy" (fun () ->
@@ -389,19 +390,55 @@ let () =
   (* Always runs (even under --no-sim / --no-perf): this is the perf
      regression gate. Writes results/BENCH_cache.json in a frozen format
      directly comparable across checkouts; the committed
-     bench/BENCH_cache.baseline.json holds the pre-optimization numbers. *)
+     bench/BENCH_cache.baseline.json holds the pre-optimization numbers.
+     The benchmark proper is timed through Scheduler.timed so its
+     telemetry span id can be embedded in the JSON, cross-referencing
+     BENCH_cache.json against TELEMETRY_*.json of the same run. *)
   section "Simulator throughput (accesses/sec per architecture x policy)"
     (fun () ->
-      let entries = Throughput.run ~quick:!quick () in
+      let entries, t =
+        Scheduler.timed ?jobs:ctx.Run.jobs ~tm:ctx.Run.telemetry
+          ~name:"throughput-bench"
+          (fun () -> Throughput.bench ctx)
+      in
       ensure_results_dirs ();
-      Throughput.write ~path:"results/BENCH_cache.json" entries;
+      Throughput.write ~span_id:t.Scheduler.span_id
+        ~path:"results/BENCH_cache.json" entries;
       Throughput.render ~baseline:"bench/BENCH_cache.baseline.json" entries
-      ^ "  wrote results/BENCH_cache.json\n");
+      ^ Printf.sprintf "  wrote results/BENCH_cache.json%s\n"
+          (if t.Scheduler.span_id = 0 then ""
+           else
+             Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
   section "CSV export" (fun () ->
       export_csvs !cells;
       "");
-  if !perf then begin
+  if perf then begin
     section "Bechamel micro-benchmarks" (fun () ->
-        run_perf ();
+        run_perf ~quick ();
         "")
-  end
+  end;
+  (* Flush any telemetry sinks before process exit (also registered via
+     at_exit by Run.of_cmdline; close is idempotent). *)
+  Telemetry.close ctx.Run.telemetry
+
+let cmd =
+  let open Cmdliner in
+  let no_perf =
+    Arg.(
+      value & flag
+      & info [ "no-perf" ] ~doc:"Skip the Bechamel micro-benchmarks.")
+  in
+  let no_sim =
+    Arg.(
+      value & flag
+      & info [ "no-sim" ] ~doc:"Analytical sections only (skip simulation).")
+  in
+  let run no_perf no_sim ctx = main (not no_perf) (not no_sim) ctx in
+  Cmd.v
+    (Cmd.info "bench"
+       ~doc:
+         "cachesec reproduction harness: regenerate every table and figure, \
+          export CSVs and run the perf regression gate.")
+    Term.(const run $ no_perf $ no_sim $ Run.of_cmdline ~run:"bench" ())
+
+let () = exit (Cmdliner.Cmd.eval cmd)

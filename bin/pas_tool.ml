@@ -8,6 +8,7 @@ open Cmdliner
 open Cachesec_cache
 open Cachesec_analysis
 open Cachesec_experiments
+open Cachesec_runtime
 
 (* --- shared argument converters ------------------------------------ *)
 
@@ -59,15 +60,11 @@ let seed_arg =
 let quick_arg =
   Arg.(value & flag & info [ "quick" ] ~doc:"Reduced trial counts.")
 
-let jobs_arg =
-  Arg.(
-    value & opt int 1
-    & info [ "jobs"; "j" ] ~docv:"N"
-        ~doc:
-          "Shard Monte-Carlo trials over $(docv) domains (0 = one per \
-           core). Results are independent of $(docv).")
-
 let scale_of_quick quick = if quick then Figures.Quick else Figures.Full
+
+(* Commands that fan trials out over the trial runtime share one context
+   term: --seed, --quick, --jobs, --progress, --metrics PATH. *)
+let ctx_term = Run.of_cmdline ~run:"pas_tool" ()
 
 (* --- commands ------------------------------------------------------- *)
 
@@ -98,23 +95,21 @@ let figures_cmd =
       & opt (some int) None
       & info [ "figure"; "f" ] ~docv:"N" ~doc:"Print only figure N (4, 8, 9 or 10).")
   in
-  let run which quick seed jobs =
-    let scale = scale_of_quick quick in
+  let run which (ctx : Run.ctx) =
     let all = which = None in
     if all || which = Some 4 then print_string (Figures.figure4 ());
     if all || which = Some 8 then print_string (Figures.figure8 ());
-    if all || which = Some 9 then
-      print_string (Figures.figure9 ~scale ~seed ~jobs ());
-    if all || which = Some 10 then
-      print_string (Figures.figure10 ~scale ~seed ~jobs ());
-    match which with
+    if all || which = Some 9 then print_string (Figures.render_figure9 ctx);
+    if all || which = Some 10 then print_string (Figures.render_figure10 ctx);
+    (match which with
     | Some n when not (List.mem n [ 4; 8; 9; 10 ]) ->
       Printf.eprintf "no figure %d (have 4, 8, 9, 10)\n" n
-    | _ -> ()
+    | _ -> ());
+    Cachesec_telemetry.Telemetry.close ctx.Run.telemetry
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's Figures 4, 8, 9 and 10.")
-    Term.(const run $ which $ quick_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ which $ ctx_term)
 
 let pas_cmd =
   let run spec attack =
@@ -191,7 +186,7 @@ let simulate_cmd =
   in
   (* Trials fan out over the Driver's batch plan, so --jobs shards the
      campaign over domains without changing the verdict. *)
-  let run spec attack trials seed jobs =
+  let run spec attack trials (ctx : Run.ctx) =
     let lock = match spec with Spec.Pl _ -> true | _ -> false in
     let report recovered best true_v separation =
       Printf.printf
@@ -212,7 +207,7 @@ let simulate_cmd =
           lock_victim_tables = lock;
         }
       in
-      let r = Driver.evict_time ~jobs ~seed spec cfg in
+      let r = Driver.run_evict_time ctx spec cfg in
       report r.Evict_time.nibble_recovered r.Evict_time.best_candidate
         r.Evict_time.true_byte r.Evict_time.separation
     | Attack_type.Prime_and_probe ->
@@ -226,7 +221,7 @@ let simulate_cmd =
           lock_victim_tables = lock;
         }
       in
-      let r = Driver.prime_probe ~jobs ~seed spec cfg in
+      let r = Driver.run_prime_probe ctx spec cfg in
       report r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
         r.Prime_probe.true_byte r.Prime_probe.separation
     | Attack_type.Cache_collision ->
@@ -238,7 +233,7 @@ let simulate_cmd =
             Option.value trials ~default:Collision.default_config.Collision.trials;
         }
       in
-      let r = Driver.collision ~jobs ~seed spec cfg in
+      let r = Driver.run_collision ctx spec cfg in
       report r.Collision.nibble_recovered r.Collision.best_delta
         r.Collision.true_delta r.Collision.separation
     | Attack_type.Flush_and_reload ->
@@ -251,7 +246,7 @@ let simulate_cmd =
               ~default:Flush_reload.default_config.Flush_reload.trials;
         }
       in
-      let r = Driver.flush_reload ~jobs ~seed spec cfg in
+      let r = Driver.run_flush_reload ctx spec cfg in
       report r.Flush_reload.nibble_recovered r.Flush_reload.best_candidate
         r.Flush_reload.true_byte r.Flush_reload.separation
   in
@@ -260,17 +255,17 @@ let simulate_cmd =
        ~doc:
          "Run a simulated attack against a cache architecture (trials \
           sharded over --jobs domains).")
-    Term.(const run $ cache_arg $ attack_arg $ trials_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ cache_arg $ attack_arg $ trials_arg $ ctx_term)
 
 let validate_cmd =
-  let run quick seed jobs =
-    let scale = scale_of_quick quick in
-    print_string (Validation.render (Validation.matrix ~scale ~seed ~jobs ()))
+  let run (ctx : Run.ctx) =
+    print_string (Validation.render (Validation.cells ctx));
+    Cachesec_telemetry.Telemetry.close ctx.Run.telemetry
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:"Run the full 9-cache x 4-attack validation matrix.")
-    Term.(const run $ quick_arg $ seed_arg $ jobs_arg)
+    Term.(const run $ ctx_term)
 
 let perf_cmd =
   let accesses =

@@ -2,25 +2,40 @@ open Cachesec_cache
 open Cachesec_attacks
 open Cachesec_analysis
 open Cachesec_report
+open Cachesec_runtime
+open Cachesec_telemetry
 
 (* Both helpers fan their trials out over the trial runtime; ablation
-   outcomes are independent of [jobs]. *)
-let run_collision ?jobs ~scale ~seed spec trials =
-  Driver.collision ?jobs ~seed spec
-    { Collision.default_config with Collision.trials = Figures.trials_for scale trials }
+   outcomes are independent of [ctx.jobs]. *)
+let run_collision (ctx : Run.ctx) spec trials =
+  Driver.run_collision ctx spec
+    {
+      Collision.default_config with
+      Collision.trials = Figures.trials_for (Figures.scale_of ctx) trials;
+    }
 
-let run_evict_time ?jobs ~scale ~seed spec trials =
-  Driver.evict_time ?jobs ~seed spec
-    { Evict_time.default_config with Evict_time.trials = Figures.trials_for scale trials }
+let run_evict_time (ctx : Run.ctx) spec trials =
+  Driver.run_evict_time ctx spec
+    {
+      Evict_time.default_config with
+      Evict_time.trials = Figures.trials_for (Figures.scale_of ctx) trials;
+    }
 
-let rf_window ?(scale = Figures.Full) ?(seed = 11) ?jobs () =
+(* Every sweep is one telemetry span; the Driver campaigns for its cells
+   nest under it. *)
+let sweep (ctx : Run.ctx) name body =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent name
+  @@ fun sp -> body (Run.with_parent sp ctx)
+
+let render_rf_window (ctx : Run.ctx) =
+  sweep ctx "ablation:rf-window" @@ fun ctx ->
   let windows = [ 0; 4; 16; 64; 128 ] in
   let rows =
     List.map
       (fun w ->
         let spec = Spec.Rf { ways = 8; policy = Replacement.Random; back = w; fwd = w } in
         let pas = Attack_models.pas Attack_type.Cache_collision spec () in
-        let r = run_collision ?jobs ~scale ~seed spec 100000 in
+        let r = run_collision ctx spec 100000 in
         [
           string_of_int w;
           Table.fmt_prob pas;
@@ -34,14 +49,15 @@ let rf_window ?(scale = Figures.Full) ?(seed = 11) ?jobs () =
       ~headers:[ "window w"; "PAS (analytic)"; "nibble recovered"; "z" ]
       ~rows ()
 
-let re_interval ?(scale = Figures.Full) ?(seed = 12) ?jobs () =
+let render_re_interval (ctx : Run.ctx) =
+  sweep ctx "ablation:re-interval" @@ fun ctx ->
   let intervals = [ 1; 2; 5; 10; 100 ] in
   let rows =
     List.map
       (fun t ->
         let spec = Spec.Re { ways = 1; policy = Replacement.Random; interval = t } in
         let pas = Attack_models.pas Attack_type.Cache_collision spec () in
-        let r = run_collision ?jobs ~scale ~seed spec 100000 in
+        let r = run_collision ctx spec 100000 in
         [
           string_of_int t;
           Table.fmt_prob pas;
@@ -55,7 +71,8 @@ let re_interval ?(scale = Figures.Full) ?(seed = 12) ?jobs () =
       ~headers:[ "interval T"; "PAS (analytic)"; "nibble recovered"; "z" ]
       ~rows ()
 
-let noise_sigma ?(scale = Figures.Full) ?(seed = 13) ?jobs () =
+let render_noise_sigma (ctx : Run.ctx) =
+  sweep ctx "ablation:noise-sigma" @@ fun ctx ->
   let sigmas = [ 0.; 0.25; 0.5; 1.; 2. ] in
   let rows =
     List.map
@@ -66,7 +83,7 @@ let noise_sigma ?(scale = Figures.Full) ?(seed = 13) ?jobs () =
           if sigma = 0. then 1
           else Noise.trials_to_overcome ~sigma ~confidence:0.99
         in
-        let r = run_evict_time ?jobs ~scale ~seed spec 50000 in
+        let r = run_evict_time ctx spec 50000 in
         [
           Printf.sprintf "%g" sigma;
           Table.fmt_prob (Noise.p5 ~sigma);
@@ -82,14 +99,15 @@ let noise_sigma ?(scale = Figures.Full) ?(seed = 13) ?jobs () =
         [ "sigma"; "p5"; "PAS (analytic)"; "avg trials to 99%"; "nibble recovered" ]
       ~rows ()
 
-let nomo_reserved ?(scale = Figures.Full) ?(seed = 14) ?jobs () =
+let render_nomo_reserved (ctx : Run.ctx) =
+  sweep ctx "ablation:nomo-reserved" @@ fun ctx ->
   let reservations = [ 0; 1; 2; 4 ] in
   let rows =
     List.map
       (fun reserved ->
         let spec = Spec.Nomo { ways = 8; policy = Replacement.Random; reserved } in
         let pas = Attack_models.pas Attack_type.Evict_and_time spec () in
-        let r = run_evict_time ?jobs ~scale ~seed spec 50000 in
+        let r = run_evict_time ctx spec 50000 in
         [
           Printf.sprintf "%d/8" reserved;
           Table.fmt_prob pas;
@@ -104,12 +122,13 @@ let nomo_reserved ?(scale = Figures.Full) ?(seed = 14) ?jobs () =
       ~headers:[ "reserved"; "PAS (analytic)"; "nibble recovered"; "z" ]
       ~rows ()
 
-let replacement_policy ?(scale = Figures.Full) ?(seed = 15) ?jobs () =
+let render_replacement_policy (ctx : Run.ctx) =
+  sweep ctx "ablation:replacement-policy" @@ fun ctx ->
   let rows =
     List.map
       (fun policy ->
         let spec = Spec.Sa { ways = 8; policy } in
-        let r = run_evict_time ?jobs ~scale ~seed spec 50000 in
+        let r = run_evict_time ctx spec 50000 in
         [
           Replacement.policy_to_string policy;
           string_of_bool r.Evict_time.nibble_recovered;
@@ -125,6 +144,48 @@ let replacement_policy ?(scale = Figures.Full) ?(seed = 15) ?jobs () =
   ^ Table.render
       ~headers:[ "policy"; "nibble recovered"; "z" ]
       ~rows ()
+
+(* The historical sweep seeds: each sweep has always run under its own
+   default seed (11..15), so the combined report keeps doing the same —
+   [render] re-seeds the shared ctx per sweep rather than reusing
+   [ctx.seed] verbatim, preserving bit-identical output with the
+   deprecated [all]. *)
+let rf_window_seed = 11
+let re_interval_seed = 12
+let noise_sigma_seed = 13
+let nomo_reserved_seed = 14
+let replacement_policy_seed = 15
+
+let render (ctx : Run.ctx) =
+  String.concat "\n"
+    [
+      render_rf_window (Run.with_seed rf_window_seed ctx);
+      render_re_interval (Run.with_seed re_interval_seed ctx);
+      render_noise_sigma (Run.with_seed noise_sigma_seed ctx);
+      render_nomo_reserved (Run.with_seed nomo_reserved_seed ctx);
+      render_replacement_policy (Run.with_seed replacement_policy_seed ctx);
+    ]
+
+(* --- deprecated optional-tail wrappers ------------------------------- *)
+
+let ctx_of ?(scale = Figures.Full) ~seed ?jobs () =
+  let ctx = { Run.default with Run.seed; jobs } in
+  if scale = Figures.Quick then Run.quick ctx else ctx
+
+let rf_window ?scale ?(seed = rf_window_seed) ?jobs () =
+  render_rf_window (ctx_of ?scale ~seed ?jobs ())
+
+let re_interval ?scale ?(seed = re_interval_seed) ?jobs () =
+  render_re_interval (ctx_of ?scale ~seed ?jobs ())
+
+let noise_sigma ?scale ?(seed = noise_sigma_seed) ?jobs () =
+  render_noise_sigma (ctx_of ?scale ~seed ?jobs ())
+
+let nomo_reserved ?scale ?(seed = nomo_reserved_seed) ?jobs () =
+  render_nomo_reserved (ctx_of ?scale ~seed ?jobs ())
+
+let replacement_policy ?scale ?(seed = replacement_policy_seed) ?jobs () =
+  render_replacement_policy (ctx_of ?scale ~seed ?jobs ())
 
 let all ?scale ?seed ?jobs () =
   String.concat "\n"

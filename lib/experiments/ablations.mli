@@ -4,29 +4,60 @@
     next to a simulated attack outcome.
 
     Every sweep fans its trials out over the Domain-parallel trial
-    runtime; [?jobs] follows {!Cachesec_runtime.Scheduler.resolve_jobs}
-    (absent = serial, [0] = auto) and the rendered tables are
-    independent of it. *)
+    runtime and is wrapped in a telemetry span [ablation:<sweep>]; the
+    rendered tables are independent of [ctx.jobs]. *)
 
-val rf_window : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+open Cachesec_runtime
+
+(** {1 Primary ctx-first API} *)
+
+val render_rf_window : Run.ctx -> string
 (** Cache-collision attack vs the random-fill window size: the paper's
     p0 = 1/(Wa+Wb+1) against recovery of the key-byte XOR. *)
 
-val re_interval : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+val render_re_interval : Run.ctx -> string
 (** Cache-collision attack vs the random-eviction interval: p4 =
     1 - 1/(N T). *)
 
-val noise_sigma : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+val render_noise_sigma : Run.ctx -> string
 (** Evict-and-time vs sigma: p5 = Phi(1/(2 sigma)), the trials an
     averaging attacker needs, and the empirical outcome. *)
 
-val nomo_reserved : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+val render_nomo_reserved : Run.ctx -> string
 (** Evict-and-time vs Nomo's reserved ways: protection appears exactly
     when the victim's per-set footprint fits the reservation. *)
 
-val replacement_policy : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+val render_replacement_policy : Run.ctx -> string
 (** Evict-and-time under LRU vs random vs FIFO: deterministic policies
     make the eviction stage certain, which is why the paper evaluates
     with random replacement. *)
 
+val render : Run.ctx -> string
+(** All five sweeps. Each sweep keeps its historical default seed
+    (11..15) so the combined report is bit-identical to the deprecated
+    [all] with no [?seed]; [ctx] still supplies scale, jobs and
+    telemetry. *)
+
+(** {1 Deprecated optional-tail wrappers}
+
+    [?jobs] follows {!Cachesec_runtime.Scheduler.resolve_jobs} (absent =
+    serial, [0] = auto). *)
+
+val rf_window : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_rf_window with a Run.ctx"]
+
+val re_interval : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_re_interval with a Run.ctx"]
+
+val noise_sigma : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_noise_sigma with a Run.ctx"]
+
+val nomo_reserved : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_nomo_reserved with a Run.ctx"]
+
+val replacement_policy :
+  ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_replacement_policy with a Run.ctx"]
+
 val all : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render with a Run.ctx"]

@@ -2,15 +2,12 @@ open Cachesec_stats
 open Cachesec_cache
 open Cachesec_attacks
 open Cachesec_runtime
+open Cachesec_telemetry
 
-(* Shard 0 reuses the experiment's root seed verbatim, so a run that fits
-   in a single shard is bit-identical to the legacy monolithic serial
-   loop (and to every result recorded before the trial-runtime refactor).
-   Later shards draw well-separated seeds from the pure hash. *)
-let shard_seed ~seed i = if i = 0 then seed else Rng.derive_seed seed i
+let shard_seed ~seed i = Run.seed_for_batch ~seed i
 
-let setup_for ~seed spec (b : Scheduler.batch) =
-  Setup.make ~seed:(shard_seed ~seed b.Scheduler.index) spec
+let setup_for ~(ctx : Run.ctx) spec (b : Scheduler.batch) =
+  Setup.make ~seed:(Run.batch_seed ctx b.Scheduler.index) spec
 
 let fold_partials merge = function
   | [||] -> invalid_arg "Driver: empty batch plan"
@@ -32,81 +29,140 @@ let collision_batch = 8192
 let flush_reload_batch = 256
 let cleaning_batch = 250
 
-let evict_time ?jobs ?(batch = evict_time_batch) ~seed spec
-    (c : Evict_time.config) =
-  let plan = Scheduler.plan ~total:c.Evict_time.trials ~batch_size:batch in
-  let shard (b : Scheduler.batch) =
-    let s = setup_for ~seed spec b in
-    Evict_time.run_span ~victim:s.Setup.victim
-      ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
-      ~first:b.Scheduler.first ~count:b.Scheduler.count c
-  in
-  let merged =
-    fold_partials Evict_time.merge_partial (Scheduler.map_array ?jobs shard plan)
-  in
-  Evict_time.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+(* Engine counters -> telemetry, sampled once per finished batch (the
+   engines' zero-alloc access path is never touched: [counters ()] takes
+   an ordinary snapshot after the batch's trial slice has run). Each
+   batch owns a fresh engine, so its snapshot is exactly the batch's
+   traffic, and the merged totals are jobs-invariant. *)
+let sample_engine_counters tm (s : Setup.t) =
+  if not (Telemetry.is_null tm) then begin
+    let c = s.Setup.engine.Engine.counters () in
+    Telemetry.count tm "cache.accesses" c.Counters.accesses;
+    Telemetry.count tm "cache.hits" c.Counters.hits;
+    Telemetry.count tm "cache.misses" c.Counters.misses;
+    Telemetry.count tm "cache.evictions" c.Counters.evictions;
+    Telemetry.count tm "cache.read_throughs" c.Counters.read_throughs;
+    Telemetry.count tm "cache.flushes" c.Counters.flushes
+  end
 
-let prime_probe ?jobs ?(batch = prime_probe_batch) ~seed spec
-    (c : Prime_probe.config) =
-  let plan = Scheduler.plan ~total:c.Prime_probe.trials ~batch_size:batch in
-  let shard (b : Scheduler.batch) =
-    let s = setup_for ~seed spec b in
-    Prime_probe.run_span ~victim:s.Setup.victim
-      ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
-      ~count:b.Scheduler.count c
-  in
-  let merged =
-    fold_partials Prime_probe.merge_partial (Scheduler.map_array ?jobs shard plan)
-  in
-  Prime_probe.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+(* Common campaign shape: span the experiment, plan the batches, fan the
+   shards out over the scheduler (tagged with the span so batch events
+   nest under it), fold the partials in batch order. *)
+let campaign ~(ctx : Run.ctx) ~name ~default_batch ~total ~shard ~merge
+    ~finalize =
+  let tm = ctx.Run.telemetry in
+  Telemetry.with_span tm ~parent:ctx.Run.parent name @@ fun sp ->
+  Telemetry.gauge tm ~span:sp "trials" (float_of_int total);
+  let batch_size = Option.value ctx.Run.batch ~default:default_batch in
+  let plan = Scheduler.plan ~total ~batch_size in
+  let parts = Scheduler.map_array ?jobs:ctx.Run.jobs ~tm ~span:sp shard plan in
+  if not (Telemetry.is_null tm) then begin
+    Telemetry.count tm "driver.batches" (Array.length plan);
+    Telemetry.count tm "driver.trials" total
+  end;
+  finalize (fold_partials merge parts)
 
-let collision ?jobs ?(batch = collision_batch) ~seed spec (c : Collision.config) =
-  let plan = Scheduler.plan ~total:c.Collision.trials ~batch_size:batch in
+let run_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
+  let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
-    let s = setup_for ~seed spec b in
-    Collision.run_span ~victim:s.Setup.victim ~rng:s.Setup.rng
-      ~count:b.Scheduler.count c
+    let s = setup_for ~ctx spec b in
+    let p =
+      Evict_time.run_span ~victim:s.Setup.victim
+        ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+        ~first:b.Scheduler.first ~count:b.Scheduler.count c
+    in
+    sample_engine_counters tm s;
+    p
   in
-  let merged =
-    fold_partials Collision.merge_partial (Scheduler.map_array ?jobs shard plan)
-  in
-  Collision.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+  campaign ~ctx
+    ~name:("evict-time:" ^ Spec.name spec)
+    ~default_batch:evict_time_batch ~total:c.Evict_time.trials ~shard
+    ~merge:Evict_time.merge_partial
+    ~finalize:(fun merged ->
+      Evict_time.finalize
+        ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
 
-let flush_reload ?jobs ?(batch = flush_reload_batch) ~seed spec
-    (c : Flush_reload.config) =
-  let plan = Scheduler.plan ~total:c.Flush_reload.trials ~batch_size:batch in
+let run_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
+  let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
-    let s = setup_for ~seed spec b in
-    Flush_reload.run_span ~victim:s.Setup.victim
-      ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
-      ~count:b.Scheduler.count c
+    let s = setup_for ~ctx spec b in
+    let p =
+      Prime_probe.run_span ~victim:s.Setup.victim
+        ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+        ~count:b.Scheduler.count c
+    in
+    sample_engine_counters tm s;
+    p
   in
-  let merged =
-    fold_partials Flush_reload.merge_partial
-      (Scheduler.map_array ?jobs shard plan)
+  campaign ~ctx
+    ~name:("prime-probe:" ^ Spec.name spec)
+    ~default_batch:prime_probe_batch ~total:c.Prime_probe.trials ~shard
+    ~merge:Prime_probe.merge_partial
+    ~finalize:(fun merged ->
+      Prime_probe.finalize
+        ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
+
+let run_collision (ctx : Run.ctx) spec (c : Collision.config) =
+  let tm = ctx.Run.telemetry in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~ctx spec b in
+    let p =
+      Collision.run_span ~victim:s.Setup.victim ~rng:s.Setup.rng
+        ~count:b.Scheduler.count c
+    in
+    sample_engine_counters tm s;
+    p
   in
-  Flush_reload.finalize ~victim:(Setup.make ~seed spec).Setup.victim c merged
+  campaign ~ctx
+    ~name:("collision:" ^ Spec.name spec)
+    ~default_batch:collision_batch ~total:c.Collision.trials ~shard
+    ~merge:Collision.merge_partial
+    ~finalize:(fun merged ->
+      Collision.finalize
+        ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
+
+let run_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
+  let tm = ctx.Run.telemetry in
+  let shard (b : Scheduler.batch) =
+    let s = setup_for ~ctx spec b in
+    let p =
+      Flush_reload.run_span ~victim:s.Setup.victim
+        ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng
+        ~count:b.Scheduler.count c
+    in
+    sample_engine_counters tm s;
+    p
+  in
+  campaign ~ctx
+    ~name:("flush-reload:" ^ Spec.name spec)
+    ~default_batch:flush_reload_batch ~total:c.Flush_reload.trials ~shard
+    ~merge:Flush_reload.merge_partial
+    ~finalize:(fun merged ->
+      Flush_reload.finalize
+        ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
 
 (* --- pre-PAS cleaning game ------------------------------------------- *)
 
-let cleaning_game ?jobs ?(batch = cleaning_batch) ~seed spec ~accesses ~samples =
-  if samples <= 0 then invalid_arg "Driver.cleaning_game: samples must be positive";
-  let plan = Scheduler.plan ~total:samples ~batch_size:batch in
+let run_cleaning_game (ctx : Run.ctx) spec ~accesses ~samples =
+  if samples <= 0 then
+    invalid_arg "Driver.cleaning_game: samples must be positive";
   let shard (b : Scheduler.batch) =
-    let rng = Rng.create ~seed:(shard_seed ~seed b.Scheduler.index) in
+    let rng = Rng.create ~seed:(Run.batch_seed ctx b.Scheduler.index) in
     Cleaner.count_wins spec ~accesses ~samples:b.Scheduler.count ~rng
   in
-  let wins = Array.fold_left ( + ) 0 (Scheduler.map_array ?jobs shard plan) in
-  float_of_int wins /. float_of_int samples
+  campaign ~ctx
+    ~name:("cleaning-game:" ^ Spec.name spec)
+    ~default_batch:cleaning_batch ~total:samples ~shard ~merge:( + )
+    ~finalize:(fun wins -> float_of_int wins /. float_of_int samples)
 
 (* --- merged timing statistics ---------------------------------------- *)
 
-let timing_stats ?jobs ?(batch = 512) ?(lo = 0.) ?(hi = 40.) ?(bins = 80) ~seed
-    spec ~trials () =
+let run_timing_stats ?(lo = 0.) ?(hi = 40.) ?(bins = 80) (ctx : Run.ctx) spec
+    ~trials () =
   if trials <= 0 then invalid_arg "Driver.timing_stats: trials must be positive";
-  let plan = Scheduler.plan ~total:trials ~batch_size:batch in
+  let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
-    let s = setup_for ~seed spec b in
+    let s = setup_for ~ctx spec b in
     let h = Histogram.create ~lo ~hi ~bins in
     let sum = Summary.create () in
     for _ = 1 to b.Scheduler.count do
@@ -120,9 +176,35 @@ let timing_stats ?jobs ?(batch = 512) ?(lo = 0.) ?(hi = 40.) ?(bins = 80) ~seed
       Histogram.add h observed;
       Summary.add sum observed
     done;
+    sample_engine_counters tm s;
     (h, sum)
   in
-  let parts = Scheduler.map_array ?jobs shard plan in
-  fold_partials
-    (fun (ha, sa) (hb, sb) -> (Histogram.merge ha hb, Summary.merge sa sb))
-    parts
+  campaign ~ctx
+    ~name:("timing-stats:" ^ Spec.name spec)
+    ~default_batch:512 ~total:trials ~shard
+    ~merge:(fun (ha, sa) (hb, sb) ->
+      (Histogram.merge ha hb, Summary.merge sa sb))
+    ~finalize:Fun.id
+
+(* --- deprecated optional-tail wrappers ------------------------------- *)
+
+let ctx_of ?jobs ?batch ~seed () =
+  { Run.default with Run.seed; jobs; batch }
+
+let evict_time ?jobs ?batch ~seed spec c =
+  run_evict_time (ctx_of ?jobs ?batch ~seed ()) spec c
+
+let prime_probe ?jobs ?batch ~seed spec c =
+  run_prime_probe (ctx_of ?jobs ?batch ~seed ()) spec c
+
+let collision ?jobs ?batch ~seed spec c =
+  run_collision (ctx_of ?jobs ?batch ~seed ()) spec c
+
+let flush_reload ?jobs ?batch ~seed spec c =
+  run_flush_reload (ctx_of ?jobs ?batch ~seed ()) spec c
+
+let cleaning_game ?jobs ?batch ~seed spec ~accesses ~samples =
+  run_cleaning_game (ctx_of ?jobs ?batch ~seed ()) spec ~accesses ~samples
+
+let timing_stats ?jobs ?batch ?lo ?hi ?bins ~seed spec ~trials () =
+  run_timing_stats ?lo ?hi ?bins (ctx_of ?jobs ?batch ~seed ()) spec ~trials ()

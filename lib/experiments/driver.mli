@@ -4,53 +4,92 @@
     plan over the trial index space ({!Cachesec_runtime.Scheduler.plan}):
     each batch builds its own fully independent world — a fresh
     {!Setup.t} (engine, victim, RNG) seeded from the pure hash
-    [Rng.derive_seed seed batch_index] — runs the attack's [run_span]
-    over its slice, and the mergeable partials are folded back together
-    in batch order. Because the plan and the seeds depend only on the
-    experiment definition (never on [jobs]), running with [jobs:1] and
-    [jobs:n] produces bit-identical results; [jobs] buys wall-clock
-    only.
+    {!Cachesec_runtime.Run.seed_for_batch} — runs the attack's
+    [run_span] over its slice, and the mergeable partials are folded
+    back together in batch order. Because the plan and the seeds depend
+    only on the experiment definition (never on [jobs]), running with
+    [jobs:1] and [jobs:n] produces bit-identical results; [jobs] buys
+    wall-clock only.
 
-    [?jobs] everywhere follows
-    {!Cachesec_runtime.Scheduler.resolve_jobs}: absent = serial, [0] =
-    auto ([Domain.recommended_domain_count]), [n > 0] = exactly [n]
-    Domains. *)
+    The primary API is ctx-first ([run_*]): one
+    {!Cachesec_runtime.Run.ctx} carries seed, worker count, batch
+    override and telemetry. With an active telemetry context each
+    campaign is wrapped in a span (nested under [ctx.parent], carrying a
+    [trials] gauge), the scheduler emits per-batch and per-domain
+    events under it, and the engines' {!Cachesec_cache.Counters} are
+    sampled into telemetry counters once per finished batch — the
+    per-access hot path is never instrumented.
+
+    The old [?jobs ?batch ~seed] optional tails survive as thin
+    deprecated wrappers. *)
 
 open Cachesec_cache
 open Cachesec_attacks
 open Cachesec_stats
+open Cachesec_runtime
 
-val shard_seed : seed:int -> int -> int
-(** Seed of shard [i]: the root [seed] itself for shard 0 (keeping
-    single-batch runs bit-identical to the legacy serial loops), a
-    derived seed otherwise. *)
+(** {1 Primary ctx-first API} *)
 
-val evict_time :
-  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Evict_time.config ->
-  Evict_time.result
+val run_evict_time :
+  Run.ctx -> Spec.t -> Evict_time.config -> Evict_time.result
 
-val prime_probe :
-  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Prime_probe.config ->
-  Prime_probe.result
+val run_prime_probe :
+  Run.ctx -> Spec.t -> Prime_probe.config -> Prime_probe.result
 
-val collision :
-  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Collision.config ->
-  Collision.result
+val run_collision : Run.ctx -> Spec.t -> Collision.config -> Collision.result
 
-val flush_reload :
-  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Flush_reload.config ->
-  Flush_reload.result
+val run_flush_reload :
+  Run.ctx -> Spec.t -> Flush_reload.config -> Flush_reload.result
 
-val cleaning_game :
-  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> accesses:int ->
-  samples:int -> float
+val run_cleaning_game :
+  Run.ctx -> Spec.t -> accesses:int -> samples:int -> float
 (** Sharded {!Cleaner.monte_carlo}: fraction of cleaning-game wins over
     [samples] independent games of [accesses] attacker reads. *)
 
-val timing_stats :
-  ?jobs:int -> ?batch:int -> ?lo:float -> ?hi:float -> ?bins:int ->
-  seed:int -> Spec.t -> trials:int -> unit -> Histogram.t * Summary.t
+val run_timing_stats :
+  ?lo:float -> ?hi:float -> ?bins:int -> Run.ctx -> Spec.t -> trials:int ->
+  unit -> Histogram.t * Summary.t
 (** Distribution of observed whole-encryption times over random
     plaintexts (the simulated counterpart of the paper's hit/miss timing
     separation): per-batch histograms and summaries merged with
     {!Histogram.merge} / {!Summary.merge}. *)
+
+(** {1 Deprecated optional-tail wrappers}
+
+    Bit-identical to the ctx API for equal [(seed, batch, jobs)] —
+    enforced by [test_runtime]'s old-vs-new equivalence cases. *)
+
+val shard_seed : seed:int -> int -> int
+[@@alert deprecated "use Cachesec_runtime.Run.seed_for_batch"]
+(** Alias of {!Cachesec_runtime.Run.seed_for_batch}, the single point of
+    batch-seed derivation. *)
+
+val evict_time :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Evict_time.config ->
+  Evict_time.result
+[@@alert deprecated "use run_evict_time with a Run.ctx"]
+
+val prime_probe :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Prime_probe.config ->
+  Prime_probe.result
+[@@alert deprecated "use run_prime_probe with a Run.ctx"]
+
+val collision :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Collision.config ->
+  Collision.result
+[@@alert deprecated "use run_collision with a Run.ctx"]
+
+val flush_reload :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> Flush_reload.config ->
+  Flush_reload.result
+[@@alert deprecated "use run_flush_reload with a Run.ctx"]
+
+val cleaning_game :
+  ?jobs:int -> ?batch:int -> seed:int -> Spec.t -> accesses:int ->
+  samples:int -> float
+[@@alert deprecated "use run_cleaning_game with a Run.ctx"]
+
+val timing_stats :
+  ?jobs:int -> ?batch:int -> ?lo:float -> ?hi:float -> ?bins:int ->
+  seed:int -> Spec.t -> trials:int -> unit -> Histogram.t * Summary.t
+[@@alert deprecated "use run_timing_stats with a Run.ctx"]

@@ -4,10 +4,21 @@ open Cachesec_attacks
 open Cachesec_analysis
 open Cachesec_report
 
+open Cachesec_runtime
+open Cachesec_telemetry
+
 type scale = Quick | Full
 
 let trials_for scale n =
   match scale with Full -> n | Quick -> Stdlib.max 50 (n / 10)
+
+let scale_of (ctx : Run.ctx) = if ctx.Run.quick then Quick else Full
+
+(* Deprecated-wrapper plumbing: lift an old [?scale ?seed ?jobs] tail
+   into a ctx. *)
+let ctx_of ?(scale = Full) ~seed ?jobs () =
+  let ctx = { Run.default with Run.seed; jobs } in
+  if scale = Quick then Run.quick ctx else ctx
 
 let figure4 () =
   let sigmas = List.init 31 (fun i -> float_of_int i /. 10.) in
@@ -55,15 +66,18 @@ let figure8 () =
 let curve_of_times times =
   Array.to_list (Array.mapi (fun i t -> (float_of_int i, t)) times)
 
-let figure9 ?(scale = Full) ?(seed = 42) ?jobs () =
+let render_figure9 (ctx : Run.ctx) =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent "figure9"
+  @@ fun sp ->
+  let ctx = Run.with_parent sp ctx in
   let run spec =
     let config =
       {
         Evict_time.default_config with
-        Evict_time.trials = trials_for scale 50000;
+        Evict_time.trials = trials_for (scale_of ctx) 50000;
       }
     in
-    (spec, Driver.evict_time ?jobs ~seed spec config)
+    (spec, Driver.run_evict_time ctx spec config)
   in
   let render (spec, (r : Evict_time.result)) =
     let plot =
@@ -91,7 +105,10 @@ let figure10_specs =
     Spec.paper_re;
   ]
 
-let figure10 ?(scale = Full) ?(seed = 42) ?jobs () =
+let render_figure10 (ctx : Run.ctx) =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent "figure10"
+  @@ fun sp ->
+  let ctx = Run.with_parent sp ctx in
   let buf = Buffer.create 4096 in
   Buffer.add_string buf
     "Figure 10: prime-and-probe validation across six caches\n\
@@ -101,11 +118,11 @@ let figure10 ?(scale = Full) ?(seed = 42) ?jobs () =
       let config =
         {
           Prime_probe.default_config with
-          Prime_probe.trials = trials_for scale 1500;
+          Prime_probe.trials = trials_for (scale_of ctx) 1500;
           lock_victim_tables = (match spec with Spec.Pl _ -> true | _ -> false);
         }
       in
-      let r = Driver.prime_probe ?jobs ~seed spec config in
+      let r = Driver.run_prime_probe ctx spec config in
       let normalized = Recovery.normalize r.Prime_probe.scores in
       Buffer.add_string buf
         (Printf.sprintf "%s\n%s  nibble recovered: %b (winner 0x%02x, true 0x%02x)\n\n"
@@ -117,8 +134,13 @@ let figure10 ?(scale = Full) ?(seed = 42) ?jobs () =
     figure10_specs;
   Buffer.contents buf
 
-let prepas_crosscheck ?(scale = Full) ?(seed = 7) ?jobs () =
-  let samples = trials_for scale 2000 in
+let render_prepas_crosscheck (ctx : Run.ctx) =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
+    "prepas-crosscheck"
+  @@ fun sp ->
+  let ctx = Run.with_parent sp ctx in
+  let seed = ctx.Run.seed in
+  let samples = trials_for (scale_of ctx) 2000 in
   let ks = [ 4; 8; 16; 32; 64 ] in
   let specs =
     [
@@ -150,8 +172,8 @@ let prepas_crosscheck ?(scale = Full) ?(seed = 7) ?jobs () =
                (fun ki k ->
                  let cell_seed = Rng.derive_seed seed ((si * nks) + ki + 1) in
                  Table.fmt_prob
-                   (Driver.cleaning_game ?jobs ~seed:cell_seed spec ~accesses:k
-                      ~samples))
+                   (Driver.run_cleaning_game (Run.with_seed cell_seed ctx)
+                      spec ~accesses:k ~samples))
                ks
            in
            [
@@ -164,3 +186,14 @@ let prepas_crosscheck ?(scale = Full) ?(seed = 7) ?jobs () =
    (RE shown 8-way to exhibit the free-lunch effect; RP's Monte Carlo is \n\
    lower than the closed form by design - see DESIGN.md)\n"
   ^ Table.render ~headers ~rows ()
+
+(* --- deprecated optional-tail wrappers ------------------------------- *)
+
+let figure9 ?scale ?(seed = 42) ?jobs () =
+  render_figure9 (ctx_of ?scale ~seed ?jobs ())
+
+let figure10 ?scale ?(seed = 42) ?jobs () =
+  render_figure10 (ctx_of ?scale ~seed ?jobs ())
+
+let prepas_crosscheck ?scale ?(seed = 7) ?jobs () =
+  render_prepas_crosscheck (ctx_of ?scale ~seed ?jobs ())

@@ -3,7 +3,15 @@
     Figures 4 and 8 are analytical curves; Figures 9 and 10 are
     validation experiments that run the actual attacks against the cache
     simulator (the substitute for the simulation studies the paper cites
-    in Section 6). *)
+    in Section 6).
+
+    The experimental figures come in two flavours: ctx-first primaries
+    ([render_*]) that take one {!Cachesec_runtime.Run.ctx} (seed, jobs,
+    telemetry, quick-scale), and thin deprecated wrappers with the old
+    optional tails. Each [render_*] wraps its work in a telemetry span
+    named after the figure, nested under [ctx.parent]. *)
+
+open Cachesec_runtime
 
 type scale = Quick | Full
 (** Quick keeps trial counts small enough for the test suite; Full is
@@ -11,6 +19,9 @@ type scale = Quick | Full
 
 val trials_for : scale -> int -> int
 (** [trials_for Quick n] divides [n] by 10 (min 50). *)
+
+val scale_of : Run.ctx -> scale
+(** [Quick] iff [ctx.quick]. *)
 
 val figure4 : unit -> string
 (** p5 (attacker's per-observation success probability) vs noise sigma. *)
@@ -22,19 +33,31 @@ val figure8 : unit -> string
 val figure8_series : ks:int list -> (string * (int * float) list) list
 (** The data behind {!figure8} (exposed for CSV export and tests). *)
 
-val figure9 : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
+(** {1 Primary ctx-first API} *)
+
+val render_figure9 : Run.ctx -> string
 (** Evict-and-time validation on the conventional SA cache vs Newcache:
     average encryption time per plaintext-byte value (flat = no leak).
     Trials are sharded over the Domain-parallel trial runtime; the
-    rendered figure is independent of [jobs]. *)
+    rendered figure is independent of [ctx.jobs]. *)
 
-val figure10 : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
+val render_figure10 : Run.ctx -> string
 (** Prime-and-probe validation across six caches (SA, SP, PL, Newcache,
-    RP, RE): normalised candidate-key score profiles. [?jobs] as in
-    {!figure9}. *)
+    RP, RE): normalised candidate-key score profiles. *)
 
-val prepas_crosscheck : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
+val render_prepas_crosscheck : Run.ctx -> string
 (** Closed-form pre-PAS vs Monte-Carlo cleaning game, per architecture,
     with the documented RP deviation called out. Each (cache, k) cell
-    runs its sample budget through the trial runtime under a derived
-    seed. *)
+    runs its sample budget through the trial runtime under a seed
+    derived from [ctx.seed]. *)
+
+(** {1 Deprecated optional-tail wrappers} *)
+
+val figure9 : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_figure9 with a Run.ctx"]
+
+val figure10 : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_figure10 with a Run.ctx"]
+
+val prepas_crosscheck : ?scale:scale -> ?seed:int -> ?jobs:int -> unit -> string
+[@@alert deprecated "use render_prepas_crosscheck with a Run.ctx"]

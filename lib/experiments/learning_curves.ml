@@ -3,6 +3,7 @@ open Cachesec_attacks
 open Cachesec_analysis
 open Cachesec_report
 open Cachesec_runtime
+open Cachesec_telemetry
 
 type curve = {
   arch : string;
@@ -11,14 +12,20 @@ type curve = {
 }
 
 let default_grid = [ 50; 100; 200; 400; 800; 1600; 3200 ]
+let default_seed = 61
 
 (* The (trials x seed-instance) cross product is a flat bag of
    independent campaigns, so the whole curve fans out over the
    scheduler. Each instance keeps the legacy [seed + 1000 i] derivation,
    which makes the curve identical to the old serial loop for any
    [jobs]. *)
-let run_curve ?(seed = 61) ?(seeds = 8) ?jobs ?(grid = default_grid) spec =
-  if seeds <= 0 then invalid_arg "Learning_curves.run_curve: seeds must be positive";
+let curve ?(seeds = 8) ?(grid = default_grid) (ctx : Run.ctx) spec =
+  if seeds <= 0 then
+    invalid_arg "Learning_curves.run_curve: seeds must be positive";
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
+    ("learning-curve:" ^ Spec.name spec)
+  @@ fun sp ->
+  let seed = ctx.Run.seed in
   let work =
     Array.of_list
       (List.concat_map
@@ -34,7 +41,10 @@ let run_curve ?(seed = 61) ?(seeds = 8) ?jobs ?(grid = default_grid) spec =
     in
     if r.Flush_reload.nibble_recovered then 1 else 0
   in
-  let wins = Scheduler.map_array ?jobs campaign work in
+  let wins =
+    Scheduler.map_array ?jobs:ctx.Run.jobs ~tm:ctx.Run.telemetry ~span:sp
+      campaign work
+  in
   let points =
     List.mapi
       (fun gi trials ->
@@ -55,8 +65,12 @@ let standard_specs =
   [ Spec.paper_sa; Spec.paper_re; Spec.paper_noisy; Spec.paper_rf;
     Spec.paper_newcache ]
 
-let table ?seed ?seeds ?jobs () =
-  List.map (fun spec -> run_curve ?seed ?seeds ?jobs spec) standard_specs
+let curves ?seeds (ctx : Run.ctx) =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
+    "learning-curves"
+  @@ fun sp ->
+  let ctx = Run.with_parent sp ctx in
+  List.map (fun spec -> curve ?seeds ctx spec) standard_specs
 
 let render curves =
   let grid =
@@ -91,3 +105,13 @@ let csv_rows curves =
           ])
         c.points)
     curves
+
+(* --- deprecated optional-tail wrappers ------------------------------- *)
+
+let ctx_of ?(seed = default_seed) ?jobs () =
+  { Run.default with Run.seed; jobs }
+
+let run_curve ?seed ?seeds ?jobs ?grid spec =
+  curve ?seeds ?grid (ctx_of ?seed ?jobs ()) spec
+
+let table ?seed ?seeds ?jobs () = curves ?seeds (ctx_of ?seed ?jobs ())

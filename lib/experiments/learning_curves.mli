@@ -5,11 +5,38 @@
     counts; the curve reports the recovery frequency. Lower PAS shifts
     the curve right (more trials needed); PAS = 0 never recovers. *)
 
+open Cachesec_runtime
+
 type curve = {
   arch : string;
   pas_type4 : float;
   points : (int * float) list;  (** (trials, recovery frequency) *)
 }
+
+(** {1 Primary ctx-first API} *)
+
+val curve : ?seeds:int -> ?grid:int list -> Run.ctx -> Cachesec_cache.Spec.t -> curve
+(** Defaults: 8 seeds, trials grid [50; 100; ...; 3200]. The
+    (trials x seed) campaigns fan out over the Domain-parallel trial
+    runtime under a span [learning-curve:<cache>]; the curve is
+    independent of [ctx.jobs] (each campaign keeps its legacy
+    per-instance [ctx.seed + 1000 i] seed). *)
+
+val standard_specs : Cachesec_cache.Spec.t list
+(** SA (PAS 1.0), RE (0.9998), Noisy (0.691), RF (7.75e-3),
+    Newcache (0). *)
+
+val curves : ?seeds:int -> Run.ctx -> curve list
+(** One {!curve} per {!standard_specs}, under one [learning-curves]
+    span. *)
+
+val render : curve list -> string
+val csv_rows : curve list -> string list list
+
+(** {1 Deprecated optional-tail wrappers}
+
+    Historical default seed 61; [?jobs] follows
+    {!Cachesec_runtime.Scheduler.resolve_jobs}. *)
 
 val run_curve :
   ?seed:int ->
@@ -18,16 +45,7 @@ val run_curve :
   ?grid:int list ->
   Cachesec_cache.Spec.t ->
   curve
-(** Defaults: 8 seeds, trials grid [50; 100; ...; 3200]. The
-    (trials x seed) campaigns fan out over the Domain-parallel trial
-    runtime; [?jobs] follows {!Cachesec_runtime.Scheduler.resolve_jobs}
-    and the curve is independent of it (each campaign keeps its legacy
-    per-instance seed). *)
-
-val standard_specs : Cachesec_cache.Spec.t list
-(** SA (PAS 1.0), RE (0.9998), Noisy (0.691), RF (7.75e-3),
-    Newcache (0). *)
+[@@alert deprecated "use curve with a Run.ctx"]
 
 val table : ?seed:int -> ?seeds:int -> ?jobs:int -> unit -> curve list
-val render : curve list -> string
-val csv_rows : curve list -> string list list
+[@@alert deprecated "use curves with a Run.ctx"]

@@ -11,6 +11,8 @@
 
 open Cachesec_stats
 open Cachesec_cache
+open Cachesec_runtime
+open Cachesec_telemetry
 
 type entry = {
   arch : string;
@@ -69,9 +71,27 @@ let cases () =
           [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])
     Spec.all_paper
 
+(* The timed loop itself is never instrumented (that would measure the
+   telemetry, not the engine): each case is bracketed in a span and its
+   result reported as gauges after the stopwatch has stopped. *)
+let bench (ctx : Run.ctx) =
+  let tm = ctx.Run.telemetry in
+  Telemetry.with_span tm ~parent:ctx.Run.parent "throughput"
+  @@ fun sp ->
+  let accesses = if ctx.Run.quick then 40_000 else 400_000 in
+  List.map
+    (fun spec ->
+      Telemetry.with_span tm ~parent:sp ("throughput:" ^ Spec.name spec)
+      @@ fun case_sp ->
+      let e = measure ~accesses spec in
+      Telemetry.gauge tm ~span:case_sp "accesses_per_sec" e.per_sec;
+      Telemetry.gauge tm ~span:case_sp "accesses" (float_of_int e.accesses);
+      e)
+    (cases ())
+
 let run ?(quick = false) () =
-  let accesses = if quick then 40_000 else 400_000 in
-  List.map (fun spec -> measure ~accesses spec) (cases ())
+  let ctx = { Run.default with Run.quick = quick } in
+  bench ctx
 
 (* --- JSON (flat, line-oriented: one entry per line, fixed key order,
    so the file doubles as its own parser format) ------------------- *)
@@ -82,9 +102,18 @@ let entry_to_json e =
      %.6f, \"accesses_per_sec\": %.1f}"
     e.arch e.policy e.accesses e.seconds e.per_sec
 
-let to_json entries =
+(* [?span_id] cross-references the telemetry JSON of the same run: it is
+   the id of the span that wrapped this benchmark section (see
+   [Scheduler.timed]), emitted as an extra header line that [read]'s
+   line scanner skips over, keeping the format backward compatible. *)
+let to_json ?span_id entries =
   let buf = Buffer.create 4096 in
-  Buffer.add_string buf "{\n  \"schema\": \"bench_cache/v1\",\n  \"entries\": [\n";
+  Buffer.add_string buf "{\n  \"schema\": \"bench_cache/v1\",\n";
+  (match span_id with
+  | Some id when id <> 0 ->
+    Buffer.add_string buf (Printf.sprintf "  \"telemetry_span\": %d,\n" id)
+  | Some _ | None -> ());
+  Buffer.add_string buf "  \"entries\": [\n";
   List.iteri
     (fun i e ->
       Buffer.add_string buf "    ";
@@ -95,9 +124,9 @@ let to_json entries =
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
 
-let write ~path entries =
+let write ?span_id ~path entries =
   let oc = open_out path in
-  output_string oc (to_json entries);
+  output_string oc (to_json ?span_id entries);
   close_out oc
 
 (* Reads files produced by [write]: scans each line for an entry object

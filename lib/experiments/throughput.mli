@@ -3,6 +3,8 @@
     machine-readable JSON export ([BENCH_cache.json]) whose format is
     frozen so runs from different PRs are directly comparable. *)
 
+open Cachesec_runtime
+
 type entry = {
   arch : string;
   policy : string;  (** "lru" | "random" | "fifo" | "secrand" (Newcache) *)
@@ -19,11 +21,19 @@ val cases : unit -> Cachesec_cache.Spec.t list
 (** The 25 benchmark rows: 8 policied architectures x {lru, random,
     fifo} plus Newcache (SecRAND only). *)
 
-val run : ?quick:bool -> unit -> entry list
-(** Measure every case (40k accesses each under [quick], 400k otherwise). *)
+val bench : Run.ctx -> entry list
+(** Measure every case (40k accesses each when [ctx.quick], 400k
+    otherwise). Each case is bracketed in a [throughput:<arch>] span
+    with [accesses_per_sec] / [accesses] gauges, reported only after the
+    stopwatch has stopped — the timed loop is never instrumented. *)
 
-val to_json : entry list -> string
-val write : path:string -> entry list -> unit
+val to_json : ?span_id:int -> entry list -> string
+
+val write : ?span_id:int -> path:string -> entry list -> unit
+(** [?span_id] (when non-zero) records the telemetry span id of the
+    benchmark section as a ["telemetry_span"] header line, so the file
+    cross-references the [TELEMETRY_*.json] of the same run. {!read}
+    skips the line, keeping old and new files mutually parseable. *)
 
 val read : path:string -> entry list
 (** Parse a file produced by {!write}; [[]] if absent or unparseable. *)
@@ -33,3 +43,7 @@ val find : entry list -> arch:string -> policy:string -> entry option
 val render : ?baseline:string -> entry list -> string
 (** Human-readable table; when [baseline] names a readable
     {!write}-format file, adds a per-row speedup column against it. *)
+
+val run : ?quick:bool -> unit -> entry list
+[@@alert deprecated "use bench with a Run.ctx"]
+(** {!bench} under a default (null-telemetry) context. *)

@@ -2,6 +2,8 @@ open Cachesec_cache
 open Cachesec_attacks
 open Cachesec_analysis
 open Cachesec_report
+open Cachesec_runtime
+open Cachesec_telemetry
 
 type cell = {
   arch : string;
@@ -39,15 +41,23 @@ let lock_for spec =
   match spec with Spec.Pl _ -> true | _ -> false
 
 (* Each cell fans its trials out over the trial runtime (Driver): the
-   batch plan and per-batch seeds depend only on [(seed, scale)], so any
-   [jobs] value yields the same cell — enforced by test_runtime. *)
-let run_cell ?(scale = Figures.Full) ?(seed = 42) ?jobs spec attack =
-  let t n = Figures.trials_for scale n in
+   batch plan and per-batch seeds depend only on [(ctx.seed, ctx.quick)],
+   so any [jobs] value yields the same cell — enforced by test_runtime.
+   With an active telemetry context the cell is a span
+   [validation:<arch>:<attack>] and the Driver campaigns nest under
+   it. *)
+let cell (ctx : Run.ctx) spec attack =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
+    (Printf.sprintf "validation:%s:%s" (Spec.name spec)
+       (Attack_type.short attack))
+  @@ fun sp ->
+  let ctx = Run.with_parent sp ctx in
+  let t n = Figures.trials_for (Figures.scale_of ctx) n in
   let recovered, separation =
     match attack with
     | Attack_type.Evict_and_time ->
       let r =
-        Driver.evict_time ?jobs ~seed spec
+        Driver.run_evict_time ctx spec
           {
             Evict_time.default_config with
             Evict_time.trials = t 50000;
@@ -57,7 +67,7 @@ let run_cell ?(scale = Figures.Full) ?(seed = 42) ?jobs spec attack =
       (r.Evict_time.nibble_recovered, r.Evict_time.separation)
     | Attack_type.Prime_and_probe ->
       let r =
-        Driver.prime_probe ?jobs ~seed spec
+        Driver.run_prime_probe ctx spec
           {
             Prime_probe.default_config with
             Prime_probe.trials = t 3000;
@@ -67,13 +77,13 @@ let run_cell ?(scale = Figures.Full) ?(seed = 42) ?jobs spec attack =
       (r.Prime_probe.nibble_recovered, r.Prime_probe.separation)
     | Attack_type.Cache_collision ->
       let r =
-        Driver.collision ?jobs ~seed spec
+        Driver.run_collision ctx spec
           { Collision.default_config with Collision.trials = t 250000 }
       in
       (r.Collision.nibble_recovered, r.Collision.separation)
     | Attack_type.Flush_and_reload ->
       let r =
-        Driver.flush_reload ?jobs ~seed spec
+        Driver.run_flush_reload ctx spec
           { Flush_reload.default_config with Flush_reload.trials = t 3000 }
       in
       (r.Flush_reload.nibble_recovered, r.Flush_reload.separation)
@@ -94,12 +104,14 @@ let run_cell ?(scale = Figures.Full) ?(seed = 42) ?jobs spec attack =
     note = (if agrees then "" else known_note spec attack);
   }
 
-let matrix ?scale ?seed ?jobs () =
+let cells (ctx : Run.ctx) =
+  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
+    "validation-matrix"
+  @@ fun sp ->
+  let ctx = Run.with_parent sp ctx in
   List.concat_map
     (fun spec ->
-      List.map
-        (fun attack -> run_cell ?scale ?seed ?jobs spec attack)
-        Attack_type.all)
+      List.map (fun attack -> cell ctx spec attack) Attack_type.all)
     Spec.all_paper
 
 let agreement_rate cells =
@@ -133,3 +145,14 @@ let render cells =
   "Validation matrix: PIFG prediction vs simulated attack outcome\n"
   ^ Table.render ~aligns ~headers ~rows ()
   ^ Printf.sprintf "agreement: %.0f%%\n" (100. *. agreement_rate cells)
+
+(* --- deprecated optional-tail wrappers ------------------------------- *)
+
+let ctx_of ?(scale = Figures.Full) ?(seed = 42) ?jobs () =
+  let ctx = { Run.default with Run.seed; jobs } in
+  if scale = Figures.Quick then Run.quick ctx else ctx
+
+let run_cell ?scale ?seed ?jobs spec attack =
+  cell (ctx_of ?scale ?seed ?jobs ()) spec attack
+
+let matrix ?scale ?seed ?jobs () = cells (ctx_of ?scale ?seed ?jobs ())

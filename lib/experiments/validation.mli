@@ -2,6 +2,8 @@
     architecture in the simulator and compare the empirical outcome with
     the PIFG prediction (the role of the paper's Section 6). *)
 
+open Cachesec_runtime
+
 type cell = {
   arch : string;
   attack : Cachesec_analysis.Attack_type.t;
@@ -13,6 +15,24 @@ type cell = {
   note : string;  (** explanation for the documented disagreements *)
 }
 
+(** {1 Primary ctx-first API} *)
+
+val cell :
+  Run.ctx -> Cachesec_cache.Spec.t -> Cachesec_analysis.Attack_type.t -> cell
+(** One cell, its trials sharded over the trial runtime under a
+    telemetry span [validation:<arch>:<attack>]. The cell's value is
+    independent of [ctx.jobs]. *)
+
+val cells : Run.ctx -> cell list
+(** All 9 x 4 combinations, under one [validation-matrix] span. *)
+
+val render : cell list -> string
+
+val agreement_rate : cell list -> float
+(** Fraction of cells where prediction and simulation agree. *)
+
+(** {1 Deprecated optional-tail wrappers} *)
+
 val run_cell :
   ?scale:Figures.scale ->
   ?seed:int ->
@@ -20,13 +40,10 @@ val run_cell :
   Cachesec_cache.Spec.t ->
   Cachesec_analysis.Attack_type.t ->
   cell
-(** One cell, its trials sharded over the trial runtime. [?jobs] follows
+[@@alert deprecated "use cell with a Run.ctx"]
+(** One cell with the old optional tail. [?jobs] follows
     {!Cachesec_runtime.Scheduler.resolve_jobs} (absent = serial, [0] =
     auto); the cell's value is independent of [jobs]. *)
 
 val matrix : ?scale:Figures.scale -> ?seed:int -> ?jobs:int -> unit -> cell list
-(** All 9 x 4 combinations. *)
-
-val render : cell list -> string
-val agreement_rate : cell list -> float
-(** Fraction of cells where prediction and simulation agree. *)
+[@@alert deprecated "use cells with a Run.ctx"]

@@ -7,7 +7,17 @@
    [(seed_base, i)] (see {!Trial}), the contents of the results array do
    not depend on which worker ran which index or in what order — only
    the wall-clock does. All merging therefore happens after the join, in
-   index order, which makes [jobs:1] and [jobs:n] bit-identical. *)
+   index order, which makes [jobs:1] and [jobs:n] bit-identical.
+
+   Telemetry: when handed an active [Telemetry.t], the scheduler emits
+   batch-start/batch-end events per claimed index and one per-domain
+   busy-time event per worker at join — all at batch boundaries, never
+   inside a trial body. With the default null context the execution path
+   is byte-for-byte the uninstrumented one (no clock reads, no
+   allocation), which is what keeps the zero-alloc and throughput gates
+   honest. *)
+
+open Cachesec_telemetry
 
 let default_jobs () = Domain.recommended_domain_count ()
 
@@ -19,14 +29,9 @@ let resolve_jobs jobs =
     invalid_arg "Scheduler.run: jobs must be non-negative (0 = auto)"
   | Some j -> j
 
-(* [parallel_init ~jobs n f] is [Array.init n f] computed by [jobs]
-   domains. Exceptions raised by [f] are captured and re-raised (the
-   first one observed) after every domain has joined, so no domain is
-   leaked. *)
-let parallel_init ~jobs n f =
-  if n < 0 then invalid_arg "Scheduler: negative instance count";
-  if n = 0 then [||]
-  else if jobs <= 1 || n = 1 then Array.init n f
+(* Uninstrumented core: exactly the pre-telemetry execution. *)
+let parallel_init_plain ~jobs n f =
+  if jobs <= 1 || n = 1 then Array.init n f
   else begin
     let slots = Array.make n None in
     let next = Atomic.make 0 in
@@ -62,12 +67,80 @@ let parallel_init ~jobs n f =
       slots
   end
 
-let run ?jobs trial ~instances =
-  let jobs = resolve_jobs jobs in
-  parallel_init ~jobs instances (fun i -> Trial.run_instance trial i)
+(* Instrumented core: same claiming logic, plus per-index batch events
+   and a per-worker busy-time summary. Worker [k]'s identity is its slot
+   index (0 = the caller's domain), not the runtime domain id, so event
+   streams are comparable across runs. *)
+let parallel_init_instrumented ~tm ~span ~jobs n f =
+  let run_unit ~domain i =
+    let t0 = Telemetry.now_s tm in
+    Telemetry.batch_start tm ~span ~index:i ~total:n ~domain ~t_s:t0;
+    let v = f i in
+    Telemetry.batch_end tm ~span ~index:i ~total:n ~domain ~start_s:t0;
+    (v, Telemetry.now_s tm -. t0)
+  in
+  if jobs <= 1 || n = 1 then begin
+    let busy = ref 0. in
+    let r =
+      Array.init n (fun i ->
+          let v, dt = run_unit ~domain:0 i in
+          busy := !busy +. dt;
+          v)
+    in
+    Telemetry.domain_busy tm ~span ~domain:0 ~busy_s:!busy ~units:n;
+    r
+  end
+  else begin
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let failure = Atomic.make None in
+    let worker k () =
+      let busy = ref 0. in
+      let units = ref 0 in
+      let rec loop () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n && Atomic.get failure = None then begin
+          (match run_unit ~domain:k i with
+          | v, dt ->
+            slots.(i) <- Some v;
+            busy := !busy +. dt;
+            incr units
+          | exception e ->
+            ignore
+              (Atomic.compare_and_set failure None
+                 (Some (e, Printexc.get_raw_backtrace ()))));
+          loop ()
+        end
+      in
+      loop ();
+      Telemetry.domain_busy tm ~span ~domain:k ~busy_s:!busy ~units:!units
+    in
+    let domains =
+      Array.init (min jobs n - 1) (fun k -> Domain.spawn (worker (k + 1)))
+    in
+    worker 0 ();
+    Array.iter Domain.join domains;
+    (match Atomic.get failure with
+    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
+    | None -> ());
+    Array.map
+      (function Some v -> v | None -> assert false)
+      slots
+  end
 
-let run_reduce ?jobs ~merge trial ~instances =
-  match run ?jobs trial ~instances with
+let parallel_init ?(tm = Telemetry.null) ?(span = Telemetry.null_span) ~jobs n
+    f =
+  if n < 0 then invalid_arg "Scheduler: negative instance count";
+  if n = 0 then [||]
+  else if Telemetry.is_null tm then parallel_init_plain ~jobs n f
+  else parallel_init_instrumented ~tm ~span ~jobs n f
+
+let run ?jobs ?tm ?span trial ~instances =
+  let jobs = resolve_jobs jobs in
+  parallel_init ?tm ?span ~jobs instances (fun i -> Trial.run_instance trial i)
+
+let run_reduce ?jobs ?tm ?span ~merge trial ~instances =
+  match run ?jobs ?tm ?span trial ~instances with
   | [||] -> invalid_arg "Scheduler.run_reduce: zero instances"
   | results ->
     let acc = ref results.(0) in
@@ -76,12 +149,12 @@ let run_reduce ?jobs ~merge trial ~instances =
     done;
     !acc
 
-let map_array ?jobs f xs =
+let map_array ?jobs ?tm ?span f xs =
   let jobs = resolve_jobs jobs in
-  parallel_init ~jobs (Array.length xs) (fun i -> f xs.(i))
+  parallel_init ?tm ?span ~jobs (Array.length xs) (fun i -> f xs.(i))
 
-let map_list ?jobs f xs =
-  Array.to_list (map_array ?jobs f (Array.of_list xs))
+let map_list ?jobs ?tm ?span f xs =
+  Array.to_list (map_array ?jobs ?tm ?span f (Array.of_list xs))
 
 (* --- batch planning -------------------------------------------------- *)
 
@@ -95,10 +168,17 @@ let plan ~total ~batch_size =
       let first = i * batch_size in
       { index = i; first; count = min batch_size (total - first) })
 
-type timed = { wall_s : float; jobs : int }
+type timed = { wall_s : float; jobs : int; span_id : int }
 
-let timed ?jobs f =
+let timed ?jobs ?(tm = Telemetry.null) ?(name = "timed") f =
   let j = resolve_jobs jobs in
+  let sp = Telemetry.span tm name in
   let t0 = Unix.gettimeofday () in
-  let v = f () in
-  (v, { wall_s = Unix.gettimeofday () -. t0; jobs = j })
+  match f () with
+  | v ->
+    let wall_s = Unix.gettimeofday () -. t0 in
+    Telemetry.close_span tm sp;
+    (v, { wall_s; jobs = j; span_id = Telemetry.span_id sp })
+  | exception e ->
+    Telemetry.close_span tm sp;
+    raise e

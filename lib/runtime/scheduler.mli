@@ -5,7 +5,17 @@
     [j] — parallelism changes wall-clock only. This holds because each
     instance draws from its own derived generator ({!Trial.rng_for}) and
     results are written into per-instance slots, with any reduction
-    performed after the join in index order. *)
+    performed after the join in index order.
+
+    Observability: every execution entry point accepts a telemetry
+    context [?tm] and a parent [?span]. With an active context the
+    scheduler emits [Batch_start]/[Batch_end] per claimed index and one
+    [Domain_busy] utilisation event per worker at join — all at batch
+    boundaries, never inside a trial body. With the default
+    {!Cachesec_telemetry.Telemetry.null} the execution path is exactly
+    the uninstrumented one (no clock reads, no allocation). *)
+
+open Cachesec_telemetry
 
 val default_jobs : unit -> int
 (** [Domain.recommended_domain_count ()]. *)
@@ -15,23 +25,31 @@ val resolve_jobs : int option -> int
     with [j > 0] is exactly [j] workers. Raises [Invalid_argument] on
     negative [j]. *)
 
-val run : ?jobs:int -> 'a Trial.t -> instances:int -> 'a array
+val run :
+  ?jobs:int -> ?tm:Telemetry.t -> ?span:Telemetry.span -> 'a Trial.t ->
+  instances:int -> 'a array
 (** Execute instances [0 .. instances-1]; result [i] is instance [i]'s.
     [?jobs] follows {!resolve_jobs}. Exceptions raised by a trial body
     are re-raised in the caller after all workers join. *)
 
-val run_reduce : ?jobs:int -> merge:('a -> 'a -> 'a) -> 'a Trial.t -> instances:int -> 'a
+val run_reduce :
+  ?jobs:int -> ?tm:Telemetry.t -> ?span:Telemetry.span ->
+  merge:('a -> 'a -> 'a) -> 'a Trial.t -> instances:int -> 'a
 (** [run] followed by a left fold of [merge] in index order (so [merge]
     need only be associative, not commutative). Raises [Invalid_argument]
     when [instances = 0]. *)
 
-val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+val map_array :
+  ?jobs:int -> ?tm:Telemetry.t -> ?span:Telemetry.span -> ('a -> 'b) ->
+  'a array -> 'b array
 (** Order-preserving parallel map for heterogeneous work units (e.g. the
     36 validation-matrix cells). The caller is responsible for making
     [f] independent of execution order — in this library every such [f]
     seeds its own RNG from the element. *)
 
-val map_list : ?jobs:int -> ('a -> 'b) -> 'a list -> 'b list
+val map_list :
+  ?jobs:int -> ?tm:Telemetry.t -> ?span:Telemetry.span -> ('a -> 'b) ->
+  'a list -> 'b list
 
 type batch = { index : int; first : int; count : int }
 
@@ -41,7 +59,14 @@ val plan : total:int -> batch_size:int -> batch array
     on [jobs] — which is what keeps batched merges identical across
     worker counts. *)
 
-type timed = { wall_s : float; jobs : int }
+type timed = { wall_s : float; jobs : int; span_id : int }
+(** [span_id] is [0] under a null context; otherwise the id of the span
+    wrapping the timed section, for cross-referencing wall-clock
+    sections (e.g. [BENCH_cache.json]) against the telemetry JSON. *)
 
-val timed : ?jobs:int -> (unit -> 'a) -> 'a * timed
-(** Wall-clock a section, recording the resolved worker count. *)
+val timed :
+  ?jobs:int -> ?tm:Telemetry.t -> ?name:string -> (unit -> 'a) ->
+  'a * timed
+(** Wall-clock a section, recording the resolved worker count. With an
+    active [tm], also brackets the section in a span named [name]
+    (default ["timed"]) and reports its id. *)

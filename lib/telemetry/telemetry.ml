@@ -1,0 +1,208 @@
+(* Telemetry context: spans, counters, gauges.
+
+   Cost model: the null context is a constant constructor, so every
+   operation on it is a single match with no allocation — the default
+   for all library entry points, guarded by the zero-alloc tests. An
+   active context pays one mutex acquisition per *event* (batch
+   boundaries, span edges), never per simulated cache access.
+
+   Counter discipline mirrors the trial runtime's merge discipline:
+   increments go to a per-domain (lock-free, unsynchronized) table owned
+   by the incrementing domain; tables are registered once via an atomic
+   cons and merged by name-summation at read time, after the scheduler
+   has joined its workers. Because each batch's increments are a pure
+   function of the batch (never of the worker that ran it), merged
+   totals are identical for jobs:1 and jobs:N — timings are the only
+   thing parallelism may change. *)
+
+type span = { id : int; parent : int; name : string; start_s : float }
+
+let null_span = { id = 0; parent = 0; name = ""; start_s = 0. }
+
+type active = {
+  sink : Sink.t;
+  lock : Mutex.t;
+  next_id : int Atomic.t;  (* span ids start at 1; 0 = root/none *)
+  locals : (int * (string, int ref) Hashtbl.t) list Atomic.t;
+  epoch : float;  (* wall-clock origin; event times are relative *)
+  closed : bool Atomic.t;
+}
+
+type t = Null | Active of active
+
+let null = Null
+let is_null = function Null -> true | Active _ -> false
+
+let make ~sink () =
+  Active
+    {
+      sink;
+      lock = Mutex.create ();
+      next_id = Atomic.make 1;
+      locals = Atomic.make [];
+      epoch = Unix.gettimeofday ();
+      closed = Atomic.make false;
+    }
+
+(* Relative clock. [Unix.gettimeofday] is not formally monotonic, but
+   every consumer treats durations as best-effort observability data;
+   negative steps (NTP slews) are clamped at use sites. *)
+let now_s = function
+  | Null -> 0.
+  | Active a -> Unix.gettimeofday () -. a.epoch
+
+let emit t e =
+  match t with
+  | Null -> ()
+  | Active a ->
+    Mutex.lock a.lock;
+    (try a.sink.Sink.emit e
+     with exn ->
+       Mutex.unlock a.lock;
+       raise exn);
+    Mutex.unlock a.lock
+
+(* --- spans ----------------------------------------------------------- *)
+
+let span_id (s : span) = s.id
+
+let span t ?(parent = null_span) name =
+  match t with
+  | Null -> null_span
+  | Active a ->
+    let id = Atomic.fetch_and_add a.next_id 1 in
+    let start_s = now_s t in
+    let s = { id; parent = parent.id; name; start_s } in
+    emit t (Event.Span_start { id; parent = parent.id; name; t_s = start_s });
+    s
+
+let close_span t (s : span) =
+  match t with
+  | Null -> ()
+  | Active _ ->
+    if s.id <> 0 then begin
+      let t_s = now_s t in
+      emit t
+        (Event.Span_end
+           {
+             id = s.id;
+             parent = s.parent;
+             name = s.name;
+             t_s;
+             dur_s = Float.max 0. (t_s -. s.start_s);
+           })
+    end
+
+let with_span t ?parent name f =
+  match t with
+  | Null -> f null_span
+  | Active _ ->
+    let s = span t ?parent name in
+    (match f s with
+    | v ->
+      close_span t s;
+      v
+    | exception exn ->
+      close_span t s;
+      raise exn)
+
+(* --- counters (lock-free per-domain, merged at read) ------------------ *)
+
+let local_table (a : active) =
+  let me = (Domain.self () :> int) in
+  let rec find = function
+    | (d, tbl) :: _ when d = me -> Some tbl
+    | _ :: rest -> find rest
+    | [] -> None
+  in
+  match find (Atomic.get a.locals) with
+  | Some tbl -> tbl
+  | None ->
+    let tbl = Hashtbl.create 16 in
+    let rec push () =
+      let cur = Atomic.get a.locals in
+      if not (Atomic.compare_and_set a.locals cur ((me, tbl) :: cur)) then
+        push ()
+    in
+    push ();
+    tbl
+
+let count t name v =
+  match t with
+  | Null -> ()
+  | Active a -> (
+    let tbl = local_table a in
+    match Hashtbl.find tbl name with
+    | r -> r := !r + v
+    | exception Not_found -> Hashtbl.replace tbl name (ref v))
+
+let counters t =
+  match t with
+  | Null -> []
+  | Active a ->
+    let merged = Hashtbl.create 32 in
+    List.iter
+      (fun (_, tbl) ->
+        Hashtbl.iter
+          (fun name r ->
+            match Hashtbl.find_opt merged name with
+            | Some total -> Hashtbl.replace merged name (total + !r)
+            | None -> Hashtbl.replace merged name !r)
+          tbl)
+      (Atomic.get a.locals);
+    Hashtbl.fold (fun name v acc -> (name, v) :: acc) merged []
+    |> List.sort compare
+
+(* --- gauges and scheduler events -------------------------------------- *)
+
+let gauge t ?(span = null_span) name value =
+  match t with
+  | Null -> ()
+  | Active _ ->
+    emit t (Event.Gauge { span = span.id; name; value; t_s = now_s t })
+
+let batch_start t ~span:(s : span) ~index ~total ~domain ~t_s =
+  match t with
+  | Null -> ()
+  | Active _ ->
+    emit t (Event.Batch_start { span = s.id; index; total; domain; t_s })
+
+let batch_end t ~span:(s : span) ~index ~total ~domain ~start_s =
+  match t with
+  | Null -> ()
+  | Active _ ->
+    let t_s = now_s t in
+    emit t
+      (Event.Batch_end
+         {
+           span = s.id;
+           index;
+           total;
+           domain;
+           t_s;
+           dur_s = Float.max 0. (t_s -. start_s);
+         })
+
+let domain_busy t ~span:(s : span) ~domain ~busy_s ~units =
+  match t with
+  | Null -> ()
+  | Active _ ->
+    emit t (Event.Domain_busy { span = s.id; domain; busy_s; units })
+
+(* --- close ------------------------------------------------------------ *)
+
+let close t =
+  match t with
+  | Null -> ()
+  | Active a ->
+    if Atomic.compare_and_set a.closed false true then begin
+      List.iter
+        (fun (name, value) -> emit t (Event.Counter_total { name; value }))
+        (counters t);
+      Mutex.lock a.lock;
+      (try a.sink.Sink.close ()
+       with exn ->
+         Mutex.unlock a.lock;
+         raise exn);
+      Mutex.unlock a.lock
+    end

@@ -1,6 +1,11 @@
 (* Integration tests: the experiment drivers that regenerate the paper's
    tables and figures, run at reduced scale. *)
 
+(* These tests deliberately exercise the deprecated optional-tail
+   wrappers alongside the Run.ctx primaries: old-vs-new equivalence is
+   part of the API-migration contract. *)
+[@@@alert "-deprecated"]
+
 open Cachesec_cache
 open Cachesec_analysis
 open Cachesec_experiments

@@ -2,6 +2,11 @@
    generators, performance measurement, multi-line analysis, full-key
    recovery and the MI metric comparison. *)
 
+(* These tests deliberately exercise the deprecated optional-tail
+   wrappers alongside the Run.ctx primaries: old-vs-new equivalence is
+   part of the API-migration contract. *)
+[@@@alert "-deprecated"]
+
 open Cachesec_stats
 open Cachesec_cache
 open Cachesec_analysis

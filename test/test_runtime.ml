@@ -4,6 +4,11 @@
    machine may have cores) executions of the same trial family, driver
    campaign, or validation cell must be bit-identical. *)
 
+(* These tests deliberately exercise the deprecated optional-tail
+   wrappers alongside the Run.ctx primaries: old-vs-new equivalence is
+   part of the API-migration contract. *)
+[@@@alert "-deprecated"]
+
 open Cachesec_stats
 open Cachesec_runtime
 open Cachesec_cache
@@ -188,7 +193,98 @@ let test_timed_reports_jobs () =
   let x, t = Scheduler.timed ~jobs:2 (fun () -> 40 + 2) in
   Alcotest.(check int) "value" 42 x;
   Alcotest.(check int) "resolved jobs" 2 t.Scheduler.jobs;
-  Alcotest.(check bool) "non-negative wall" true (t.Scheduler.wall_s >= 0.)
+  Alcotest.(check bool) "non-negative wall" true (t.Scheduler.wall_s >= 0.);
+  (* Under the default null context the section gets no span. *)
+  Alcotest.(check int) "null context: span id 0" 0 t.Scheduler.span_id;
+  (* With an active context, timed brackets the section in a span and
+     reports its id — the cross-reference key BENCH_cache.json embeds. *)
+  let open Cachesec_telemetry in
+  let sink, events = Sink.memory () in
+  let tm = Telemetry.make ~sink () in
+  let _, t' = Scheduler.timed ~tm ~name:"bench-section" (fun () -> ()) in
+  Telemetry.close tm;
+  Alcotest.(check bool) "active context: span id > 0" true
+    (t'.Scheduler.span_id > 0);
+  let names =
+    List.filter_map
+      (function
+        | Event.Span_start { id; name; _ } when id = t'.Scheduler.span_id ->
+          Some name
+        | _ -> None)
+      (events ())
+  in
+  Alcotest.(check (list string)) "span carries the section name"
+    [ "bench-section" ] names
+
+(* --- old optional-tail wrappers vs Run.ctx primaries ------------------ *)
+
+let test_seed_for_batch_contract () =
+  (* Batch 0 must reuse the root seed verbatim; later batches come from
+     the pure hash. Driver.shard_seed is the deprecated alias and has to
+     stay bit-for-bit the same function. *)
+  List.iter
+    (fun seed ->
+      Alcotest.(check int) "batch 0 is the root seed" seed
+        (Run.seed_for_batch ~seed 0);
+      List.iter
+        (fun i ->
+          Alcotest.(check int) "later batches use derive_seed"
+            (Rng.derive_seed seed i)
+            (Run.seed_for_batch ~seed i);
+          Alcotest.(check int) "Driver.shard_seed is an alias"
+            (Run.seed_for_batch ~seed i)
+            (Driver.shard_seed ~seed i))
+        [ 1; 2; 17; 4096 ])
+    [ 0; 7; 42; 0x5EED ];
+  let ctx = Run.make ~seed:42 () in
+  Alcotest.(check int) "batch_seed reads ctx.seed"
+    (Run.seed_for_batch ~seed:42 3) (Run.batch_seed ctx 3)
+
+let test_old_vs_new_api_bit_identical () =
+  (* The deprecated wrappers must produce exactly what the ctx primaries
+     produce for equal (seed, batch, jobs) — the API migration is not
+     allowed to move any result. *)
+  let cfg =
+    { Cachesec_attacks.Flush_reload.default_config with
+      Cachesec_attacks.Flush_reload.trials = 600
+    }
+  in
+  let old_r = Driver.flush_reload ~jobs:4 ~seed:42 spec cfg in
+  let new_r =
+    Driver.run_flush_reload (Run.make ~jobs:4 ~seed:42 ()) spec cfg
+  in
+  Alcotest.(check bool) "flush-reload identical" true
+    (compare old_r new_r = 0);
+  let old_p = Driver.cleaning_game ~jobs:2 ~seed:7 spec ~accesses:16 ~samples:600 in
+  let new_p =
+    Driver.run_cleaning_game (Run.make ~jobs:2 ~seed:7 ()) spec ~accesses:16
+      ~samples:600
+  in
+  Alcotest.(check (float 0.)) "cleaning game identical" old_p new_p;
+  let old_cell =
+    Validation.run_cell ~scale:Figures.Quick ~seed:42 ~jobs:2 spec
+      Cachesec_analysis.Attack_type.Flush_and_reload
+  in
+  let new_cell =
+    Validation.cell
+      (Run.quick (Run.make ~jobs:2 ~seed:42 ()))
+      spec Cachesec_analysis.Attack_type.Flush_and_reload
+  in
+  Alcotest.(check bool) "validation cell identical" true
+    (compare old_cell new_cell = 0);
+  (* And telemetry must be an observer only: an active context cannot
+     move results either. *)
+  let open Cachesec_telemetry in
+  let sink, _ = Sink.memory () in
+  let tm = Telemetry.make ~sink () in
+  let observed =
+    Driver.run_flush_reload
+      (Run.with_telemetry tm (Run.make ~jobs:4 ~seed:42 ()))
+      spec cfg
+  in
+  Telemetry.close tm;
+  Alcotest.(check bool) "telemetry does not perturb results" true
+    (compare new_r observed = 0)
 
 let () =
   Alcotest.run "runtime"
@@ -224,5 +320,12 @@ let () =
             test_validation_cells_jobs_invariant;
           Alcotest.test_case "learning curve jobs-invariant" `Quick
             test_learning_curve_jobs_invariant;
+        ] );
+      ( "ctx migration",
+        [
+          Alcotest.test_case "seed_for_batch contract" `Quick
+            test_seed_for_batch_contract;
+          Alcotest.test_case "old vs new API bit-identical" `Quick
+            test_old_vs_new_api_bit_identical;
         ] );
     ]
