@@ -1,19 +1,62 @@
-(* Capture the CURRENT engines' simulator throughput as the regression
-   baseline. bench/main.exe compares every later run's BENCH_cache.json
-   against this file and prints per-row speedups, so re-run this only
-   when you intend to move the goalposts (e.g. after landing a perf PR,
-   to re-baseline for the next one):
+(* Capture the CURRENT harness's throughput as the regression
+   baselines. bench/main.exe compares every later run's
+   BENCH_cache.json / BENCH_attacks.json against these files and prints
+   per-row speedups (plus the attack-throughput gate), so re-run this
+   only when you intend to move the goalposts (e.g. after landing a
+   perf PR, to re-baseline for the next one):
 
-     dune exec bench/baseline.exe -- bench/BENCH_cache.baseline.json *)
+     dune exec bench/baseline.exe                        # both sections
+     dune exec bench/baseline.exe -- --section cache
+     dune exec bench/baseline.exe -- --section attacks
+     dune exec bench/baseline.exe -- --section attacks \
+       --attacks-out bench/BENCH_attacks.baseline.json
+
+   A bare positional PATH is kept as an alias for --cache-out PATH
+   (the pre-attack-bench CLI). *)
+
+let usage () =
+  prerr_endline
+    "usage: baseline.exe [--section cache|attacks|all] [--cache-out PATH] \
+     [--attacks-out PATH] [PATH]";
+  exit 2
+
+type section = Cache | Attacks | All
 
 let () =
-  let path =
-    if Array.length Sys.argv > 1 then Sys.argv.(1)
-    else "BENCH_cache.baseline.json"
+  let section = ref All in
+  let cache_out = ref "bench/BENCH_cache.baseline.json" in
+  let attacks_out = ref "bench/BENCH_attacks.baseline.json" in
+  let rec parse = function
+    | [] -> ()
+    | "--section" :: v :: rest ->
+      (section :=
+         match v with
+         | "cache" -> Cache
+         | "attacks" -> Attacks
+         | "all" -> All
+         | _ -> usage ());
+      parse rest
+    | "--cache-out" :: path :: rest ->
+      cache_out := path;
+      parse rest
+    | "--attacks-out" :: path :: rest ->
+      attacks_out := path;
+      parse rest
+    | [ path ] when String.length path > 0 && path.[0] <> '-' ->
+      cache_out := path
+    | _ -> usage ()
   in
-  let entries =
-    Cachesec_experiments.Throughput.bench Cachesec_runtime.Run.default
-  in
-  Cachesec_experiments.Throughput.write ~path entries;
-  print_string (Cachesec_experiments.Throughput.render entries);
-  Printf.printf "baseline written to %s\n" path
+  parse (List.tl (Array.to_list Sys.argv));
+  let ctx = Cachesec_runtime.Run.default in
+  if !section = Cache || !section = All then begin
+    let entries = Cachesec_experiments.Throughput.bench ctx in
+    Cachesec_experiments.Throughput.write ~path:!cache_out entries;
+    print_string (Cachesec_experiments.Throughput.render entries);
+    Printf.printf "cache baseline written to %s\n%!" !cache_out
+  end;
+  if !section = Attacks || !section = All then begin
+    let entries = Cachesec_experiments.Throughput.Attacks.bench ctx in
+    Cachesec_experiments.Throughput.Attacks.write ~path:!attacks_out entries;
+    print_string (Cachesec_experiments.Throughput.Attacks.render entries);
+    Printf.printf "attack baseline written to %s\n%!" !attacks_out
+  end

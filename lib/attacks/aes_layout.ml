@@ -1,18 +1,33 @@
 open Cachesec_cache
 open Cachesec_crypto
 
-type t = { base_line : int; cfg : Config.t }
+type t = { base_line : int; cfg : Config.t; epl : int; lpt : int }
+(* [epl] (entries per line) and [lpt] (lines per table) are precomputed
+   at [create] so the per-lookup hot path [line_of_packed] is pure
+   arithmetic on immediates. *)
 
 let create ?(base_line = 0) cfg =
   if base_line < 0 then invalid_arg "Aes_layout.create: negative base line";
   if cfg.Config.line_bytes > Ttables.table_bytes then
     invalid_arg "Aes_layout.create: line larger than a table";
-  { base_line; cfg }
+  {
+    base_line;
+    cfg;
+    epl = cfg.Config.line_bytes / Ttables.entry_bytes;
+    lpt = Ttables.table_bytes / cfg.Config.line_bytes;
+  }
 
 let base_line t = t.base_line
 let config t = t.cfg
-let entries_per_line t = t.cfg.Config.line_bytes / Ttables.entry_bytes
-let lines_per_table t = Ttables.table_bytes / t.cfg.Config.line_bytes
+let entries_per_line t = t.epl
+let lines_per_table t = t.lpt
+
+let line_count t = Ttables.table_count * t.lpt
+
+let line_of_packed t a =
+  (* Unchecked by design: [a] comes from [Aes.encrypt_traced_into],
+     whose packed accesses are well-formed by construction. *)
+  t.base_line + ((a lsr 8) * t.lpt) + ((a land 0xff) / t.epl)
 
 let line_of_entry t ~table ~index =
   if table < 0 || table >= Ttables.table_count then

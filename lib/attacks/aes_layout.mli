@@ -25,11 +25,23 @@ val line_of_access : t -> Aes.access -> int
 (** The memory line touched by one AES table lookup. *)
 
 val line_of_entry : t -> table:int -> index:int -> int
+
+val line_of_packed : t -> int -> int
+(** The line touched by one packed lookup ([(table lsl 8) lor index],
+    as produced by [Aes.encrypt_traced_into]). Pure arithmetic on
+    precomputed geometry — no bounds checks, no allocation; only feed
+    it packed accesses from the cipher. *)
+
 val table_lines : t -> table:int -> int list
 (** All lines of one table, ascending. *)
 
 val all_lines : t -> int list
 (** All table lines, ascending (80 lines in the standard layout). *)
+
+val line_count : t -> int
+(** [List.length (all_lines t)] without building the list; the lines are
+    contiguous from {!base_line}, so allocation-free consumers can loop
+    [base_line t .. base_line t + line_count t - 1]. *)
 
 val line_ranges : t -> (int * int) list
 (** Inclusive ranges for {!Factory.scenario}'s [victim_lines]. *)

@@ -2,22 +2,33 @@ open Cachesec_cache
 
 let default_base = 1 lsl 20
 
+(* Align the base to the set stride so base + set + k*sets lands in
+   [set] under conventional indexing. *)
+let nth_conflict_line cfg ?(base = default_base) ~set k =
+  let sets = Config.sets cfg in
+  if set < 0 || set >= sets then
+    invalid_arg "Attacker.nth_conflict_line: bad set";
+  base - (base mod sets) + set + (k * sets)
+
+(* Deprecated list form; the error message is frozen (tests pin it). *)
 let conflict_lines cfg ?(base = default_base) ~count set =
   let sets = Config.sets cfg in
   if set < 0 || set >= sets then invalid_arg "Attacker.conflict_lines: bad set";
-  (* Align the base to the set stride so base + set + k*sets lands in
-     [set] under conventional indexing. *)
   let aligned = base - (base mod sets) in
   List.init count (fun k -> aligned + set + (k * sets))
 
-let evict_set engine _rng ~pid ?base set =
+let evict_set engine ~pid ?(base = default_base) set =
   let cfg = engine.Engine.config in
-  let lines = conflict_lines cfg ?base ~count:cfg.Config.ways set in
-  List.iter (fun line -> ignore (engine.Engine.access ~pid line)) lines
+  let sets = Config.sets cfg in
+  if set < 0 || set >= sets then invalid_arg "Attacker.evict_set: bad set";
+  let aligned = base - (base mod sets) in
+  for k = 0 to cfg.Config.ways - 1 do
+    ignore (engine.Engine.access ~pid (aligned + set + (k * sets)))
+  done
 
-let prime_all_sets engine rng ~pid ?base () =
+let prime_all_sets engine ~pid ?base () =
   for set = 0 to Config.sets engine.Engine.config - 1 do
-    evict_set engine rng ~pid ?base set
+    evict_set engine ~pid ?base set
   done
 
 type probe = { true_misses : int; classified_misses : int; time : float }

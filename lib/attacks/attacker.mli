@@ -1,24 +1,39 @@
 (** Attacker-side primitives shared by the attack implementations:
     conflict-set construction, priming and probing. The attacker's own
     memory lives at [base] (far above the victim's tables) so his lines
-    are his under every ownership model. *)
+    are his under every ownership model.
+
+    The priming/evicting entry points here compute conflict lines
+    arithmetically and allocate nothing; hot per-trial loops that probe
+    whole caches should use {!Probe_plan}, which precompiles the line
+    addresses once and reuses per-set scratch buffers. *)
 
 open Cachesec_cache
 
 val default_base : int
 (** 1 lsl 20 — a line number far from any victim data. *)
 
+val nth_conflict_line : Config.t -> ?base:int -> set:int -> int -> int
+(** [nth_conflict_line cfg ~set k] is the [k]-th distinct attacker line
+    mapping (under conventional indexing) to [set]: base aligned down to
+    the set stride, plus [set + k*sets]. Pure arithmetic — this is the
+    element formula behind {!conflict_lines} and {!Probe_plan}. Raises
+    [Invalid_argument] on a bad set. *)
+
 val conflict_lines : Config.t -> ?base:int -> count:int -> int -> int list
+[@@alert
+  deprecated
+    "allocates a fresh list per call; use nth_conflict_line or Probe_plan"]
 (** [conflict_lines cfg ~count set] is [count] distinct attacker line
-    numbers that map (under conventional indexing) to [set]. *)
+    numbers that map (under conventional indexing) to [set] — the list
+    form of {!nth_conflict_line} for [k = 0 .. count-1], kept as a thin
+    compatibility wrapper. *)
 
-val evict_set :
-  Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> int -> unit
+val evict_set : Engine.t -> pid:int -> ?base:int -> int -> unit
 (** Access [ways] attacker lines mapping to [set] — the "evict" / "prime"
-    step for one set. *)
+    step for one set. Allocation-free: the lines are computed inline. *)
 
-val prime_all_sets :
-  Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> unit -> unit
+val prime_all_sets : Engine.t -> pid:int -> ?base:int -> unit -> unit
 (** Prime every set with [ways] attacker lines. *)
 
 type probe = {
@@ -31,7 +46,8 @@ type probe = {
 
 val probe_set :
   Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> int -> probe
-(** Re-access the priming lines of [set]. *)
+(** Re-access the priming lines of [set]. Allocates its result record;
+    per-trial loops should prefer {!Probe_plan.probe_all}. *)
 
 val probe_all_sets :
   Engine.t -> Cachesec_stats.Rng.t -> pid:int -> ?base:int -> unit -> probe array

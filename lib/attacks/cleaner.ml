@@ -45,11 +45,11 @@ let clean_once spec ~rng ~accesses =
     | _ -> seeded
   in
   (* Attacker: [accesses] distinct reads mapping to the target set. *)
-  let pool =
-    if accesses = 0 then []
-    else Attacker.conflict_lines cfg ~count:accesses target_set
-  in
-  List.iter (fun l -> ignore (engine.Engine.access ~pid:attacker_pid l)) pool;
+  for k = 0 to accesses - 1 do
+    ignore
+      (engine.Engine.access ~pid:attacker_pid
+         (Attacker.nth_conflict_line cfg ~set:target_set k))
+  done;
   targets <> []
   && List.for_all (fun l -> not (engine.Engine.peek ~pid:victim_pid l)) targets
 

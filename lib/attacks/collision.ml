@@ -46,14 +46,16 @@ let run_span ~victim ~rng ~count c =
   validate { c with trials = count };
   let engine = Victim.engine victim in
   let { sums; counts } = empty_partial () in
+  let p = Bytes.create 16 in
   for _ = 1 to count do
     engine.Engine.flush_all ();
     (* The software mitigation of [34]/[16]: the victim preloads its
        tables at the start of the security-critical operation, so reuse
        no longer depends on the secret indices. *)
     if c.victim_prefetch then Victim.warm_tables victim;
-    let p = Victim.random_plaintext rng in
-    let _, time = Victim.encrypt_timed victim p in
+    Victim.random_plaintext_into rng p;
+    let m = Victim.encrypt_misses victim p in
+    let time = Timing.time_of_counts ~hits:(Aes.trace_length - m) ~misses:m in
     let observed =
       if engine.Engine.sigma = 0. then time
       else time +. Rng.gaussian rng ~mu:0. ~sigma:engine.Engine.sigma

@@ -59,15 +59,18 @@ let run_span ~victim ~attacker_pid ~rng ~first ~count c =
   let { sums; counts } = empty_partial () in
   let cfg = engine.Engine.config in
   let stride = cfg.Config.ways * Config.sets cfg in
+  let p = Bytes.create 16 in
   for trial = first + 1 to first + count do
     Victim.warm_tables victim;
     (* Fresh conflict lines every trial: each of the [ways] accesses is a
        miss, so the eviction pressure on the target set is full (with the
-       same lines, later trials mostly hit and evict nothing). *)
+       same lines, later trials mostly hit and evict nothing). The lines
+       are computed inline by [evict_set] — no per-trial list. *)
     let base = Attacker.default_base + (trial mod 4096 * stride) in
-    Attacker.evict_set engine rng ~pid:attacker_pid ~base target_set;
-    let p = Victim.random_plaintext rng in
-    let _, time = Victim.encrypt_timed victim p in
+    Attacker.evict_set engine ~pid:attacker_pid ~base target_set;
+    Victim.random_plaintext_into rng p;
+    let m = Victim.encrypt_misses victim p in
+    let time = Timing.time_of_counts ~hits:(Aes.trace_length - m) ~misses:m in
     let observed =
       if engine.Engine.sigma = 0. then time
       else time +. Rng.gaussian rng ~mu:0. ~sigma:engine.Engine.sigma

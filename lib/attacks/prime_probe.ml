@@ -46,19 +46,30 @@ let run_span ~victim ~attacker_pid ~rng ~count c =
   if c.lock_victim_tables then ignore (Victim.lock_tables victim);
   let miss_freq = Array.make sets 0. in
   let cand_hits = Array.make 256 0. in
+  (* Everything a trial touches is precompiled or reused: the probe plan
+     holds the conflict lines and per-set scratch, [p] is the plaintext
+     buffer, and candidate k's predicted set is a pure table lookup. The
+     trial loop itself allocates nothing; access and RNG order are
+     identical to the historical list/record-based code (pinned by
+     test/golden/attacks.golden). *)
+  let plan = Probe_plan.make engine ~pid:attacker_pid in
+  let p = Bytes.create 16 in
+  let predicted =
+    Array.init 256 (fun index -> Aes_layout.set_of_entry layout ~table ~index)
+  in
   for _ = 1 to count do
-    Attacker.prime_all_sets engine rng ~pid:attacker_pid ();
-    let p = Victim.random_plaintext rng in
-    ignore (Victim.encrypt_quiet victim p);
-    let probes = Attacker.probe_all_sets engine rng ~pid:attacker_pid () in
-    let missed s = probes.(s).Attacker.classified_misses > 0 in
-    Array.iteri
-      (fun s _ -> if missed s then miss_freq.(s) <- miss_freq.(s) +. 1.)
-      probes;
+    Probe_plan.prime_all plan;
+    Victim.random_plaintext_into rng p;
+    Victim.encrypt_quiet_fast victim p;
+    Probe_plan.probe_all plan rng;
+    for s = 0 to sets - 1 do
+      if Probe_plan.classified_misses plan s > 0 then
+        miss_freq.(s) <- miss_freq.(s) +. 1.
+    done;
     let pb = Char.code (Bytes.get p c.target_byte) in
     for k = 0 to 255 do
-      let predicted = Aes_layout.set_of_entry layout ~table ~index:(pb lxor k) in
-      if missed predicted then cand_hits.(k) <- cand_hits.(k) +. 1.
+      if Probe_plan.classified_misses plan predicted.(pb lxor k) > 0 then
+        cand_hits.(k) <- cand_hits.(k) +. 1.
     done
   done;
   { miss_freq; cand_hits; span = count }

@@ -1,0 +1,87 @@
+open Cachesec_cache
+
+type t = {
+  engine : Engine.t;
+  pid : int;
+  sets : int;
+  ways : int;
+  lines : int array;  (** set-major: [lines.(set * ways + k)] *)
+  true_misses : int array;  (** per-set scratch, overwritten by probes *)
+  classified : int array;
+  times : float array;
+}
+
+let make ?(base = Attacker.default_base) engine ~pid =
+  let cfg = engine.Engine.config in
+  let sets = Config.sets cfg and ways = cfg.Config.ways in
+  let lines =
+    Array.init (sets * ways) (fun i ->
+        Attacker.nth_conflict_line cfg ~base ~set:(i / ways) (i mod ways))
+  in
+  {
+    engine;
+    pid;
+    sets;
+    ways;
+    lines;
+    true_misses = Array.make sets 0;
+    classified = Array.make sets 0;
+    times = Array.make sets 0.;
+  }
+
+let sets t = t.sets
+let ways t = t.ways
+let line t ~set k = t.lines.((set * t.ways) + k)
+
+let prime_set t set =
+  let off = set * t.ways in
+  for k = 0 to t.ways - 1 do
+    ignore (t.engine.Engine.access ~pid:t.pid t.lines.(off + k))
+  done
+
+let prime_all t =
+  for set = 0 to t.sets - 1 do
+    prime_set t set
+  done
+
+let probe_set t rng set =
+  let off = set * t.ways in
+  let sigma = t.engine.Engine.sigma in
+  t.true_misses.(set) <- 0;
+  t.classified.(set) <- 0;
+  t.times.(set) <- 0.;
+  if sigma = 0. then
+    (* [Timing.observe] consumes no randomness and returns the exact
+       hit/miss constant at sigma = 0, and [Timing.classify] maps those
+       constants back to the true event — so the classified count equals
+       the true count and the time is the exact miss total (adding
+       hit_time = 0. per hit is a no-op, skipped). Bit-for-bit the same
+       results and the same RNG stream as the general branch, with no
+       float boxing in the loop. *)
+    for k = 0 to t.ways - 1 do
+      let o = t.engine.Engine.access ~pid:t.pid t.lines.(off + k) in
+      if Outcome.is_miss o then begin
+        t.true_misses.(set) <- t.true_misses.(set) + 1;
+        t.classified.(set) <- t.classified.(set) + 1;
+        t.times.(set) <- t.times.(set) +. Timing.miss_time
+      end
+    done
+  else
+    for k = 0 to t.ways - 1 do
+      let o = t.engine.Engine.access ~pid:t.pid t.lines.(off + k) in
+      let tm = Timing.observe_outcome rng ~sigma o in
+      if Outcome.is_miss o then t.true_misses.(set) <- t.true_misses.(set) + 1;
+      (match Timing.classify tm with
+      | Outcome.Miss -> t.classified.(set) <- t.classified.(set) + 1
+      | Outcome.Hit -> ());
+      t.times.(set) <- t.times.(set) +. tm
+    done
+
+let probe_all t rng =
+  for set = 0 to t.sets - 1 do
+    probe_set t rng set
+  done
+
+let true_misses t set = t.true_misses.(set)
+let classified_misses t set = t.classified.(set)
+let time t set = t.times.(set)

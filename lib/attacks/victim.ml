@@ -7,41 +7,84 @@ type t = {
   pid : int;
   key : Aes.key;
   layout : Aes_layout.t;
+  (* Reusable per-victim scratch for the allocation-free encryption
+     path. One victim never runs two encryptions concurrently (trials
+     are sequential within a campaign shard), so a single set of buffers
+     suffices. *)
+  sc : Aes.scratch;
+  trace : int array;
+  ct : Bytes.t;
+  mutable misses : int;
 }
 
-let create ~engine ~pid ~key ~layout = { engine; pid; key; layout }
+let create ~engine ~pid ~key ~layout =
+  {
+    engine;
+    pid;
+    key;
+    layout;
+    sc = Aes.create_scratch ();
+    trace = Array.make Aes.trace_length 0;
+    ct = Bytes.create 16;
+    misses = 0;
+  }
+
 let pid t = t.pid
 let key t = t.key
 let layout t = t.layout
 let engine t = t.engine
 
+(* The fast path: cipher writes the packed trace into [t.trace], each
+   lookup is replayed through the cache in program order, and the miss
+   count accumulates in a mutable int field (no ref cell, no float
+   boxing). Access order — hence the engine's internal RNG stream — is
+   identical to the historical [encrypt_traced]-based implementation. *)
+let encrypt_misses t plaintext =
+  Aes.encrypt_traced_into t.sc t.key ~src:plaintext ~dst:t.ct ~trace:t.trace;
+  t.misses <- 0;
+  let tr = t.trace in
+  for i = 0 to Aes.trace_length - 1 do
+    let o =
+      t.engine.Engine.access ~pid:t.pid (Aes_layout.line_of_packed t.layout tr.(i))
+    in
+    if Outcome.is_miss o then t.misses <- t.misses + 1
+  done;
+  t.misses
+
+let encrypt_quiet_fast t plaintext = ignore (encrypt_misses t plaintext)
+
 let encrypt_timed t plaintext =
-  let total = ref 0. in
-  let ciphertext, accesses = Aes.encrypt_traced t.key plaintext in
-  Array.iter
-    (fun a ->
-      let line = Aes_layout.line_of_access t.layout a in
-      let o = t.engine.Engine.access ~pid:t.pid line in
-      total :=
-        !total
-        +. (match o.Outcome.event with
-           | Outcome.Hit -> Timing.hit_time
-           | Outcome.Miss -> Timing.miss_time))
-    accesses;
-  (ciphertext, !total)
+  let m = encrypt_misses t plaintext in
+  ( Bytes.copy t.ct,
+    Timing.time_of_counts ~hits:(Aes.trace_length - m) ~misses:m )
 
-let encrypt_quiet t plaintext = fst (encrypt_timed t plaintext)
+let encrypt_quiet t plaintext =
+  encrypt_quiet_fast t plaintext;
+  Bytes.copy t.ct
 
+(* The table lines are contiguous ([Aes_layout.line_ranges] is a single
+   range), so warming/locking is a plain counted loop — same ascending
+   order as the historical [Aes_layout.all_lines] list, no allocation. *)
 let warm_tables t =
-  List.iter
-    (fun line -> ignore (t.engine.Engine.access ~pid:t.pid line))
-    (Aes_layout.all_lines t.layout)
+  let base = Aes_layout.base_line t.layout in
+  for line = base to base + Aes_layout.line_count t.layout - 1 do
+    ignore (t.engine.Engine.access ~pid:t.pid line)
+  done
 
 let lock_tables t =
-  List.fold_left
-    (fun acc line ->
-      if t.engine.Engine.lock_line ~pid:t.pid line then acc + 1 else acc)
-    0
-    (Aes_layout.all_lines t.layout)
+  let base = Aes_layout.base_line t.layout in
+  let locked = ref 0 in
+  for line = base to base + Aes_layout.line_count t.layout - 1 do
+    if t.engine.Engine.lock_line ~pid:t.pid line then incr locked
+  done;
+  !locked
 
-let random_plaintext rng = Bytes.init 16 (fun _ -> Char.chr (Rng.int rng 256))
+let random_plaintext_into rng b =
+  for i = 0 to Bytes.length b - 1 do
+    Bytes.set b i (Char.chr (Rng.int rng 256))
+  done
+
+let random_plaintext rng =
+  let b = Bytes.create 16 in
+  random_plaintext_into rng b;
+  b

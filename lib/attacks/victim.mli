@@ -3,7 +3,14 @@
     Every table lookup of a block encryption becomes one cache access by
     the victim's pid; the block's execution time is the sum of the per-
     access hit/miss latencies (hit = 0, miss = 1), which is what the
-    attacker's coarse timer measures in timing-based attacks. *)
+    attacker's coarse timer measures in timing-based attacks.
+
+    Each victim owns one set of reusable encryption scratch buffers
+    (cipher state, packed trace, ciphertext), so the [_fast]/[_misses]
+    entry points below run a whole encryption through the cache without
+    GC allocation. Encryptions on one victim must not overlap (trials
+    are sequential within a campaign shard; never share a victim across
+    domains). *)
 
 open Cachesec_cache
 open Cachesec_crypto
@@ -20,18 +27,38 @@ val engine : t -> Engine.t
 
 val encrypt_timed : t -> Bytes.t -> Bytes.t * float
 (** Encrypt one block through the cache; the float is the exact total
-    access time (misses counted at 1.0 each, before observation noise). *)
+    access time (misses counted at 1.0 each, before observation noise).
+    Allocates a fresh ciphertext — per-trial loops that only need the
+    time should use {!encrypt_misses}. *)
 
 val encrypt_quiet : t -> Bytes.t -> Bytes.t
-(** Same cache side effects, discarding the time. *)
+(** Same cache side effects, discarding the time (but still allocating
+    the returned ciphertext; see {!encrypt_quiet_fast}). *)
+
+val encrypt_misses : t -> Bytes.t -> int
+(** Allocation-free encryption: same cache side effects (and engine RNG
+    stream) as {!encrypt_timed}, returning the number of missing
+    accesses as an immediate int. The exact time is
+    [Timing.time_of_counts ~hits:(Aes.trace_length - m) ~misses:m];
+    the ciphertext stays in the victim's scratch (overwritten by the
+    next encryption). *)
+
+val encrypt_quiet_fast : t -> Bytes.t -> unit
+(** {!encrypt_misses} with the count discarded. *)
 
 val warm_tables : t -> unit
 (** Access every table line once (brings them in where the architecture
-    allows it). *)
+    allows it). Allocation-free: the table lines are one contiguous
+    range. *)
 
 val lock_tables : t -> int
 (** PL cache: prefetch-and-lock every table line; returns how many locked
     (0 on architectures without locking). *)
 
 val random_plaintext : Cachesec_stats.Rng.t -> Bytes.t
-(** 16 uniform bytes. *)
+(** 16 uniform bytes (fresh buffer). *)
+
+val random_plaintext_into : Cachesec_stats.Rng.t -> Bytes.t -> unit
+(** Fill a caller-owned buffer with uniform bytes, drawing one
+    [Rng.int rng 256] per byte in ascending order — the same stream
+    {!random_plaintext} consumes, without the allocation. *)

@@ -6,15 +6,22 @@ type t = {
   mutable seq : int;
   counters : Counters.t;
   rng : Rng.t;
+  sets : int;  (** [Config.sets cfg], precomputed off the access path *)
+  set_mask : int;
+      (** [sets - 1] when [sets] is a power of two, else -1: lets
+          {!set_of} replace the per-access division with a masked AND *)
 }
 
 let create cfg ~rng =
+  let sets = Config.sets cfg in
   {
     cfg;
     lines = Line.make_array cfg.Config.lines;
     seq = 0;
     counters = Counters.create ();
     rng;
+    sets;
+    set_mask = (if sets land (sets - 1) = 0 then sets - 1 else -1);
   }
 
 let tick t =
@@ -25,6 +32,15 @@ let tick t =
    arithmetic instead of per-access list construction. -------------- *)
 
 let base_of_set t ~set = set * t.cfg.Config.ways
+
+(* Conventional set index of a line. Same value as [Address.set_index
+   t.cfg line] but with the two per-access integer divisions (sets =
+   lines/ways, then mod) replaced by one predictable branch and an AND
+   whenever the set count is a power of two — which it is for every
+   paper geometry. Line numbers are non-negative, so [land] and [mod]
+   agree. *)
+let set_of t line =
+  if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
 
 (* The scan loops live at top level and take every free variable as an
    argument: without flambda, a local [let rec] capturing [lines]/[tag]

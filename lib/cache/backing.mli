@@ -12,6 +12,10 @@ type t = {
   mutable seq : int;
   counters : Counters.t;
   rng : Cachesec_stats.Rng.t;
+  sets : int;  (** [Config.sets cfg], precomputed off the access path *)
+  set_mask : int;
+      (** [sets - 1] when [sets] is a power of two, else -1 (see
+          {!set_of}) *)
 }
 
 val create : Config.t -> rng:Cachesec_stats.Rng.t -> t
@@ -22,6 +26,11 @@ val tick : t -> int
 val base_of_set : t -> set:int -> int
 (** Global index of [set]'s first way; the set occupies the contiguous
     range [base, base + ways). *)
+
+val set_of : t -> int -> int
+(** Conventional set index of a (non-negative) line number: equal to
+    [Address.set_index cfg line], but division-free when the set count
+    is a power of two. Per-access hot path. *)
 
 val find_tag : t -> set:int -> tag:int -> int
 (** Global index of the valid line in [set] holding [tag], or -1.

@@ -19,37 +19,58 @@ type cell = {
   mutable flushes : int;
 }
 
-type t = { global : cell; per_pid : (int, cell) Hashtbl.t }
+(* Per-pid cells live in a small array indexed directly by pid: every
+   simulated process in the repository is a tiny non-negative int
+   (victim 0, attacker 1, covert sender 2, ...), and [cell_for] runs
+   once per cache access, so a generic [Hashtbl.find] — a hash plus a
+   bucket probe per access — is measurable against the ~tens-of-ns
+   access itself. Exotic pids spill into the overflow table. *)
+let small_pids = 16
+
+type t = {
+  global : cell;
+  small : cell array;  (** index = pid, for 0 <= pid < {!small_pids} *)
+  overflow : (int, cell) Hashtbl.t;
+}
 
 let fresh_cell () =
   { accesses = 0; hits = 0; misses = 0; evictions = 0; read_throughs = 0; flushes = 0 }
 
-let create () = { global = fresh_cell (); per_pid = Hashtbl.create 8 }
+let create () =
+  {
+    global = fresh_cell ();
+    small = Array.init small_pids (fun _ -> fresh_cell ());
+    overflow = Hashtbl.create 8;
+  }
 
-(* [Hashtbl.find] + preallocated [Not_found] rather than [find_opt]: the
-   option wrapper is a minor-heap allocation on every access and this
-   runs on the hit fast path. *)
+(* [Hashtbl.find] + preallocated [Not_found] rather than [find_opt] on
+   the overflow path: the option wrapper is a minor-heap allocation on
+   every access and this runs on the hit fast path. *)
 let cell_for t pid =
-  match Hashtbl.find t.per_pid pid with
-  | c -> c
-  | exception Not_found ->
-    let c = fresh_cell () in
-    Hashtbl.replace t.per_pid pid c;
-    c
+  if pid >= 0 && pid < small_pids then t.small.(pid)
+  else
+    match Hashtbl.find t.overflow pid with
+    | c -> c
+    | exception Not_found ->
+      let c = fresh_cell () in
+      Hashtbl.replace t.overflow pid c;
+      c
 
+(* Single match per field group; no polymorphic [=] (which compiles to a
+   [caml_equal] call even on constant constructors without flambda). *)
 let bump c (o : Outcome.t) =
   c.accesses <- c.accesses + 1;
   (match o.event with
   | Outcome.Hit -> c.hits <- c.hits + 1
-  | Outcome.Miss -> c.misses <- c.misses + 1);
+  | Outcome.Miss ->
+    c.misses <- c.misses + 1;
+    if not o.cached then c.read_throughs <- c.read_throughs + 1);
   (match o.evicted with
   | Some _ -> c.evictions <- c.evictions + 1
   | None -> ());
   (match o.also_evicted with
   | Some _ -> c.evictions <- c.evictions + 1
-  | None -> ());
-  if o.event = Outcome.Miss && not o.cached then
-    c.read_throughs <- c.read_throughs + 1
+  | None -> ())
 
 let record t ~pid o =
   bump t.global o;
@@ -75,7 +96,9 @@ let snap (c : cell) : snapshot =
 let global t = snap t.global
 
 let for_pid t pid =
-  match Hashtbl.find_opt t.per_pid pid with Some c -> snap c | None -> zero
+  if pid >= 0 && pid < small_pids then snap t.small.(pid)
+  else
+    match Hashtbl.find_opt t.overflow pid with Some c -> snap c | None -> zero
 
 let hit_rate (s : snapshot) =
   if s.accesses = 0 then nan else float_of_int s.hits /. float_of_int s.accesses
@@ -90,7 +113,8 @@ let reset t =
     c.flushes <- 0
   in
   clear t.global;
-  Hashtbl.iter (fun _ c -> clear c) t.per_pid
+  Array.iter clear t.small;
+  Hashtbl.iter (fun _ c -> clear c) t.overflow
 
 let pp_snapshot ppf (s : snapshot) =
   Format.fprintf ppf "acc=%d hit=%d miss=%d evict=%d rt=%d flush=%d" s.accesses

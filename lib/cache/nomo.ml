@@ -16,7 +16,9 @@ let config t = t.b.Backing.cfg
 let reserved_ways t = t.reserved
 let shared_ways t = t.b.Backing.cfg.Config.ways - t.reserved
 let is_protected t pid = List.mem pid t.protected_pids
-let set_of t addr = Address.set_index t.b.Backing.cfg addr
+(* Division-free on power-of-two set counts; same value as
+   [Address.set_index]. *)
+let set_of t addr = Backing.set_of t.b addr
 
 (* Top-level loop (all state as arguments): a local [let rec] capturing
    [lines]/[stop]/[pid] would allocate its closure on every miss under

@@ -24,8 +24,12 @@ let fill ~fetched ~evicted =
   { event = Miss; cached = true; fetched = Some fetched; evicted; also_evicted = None }
 
 let event_to_string = function Hit -> "hit" | Miss -> "miss"
-let is_hit t = t.event = Hit
-let is_miss t = t.event = Miss
+
+(* Matches, not [=]: polymorphic equality is a [caml_equal] call even on
+   constant constructors without flambda, and these two run once per
+   probed access in the attack loops. *)
+let is_hit t = match t.event with Hit -> true | Miss -> false
+let is_miss t = match t.event with Miss -> true | Hit -> false
 
 let eviction_count t =
   (match t.evicted with Some _ -> 1 | None -> 0)

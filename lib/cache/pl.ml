@@ -4,7 +4,9 @@ let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
   { b = Backing.create config ~rng; policy }
 
 let config t = t.b.Backing.cfg
-let set_of t addr = Address.set_index t.b.Backing.cfg addr
+(* Division-free on power-of-two set counts; same value as
+   [Address.set_index]. *)
+let set_of t addr = Backing.set_of t.b addr
 
 let access t ~pid addr =
   let b = t.b in

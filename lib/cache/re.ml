@@ -22,7 +22,9 @@ let create ?(config = Config.direct_mapped) ?(policy = Replacement.Random)
 let config t = t.b.Backing.cfg
 let interval t = t.interval
 let random_evictions t = t.random_evictions
-let set_of t addr = Address.set_index t.b.Backing.cfg addr
+(* Division-free on power-of-two set counts; same value as
+   [Address.set_index]. *)
+let set_of t addr = Backing.set_of t.b addr
 
 (* Fires after every [interval]-th access; evicts a uniformly random slot. *)
 let periodic_eviction t =

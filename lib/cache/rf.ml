@@ -15,14 +15,20 @@ let create ?(config = Config.standard) ?(policy = Replacement.Random)
 
 let config t = t.b.Backing.cfg
 
+(* [Hashtbl.find] + [Not_found] rather than [find_opt]: runs on every
+   miss, and the option wrapper would allocate. *)
 let window t ~pid =
-  Option.value (Hashtbl.find_opt t.windows pid) ~default:t.default_window
+  match Hashtbl.find t.windows pid with
+  | w -> w
+  | exception Not_found -> t.default_window
 
 let set_window t ~pid ~back ~fwd =
   if back < 0 || fwd < 0 then invalid_arg "Rf.set_window: negative window";
   Hashtbl.replace t.windows pid (back, fwd)
 
-let set_of t addr = Address.set_index t.b.Backing.cfg addr
+(* Division-free on power-of-two set counts; same value as
+   [Address.set_index]. *)
+let set_of t addr = Backing.set_of t.b addr
 
 (* Install [line] unless already cached; the filled outcome for an
    access to [addr] that randomly fetched [line]. *)

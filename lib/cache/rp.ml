@@ -4,44 +4,80 @@ type t = {
   b : Backing.t;
   policy : Replacement.policy;
   tables : (int, int array) Hashtbl.t;
+  (* Last (pid, table) pair served by [table_of]: attack loops access in
+     long same-pid runs (a 512-line prime, a 160-lookup encryption), so
+     the memo turns the per-access table lookup into one int compare.
+     Invalidated by [set_identity]. *)
+  mutable memo_pid : int;
+  mutable memo_tbl : int array;
 }
 
 let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
-  { b = Backing.create config ~rng; policy; tables = Hashtbl.create 8 }
+  {
+    b = Backing.create config ~rng;
+    policy;
+    tables = Hashtbl.create 8;
+    memo_pid = min_int;
+    memo_tbl = [||];
+  }
 
 let config t = t.b.Backing.cfg
 let sets t = Config.sets t.b.Backing.cfg
 
+(* [Hashtbl.find] + preallocated [Not_found] rather than [find_opt]:
+   this runs once per access and the option wrapper would put a
+   minor-heap allocation on the hit path. *)
 let table_of t pid =
-  match Hashtbl.find_opt t.tables pid with
-  | Some tbl -> tbl
-  | None ->
-    let tbl = Array.init (sets t) Fun.id in
-    Hashtbl.replace t.tables pid tbl;
+  if pid = t.memo_pid then t.memo_tbl
+  else begin
+    let tbl =
+      match Hashtbl.find t.tables pid with
+      | tbl -> tbl
+      | exception Not_found ->
+        let tbl = Array.init (sets t) Fun.id in
+        Hashtbl.replace t.tables pid tbl;
+        tbl
+    in
+    t.memo_pid <- pid;
+    t.memo_tbl <- tbl;
     tbl
+  end
 
 let table t ~pid = Array.copy (table_of t pid)
 
 let set_identity t ~pid =
-  Hashtbl.replace t.tables pid (Array.init (sets t) Fun.id)
+  Hashtbl.replace t.tables pid (Array.init (sets t) Fun.id);
+  t.memo_pid <- min_int
 
-let physical_set t ~pid addr = (table_of t pid).(addr mod sets t)
+let physical_set t ~pid addr = (table_of t pid).(Backing.set_of t.b addr)
+
+(* Top-level downward scan (all state as arguments): same result as the
+   old [Array.iteri] last-match loop -- the table is a bijection, so
+   first-from-the-end = last-from-the-start -- without allocating the
+   iteri closure and a ref on every external miss. *)
+let rec last_mapped (tbl : int array) target i =
+  if i < 0 then -1
+  else if tbl.(i) = target then i
+  else last_mapped tbl target (i - 1)
 
 let swap_mapping t ~pid ~logical ~target_set =
   let tbl = table_of t pid in
   (* Find the logical index currently mapped to [target_set] and exchange
      it with [logical] so the table stays a bijection. *)
-  let other = ref logical in
-  Array.iteri (fun i s -> if s = target_set then other := i) tbl;
+  let other =
+    match last_mapped tbl target_set (Array.length tbl - 1) with
+    | -1 -> logical
+    | i -> i
+  in
   let tmp = tbl.(logical) in
-  tbl.(logical) <- tbl.(!other);
-  tbl.(!other) <- tmp
+  tbl.(logical) <- tbl.(other);
+  tbl.(other) <- tmp
 
 let access t ~pid addr =
   let b = t.b in
   let seq = Backing.tick b in
-  let logical = addr mod sets t in
-  let set = physical_set t ~pid addr in
+  let logical = Backing.set_of b addr in
+  let set = (table_of t pid).(logical) in
   (* PID feature: the tag array conceptually stores the owning context,
      so the probe requires the owner to match too. *)
   let i = Backing.find_tag_owned b ~set ~tag:addr ~owner:pid in
@@ -65,7 +101,7 @@ let access t ~pid addr =
       end
       else begin
         (* External miss: random set, random line there, swap mappings. *)
-        let s' = Rng.int b.rng (sets t) in
+        let s' = Rng.int b.rng b.Backing.sets in
         let way' = Backing.base_of_set b ~set:s' + Rng.int b.rng w in
         let victim' = b.lines.(way') in
         let evicted = Line.victim victim' in

@@ -5,7 +5,9 @@ let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
 
 let config t = t.b.Backing.cfg
 let policy t = t.policy
-let set_of t addr = Address.set_index t.b.Backing.cfg addr
+(* Division-free on power-of-two set counts; same value as
+   [Address.set_index]. *)
+let set_of t addr = Backing.set_of t.b addr
 
 (* The hit path allocates nothing: tag probe and LRU touch are int
    loops/stores and the outcome is the preallocated [Outcome.hit]. *)

@@ -2,6 +2,7 @@ type t = {
   b : Backing.t;
   policy : Replacement.policy;
   partitions : int;
+  per : int;  (** sets per partition, precomputed off the access path *)
   home : int -> int;
   partition_of_pid : int -> int;
 }
@@ -11,7 +12,14 @@ let create ?(config = Config.standard) ?(policy = Replacement.Random)
   if partitions <= 0 then invalid_arg "Sp.create: partitions must be positive";
   if Config.sets config mod partitions <> 0 then
     invalid_arg "Sp.create: partitions must divide the set count";
-  { b = Backing.create config ~rng; policy; partitions; home; partition_of_pid }
+  {
+    b = Backing.create config ~rng;
+    policy;
+    partitions;
+    per = Config.sets config / partitions;
+    home;
+    partition_of_pid;
+  }
 
 let create_two_domain ?config ?policy ~victim_pid ~victim_lines ~rng () =
   let in_victim_ranges line =
@@ -33,8 +41,7 @@ let check_partition t p who =
 let set_of t addr =
   let p = t.home addr in
   check_partition t p "home";
-  let per = sets_per_partition t in
-  (p * per) + (addr mod per)
+  (p * t.per) + (addr mod t.per)
 
 let access t ~pid addr =
   let b = t.b in

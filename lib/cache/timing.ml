@@ -9,6 +9,12 @@ let observe rng ~sigma event =
 
 let observe_outcome rng ~sigma (o : Outcome.t) = observe rng ~sigma o.event
 
+let time_of_counts ~hits ~misses =
+  (* Bit-for-bit equal to summing the per-access constants in any order:
+     the sequence sums are integer-valued floats well below 2^53, and
+     with hit_time = 0. the hit term is an exact +0. *)
+  (float_of_int misses *. miss_time) +. (float_of_int hits *. hit_time)
+
 let classify ?(threshold = 0.5) time =
   if time > threshold then Outcome.Miss else Outcome.Hit
 

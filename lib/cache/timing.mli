@@ -16,6 +16,13 @@ val observe : Cachesec_stats.Rng.t -> sigma:float -> Outcome.event -> float
 
 val observe_outcome : Cachesec_stats.Rng.t -> sigma:float -> Outcome.t -> float
 
+val time_of_counts : hits:int -> misses:int -> float
+(** The exact (noise-free) total time of [hits + misses] accesses:
+    [misses *. miss_time +. hits *. hit_time]. Bit-for-bit equal to
+    summing {!observe}'s sigma = 0 per-access values in sequence, so the
+    allocation-free attack paths can accumulate integer miss counts and
+    convert once per encryption instead of summing floats per access. *)
+
 val classify : ?threshold:float -> float -> Outcome.event
 (** Maximum-likelihood decision between the two Gaussians: times above
     [threshold] (default 0.5, the midpoint) read as a miss. *)

@@ -88,10 +88,90 @@ let encrypt_core k input sink =
 
 let encrypt k input = encrypt_core k input ignore
 
+(* ------------------------------------------------------------------ *)
+(* Allocation-free fast path.
+
+   [encrypt_traced_into] is the same cipher as [encrypt_core], unrolled
+   without the [sink] closure: every table lookup is written as a packed
+   [(table lsl 8) lor index] int into a caller-owned [trace] array at an
+   arithmetically computed position, so a steady-state call allocates
+   nothing (ints are immediate; the state arrays live in [scratch]).
+   Lookup ORDER and index VALUES are identical to [encrypt_core] —
+   [encrypt_traced] below is re-derived from this path and the test
+   suite pins it against the closure-based core's historical output. *)
+
+let trace_length = 160
+
+type scratch = { st : int array; tmp : int array }
+
+let create_scratch () = { st = Array.make 4 0; tmp = Array.make 4 0 }
+
+let table_of_packed a = a lsr 8
+let index_of_packed a = a land 0xff
+let access_of_packed a = { table = a lsr 8; index = a land 0xff }
+
+let encrypt_traced_into sc k ~src ~dst ~trace =
+  if Bytes.length src <> 16 then invalid_arg "Aes.encrypt: need a 16-byte block";
+  if Bytes.length dst <> 16 then
+    invalid_arg "Aes.encrypt_traced_into: dst needs 16 bytes";
+  if Array.length trace < trace_length then
+    invalid_arg "Aes.encrypt_traced_into: trace needs 160 slots";
+  let w = k.words in
+  let te0 = Ttables.te 0
+  and te1 = Ttables.te 1
+  and te2 = Ttables.te 2
+  and te3 = Ttables.te 3
+  and te4 = Ttables.te4 in
+  let s = sc.st and t = sc.tmp in
+  for c = 0 to 3 do
+    s.(c) <- getu32 src (4 * c) lxor w.(c)
+  done;
+  for round = 1 to 9 do
+    let base = (round - 1) * 16 in
+    for c = 0 to 3 do
+      let p = base + (4 * c) in
+      (* Sequential lets fix the lookup order, exactly as in
+         [encrypt_core]: program order is te0, te1, te2, te3. *)
+      let i0 = s.(c) lsr 24 in
+      trace.(p) <- i0 (* table 0: packed tag is 0 *);
+      let l0 = te0.(i0) in
+      let i1 = (s.((c + 1) mod 4) lsr 16) land 0xff in
+      trace.(p + 1) <- 0x100 lor i1;
+      let l1 = te1.(i1) in
+      let i2 = (s.((c + 2) mod 4) lsr 8) land 0xff in
+      trace.(p + 2) <- 0x200 lor i2;
+      let l2 = te2.(i2) in
+      let i3 = s.((c + 3) mod 4) land 0xff in
+      trace.(p + 3) <- 0x300 lor i3;
+      let l3 = te3.(i3) in
+      t.(c) <- l0 lxor l1 lxor l2 lxor l3 lxor w.((4 * round) + c)
+    done;
+    Array.blit t 0 s 0 4
+  done;
+  for c = 0 to 3 do
+    let p = 144 + (4 * c) in
+    let i0 = s.(c) lsr 24 in
+    trace.(p) <- 0x400 lor i0;
+    let l0 = te4.(i0) land 0xff000000 in
+    let i1 = (s.((c + 1) mod 4) lsr 16) land 0xff in
+    trace.(p + 1) <- 0x400 lor i1;
+    let l1 = te4.(i1) land 0x00ff0000 in
+    let i2 = (s.((c + 2) mod 4) lsr 8) land 0xff in
+    trace.(p + 2) <- 0x400 lor i2;
+    let l2 = te4.(i2) land 0x0000ff00 in
+    let i3 = s.((c + 3) mod 4) land 0xff in
+    trace.(p + 3) <- 0x400 lor i3;
+    let l3 = te4.(i3) land 0x000000ff in
+    let o = l0 lxor l1 lxor l2 lxor l3 lxor w.(40 + c) in
+    putu32 dst (4 * c) (o land mask)
+  done
+
 let encrypt_traced k input =
-  let trace = ref [] in
-  let out = encrypt_core k input (fun a -> trace := a :: !trace) in
-  (out, Array.of_list (List.rev !trace))
+  let sc = create_scratch () in
+  let trace = Array.make trace_length 0 in
+  let dst = Bytes.create 16 in
+  encrypt_traced_into sc k ~src:input ~dst ~trace;
+  (dst, Array.map access_of_packed trace)
 
 let first_round_accesses k plaintext =
   if Bytes.length plaintext <> 16 then

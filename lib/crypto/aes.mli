@@ -34,6 +34,41 @@ val encrypt : key -> Bytes.t -> Bytes.t
 val encrypt_traced : key -> Bytes.t -> Bytes.t * access array
 (** Encrypt and report the 160 table lookups in program order. *)
 
+(** {2 Allocation-free fast path}
+
+    [encrypt_traced] allocates a fresh ciphertext, a fresh trace array
+    and one [access] record per lookup — fine for analysis code, fatal
+    inside a million-trial attack loop. The [_into] variant below writes
+    into caller-owned buffers and encodes each lookup as a packed
+    immediate int, so a steady-state call performs no GC allocation. *)
+
+type scratch
+(** Reusable cipher state (two 4-word arrays). One scratch per victim
+    is enough; calls may not overlap (not re-entrant). *)
+
+val create_scratch : unit -> scratch
+
+val trace_length : int
+(** Number of table lookups per block: 160 (9 rounds x 16 + 16 final). *)
+
+val encrypt_traced_into :
+  scratch -> key -> src:Bytes.t -> dst:Bytes.t -> trace:int array -> unit
+(** Encrypt the 16-byte [src] into the 16-byte [dst], writing the 160
+    lookups into [trace.(0..159)] in program order as packed
+    [(table lsl 8) lor index] ints. Same cipher, same lookup order and
+    same error message ("Aes.encrypt: need a 16-byte block" for a bad
+    [src]) as {!encrypt_traced}; raises [Invalid_argument] if [dst] is
+    not 16 bytes or [trace] has fewer than {!trace_length} slots. *)
+
+val table_of_packed : int -> int
+(** [table_of_packed a = a lsr 8] — 0..3 for te0..te3, 4 for te4. *)
+
+val index_of_packed : int -> int
+(** [index_of_packed a = a land 0xff]. *)
+
+val access_of_packed : int -> access
+(** Unpack into the record form (allocates). *)
+
 val first_round_accesses : key -> Bytes.t -> access array
 (** Just the 16 first-round lookups (computable without encrypting), in
     byte order: byte i reads table [i mod 4] at index

@@ -19,41 +19,62 @@ type row = {
 let receiver_pid = 1
 let sender_pid = 2
 
-let touch engine ~pid lines =
-  List.iter (fun l -> ignore (engine.Engine.access ~pid l)) lines
+let touch engine ~pid (lines : int array) =
+  for i = 0 to Array.length lines - 1 do
+    ignore (engine.Engine.access ~pid lines.(i))
+  done
 
-let probe engine rng ~pid lines =
-  List.fold_left
-    (fun acc l ->
-      let o = engine.Engine.access ~pid l in
-      let t = Timing.observe_outcome rng ~sigma:engine.Engine.sigma o in
-      acc + match Timing.classify t with Outcome.Miss -> 1 | Outcome.Hit -> 0)
-    0 lines
+let probe engine rng ~pid (lines : int array) =
+  let sigma = engine.Engine.sigma in
+  let misses = ref 0 in
+  for i = 0 to Array.length lines - 1 do
+    let o = engine.Engine.access ~pid lines.(i) in
+    (* Same special case as Probe_plan: at sigma = 0 the observation
+       draws nothing and classifies back to the true event. *)
+    if sigma = 0. then begin
+      if Outcome.is_miss o then incr misses
+    end
+    else
+      let t = Timing.observe_outcome rng ~sigma o in
+      match Timing.classify t with
+      | Outcome.Miss -> incr misses
+      | Outcome.Hit -> ()
+  done;
+  !misses
 
-(* Line sets per protocol. The sender's lines rotate across symbols so
-   his transmissions are always misses. *)
+(* Line sets per protocol, precompiled into arrays. The sender's lines
+   rotate across symbols so his transmissions are always misses;
+   [fill_sender buf i] writes symbol [i]'s sender lines into the
+   caller's reusable [buf] (length [sender_len]) without allocating. *)
 let plan protocol (cfg : Config.t) =
   match protocol with
   | Set_conflict ->
     let count = Stdlib.min cfg.ways 8 in
     let set = 11 mod Config.sets cfg in
-    let receiver = Attacker.conflict_lines cfg ~count set in
-    let sender i =
-      Attacker.conflict_lines cfg
-        ~base:(Attacker.default_base + (1 lsl 24) + (i mod 4096 * count * Config.sets cfg))
-        ~count set
+    let receiver =
+      Array.init count (fun k -> Attacker.nth_conflict_line cfg ~set k)
     in
-    (receiver, sender)
+    let fill_sender buf i =
+      let base =
+        Attacker.default_base + (1 lsl 24)
+        + (i mod 4096 * count * Config.sets cfg)
+      in
+      for k = 0 to count - 1 do
+        buf.(k) <- Attacker.nth_conflict_line cfg ~base ~set k
+      done
+    in
+    (receiver, count, fill_sender)
   | Occupancy ->
     let size = (3 * cfg.lines) / 4 in
-    let receiver =
-      List.init size (fun k -> Attacker.default_base + k)
-    in
-    let sender i =
+    let receiver = Array.init size (fun k -> Attacker.default_base + k) in
+    let len = cfg.lines / 2 in
+    let fill_sender buf i =
       let base = Attacker.default_base + (1 lsl 24) + (i mod 64 * cfg.lines) in
-      List.init (cfg.lines / 2) (fun k -> base + k)
+      for k = 0 to len - 1 do
+        buf.(k) <- base + k
+      done
     in
-    (receiver, sender)
+    (receiver, len, fill_sender)
 
 let run_row ?(seed = 53) ?(bits = 2000) protocol spec =
   if bits <= 0 then invalid_arg "Covert.run_row: bits must be positive";
@@ -62,10 +83,15 @@ let run_row ?(seed = 53) ?(bits = 2000) protocol spec =
     Factory.build spec Factory.default_scenario ~rng:(Rng.split root)
   in
   let rng = Rng.split root in
-  let receiver_lines, sender_lines = plan protocol engine.Engine.config in
+  let receiver_lines, sender_len, fill_sender = plan protocol engine.Engine.config in
+  let sender_buf = Array.make (Stdlib.max sender_len 1) 0 in
   let symbol i bit =
     touch engine ~pid:receiver_pid receiver_lines;
-    if bit then touch engine ~pid:sender_pid (sender_lines i);
+    if bit then begin
+      (* Computed only for 1-bits, as the lazy list argument used to be. *)
+      fill_sender sender_buf i;
+      touch engine ~pid:sender_pid sender_buf
+    end;
     float_of_int (probe engine rng ~pid:receiver_pid receiver_lines)
   in
   (* Calibration preamble of known alternating bits: threshold at the

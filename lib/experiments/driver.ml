@@ -45,6 +45,19 @@ let sample_engine_counters tm (s : Setup.t) =
     Telemetry.count tm "cache.flushes" c.Counters.flushes
   end
 
+(* Attack-trial counters, sampled once per finished batch like the
+   engine counters above: a global [attacks.trials] plus a per-class
+   [attacks.<class>.trials], so a TELEMETRY_*.json records how much
+   attack work each campaign actually executed (and the attack-
+   throughput bench's counters line up with its gauges). The counter
+   bump sits outside the trial loop — the zero-allocation fast path is
+   never instrumented. *)
+let sample_attack_counters tm ~attack trials =
+  if not (Telemetry.is_null tm) then begin
+    Telemetry.count tm "attacks.trials" trials;
+    Telemetry.count tm ("attacks." ^ attack ^ ".trials") trials
+  end
+
 (* Common campaign shape: span the experiment, plan the batches, fan the
    shards out over the scheduler (tagged with the span so batch events
    nest under it), fold the partials in batch order. *)
@@ -72,6 +85,7 @@ let run_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
         ~first:b.Scheduler.first ~count:b.Scheduler.count c
     in
     sample_engine_counters tm s;
+    sample_attack_counters tm ~attack:"evict_time" b.Scheduler.count;
     p
   in
   campaign ~ctx
@@ -92,6 +106,7 @@ let run_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
         ~count:b.Scheduler.count c
     in
     sample_engine_counters tm s;
+    sample_attack_counters tm ~attack:"prime_probe" b.Scheduler.count;
     p
   in
   campaign ~ctx
@@ -111,6 +126,7 @@ let run_collision (ctx : Run.ctx) spec (c : Collision.config) =
         ~count:b.Scheduler.count c
     in
     sample_engine_counters tm s;
+    sample_attack_counters tm ~attack:"collision" b.Scheduler.count;
     p
   in
   campaign ~ctx
@@ -131,6 +147,7 @@ let run_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
         ~count:b.Scheduler.count c
     in
     sample_engine_counters tm s;
+    sample_attack_counters tm ~attack:"flush_reload" b.Scheduler.count;
     p
   in
   campaign ~ctx

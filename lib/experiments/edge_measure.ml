@@ -58,7 +58,9 @@ let eviction_sample spec rng =
   match target with
   | None -> None  (* no shared-way victim line materialised; skip sample *)
   | Some v ->
-    let attacker_line = List.hd (Cachesec_attacks.Attacker.conflict_lines cfg ~count:1 target_set) in
+    let attacker_line =
+      Cachesec_attacks.Attacker.nth_conflict_line cfg ~set:target_set 0
+    in
     ignore (engine.Engine.access ~pid:attacker_pid attacker_line);
     Some (not (engine.Engine.peek ~pid:victim_pid v))
 

@@ -19,17 +19,21 @@ let run_row ?(seed = 47) ?(intervals = 80) spec =
   (* One secret line and one probe-miss vector per interval. *)
   let secrets = Array.make intervals 0 in
   let observations = Array.make intervals [||] in
+  (* One precompiled probe plan for the whole run: per-interval priming
+     and probing reuse its line array and scratch (same access and RNG
+     order as the historical probe_all_sets path). *)
+  let plan = Probe_plan.make engine ~pid:s.Setup.attacker_pid in
   for t = 0 to intervals - 1 do
-    Attacker.prime_all_sets engine rng ~pid:s.Setup.attacker_pid ();
+    Probe_plan.prime_all plan;
     let index = Rng.int rng 256 in
     secrets.(t) <- index / Aes_layout.entries_per_line layout;
     ignore
       (engine.Engine.access ~pid:0
          (Aes_layout.line_of_entry layout ~table:0 ~index));
-    let probes = Attacker.probe_all_sets engine rng ~pid:s.Setup.attacker_pid () in
+    Probe_plan.probe_all plan rng;
     observations.(t) <-
-      Array.map (fun p -> float_of_int p.Attacker.classified_misses) probes;
-    ignore sets
+      Array.init sets (fun set ->
+          float_of_int (Probe_plan.classified_misses plan set))
   done;
   (* Pairwise similarities. *)
   let pairs = intervals * (intervals - 1) / 2 in

@@ -163,6 +163,215 @@ let read ~path =
 let find entries ~arch ~policy =
   List.find_opt (fun e -> e.arch = arch && e.policy = policy) entries
 
+(* --- end-to-end attack throughput (trials/second) ------------------- *)
+
+(* The cache section above times the engine alone; this section times
+   whole attack trials (prime -> victim encryption -> probe -> scoring)
+   through the real attack harness, per attack class x representative
+   architecture. That is the number the paper's campaigns are actually
+   bound by: the validation matrix and Figures 9/10 are millions of such
+   trials. The measured unit is one [run_span] call — exactly what
+   Driver shards fan out — so the committed seed baseline
+   (bench/BENCH_attacks.baseline.json, recorded from the pre-fast-path
+   harness) and any later run are directly comparable per row. *)
+
+module Attacks = struct
+  open Cachesec_attacks
+
+  type entry = {
+    attack : string;
+    arch : string;
+    trials : int;  (** timed trials (after a warm-up span) *)
+    seconds : float;
+    per_sec : float;
+  }
+
+  (* Conventional set-associative, the fully-associative randomized
+     design, and per-set random permutation: the three harness regimes
+     (many small sets / one huge "set" / randomized indexing). *)
+  let archs = Spec.[ paper_sa; paper_newcache; paper_rp ]
+  let classes = [ "prime-probe"; "evict-time"; "flush-reload"; "collision" ]
+
+  let full_trials = function
+    | "prime-probe" -> 1500
+    | "flush-reload" -> 1500
+    | "evict-time" -> 12_000
+    | "collision" -> 12_000
+    | a -> invalid_arg ("Throughput.Attacks: unknown attack class " ^ a)
+
+  let span ~(s : Setup.t) attack count =
+    match attack with
+    | "prime-probe" ->
+      ignore
+        (Prime_probe.run_span ~victim:s.Setup.victim
+           ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng ~count
+           { Prime_probe.default_config with Prime_probe.trials = count })
+    | "evict-time" ->
+      ignore
+        (Evict_time.run_span ~victim:s.Setup.victim
+           ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng ~first:0 ~count
+           { Evict_time.default_config with Evict_time.trials = count })
+    | "flush-reload" ->
+      ignore
+        (Flush_reload.run_span ~victim:s.Setup.victim
+           ~attacker_pid:s.Setup.attacker_pid ~rng:s.Setup.rng ~count
+           { Flush_reload.default_config with Flush_reload.trials = count })
+    | "collision" ->
+      ignore
+        (Collision.run_span ~victim:s.Setup.victim ~rng:s.Setup.rng ~count
+           { Collision.default_config with Collision.trials = count })
+    | a -> invalid_arg ("Throughput.Attacks: unknown attack class " ^ a)
+
+  let measure ?(seed = 0xA77A) ?trials attack spec =
+    let trials = Option.value trials ~default:(full_trials attack) in
+    let s = Setup.make ~seed spec in
+    (* Warm-up span: cache warm, any per-campaign state (probe plans,
+       scratch buffers) built and in steady state before the stopwatch
+       starts. *)
+    span ~s attack (max 1 (trials / 10));
+    let t0 = Unix.gettimeofday () in
+    span ~s attack trials;
+    let dt = Unix.gettimeofday () -. t0 in
+    let dt = if dt <= 0. then epsilon_float else dt in
+    {
+      attack;
+      arch = Spec.name spec;
+      trials;
+      seconds = dt;
+      per_sec = float_of_int trials /. dt;
+    }
+
+  let cases () =
+    List.concat_map
+      (fun attack -> List.map (fun spec -> (attack, spec)) archs)
+      classes
+
+  (* Mirrors [bench] above: each case spanned and gauged only after its
+     stopwatch has stopped. *)
+  let bench (ctx : Run.ctx) =
+    let tm = ctx.Run.telemetry in
+    Telemetry.with_span tm ~parent:ctx.Run.parent "attack-throughput"
+    @@ fun sp ->
+    List.map
+      (fun (attack, spec) ->
+        Telemetry.with_span tm ~parent:sp
+          (Printf.sprintf "attacks:%s:%s" attack (Spec.name spec))
+        @@ fun case_sp ->
+        let trials =
+          let n = full_trials attack in
+          if ctx.Run.quick then max 50 (n / 10) else n
+        in
+        let e = measure ~trials attack spec in
+        Telemetry.gauge tm ~span:case_sp "trials_per_sec" e.per_sec;
+        Telemetry.gauge tm ~span:case_sp "trials" (float_of_int e.trials);
+        e)
+      (cases ())
+
+  let entry_to_json e =
+    Printf.sprintf
+      "{\"attack\": \"%s\", \"arch\": \"%s\", \"trials\": %d, \"seconds\": \
+       %.6f, \"trials_per_sec\": %.1f}"
+      e.attack e.arch e.trials e.seconds e.per_sec
+
+  let to_json ?span_id entries =
+    let buf = Buffer.create 4096 in
+    Buffer.add_string buf "{\n  \"schema\": \"bench_attacks/v1\",\n";
+    (match span_id with
+    | Some id when id <> 0 ->
+      Buffer.add_string buf (Printf.sprintf "  \"telemetry_span\": %d,\n" id)
+    | Some _ | None -> ());
+    Buffer.add_string buf "  \"entries\": [\n";
+    List.iteri
+      (fun i e ->
+        Buffer.add_string buf "    ";
+        Buffer.add_string buf (entry_to_json e);
+        if i < List.length entries - 1 then Buffer.add_char buf ',';
+        Buffer.add_char buf '\n')
+      entries;
+    Buffer.add_string buf "  ]\n}\n";
+    Buffer.contents buf
+
+  let write ?span_id ~path entries =
+    let oc = open_out path in
+    output_string oc (to_json ?span_id entries);
+    close_out oc
+
+  let read ~path =
+    match open_in path with
+    | exception Sys_error _ -> []
+    | ic ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ','
+             then String.sub line 0 (String.length line - 1)
+             else line
+           in
+           match
+             Scanf.sscanf line
+               "{\"attack\": %S, \"arch\": %S, \"trials\": %d, \"seconds\": \
+                %f, \"trials_per_sec\": %f}"
+               (fun attack arch trials seconds per_sec ->
+                 { attack; arch; trials; seconds; per_sec })
+           with
+           | e -> entries := e :: !entries
+           | exception Scanf.Scan_failure _ -> ()
+           | exception End_of_file -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !entries
+
+  let find entries ~attack ~arch =
+    List.find_opt (fun e -> e.attack = attack && e.arch = arch) entries
+
+  (* Worst-case (minimum) speedup of [attack] across its measured
+     architectures — the honest per-class gate number. [None] when the
+     baseline has no overlapping rows. *)
+  let min_speedup entries ~baseline ~attack =
+    List.filter_map
+      (fun e ->
+        if e.attack <> attack then None
+        else
+          match find baseline ~attack ~arch:e.arch with
+          | Some b when b.per_sec > 0. -> Some (e.per_sec /. b.per_sec)
+          | Some _ | None -> None)
+      entries
+    |> function
+    | [] -> None
+    | xs -> Some (List.fold_left Float.min Float.infinity xs)
+
+  let gate ?(threshold = 1.5) ~baseline entries =
+    let base = read ~path:baseline in
+    List.map
+      (fun attack ->
+        let s = min_speedup entries ~baseline:base ~attack in
+        (attack, s, match s with Some x -> x >= threshold | None -> false))
+      classes
+
+  let render ?baseline entries =
+    let buf = Buffer.create 1024 in
+    let base = match baseline with None -> [] | Some path -> read ~path in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-12s %-10s %10s %14s %10s\n" "attack" "arch"
+         "trials" "trials/sec" "vs base");
+    List.iter
+      (fun e ->
+        let vs =
+          match find base ~attack:e.attack ~arch:e.arch with
+          | Some b when b.per_sec > 0. ->
+            Printf.sprintf "%9.2fx" (e.per_sec /. b.per_sec)
+          | Some _ | None -> "         -"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-12s %-10s %10d %14.1f %s\n" e.attack e.arch
+             e.trials e.per_sec vs))
+      entries;
+    Buffer.contents buf
+end
+
 (* Render the current run, with speedup columns against a baseline file
    when one is present. *)
 let render ?baseline entries =

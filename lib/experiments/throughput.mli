@@ -47,3 +47,54 @@ val render : ?baseline:string -> entry list -> string
 val run : ?quick:bool -> unit -> entry list
 [@@alert deprecated "use bench with a Run.ctx"]
 (** {!bench} under a default (null-telemetry) context. *)
+
+(** End-to-end attack throughput: whole attack trials per second
+    (prime → victim encryption → probe → scoring) through the real
+    harness via each attack's [run_span] — the unit Driver shards fan
+    out — per attack class × representative architecture. Exported as
+    [BENCH_attacks.json] (schema [bench_attacks/v1], frozen format);
+    the committed [bench/BENCH_attacks.baseline.json] was recorded from
+    the pre-fast-path harness, so the [vs base] column is the speedup
+    the probe-plan fast path delivers. *)
+module Attacks : sig
+  type entry = {
+    attack : string;  (** "prime-probe" | "evict-time" | "flush-reload" | "collision" *)
+    arch : string;
+    trials : int;  (** timed trials (after a warm-up span) *)
+    seconds : float;
+    per_sec : float;
+  }
+
+  val archs : Cachesec_cache.Spec.t list
+  (** sa, newcache, rp — the three harness regimes (many small sets /
+      one fully-associative "set" / randomized indexing). *)
+
+  val classes : string list
+  (** The four attack-class names, in benchmark row order. *)
+
+  val measure : ?seed:int -> ?trials:int -> string -> Cachesec_cache.Spec.t -> entry
+  (** Time [trials] attack trials (one warm-up span of [trials/10]
+      first). Raises [Invalid_argument] on an unknown attack class. *)
+
+  val bench : Run.ctx -> entry list
+  (** Measure every class × arch case (trials/10 per case under
+      [ctx.quick]); each case spanned as [attacks:<class>:<arch>] with
+      [trials_per_sec] / [trials] gauges reported after its stopwatch
+      has stopped. *)
+
+  val to_json : ?span_id:int -> entry list -> string
+  val write : ?span_id:int -> path:string -> entry list -> unit
+  val read : path:string -> entry list
+  val find : entry list -> attack:string -> arch:string -> entry option
+
+  val min_speedup : entry list -> baseline:entry list -> attack:string -> float option
+  (** Worst-case speedup of [attack] across its measured architectures;
+      [None] without overlapping baseline rows. *)
+
+  val gate : ?threshold:float -> baseline:string -> entry list ->
+    (string * float option * bool) list
+  (** Per attack class: [(class, min speedup vs the baseline file,
+      speedup >= threshold)]. Threshold defaults to 1.5. *)
+
+  val render : ?baseline:string -> entry list -> string
+end

@@ -1,0 +1,19 @@
+(* Regenerate the attack golden digests from the CURRENT attack code.
+
+   Only run this when a change to attack behaviour is intended; the
+   whole point of the recorded file is that pure performance work (the
+   probe-plan fast path) must NOT change it. Usage:
+
+     dune exec test/attacks_golden/gen_golden.exe -- test/golden/attacks.golden *)
+
+open Attacks_workload
+
+let () =
+  let path =
+    if Array.length Sys.argv > 1 then Sys.argv.(1) else "attacks.golden"
+  in
+  let entries = Workload.all_digests () in
+  Workload.write_golden ~path entries;
+  List.iter (fun (name, d) -> Printf.printf "%-24s %s\n" name d) entries;
+  Printf.printf "wrote %d attack golden digests to %s\n" (List.length entries)
+    path

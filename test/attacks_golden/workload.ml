@@ -1,0 +1,162 @@
+(* Shared deterministic workload for the attack golden-digest suite.
+
+   [all_digests] runs each of the four attack classes once per paper
+   architecture (a miniature validation-matrix cell: same Setup
+   discipline as Driver, PL locked exactly where the validation matrix
+   locks it) and folds every field of the attack's [result] record —
+   float arrays rendered with "%h" so the digest is bit-exact, not
+   rounded — into one MD5 hex digest per cell.
+
+   The recorded digests under test/golden/attacks.golden were produced
+   by the PRE-fast-path attack loops (list-building conflict sets,
+   per-set probe records, allocating AES traces). test_attacks replays
+   this exact workload against the current attack code and demands
+   bit-identical digests: the zero-allocation fast path must not change
+   a single trial's RNG draws, access order, or arithmetic. Regenerate
+   only when a change to attack BEHAVIOUR (not performance) is
+   intended:
+
+     dune exec test/attacks_golden/gen_golden.exe -- test/golden/attacks.golden *)
+
+open Cachesec_cache
+open Cachesec_attacks
+open Cachesec_experiments
+
+let golden_seed = 1789
+
+(* Small but meaningful trial counts: enough for every architecture to
+   exercise eviction, probing, classification and scoring, small enough
+   that the whole suite replays in seconds. *)
+let evict_time_trials = 3000
+let prime_probe_trials = 200
+let flush_reload_trials = 200
+let collision_trials = 3000
+
+let fmt_float buf x = Buffer.add_string buf (Printf.sprintf "%h;" x)
+let fmt_int buf x = Buffer.add_string buf (string_of_int x ^ ";")
+let fmt_bool buf b = Buffer.add_char buf (if b then 'T' else 'F')
+let fmt_farr buf a = Array.iter (fmt_float buf) a
+let fmt_iarr buf a = Array.iter (fmt_int buf) a
+
+(* The validation matrix's own convention: PL is exercised as intended,
+   prefetch-and-lock. *)
+let lock_for spec = match spec with Spec.Pl _ -> true | _ -> false
+
+let digest_evict_time spec =
+  let s = Setup.make ~seed:golden_seed spec in
+  let r =
+    Evict_time.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+      ~rng:s.Setup.rng
+      {
+        Evict_time.default_config with
+        Evict_time.trials = evict_time_trials;
+        lock_victim_tables = lock_for spec;
+      }
+  in
+  let buf = Buffer.create 8192 in
+  fmt_farr buf r.Evict_time.avg_times;
+  fmt_iarr buf r.Evict_time.counts;
+  fmt_farr buf r.Evict_time.scores;
+  fmt_int buf r.Evict_time.best_candidate;
+  fmt_int buf r.Evict_time.true_byte;
+  fmt_bool buf r.Evict_time.nibble_recovered;
+  fmt_float buf r.Evict_time.separation;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest_prime_probe spec =
+  let s = Setup.make ~seed:golden_seed spec in
+  let r =
+    Prime_probe.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+      ~rng:s.Setup.rng
+      {
+        Prime_probe.default_config with
+        Prime_probe.trials = prime_probe_trials;
+        lock_victim_tables = lock_for spec;
+      }
+  in
+  let buf = Buffer.create 8192 in
+  fmt_farr buf r.Prime_probe.set_miss_rate;
+  fmt_farr buf r.Prime_probe.scores;
+  fmt_int buf r.Prime_probe.best_candidate;
+  fmt_int buf r.Prime_probe.true_byte;
+  fmt_bool buf r.Prime_probe.nibble_recovered;
+  fmt_float buf r.Prime_probe.separation;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest_flush_reload spec =
+  let s = Setup.make ~seed:golden_seed spec in
+  let r =
+    Flush_reload.run ~victim:s.Setup.victim ~attacker_pid:s.Setup.attacker_pid
+      ~rng:s.Setup.rng
+      { Flush_reload.default_config with Flush_reload.trials = flush_reload_trials }
+  in
+  let buf = Buffer.create 8192 in
+  fmt_farr buf r.Flush_reload.line_hit_rate;
+  fmt_farr buf r.Flush_reload.scores;
+  fmt_int buf r.Flush_reload.best_candidate;
+  fmt_int buf r.Flush_reload.true_byte;
+  fmt_bool buf r.Flush_reload.nibble_recovered;
+  fmt_float buf r.Flush_reload.separation;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let digest_collision spec =
+  let s = Setup.make ~seed:golden_seed spec in
+  let r =
+    Collision.run ~victim:s.Setup.victim ~rng:s.Setup.rng
+      { Collision.default_config with Collision.trials = collision_trials }
+  in
+  let buf = Buffer.create 8192 in
+  fmt_farr buf r.Collision.avg_times;
+  fmt_iarr buf r.Collision.counts;
+  fmt_farr buf r.Collision.scores;
+  fmt_int buf r.Collision.best_delta;
+  fmt_int buf r.Collision.true_delta;
+  fmt_bool buf r.Collision.nibble_recovered;
+  fmt_float buf r.Collision.separation;
+  Digest.to_hex (Digest.string (Buffer.contents buf))
+
+let attacks =
+  [
+    ("evict-time", digest_evict_time);
+    ("prime-probe", digest_prime_probe);
+    ("flush-reload", digest_flush_reload);
+    ("collision", digest_collision);
+  ]
+
+let cases () =
+  List.concat_map
+    (fun spec ->
+      List.map
+        (fun (attack, f) ->
+          (Spec.name spec ^ ":" ^ attack, fun () -> f spec))
+        attacks)
+    Spec.all_paper
+
+let all_digests () = List.map (fun (name, f) -> (name, f ())) (cases ())
+
+(* --- golden file I/O: "name digest" per line (same format as the
+   hot-path golden file) --------------------------------------------- *)
+
+let write_golden ~path entries =
+  let oc = open_out path in
+  List.iter (fun (name, d) -> Printf.fprintf oc "%s %s\n" name d) entries;
+  close_out oc
+
+let read_golden ~path =
+  let ic = open_in path in
+  let entries = ref [] in
+  (try
+     while true do
+       let line = String.trim (input_line ic) in
+       if line <> "" then
+         match String.index_opt line ' ' with
+         | Some i ->
+           entries :=
+             ( String.sub line 0 i,
+               String.sub line (i + 1) (String.length line - i - 1) )
+             :: !entries
+         | None -> ()
+     done
+   with End_of_file -> ());
+  close_in ic;
+  List.rev !entries

@@ -1,5 +1,11 @@
 (* Tests for the attack harness: layout, victim, attacker primitives,
-   key-recovery scoring, the four attacks and the cleaning game. *)
+   key-recovery scoring, the four attacks, the cleaning game, the
+   allocation-free fast path and its bit-identity golden digests. *)
+
+(* [Attacker.conflict_lines] is deprecated in favour of
+   [nth_conflict_line] / [Probe_plan]; the compat wrapper is still
+   covered below, so silence the alert for this file. *)
+[@@@alert "-deprecated"]
 
 open Cachesec_stats
 open Cachesec_cache
@@ -115,7 +121,7 @@ let test_conflict_lines () =
 let test_prime_probe_cycle () =
   let _, engine = make_victim () in
   let r = rng () in
-  Attacker.prime_all_sets engine r ~pid:1 ();
+  Attacker.prime_all_sets engine ~pid:1 ();
   (* Probing immediately after priming: everything hits. *)
   let probes = Attacker.probe_all_sets engine r ~pid:1 () in
   Array.iter
@@ -130,6 +136,177 @@ let test_prime_probe_cycle () =
   in
   Alcotest.(check int) "one miss total" 1 total;
   Alcotest.(check int) "in the right set" 1 probes.(5).Attacker.true_misses
+
+(* --- Fast path ----------------------------------------------------------- *)
+
+let test_nth_conflict_line () =
+  let cfg = Config.standard in
+  let lines = Attacker.conflict_lines cfg ~count:8 5 in
+  List.iteri
+    (fun k l ->
+      Alcotest.(check int) "matches deprecated list form" l
+        (Attacker.nth_conflict_line cfg ~set:5 k))
+    lines;
+  Alcotest.check_raises "bad set"
+    (Invalid_argument "Attacker.nth_conflict_line: bad set") (fun () ->
+      ignore (Attacker.nth_conflict_line cfg ~set:64 0))
+
+let twin_engines spec =
+  let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 79) ] } in
+  ( Factory.build spec scenario ~rng:(rng ()),
+    Factory.build spec scenario ~rng:(rng ()) )
+
+(* A probe plan must reproduce the record-based attacker primitives
+   bit-for-bit: same counts, same float times, same RNG consumption —
+   including under timing noise (paper_noisy, sigma = 1). *)
+let test_probe_plan_matches_attacker () =
+  List.iter
+    (fun spec ->
+      let e1, e2 = twin_engines spec in
+      let r1 = rng () and r2 = rng () in
+      let plan = Probe_plan.make e1 ~pid:1 in
+      Alcotest.(check int) "line formula"
+        (Attacker.nth_conflict_line e1.Engine.config ~set:5 2)
+        (Probe_plan.line plan ~set:5 2);
+      Probe_plan.prime_all plan;
+      Attacker.prime_all_sets e2 ~pid:1 ();
+      (* Victim touches displace some primed lines on both engines. *)
+      List.iter
+        (fun l ->
+          ignore (e1.Engine.access ~pid:0 l);
+          ignore (e2.Engine.access ~pid:0 l))
+        [ 5; 17; 42 ];
+      Probe_plan.probe_all plan r1;
+      let probes = Attacker.probe_all_sets e2 r2 ~pid:1 () in
+      Array.iteri
+        (fun set (p : Attacker.probe) ->
+          Alcotest.(check int) "true misses" p.Attacker.true_misses
+            (Probe_plan.true_misses plan set);
+          Alcotest.(check int) "classified" p.Attacker.classified_misses
+            (Probe_plan.classified_misses plan set);
+          Alcotest.(check (float 0.)) "time" p.Attacker.time
+            (Probe_plan.time plan set))
+        probes)
+    [ Spec.paper_sa; Spec.paper_rp; Spec.paper_noisy ]
+
+let test_encrypt_traced_into_matches () =
+  let p = Aes.bytes_of_hex "3243f6a8885a308d313198a2e0370734" in
+  let ct, accs = Aes.encrypt_traced key p in
+  let sc = Aes.create_scratch () in
+  let dst = Bytes.create 16 in
+  let trace = Array.make Aes.trace_length 0 in
+  Aes.encrypt_traced_into sc key ~src:p ~dst ~trace;
+  Alcotest.(check string) "ciphertext" (Aes.hex_of_bytes ct)
+    (Aes.hex_of_bytes dst);
+  Alcotest.(check int) "trace length" Aes.trace_length (Array.length accs);
+  Array.iteri
+    (fun i (a : Aes.access) ->
+      Alcotest.(check int) "table" a.Aes.table (Aes.table_of_packed trace.(i));
+      Alcotest.(check int) "index" a.Aes.index (Aes.index_of_packed trace.(i)))
+    accs
+
+let test_encrypt_misses_matches_timed () =
+  let v1, _ = make_victim () in
+  let v2, _ = make_victim () in
+  let r = rng () in
+  let p = Bytes.create 16 in
+  for _ = 1 to 5 do
+    Victim.random_plaintext_into r p;
+    let _, t = Victim.encrypt_timed v1 p in
+    let m = Victim.encrypt_misses v2 p in
+    Alcotest.(check (float 0.)) "time = time_of_counts" t
+      (Timing.time_of_counts ~hits:(Aes.trace_length - m) ~misses:m)
+  done
+
+let test_random_plaintext_into_stream () =
+  let r1 = rng () and r2 = rng () in
+  let b = Bytes.create 16 in
+  for _ = 1 to 3 do
+    let p = Victim.random_plaintext r1 in
+    Victim.random_plaintext_into r2 b;
+    Alcotest.(check string) "same bytes and stream" (Bytes.to_string p)
+      (Bytes.to_string b)
+  done
+
+(* --- Golden bit-identity -------------------------------------------------- *)
+
+(* The digests in test/golden/attacks.golden were recorded against the
+   pre-fast-path attack loops; matching them proves the refactor changed
+   no result bit on any of the nine architectures. *)
+let golden_path () =
+  if Sys.file_exists "golden/attacks.golden" then "golden/attacks.golden"
+  else "test/golden/attacks.golden"
+
+let test_golden attack () =
+  let golden = Attacks_workload.Workload.read_golden ~path:(golden_path ()) in
+  let ran = ref 0 in
+  List.iter
+    (fun (name, run) ->
+      match String.index_opt name ':' with
+      | Some i
+        when String.sub name (i + 1) (String.length name - i - 1) = attack ->
+        (match List.assoc_opt name golden with
+        | None -> Alcotest.failf "no golden digest recorded for %s" name
+        | Some d ->
+          incr ran;
+          Alcotest.(check string) name d (run ()))
+      | _ -> ())
+    (Attacks_workload.Workload.cases ());
+  Alcotest.(check int) "covers all nine architectures" 9 !ran
+
+(* --- Allocation guards ---------------------------------------------------- *)
+
+(* Steady-state prime+probe on the SA cache: the plan's 512 lines fill
+   the cache exactly, so after one warm round every access hits and the
+   zero-allocation fast path must allocate nothing. 64 words of slack
+   absorb Gc.minor_words' own float boxing. *)
+let test_probe_plan_zero_alloc () =
+  let _, engine = make_victim () in
+  let plan = Probe_plan.make engine ~pid:1 in
+  let r = rng () in
+  Probe_plan.prime_all plan;
+  Probe_plan.probe_all plan r;
+  let before = Gc.minor_words () in
+  for _ = 1 to 100 do
+    Probe_plan.prime_all plan;
+    Probe_plan.probe_all plan r
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "steady-state prime+probe allocated %.0f words" delta)
+    true (delta <= 64.)
+
+(* A full prime+probe trial includes victim encryptions whose misses
+   legitimately allocate a bounded outcome record inside the engine; the
+   loop itself must stay within a small per-access budget. *)
+let test_prime_probe_trial_alloc_budget () =
+  let v, engine = make_victim () in
+  let plan = Probe_plan.make engine ~pid:1 in
+  let r = rng () in
+  let p = Bytes.create 16 in
+  let trial () =
+    Probe_plan.prime_all plan;
+    Victim.random_plaintext_into r p;
+    Victim.encrypt_quiet_fast v p;
+    Probe_plan.probe_all plan r
+  in
+  for _ = 1 to 5 do
+    trial ()
+  done;
+  let trials = 50 in
+  let accesses =
+    (2 * Probe_plan.sets plan * Probe_plan.ways plan) + Aes.trace_length
+  in
+  let budget = float_of_int (trials * 20 * accesses) +. 64. in
+  let before = Gc.minor_words () in
+  for _ = 1 to trials do
+    trial ()
+  done;
+  let delta = Gc.minor_words () -. before in
+  Alcotest.(check bool)
+    (Printf.sprintf "trial loop allocated %.0f words (budget %.0f)" delta
+       budget)
+    true (delta <= budget)
 
 (* --- Recovery --------------------------------------------------------------- *)
 
@@ -413,6 +590,33 @@ let () =
         [
           Alcotest.test_case "conflict lines" `Quick test_conflict_lines;
           Alcotest.test_case "prime/probe cycle" `Quick test_prime_probe_cycle;
+        ] );
+      ( "fast path",
+        [
+          Alcotest.test_case "nth conflict line" `Quick test_nth_conflict_line;
+          Alcotest.test_case "probe plan = attacker probes" `Quick
+            test_probe_plan_matches_attacker;
+          Alcotest.test_case "encrypt_traced_into = encrypt_traced" `Quick
+            test_encrypt_traced_into_matches;
+          Alcotest.test_case "encrypt_misses = encrypt_timed" `Quick
+            test_encrypt_misses_matches_timed;
+          Alcotest.test_case "random_plaintext_into stream" `Quick
+            test_random_plaintext_into_stream;
+          Alcotest.test_case "probe plan steady state is zero-alloc" `Quick
+            test_probe_plan_zero_alloc;
+          Alcotest.test_case "trial allocation budget" `Quick
+            test_prime_probe_trial_alloc_budget;
+        ] );
+      ( "golden",
+        [
+          Alcotest.test_case "evict-time bit-identical" `Slow
+            (test_golden "evict-time");
+          Alcotest.test_case "prime-probe bit-identical" `Slow
+            (test_golden "prime-probe");
+          Alcotest.test_case "flush-reload bit-identical" `Slow
+            (test_golden "flush-reload");
+          Alcotest.test_case "collision bit-identical" `Slow
+            (test_golden "collision");
         ] );
       ( "recovery",
         [

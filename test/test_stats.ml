@@ -365,6 +365,25 @@ let test_coupon_monte_carlo () =
   let approx = Coupon.monte_carlo rng ~bins:8 ~trials:20 ~samples:20000 in
   check_close 0.02 "MC matches closed form" exact approx
 
+let test_coupon_monte_carlo_band () =
+  (* Tolerance-band agreement across the cleaning-game's operating
+     range: an MC estimate of a Bernoulli(p) mean over n samples has
+     standard error sqrt(p(1-p)/n), so 4 sigma plus a small absolute
+     floor gives a band the fixed-seed estimate must land in at every
+     (bins, trials) point. *)
+  let samples = 20000 in
+  List.iter
+    (fun (bins, trials) ->
+      let exact = Coupon.prob_all_covered ~bins ~trials in
+      let rng = Rng.create ~seed:(1009 + (bins * 131) + trials) in
+      let approx = Coupon.monte_carlo rng ~bins ~trials ~samples in
+      let se = sqrt (exact *. (1. -. exact) /. float_of_int samples) in
+      check_close
+        ((4. *. se) +. 1e-3)
+        (Printf.sprintf "bins=%d trials=%d" bins trials)
+        exact approx)
+    [ (2, 2); (4, 8); (8, 16); (8, 24); (12, 40); (16, 64) ]
+
 let prop_coupon_monotone =
   qtest "monotone in trials"
     QCheck.(pair (int_range 1 16) (int_range 0 100))
@@ -504,6 +523,8 @@ let () =
         [
           Alcotest.test_case "edge cases" `Quick test_coupon_edge_cases;
           Alcotest.test_case "monte carlo" `Quick test_coupon_monte_carlo;
+          Alcotest.test_case "monte carlo band" `Quick
+            test_coupon_monte_carlo_band;
           prop_coupon_monotone;
           Alcotest.test_case "cell hit" `Quick test_coupon_cell_hit;
           Alcotest.test_case "expected trials" `Quick test_coupon_expected;
