@@ -18,7 +18,8 @@ fmt:
 	-dune fmt
 
 # Fast end-to-end exercise of the reproduction harness, including the
-# Domain-parallel trial runtime (results are --jobs invariant).
+# Domain-pool trial runtime and the sequential-vs-pipelined e2e bench
+# section (results are --jobs invariant; only wall-clocks move).
 bench-smoke: build
 	dune exec bench/main.exe -- --quick --no-perf --jobs 2
 

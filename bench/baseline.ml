@@ -5,27 +5,34 @@
    only when you intend to move the goalposts (e.g. after landing a
    perf PR, to re-baseline for the next one):
 
-     dune exec bench/baseline.exe                        # both sections
+     dune exec bench/baseline.exe                        # all sections
      dune exec bench/baseline.exe -- --section cache
      dune exec bench/baseline.exe -- --section attacks
+     dune exec bench/baseline.exe -- --section e2e
      dune exec bench/baseline.exe -- --section attacks \
        --attacks-out bench/BENCH_attacks.baseline.json
+
+   The e2e section records the sequential-vs-pipelined campaign
+   wall-clocks (quick scale) of the host it runs on — including its
+   core count, so a later reader can judge what the numbers could
+   demonstrate.
 
    A bare positional PATH is kept as an alias for --cache-out PATH
    (the pre-attack-bench CLI). *)
 
 let usage () =
   prerr_endline
-    "usage: baseline.exe [--section cache|attacks|all] [--cache-out PATH] \
-     [--attacks-out PATH] [PATH]";
+    "usage: baseline.exe [--section cache|attacks|e2e|all] [--cache-out PATH] \
+     [--attacks-out PATH] [--e2e-out PATH] [PATH]";
   exit 2
 
-type section = Cache | Attacks | All
+type section = Cache | Attacks | E2e | All
 
 let () =
   let section = ref All in
   let cache_out = ref "bench/BENCH_cache.baseline.json" in
   let attacks_out = ref "bench/BENCH_attacks.baseline.json" in
+  let e2e_out = ref "bench/BENCH_e2e.baseline.json" in
   let rec parse = function
     | [] -> ()
     | "--section" :: v :: rest ->
@@ -33,6 +40,7 @@ let () =
          match v with
          | "cache" -> Cache
          | "attacks" -> Attacks
+         | "e2e" -> E2e
          | "all" -> All
          | _ -> usage ());
       parse rest
@@ -41,6 +49,9 @@ let () =
       parse rest
     | "--attacks-out" :: path :: rest ->
       attacks_out := path;
+      parse rest
+    | "--e2e-out" :: path :: rest ->
+      e2e_out := path;
       parse rest
     | [ path ] when String.length path > 0 && path.[0] <> '-' ->
       cache_out := path
@@ -59,4 +70,14 @@ let () =
     Cachesec_experiments.Throughput.Attacks.write ~path:!attacks_out entries;
     print_string (Cachesec_experiments.Throughput.Attacks.render entries);
     Printf.printf "attack baseline written to %s\n%!" !attacks_out
+  end;
+  if !section = E2e || !section = All then begin
+    (* jobs:0 = one worker per core, so the baseline records what this
+       host can actually demonstrate (its core count rides along in the
+       [cores] field). *)
+    let ctx = Cachesec_runtime.Run.with_jobs 0 ctx in
+    let entries = Cachesec_experiments.Throughput.E2e.bench ctx in
+    Cachesec_experiments.Throughput.E2e.write ~path:!e2e_out entries;
+    print_string (Cachesec_experiments.Throughput.E2e.render entries);
+    Printf.printf "e2e baseline written to %s\n%!" !e2e_out
   end

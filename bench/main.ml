@@ -449,6 +449,44 @@ let main perf sim (ctx : Run.ctx) =
       ^ Printf.sprintf "  wrote results/BENCH_attacks.json%s\n"
           (if t.Scheduler.span_id = 0 then ""
            else Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
+  (* Third perf gate: end-to-end campaign pipelining. Runs the
+     quick-scale validation matrix and the experimental figures twice —
+     sequential campaign execution vs all campaigns' shards submitted
+     onto the persistent Domain pool before the first await — and gates
+     on the within-run sequential/pipelined wall-clock ratio. The ratio
+     is a controlled experiment on this host; it is a hard PASS/FAIL
+     only where parallelism is demonstrable (>= 4 cores and >= 4 jobs),
+     and reported otherwise. The committed bench/BENCH_e2e.baseline.json
+     (pre-refactor sequential numbers) feeds the vs-base trajectory
+     column. *)
+  section "End-to-end throughput (sequential vs pipelined campaigns)"
+    (fun () ->
+      let entries, t =
+        Scheduler.timed ?jobs:ctx.Run.jobs ~tm:ctx.Run.telemetry
+          ~name:"e2e-bench"
+          (fun () -> Throughput.E2e.bench ctx)
+      in
+      ensure_results_dirs ();
+      Throughput.E2e.write ~span_id:t.Scheduler.span_id
+        ~path:"results/BENCH_e2e.json" entries;
+      let gate_line =
+        match Throughput.E2e.gate ~threshold:1.3 entries with
+        | None, _ -> "  gate e2e          missing arm, no ratio\n"
+        | Some x, Throughput.E2e.Pass ->
+          Printf.sprintf "  gate e2e          pipelining speedup %5.2fx >= 1.30x PASS\n" x
+        | Some x, Throughput.E2e.Fail ->
+          Printf.sprintf "  gate e2e          pipelining speedup %5.2fx <  1.30x FAIL\n" x
+        | Some x, Throughput.E2e.Reported ->
+          Printf.sprintf
+            "  gate e2e          pipelining speedup %5.2fx (reported: needs \
+             >= 4 cores and >= 4 jobs for a hard gate)\n"
+            x
+      in
+      Throughput.E2e.render ~baseline:"bench/BENCH_e2e.baseline.json" entries
+      ^ gate_line
+      ^ Printf.sprintf "  wrote results/BENCH_e2e.json%s\n"
+          (if t.Scheduler.span_id = 0 then ""
+           else Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
   section "CSV export" (fun () ->
       export_csvs !cells;
       "");

@@ -6,16 +6,20 @@ open Cachesec_runtime
 open Cachesec_telemetry
 
 (* Both helpers fan their trials out over the trial runtime; ablation
-   outcomes are independent of [ctx.jobs]. *)
-let run_collision (ctx : Run.ctx) spec trials =
-  Driver.run_collision ctx spec
+   outcomes are independent of [ctx.jobs]. The submit forms dispatch the
+   campaign's shards onto the pool without blocking, so a sweep can
+   launch every row's campaign before awaiting the first — rows are
+   awaited (and tables built) in row order, keeping the rendered output
+   bit-identical to the sequential formulation. *)
+let submit_collision (ctx : Run.ctx) spec trials =
+  Driver.submit_collision ctx spec
     {
       Collision.default_config with
       Collision.trials = Figures.trials_for (Figures.scale_of ctx) trials;
     }
 
-let run_evict_time (ctx : Run.ctx) spec trials =
-  Driver.run_evict_time ctx spec
+let submit_evict_time (ctx : Run.ctx) spec trials =
+  Driver.submit_evict_time ctx spec
     {
       Evict_time.default_config with
       Evict_time.trials = Figures.trials_for (Figures.scale_of ctx) trials;
@@ -31,18 +35,21 @@ let render_rf_window (ctx : Run.ctx) =
   sweep ctx "ablation:rf-window" @@ fun ctx ->
   let windows = [ 0; 4; 16; 64; 128 ] in
   let rows =
-    List.map
-      (fun w ->
-        let spec = Spec.Rf { ways = 8; policy = Replacement.Random; back = w; fwd = w } in
-        let pas = Attack_models.pas Attack_type.Cache_collision spec () in
-        let r = run_collision ctx spec 100000 in
-        [
-          string_of_int w;
-          Table.fmt_prob pas;
-          string_of_bool r.Collision.nibble_recovered;
-          Printf.sprintf "%.2f" r.Collision.separation;
-        ])
-      windows
+    Driver.await_all
+      (List.map
+         (fun w ->
+           let spec = Spec.Rf { ways = 8; policy = Replacement.Random; back = w; fwd = w } in
+           let pas = Attack_models.pas Attack_type.Cache_collision spec () in
+           Driver.map_pending
+             (fun (r : Collision.result) ->
+               [
+                 string_of_int w;
+                 Table.fmt_prob pas;
+                 string_of_bool r.Collision.nibble_recovered;
+                 Printf.sprintf "%.2f" r.Collision.separation;
+               ])
+             (submit_collision ctx spec 100000))
+         windows)
   in
   "Ablation: RF window half-size vs collision-attack PAS (p0 = 1/(2w+1))\n"
   ^ Table.render
@@ -53,18 +60,21 @@ let render_re_interval (ctx : Run.ctx) =
   sweep ctx "ablation:re-interval" @@ fun ctx ->
   let intervals = [ 1; 2; 5; 10; 100 ] in
   let rows =
-    List.map
-      (fun t ->
-        let spec = Spec.Re { ways = 1; policy = Replacement.Random; interval = t } in
-        let pas = Attack_models.pas Attack_type.Cache_collision spec () in
-        let r = run_collision ctx spec 100000 in
-        [
-          string_of_int t;
-          Table.fmt_prob pas;
-          string_of_bool r.Collision.nibble_recovered;
-          Printf.sprintf "%.2f" r.Collision.separation;
-        ])
-      intervals
+    Driver.await_all
+      (List.map
+         (fun t ->
+           let spec = Spec.Re { ways = 1; policy = Replacement.Random; interval = t } in
+           let pas = Attack_models.pas Attack_type.Cache_collision spec () in
+           Driver.map_pending
+             (fun (r : Collision.result) ->
+               [
+                 string_of_int t;
+                 Table.fmt_prob pas;
+                 string_of_bool r.Collision.nibble_recovered;
+                 Printf.sprintf "%.2f" r.Collision.separation;
+               ])
+             (submit_collision ctx spec 100000))
+         intervals)
   in
   "Ablation: RE eviction interval vs collision-attack PAS (p4 = 1 - 1/(N T))\n"
   ^ Table.render
@@ -75,23 +85,26 @@ let render_noise_sigma (ctx : Run.ctx) =
   sweep ctx "ablation:noise-sigma" @@ fun ctx ->
   let sigmas = [ 0.; 0.25; 0.5; 1.; 2. ] in
   let rows =
-    List.map
-      (fun sigma ->
-        let spec = Spec.Noisy { ways = 8; policy = Replacement.Random; sigma } in
-        let pas = Attack_models.pas Attack_type.Evict_and_time spec () in
-        let trials_needed =
-          if sigma = 0. then 1
-          else Noise.trials_to_overcome ~sigma ~confidence:0.99
-        in
-        let r = run_evict_time ctx spec 50000 in
-        [
-          Printf.sprintf "%g" sigma;
-          Table.fmt_prob (Noise.p5 ~sigma);
-          Table.fmt_prob pas;
-          string_of_int trials_needed;
-          string_of_bool r.Evict_time.nibble_recovered;
-        ])
-      sigmas
+    Driver.await_all
+      (List.map
+         (fun sigma ->
+           let spec = Spec.Noisy { ways = 8; policy = Replacement.Random; sigma } in
+           let pas = Attack_models.pas Attack_type.Evict_and_time spec () in
+           let trials_needed =
+             if sigma = 0. then 1
+             else Noise.trials_to_overcome ~sigma ~confidence:0.99
+           in
+           Driver.map_pending
+             (fun (r : Evict_time.result) ->
+               [
+                 Printf.sprintf "%g" sigma;
+                 Table.fmt_prob (Noise.p5 ~sigma);
+                 Table.fmt_prob pas;
+                 string_of_int trials_needed;
+                 string_of_bool r.Evict_time.nibble_recovered;
+               ])
+             (submit_evict_time ctx spec 50000))
+         sigmas)
   in
   "Ablation: noisy-cache sigma vs Type 1 PAS; noise only slows the attacker\n"
   ^ Table.render
@@ -103,18 +116,21 @@ let render_nomo_reserved (ctx : Run.ctx) =
   sweep ctx "ablation:nomo-reserved" @@ fun ctx ->
   let reservations = [ 0; 1; 2; 4 ] in
   let rows =
-    List.map
-      (fun reserved ->
-        let spec = Spec.Nomo { ways = 8; policy = Replacement.Random; reserved } in
-        let pas = Attack_models.pas Attack_type.Evict_and_time spec () in
-        let r = run_evict_time ctx spec 50000 in
-        [
-          Printf.sprintf "%d/8" reserved;
-          Table.fmt_prob pas;
-          string_of_bool r.Evict_time.nibble_recovered;
-          Printf.sprintf "%.2f" r.Evict_time.separation;
-        ])
-      reservations
+    Driver.await_all
+      (List.map
+         (fun reserved ->
+           let spec = Spec.Nomo { ways = 8; policy = Replacement.Random; reserved } in
+           let pas = Attack_models.pas Attack_type.Evict_and_time spec () in
+           Driver.map_pending
+             (fun (r : Evict_time.result) ->
+               [
+                 Printf.sprintf "%d/8" reserved;
+                 Table.fmt_prob pas;
+                 string_of_bool r.Evict_time.nibble_recovered;
+                 Printf.sprintf "%.2f" r.Evict_time.separation;
+               ])
+             (submit_evict_time ctx spec 50000))
+         reservations)
   in
   "Ablation: Nomo reserved ways vs Type 1 (the AES footprint is 1-2 lines/set:\n\
    protection appears once the reservation covers it)\n"
@@ -125,16 +141,19 @@ let render_nomo_reserved (ctx : Run.ctx) =
 let render_replacement_policy (ctx : Run.ctx) =
   sweep ctx "ablation:replacement-policy" @@ fun ctx ->
   let rows =
-    List.map
-      (fun policy ->
-        let spec = Spec.Sa { ways = 8; policy } in
-        let r = run_evict_time ctx spec 50000 in
-        [
-          Replacement.policy_to_string policy;
-          string_of_bool r.Evict_time.nibble_recovered;
-          Printf.sprintf "%.2f" r.Evict_time.separation;
-        ])
-      [ Replacement.Lru; Replacement.Random; Replacement.Fifo ]
+    Driver.await_all
+      (List.map
+         (fun policy ->
+           let spec = Spec.Sa { ways = 8; policy } in
+           Driver.map_pending
+             (fun (r : Evict_time.result) ->
+               [
+                 Replacement.policy_to_string policy;
+                 string_of_bool r.Evict_time.nibble_recovered;
+                 Printf.sprintf "%.2f" r.Evict_time.separation;
+               ])
+             (submit_evict_time ctx spec 50000))
+         [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])
   in
   "Ablation: replacement policy vs Type 1. With LRU (or FIFO) the\n\
    attacker's w fresh accesses evict the set deterministically, so the\n\

@@ -9,14 +9,42 @@ let shard_seed ~seed i = Run.seed_for_batch ~seed i
 let setup_for ~(ctx : Run.ctx) spec (b : Scheduler.batch) =
   Setup.make ~seed:(Run.batch_seed ctx b.Scheduler.index) spec
 
-let fold_partials merge = function
-  | [||] -> invalid_arg "Driver: empty batch plan"
-  | parts ->
-    let acc = ref parts.(0) in
-    for i = 1 to Array.length parts - 1 do
-      acc := merge !acc parts.(i)
-    done;
-    !acc
+(* Partial-merge is the scheduler's index-order fold: one reduction
+   shared with [Scheduler.run_reduce], so "merge in batch order" has a
+   single definition in the codebase. *)
+let fold_partials merge parts = Scheduler.fold_results ~merge parts
+
+(* --- pending campaigns ------------------------------------------------ *)
+
+(* A campaign whose shards have been dispatched onto the pool but whose
+   merge has not happened yet. [await] is memoizing (value or failure),
+   so a pending can be passed around and joined from exactly one place
+   without double-folding or double-closing its span. *)
+type 'a state =
+  | Thunk of (unit -> 'a)
+  | Value of 'a
+  | Error of exn * Printexc.raw_backtrace
+
+type 'a pending = { mutable state : 'a state }
+
+let await p =
+  match p.state with
+  | Value v -> v
+  | Error (e, bt) -> Printexc.raise_with_backtrace e bt
+  | Thunk f ->
+    (match f () with
+    | v ->
+      p.state <- Value v;
+      v
+    | exception e ->
+      let bt = Printexc.get_raw_backtrace () in
+      p.state <- Error (e, bt);
+      Printexc.raise_with_backtrace e bt)
+
+let pending_value v = { state = Value v }
+let pending_of_thunk f = { state = Thunk f }
+let map_pending f p = { state = Thunk (fun () -> f (await p)) }
+let await_all ps = List.map await ps
 
 (* Per-attack shard sizes. They are properties of the *experiment
    definition*, never of the worker count: changing [jobs] must not
@@ -58,24 +86,48 @@ let sample_attack_counters tm ~attack trials =
     Telemetry.count tm ("attacks." ^ attack ^ ".trials") trials
   end
 
-(* Common campaign shape: span the experiment, plan the batches, fan the
-   shards out over the scheduler (tagged with the span so batch events
-   nest under it), fold the partials in batch order. *)
-let campaign ~(ctx : Run.ctx) ~name ~default_batch ~total ~shard ~merge
+(* Common campaign shape, split at the submit/await seam: [submit_campaign]
+   opens the experiment span, plans the batches and dispatches the shard
+   tasks onto the pool (tagged with the span so batch events nest under
+   it) — returning without blocking. The returned pending's join folds
+   the partials in batch order, bumps the driver counters and finalizes.
+   Pipelining across campaigns is calling several [submit_campaign]s
+   before the first [await]; the blocking [run_*] forms are
+   submit-then-await and semantically identical to the pre-pool code. *)
+let submit_campaign ~(ctx : Run.ctx) ~name ~default_batch ~total ~shard ~merge
     ~finalize =
   let tm = ctx.Run.telemetry in
-  Telemetry.with_span tm ~parent:ctx.Run.parent name @@ fun sp ->
+  let sp = Telemetry.span tm ~parent:ctx.Run.parent name in
   Telemetry.gauge tm ~span:sp "trials" (float_of_int total);
-  let batch_size = Option.value ctx.Run.batch ~default:default_batch in
-  let plan = Scheduler.plan ~total ~batch_size in
-  let parts = Scheduler.map_array ?jobs:ctx.Run.jobs ~tm ~span:sp shard plan in
-  if not (Telemetry.is_null tm) then begin
-    Telemetry.count tm "driver.batches" (Array.length plan);
-    Telemetry.count tm "driver.trials" total
-  end;
-  finalize (fold_partials merge parts)
+  match
+    let batch_size = Option.value ctx.Run.batch ~default:default_batch in
+    let plan = Scheduler.plan ~total ~batch_size in
+    (plan, Scheduler.submit_map ?jobs:ctx.Run.jobs ~tm ~span:sp shard plan)
+  with
+  | exception e ->
+    (* Serial submits run shards eagerly: close the span on the way out. *)
+    Telemetry.close_span tm sp;
+    raise e
+  | plan, shards ->
+    {
+      state =
+        Thunk
+          (fun () ->
+            match Scheduler.await shards with
+            | exception e ->
+              Telemetry.close_span tm sp;
+              raise e
+            | parts ->
+              if not (Telemetry.is_null tm) then begin
+                Telemetry.count tm "driver.batches" (Array.length plan);
+                Telemetry.count tm "driver.trials" total
+              end;
+              let v = finalize (fold_partials merge parts) in
+              Telemetry.close_span tm sp;
+              v);
+    }
 
-let run_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
+let submit_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
   let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
     let s = setup_for ~ctx spec b in
@@ -88,7 +140,7 @@ let run_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
     sample_attack_counters tm ~attack:"evict_time" b.Scheduler.count;
     p
   in
-  campaign ~ctx
+  submit_campaign ~ctx
     ~name:("evict-time:" ^ Spec.name spec)
     ~default_batch:evict_time_batch ~total:c.Evict_time.trials ~shard
     ~merge:Evict_time.merge_partial
@@ -96,7 +148,9 @@ let run_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
       Evict_time.finalize
         ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
 
-let run_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
+let run_evict_time ctx spec c = await (submit_evict_time ctx spec c)
+
+let submit_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
   let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
     let s = setup_for ~ctx spec b in
@@ -109,7 +163,7 @@ let run_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
     sample_attack_counters tm ~attack:"prime_probe" b.Scheduler.count;
     p
   in
-  campaign ~ctx
+  submit_campaign ~ctx
     ~name:("prime-probe:" ^ Spec.name spec)
     ~default_batch:prime_probe_batch ~total:c.Prime_probe.trials ~shard
     ~merge:Prime_probe.merge_partial
@@ -117,7 +171,9 @@ let run_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
       Prime_probe.finalize
         ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
 
-let run_collision (ctx : Run.ctx) spec (c : Collision.config) =
+let run_prime_probe ctx spec c = await (submit_prime_probe ctx spec c)
+
+let submit_collision (ctx : Run.ctx) spec (c : Collision.config) =
   let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
     let s = setup_for ~ctx spec b in
@@ -129,7 +185,7 @@ let run_collision (ctx : Run.ctx) spec (c : Collision.config) =
     sample_attack_counters tm ~attack:"collision" b.Scheduler.count;
     p
   in
-  campaign ~ctx
+  submit_campaign ~ctx
     ~name:("collision:" ^ Spec.name spec)
     ~default_batch:collision_batch ~total:c.Collision.trials ~shard
     ~merge:Collision.merge_partial
@@ -137,7 +193,9 @@ let run_collision (ctx : Run.ctx) spec (c : Collision.config) =
       Collision.finalize
         ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
 
-let run_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
+let run_collision ctx spec c = await (submit_collision ctx spec c)
+
+let submit_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
   let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
     let s = setup_for ~ctx spec b in
@@ -150,7 +208,7 @@ let run_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
     sample_attack_counters tm ~attack:"flush_reload" b.Scheduler.count;
     p
   in
-  campaign ~ctx
+  submit_campaign ~ctx
     ~name:("flush-reload:" ^ Spec.name spec)
     ~default_batch:flush_reload_batch ~total:c.Flush_reload.trials ~shard
     ~merge:Flush_reload.merge_partial
@@ -158,24 +216,29 @@ let run_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
       Flush_reload.finalize
         ~victim:(Setup.make ~seed:ctx.Run.seed spec).Setup.victim c merged)
 
+let run_flush_reload ctx spec c = await (submit_flush_reload ctx spec c)
+
 (* --- pre-PAS cleaning game ------------------------------------------- *)
 
-let run_cleaning_game (ctx : Run.ctx) spec ~accesses ~samples =
+let submit_cleaning_game (ctx : Run.ctx) spec ~accesses ~samples =
   if samples <= 0 then
     invalid_arg "Driver.cleaning_game: samples must be positive";
   let shard (b : Scheduler.batch) =
     let rng = Rng.create ~seed:(Run.batch_seed ctx b.Scheduler.index) in
     Cleaner.count_wins spec ~accesses ~samples:b.Scheduler.count ~rng
   in
-  campaign ~ctx
+  submit_campaign ~ctx
     ~name:("cleaning-game:" ^ Spec.name spec)
     ~default_batch:cleaning_batch ~total:samples ~shard ~merge:( + )
     ~finalize:(fun wins -> float_of_int wins /. float_of_int samples)
 
+let run_cleaning_game ctx spec ~accesses ~samples =
+  await (submit_cleaning_game ctx spec ~accesses ~samples)
+
 (* --- merged timing statistics ---------------------------------------- *)
 
-let run_timing_stats ?(lo = 0.) ?(hi = 40.) ?(bins = 80) (ctx : Run.ctx) spec
-    ~trials () =
+let submit_timing_stats ?(lo = 0.) ?(hi = 40.) ?(bins = 80) (ctx : Run.ctx)
+    spec ~trials () =
   if trials <= 0 then invalid_arg "Driver.timing_stats: trials must be positive";
   let tm = ctx.Run.telemetry in
   let shard (b : Scheduler.batch) =
@@ -196,12 +259,15 @@ let run_timing_stats ?(lo = 0.) ?(hi = 40.) ?(bins = 80) (ctx : Run.ctx) spec
     sample_engine_counters tm s;
     (h, sum)
   in
-  campaign ~ctx
+  submit_campaign ~ctx
     ~name:("timing-stats:" ^ Spec.name spec)
     ~default_batch:512 ~total:trials ~shard
     ~merge:(fun (ha, sa) (hb, sb) ->
       (Histogram.merge ha hb, Summary.merge sa sb))
     ~finalize:Fun.id
+
+let run_timing_stats ?lo ?hi ?bins ctx spec ~trials () =
+  await (submit_timing_stats ?lo ?hi ?bins ctx spec ~trials ())
 
 (* --- deprecated optional-tail wrappers ------------------------------- *)
 

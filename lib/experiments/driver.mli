@@ -20,6 +20,18 @@
     sampled into telemetry counters once per finished batch — the
     per-access hot path is never instrumented.
 
+    Since the pool refactor every campaign also comes in a non-blocking
+    [submit_*] form returning an ['a pending]: the campaign's span is
+    opened and its shard tasks dispatched onto the persistent
+    {!Cachesec_runtime.Pool} immediately, while the batch-order merge,
+    driver counters and finalize run at {!await}. Submitting several
+    campaigns before the first await pipelines them — their shards share
+    the one pool queue, so workers never idle at a campaign's join
+    barrier while another campaign has runnable shards. Results are
+    bit-identical between sequential and pipelined execution (merges are
+    deferred, never reordered); with [jobs <= 1] a [submit_*] runs
+    eagerly and pipelining degrades to the sequential order.
+
     The old [?jobs ?batch ~seed] optional tails survive as thin
     deprecated wrappers. *)
 
@@ -28,7 +40,57 @@ open Cachesec_attacks
 open Cachesec_stats
 open Cachesec_runtime
 
-(** {1 Primary ctx-first API} *)
+(** {1 Pending campaigns} *)
+
+type 'a pending
+(** A submitted campaign whose merge/finalize has not run yet. Join with
+    {!await} (memoizing: a second await returns the cached value or
+    re-raises the cached failure). *)
+
+val await : 'a pending -> 'a
+(** Block until the campaign's shards finished, fold the partials in
+    batch order, record driver counters, finalize and close the
+    campaign's span. Re-raises the first shard failure with its
+    backtrace. Must be called from outside the pool. *)
+
+val await_all : 'a pending list -> 'a list
+(** [List.map await] — join in list (i.e. submission) order. *)
+
+val pending_value : 'a -> 'a pending
+(** An already-available result, for mixing computed-inline values into
+    a pending pipeline. *)
+
+val pending_of_thunk : (unit -> 'a) -> 'a pending
+(** Defer arbitrary join logic (run once, memoized) — used by layers
+    that need to close their own telemetry spans around an inner
+    {!await}. *)
+
+val map_pending : ('a -> 'b) -> 'a pending -> 'b pending
+(** Post-process a campaign's result at await time (e.g. wrap a raw
+    attack result into a report cell) without forcing the join now. *)
+
+(** {1 Primary ctx-first API}
+
+    Each experiment has a blocking [run_*] ≡ [await ∘ submit_*]. *)
+
+val submit_evict_time :
+  Run.ctx -> Spec.t -> Evict_time.config -> Evict_time.result pending
+
+val submit_prime_probe :
+  Run.ctx -> Spec.t -> Prime_probe.config -> Prime_probe.result pending
+
+val submit_collision :
+  Run.ctx -> Spec.t -> Collision.config -> Collision.result pending
+
+val submit_flush_reload :
+  Run.ctx -> Spec.t -> Flush_reload.config -> Flush_reload.result pending
+
+val submit_cleaning_game :
+  Run.ctx -> Spec.t -> accesses:int -> samples:int -> float pending
+
+val submit_timing_stats :
+  ?lo:float -> ?hi:float -> ?bins:int -> Run.ctx -> Spec.t -> trials:int ->
+  unit -> (Histogram.t * Summary.t) pending
 
 val run_evict_time :
   Run.ctx -> Spec.t -> Evict_time.config -> Evict_time.result

@@ -66,19 +66,26 @@ let figure8 () =
 let curve_of_times times =
   Array.to_list (Array.mapi (fun i t -> (float_of_int i, t)) times)
 
-let render_figure9 (ctx : Run.ctx) =
+(* Figures 9 and 10 follow the same submit-all-then-await shape as the
+   validation matrix: with [pipeline:true] (default) every campaign's
+   shards are dispatched onto the pool before the first result is
+   awaited; [pipeline:false] is the strictly sequential pre-pool order
+   (the sequential arm of the e2e bench). Renders are bit-identical
+   either way — awaits happen in the same list order. *)
+let render_figure9 ?(pipeline = true) (ctx : Run.ctx) =
   Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent "figure9"
   @@ fun sp ->
   let ctx = Run.with_parent sp ctx in
-  let run spec =
+  let submit spec =
     let config =
       {
         Evict_time.default_config with
         Evict_time.trials = trials_for (scale_of ctx) 50000;
       }
     in
-    (spec, Driver.run_evict_time ctx spec config)
+    Driver.map_pending (fun r -> (spec, r)) (Driver.submit_evict_time ctx spec config)
   in
+  let run spec = Driver.await (submit spec) in
   let render (spec, (r : Evict_time.result)) =
     let plot =
       Plot.render ~height:12
@@ -91,7 +98,18 @@ let render_figure9 (ctx : Run.ctx) =
       (Spec.display_name spec)
       plot r.nibble_recovered r.best_candidate r.true_byte r.separation
   in
-  let sa = run Spec.paper_sa and nc = run Spec.paper_newcache in
+  let sa, nc =
+    if pipeline then begin
+      let psa = submit Spec.paper_sa in
+      let pnc = submit Spec.paper_newcache in
+      (Driver.await psa, Driver.await pnc)
+    end
+    else begin
+      let sa = run Spec.paper_sa in
+      let nc = run Spec.paper_newcache in
+      (sa, nc)
+    end
+  in
   "Figure 9: evict-and-time validation, SA cache (leaks) vs Newcache (flat)\n\n"
   ^ render sa ^ "\n" ^ render nc
 
@@ -105,7 +123,7 @@ let figure10_specs =
     Spec.paper_re;
   ]
 
-let render_figure10 (ctx : Run.ctx) =
+let render_figure10 ?(pipeline = true) (ctx : Run.ctx) =
   Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent "figure10"
   @@ fun sp ->
   let ctx = Run.with_parent sp ctx in
@@ -113,25 +131,33 @@ let render_figure10 (ctx : Run.ctx) =
   Buffer.add_string buf
     "Figure 10: prime-and-probe validation across six caches\n\
      (normalised candidate-key scores; a spike at the true byte's nibble = leak)\n\n";
-  List.iter
-    (fun spec ->
-      let config =
-        {
-          Prime_probe.default_config with
-          Prime_probe.trials = trials_for (scale_of ctx) 1500;
-          lock_victim_tables = (match spec with Spec.Pl _ -> true | _ -> false);
-        }
-      in
-      let r = Driver.run_prime_probe ctx spec config in
-      let normalized = Recovery.normalize r.Prime_probe.scores in
-      Buffer.add_string buf
-        (Printf.sprintf "%s\n%s  nibble recovered: %b (winner 0x%02x, true 0x%02x)\n\n"
-           (Spec.display_name spec)
-           (Plot.render ~height:10 ~x_label:"key byte candidate"
-              [ { Plot.name = Spec.display_name spec; points = curve_of_times normalized } ])
-           r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
-           r.Prime_probe.true_byte))
-    figure10_specs;
+  let submit spec =
+    let config =
+      {
+        Prime_probe.default_config with
+        Prime_probe.trials = trials_for (scale_of ctx) 1500;
+        lock_victim_tables = (match spec with Spec.Pl _ -> true | _ -> false);
+      }
+    in
+    Driver.submit_prime_probe ctx spec config
+  in
+  let emit spec (r : Prime_probe.result) =
+    let normalized = Recovery.normalize r.Prime_probe.scores in
+    Buffer.add_string buf
+      (Printf.sprintf "%s\n%s  nibble recovered: %b (winner 0x%02x, true 0x%02x)\n\n"
+         (Spec.display_name spec)
+         (Plot.render ~height:10 ~x_label:"key byte candidate"
+            [ { Plot.name = Spec.display_name spec; points = curve_of_times normalized } ])
+         r.Prime_probe.nibble_recovered r.Prime_probe.best_candidate
+         r.Prime_probe.true_byte)
+  in
+  (if pipeline then begin
+     let subs = List.map (fun spec -> (spec, submit spec)) figure10_specs in
+     List.iter (fun (spec, sub) -> emit spec (Driver.await sub)) subs
+   end
+   else
+     List.iter (fun spec -> emit spec (Driver.await (submit spec)))
+       figure10_specs);
   Buffer.contents buf
 
 let render_prepas_crosscheck (ctx : Run.ctx) =
@@ -159,28 +185,38 @@ let render_prepas_crosscheck (ctx : Run.ctx) =
   (* Every (spec, k) cell is an independent Monte-Carlo surface: it gets
      its own derived seed and fans its samples out over the trial
      runtime, so the whole cross-check is reproducible cell-by-cell and
-     jobs-invariant. *)
+     jobs-invariant. All 40 cleaning-game campaigns are submitted onto
+     the pool before the first await — the cell seeds are derived from
+     [(seed, si, ki)] exactly as in the sequential formulation, so the
+     table is unchanged, only the wall-clock. *)
+  let pending_rows =
+    List.mapi
+      (fun si spec ->
+        let analytical =
+          List.map (fun k -> Table.fmt_prob (Prepas.for_spec spec ~k)) ks
+        in
+        let empirical =
+          List.mapi
+            (fun ki k ->
+              let cell_seed = Rng.derive_seed seed ((si * nks) + ki + 1) in
+              Driver.map_pending Table.fmt_prob
+                (Driver.submit_cleaning_game (Run.with_seed cell_seed ctx)
+                   spec ~accesses:k ~samples))
+            ks
+        in
+        (spec, analytical, empirical))
+      specs
+  in
   let rows =
     List.concat
-      (List.mapi
-         (fun si spec ->
-           let analytical =
-             List.map (fun k -> Table.fmt_prob (Prepas.for_spec spec ~k)) ks
-           in
-           let empirical =
-             List.mapi
-               (fun ki k ->
-                 let cell_seed = Rng.derive_seed seed ((si * nks) + ki + 1) in
-                 Table.fmt_prob
-                   (Driver.run_cleaning_game (Run.with_seed cell_seed ctx)
-                      spec ~accesses:k ~samples))
-               ks
-           in
+      (List.map
+         (fun (spec, analytical, empirical) ->
            [
              (Spec.display_name spec ^ " (closed form)") :: analytical;
-             (Spec.display_name spec ^ " (Monte Carlo)") :: empirical;
+             (Spec.display_name spec ^ " (Monte Carlo)")
+             :: Driver.await_all empirical;
            ])
-         specs)
+         pending_rows)
   in
   "Pre-PAS: closed form (paper Section 5) vs Monte-Carlo cleaning game\n\
    (RE shown 8-way to exhibit the free-lunch effect; RP's Monte Carlo is \n\

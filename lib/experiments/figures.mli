@@ -35,21 +35,26 @@ val figure8_series : ks:int list -> (string * (int * float) list) list
 
 (** {1 Primary ctx-first API} *)
 
-val render_figure9 : Run.ctx -> string
+val render_figure9 : ?pipeline:bool -> Run.ctx -> string
 (** Evict-and-time validation on the conventional SA cache vs Newcache:
     average encryption time per plaintext-byte value (flat = no leak).
     Trials are sharded over the Domain-parallel trial runtime; the
-    rendered figure is independent of [ctx.jobs]. *)
+    rendered figure is independent of [ctx.jobs]. [pipeline] (default
+    [true]) submits both campaigns onto the pool before the first await;
+    [false] runs them strictly sequentially. The render is bit-identical
+    either way. *)
 
-val render_figure10 : Run.ctx -> string
+val render_figure10 : ?pipeline:bool -> Run.ctx -> string
 (** Prime-and-probe validation across six caches (SA, SP, PL, Newcache,
-    RP, RE): normalised candidate-key score profiles. *)
+    RP, RE): normalised candidate-key score profiles. [?pipeline] as in
+    {!render_figure9}, over all six campaigns. *)
 
 val render_prepas_crosscheck : Run.ctx -> string
 (** Closed-form pre-PAS vs Monte-Carlo cleaning game, per architecture,
     with the documented RP deviation called out. Each (cache, k) cell
     runs its sample budget through the trial runtime under a seed
-    derived from [ctx.seed]. *)
+    derived from [ctx.seed]; all 40 cells' campaigns are submitted onto
+    the pool before the first await. *)
 
 (** {1 Deprecated optional-tail wrappers} *)
 

@@ -58,39 +58,56 @@ let nomo_reservation_sweep ~ways ~reserved =
       (r, pas, prepas))
     reserved
 
+(* The five tables are independent pure computations: submit each as a
+   pool task and await them in order. With live workers (a preceding
+   parallel section has sized the pool) they overlap; with zero workers
+   [Pool.submit] degrades to eager inline execution, so the rendered
+   report is byte-identical either way. *)
 let render () =
   let t3 name headers rows =
     name ^ "\n" ^ Table.render ~headers ~rows () ^ "\n"
   in
-  t3 "Associativity sweep (SA, 512 lines): eviction gets harder, filling easier"
-    [ "ways"; "Type 1 PAS"; "pre-PAS @ k=2w" ]
-    (List.map
-       (fun (w, p, q) ->
-         [ string_of_int w; Table.fmt_prob p; Table.fmt_prob q ])
-       (associativity_sweep ~ways:[ 1; 2; 4; 8; 16; 32 ]))
-  ^ t3 "Randomized cache size sweep (Newcache-style): PAS = 1/lines"
-      [ "lines"; "Type 1 PAS" ]
-      (List.map
-         (fun (n, p) -> [ string_of_int n; Table.fmt_prob p ])
-         (cache_size_sweep ~lines:[ 64; 128; 256; 512; 1024; 2048 ]))
-  ^ t3 "RF window sweep: the defence knob for reuse attacks"
-      [ "half-window"; "Type 3 PAS"; "Type 2 PAS" ]
-      (List.map
-         (fun (w, p3, p2) ->
-           [ string_of_int w; Table.fmt_prob p3; Table.fmt_prob p2 ])
-         (rf_window_sweep ~windows:[ 0; 2; 8; 32; 64; 128 ]))
-  ^ t3 "RE interval sweep: PAS barely moves while throughput cost is 1/T"
-      [ "interval T"; "Type 3 PAS"; "extra evictions/access" ]
-      (List.map
-         (fun (t, p, cost) ->
-           [ string_of_int t; Table.fmt_prob p; Printf.sprintf "%.3f" cost ])
-         (re_interval_sweep ~intervals:[ 1; 2; 5; 10; 50; 100 ]))
-  ^ t3 "Nomo reservation sweep (8 ways): protection vs shared capacity"
-      [ "reserved"; "Type 1 PAS (spill case)"; "pre-PAS @ k=24" ]
-      (List.map
-         (fun (r, p, q) ->
-           [ string_of_int r; Table.fmt_prob p; Table.fmt_prob q ])
-         (nomo_reservation_sweep ~ways:8 ~reserved:[ 0; 1; 2; 4; 6 ]))
+  let tables =
+    [
+      (fun () ->
+        t3
+          "Associativity sweep (SA, 512 lines): eviction gets harder, filling easier"
+          [ "ways"; "Type 1 PAS"; "pre-PAS @ k=2w" ]
+          (List.map
+             (fun (w, p, q) ->
+               [ string_of_int w; Table.fmt_prob p; Table.fmt_prob q ])
+             (associativity_sweep ~ways:[ 1; 2; 4; 8; 16; 32 ])));
+      (fun () ->
+        t3 "Randomized cache size sweep (Newcache-style): PAS = 1/lines"
+          [ "lines"; "Type 1 PAS" ]
+          (List.map
+             (fun (n, p) -> [ string_of_int n; Table.fmt_prob p ])
+             (cache_size_sweep ~lines:[ 64; 128; 256; 512; 1024; 2048 ])));
+      (fun () ->
+        t3 "RF window sweep: the defence knob for reuse attacks"
+          [ "half-window"; "Type 3 PAS"; "Type 2 PAS" ]
+          (List.map
+             (fun (w, p3, p2) ->
+               [ string_of_int w; Table.fmt_prob p3; Table.fmt_prob p2 ])
+             (rf_window_sweep ~windows:[ 0; 2; 8; 32; 64; 128 ])));
+      (fun () ->
+        t3 "RE interval sweep: PAS barely moves while throughput cost is 1/T"
+          [ "interval T"; "Type 3 PAS"; "extra evictions/access" ]
+          (List.map
+             (fun (t, p, cost) ->
+               [ string_of_int t; Table.fmt_prob p; Printf.sprintf "%.3f" cost ])
+             (re_interval_sweep ~intervals:[ 1; 2; 5; 10; 50; 100 ])));
+      (fun () ->
+        t3 "Nomo reservation sweep (8 ways): protection vs shared capacity"
+          [ "reserved"; "Type 1 PAS (spill case)"; "pre-PAS @ k=24" ]
+          (List.map
+             (fun (r, p, q) ->
+               [ string_of_int r; Table.fmt_prob p; Table.fmt_prob q ])
+             (nomo_reservation_sweep ~ways:8 ~reserved:[ 0; 1; 2; 4; 6 ])));
+    ]
+  in
+  let futures = List.map Cachesec_runtime.Pool.submit tables in
+  String.concat "" (List.map Cachesec_runtime.Pool.await futures)
 
 let csv_rows () =
   [

@@ -42,11 +42,13 @@ let measure ?(accesses = 200_000) ?(seed = 0xBE7C) spec =
   for i = 0 to warm - 1 do
     ignore (engine.Engine.access ~pid:(i land 1) addrs.(i))
   done;
-  let t0 = Unix.gettimeofday () in
+  (* Monotonic stopwatch (Clock): these numbers feed the perf gate, so
+     an NTP step mid-measurement must not move them. *)
+  let t0 = Clock.now_s () in
   for i = 0 to accesses - 1 do
     ignore (engine.Engine.access ~pid:(i land 1) addrs.(i))
   done;
-  let dt = Unix.gettimeofday () -. t0 in
+  let dt = Clock.elapsed_s ~since:t0 in
   let dt = if dt <= 0. then epsilon_float else dt in
   {
     arch = Spec.name spec;
@@ -73,8 +75,15 @@ let cases () =
 
 (* The timed loop itself is never instrumented (that would measure the
    telemetry, not the engine): each case is bracketed in a span and its
-   result reported as gauges after the stopwatch has stopped. *)
+   result reported as gauges after the stopwatch has stopped.
+
+   The pool is quiesced first: these are single-domain loops compared
+   against baselines recorded in a single-domain process, and on OCaml 5
+   even parked worker domains tax every minor collection with a
+   stop-the-world handshake (noticeably, on small hosts). The pool
+   respawns on the next parallel section. *)
 let bench (ctx : Run.ctx) =
+  Pool.quiesce ();
   let tm = ctx.Run.telemetry in
   Telemetry.with_span tm ~parent:ctx.Run.parent "throughput"
   @@ fun sp ->
@@ -222,17 +231,28 @@ module Attacks = struct
            { Collision.default_config with Collision.trials = count })
     | a -> invalid_arg ("Throughput.Attacks: unknown attack class " ^ a)
 
-  let measure ?(seed = 0xA77A) ?trials attack spec =
+  let measure ?(seed = 0xA77A) ?trials ?(repeats = 3) attack spec =
     let trials = Option.value trials ~default:(full_trials attack) in
     let s = Setup.make ~seed spec in
     (* Warm-up span: cache warm, any per-campaign state (probe plans,
        scratch buffers) built and in steady state before the stopwatch
        starts. *)
     span ~s attack (max 1 (trials / 10));
-    let t0 = Unix.gettimeofday () in
-    span ~s attack trials;
-    let dt = Unix.gettimeofday () -. t0 in
-    let dt = if dt <= 0. then epsilon_float else dt in
+    (* Best-of-[repeats]: these numbers feed a hard PASS/FAIL gate, and
+       a single quick-scale repetition lasts ~10 ms — short enough for
+       one scheduler preemption on a loaded host to swing the rate by
+       tens of percent. The minimum time across repetitions is the
+       standard estimator of unloaded cost (external load only ever
+       adds time); every repetition runs the same trial count, so the
+       reported (trials, seconds) stay a real measured pair. *)
+    let best = ref infinity in
+    for _ = 1 to max 1 repeats do
+      let t0 = Clock.now_s () in
+      span ~s attack trials;
+      let dt = Clock.elapsed_s ~since:t0 in
+      if dt < !best then best := dt
+    done;
+    let dt = if !best <= 0. then epsilon_float else !best in
     {
       attack;
       arch = Spec.name spec;
@@ -247,8 +267,21 @@ module Attacks = struct
       classes
 
   (* Mirrors [bench] above: each case spanned and gauged only after its
-     stopwatch has stopped. *)
+     stopwatch has stopped.
+
+     Trial counts are ALWAYS the full ones, even under [ctx.quick]:
+     the gate compares trials/sec against a baseline recorded at full
+     counts, and rates only transfer between runs when the per-span
+     fixed costs (campaign state setup inside each [run_span]) are
+     amortized identically on both sides — at a tenth of the trials
+     those costs bias the measured rate low by enough to fail a
+     healthy harness. Quick mode economises on repetitions instead
+     (2 instead of 3), which costs variance, not bias. The pool is
+     quiesced for the same reason as the engine bench above: the
+     baseline was recorded single-domain, and parked workers tax every
+     minor GC with a stop-the-world handshake. *)
   let bench (ctx : Run.ctx) =
+    Pool.quiesce ();
     let tm = ctx.Run.telemetry in
     Telemetry.with_span tm ~parent:ctx.Run.parent "attack-throughput"
     @@ fun sp ->
@@ -257,11 +290,9 @@ module Attacks = struct
         Telemetry.with_span tm ~parent:sp
           (Printf.sprintf "attacks:%s:%s" attack (Spec.name spec))
         @@ fun case_sp ->
-        let trials =
-          let n = full_trials attack in
-          if ctx.Run.quick then max 50 (n / 10) else n
-        in
-        let e = measure ~trials attack spec in
+        let trials = full_trials attack in
+        let repeats = if ctx.Run.quick then 2 else 3 in
+        let e = measure ~trials ~repeats attack spec in
         Telemetry.gauge tm ~span:case_sp "trials_per_sec" e.per_sec;
         Telemetry.gauge tm ~span:case_sp "trials" (float_of_int e.trials);
         e)
@@ -369,6 +400,201 @@ module Attacks = struct
           (Printf.sprintf "  %-12s %-10s %10d %14.1f %s\n" e.attack e.arch
              e.trials e.per_sec vs))
       entries;
+    Buffer.contents buf
+end
+
+(* --- end-to-end harness throughput (campaign pipelining) ------------- *)
+
+(* The sections above time one engine access and one attack trial; this
+   section times whole report sections — the quick-scale validation
+   matrix (36 cells) and the experimental figures (9 and 10) — through
+   the real orchestration layer, once with strictly sequential campaign
+   execution (each campaign awaited before the next is submitted; the
+   pre-pool behaviour) and once with cross-campaign pipelining (all
+   campaigns' shards submitted onto the pool before the first await).
+
+   Both arms run the same trials with the same seeds, so the pipelined /
+   sequential ratio isolates exactly what the pool refactor buys: shards
+   of later campaigns filling the worker idle time at earlier campaigns'
+   join barriers. That within-run ratio is the gate observable — it is a
+   controlled experiment on the machine at hand, unlike a comparison
+   against a committed baseline recorded on different hardware. The
+   committed bench/BENCH_e2e.baseline.json (recorded pre-refactor, with
+   its host's core count in the [cores] field) still feeds the [vs base]
+   trajectory column.
+
+   On hosts with fewer than 4 cores (or runs with jobs < 4) the ratio
+   measures scheduling overhead, not parallelism — there are no idle
+   workers to fill — so the gate reports instead of failing. *)
+
+module E2e = struct
+  type entry = {
+    section : string;
+    mode : string;  (* "sequential" | "pipelined" *)
+    jobs : int;
+    cores : int;
+    units : int;
+    seconds : float;
+  }
+
+  let sections = [ "validation-matrix"; "figures" ]
+
+  (* Run one section's campaigns; returns the work-unit count (cells /
+     figures) so an entry is self-describing. The figure/matrix strings
+     are rendered and dropped — the measured quantity is orchestration
+     wall-clock, and rendering is part of both arms equally. *)
+  let run_section (ctx : Run.ctx) ~pipeline = function
+    | "validation-matrix" -> List.length (Validation.cells ~pipeline ctx)
+    | "figures" ->
+      ignore (Figures.render_figure9 ~pipeline ctx : string);
+      ignore (Figures.render_figure10 ~pipeline ctx : string);
+      2
+    | s -> invalid_arg ("Throughput.E2e: unknown section " ^ s)
+
+  (* Always quick scale: the e2e bench measures orchestration, not trial
+     volume, and must stay cheap enough for CI's bench smoke. *)
+  let bench (ctx : Run.ctx) =
+    let ctx = Run.quick ctx in
+    let jobs = Scheduler.resolve_jobs ctx.Run.jobs in
+    let cores = Domain.recommended_domain_count () in
+    let tm = ctx.Run.telemetry in
+    let one ~mode ~pipeline section =
+      Telemetry.with_span tm ~parent:ctx.Run.parent
+        (Printf.sprintf "e2e:%s:%s" mode section)
+      @@ fun sp ->
+      let ctx = Run.with_parent sp ctx in
+      let t0 = Clock.now_s () in
+      let units = run_section ctx ~pipeline section in
+      let dt = Clock.elapsed_s ~since:t0 in
+      let dt = if dt <= 0. then epsilon_float else dt in
+      Telemetry.gauge tm ~span:sp "seconds" dt;
+      Telemetry.gauge tm ~span:sp "units" (float_of_int units);
+      { section; mode; jobs; cores; units; seconds = dt }
+    in
+    (* Sequential arm first (matches the committed baseline's order),
+       then pipelined: both arms over both sections. *)
+    List.map (one ~mode:"sequential" ~pipeline:false) sections
+    @ List.map (one ~mode:"pipelined" ~pipeline:true) sections
+
+  let entry_to_json e =
+    Printf.sprintf
+      "{\"section\": \"%s\", \"mode\": \"%s\", \"jobs\": %d, \"cores\": %d, \
+       \"units\": %d, \"seconds\": %.6f}"
+      e.section e.mode e.jobs e.cores e.units e.seconds
+
+  let to_json ?span_id entries =
+    let buf = Buffer.create 1024 in
+    Buffer.add_string buf "{\n  \"schema\": \"bench_e2e/v1\",\n";
+    (match span_id with
+    | Some id when id <> 0 ->
+      Buffer.add_string buf (Printf.sprintf "  \"telemetry_span\": %d,\n" id)
+    | Some _ | None -> ());
+    Buffer.add_string buf "  \"entries\": [\n";
+    List.iteri
+      (fun i e ->
+        Buffer.add_string buf "    ";
+        Buffer.add_string buf (entry_to_json e);
+        if i < List.length entries - 1 then Buffer.add_char buf ',';
+        Buffer.add_char buf '\n')
+      entries;
+    Buffer.add_string buf "  ]\n}\n";
+    Buffer.contents buf
+
+  let write ?span_id ~path entries =
+    let oc = open_out path in
+    output_string oc (to_json ?span_id entries);
+    close_out oc
+
+  let read ~path =
+    match open_in path with
+    | exception Sys_error _ -> []
+    | ic ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ','
+             then String.sub line 0 (String.length line - 1)
+             else line
+           in
+           match
+             Scanf.sscanf line
+               "{\"section\": %S, \"mode\": %S, \"jobs\": %d, \"cores\": %d, \
+                \"units\": %d, \"seconds\": %f}"
+               (fun section mode jobs cores units seconds ->
+                 { section; mode; jobs; cores; units; seconds })
+           with
+           | e -> entries := e :: !entries
+           | exception Scanf.Scan_failure _ -> ()
+           | exception End_of_file -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !entries
+
+  (* Baselines may hold rows for several jobs settings; prefer the row
+     matching [?jobs], falling back to any row of the (section, mode). *)
+  let find ?jobs entries ~section ~mode =
+    let m e = e.section = section && e.mode = mode in
+    match jobs with
+    | Some j -> (
+      match List.find_opt (fun e -> m e && e.jobs = j) entries with
+      | Some _ as hit -> hit
+      | None -> List.find_opt m entries)
+    | None -> List.find_opt m entries
+
+  (* Within-run pipelining speedup: total sequential wall over total
+     pipelined wall, across all sections. [None] when either arm is
+     missing. *)
+  let speedup entries =
+    let total mode =
+      List.fold_left
+        (fun acc e -> if e.mode = mode then acc +. e.seconds else acc)
+        0. entries
+    in
+    let s = total "sequential" and p = total "pipelined" in
+    if s > 0. && p > 0. then Some (s /. p) else None
+
+  type verdict = Pass | Fail | Reported
+
+  (* Hard gate only where the experiment can demonstrate parallelism:
+     >= 4 cores on the host and >= 4 requested jobs. Anywhere else the
+     ratio is still computed and printed, but cannot fail the run —
+     with nothing to pipeline *into*, a ratio near 1.0 is the expected
+     honest answer, not a regression. *)
+  let gate ?(threshold = 1.3) entries =
+    match speedup entries with
+    | None -> (None, Reported)
+    | Some x ->
+      let hard = List.exists (fun e -> e.jobs >= 4 && e.cores >= 4) entries in
+      if not hard then (Some x, Reported)
+      else (Some x, if x >= threshold then Pass else Fail)
+
+  let render ?baseline entries =
+    let buf = Buffer.create 1024 in
+    let base = match baseline with None -> [] | Some path -> read ~path in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-18s %-11s %5s %6s %6s %10s %10s\n" "section" "mode"
+         "jobs" "cores" "units" "seconds" "vs base");
+    List.iter
+      (fun e ->
+        let vs =
+          match find ~jobs:e.jobs base ~section:e.section ~mode:e.mode with
+          | Some b when e.seconds > 0. ->
+            Printf.sprintf "%9.2fx" (b.seconds /. e.seconds)
+          | Some _ | None -> "         -"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-18s %-11s %5d %6d %6d %10.3f %s\n" e.section
+             e.mode e.jobs e.cores e.units e.seconds vs))
+      entries;
+    (match speedup entries with
+    | Some x ->
+      Buffer.add_string buf
+        (Printf.sprintf "  pipelining speedup (sequential / pipelined): %.2fx\n"
+           x)
+    | None -> ());
     Buffer.contents buf
 end
 

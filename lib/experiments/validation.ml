@@ -44,75 +44,107 @@ let lock_for spec =
    batch plan and per-batch seeds depend only on [(ctx.seed, ctx.quick)],
    so any [jobs] value yields the same cell — enforced by test_runtime.
    With an active telemetry context the cell is a span
-   [validation:<arch>:<attack>] and the Driver campaigns nest under
-   it. *)
-let cell (ctx : Run.ctx) spec attack =
-  Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
-    (Printf.sprintf "validation:%s:%s" (Spec.name spec)
-       (Attack_type.short attack))
-  @@ fun sp ->
+   [validation:<arch>:<attack>] and the Driver campaigns nest under it.
+
+   [submit_cell] is the non-blocking form: the cell span is opened and
+   the attack campaign's shards dispatched onto the pool now; building
+   the cell record (and closing its span) happens at [Driver.await]. *)
+let submit_cell (ctx : Run.ctx) spec attack =
+  let tm = ctx.Run.telemetry in
+  let sp =
+    Telemetry.span tm ~parent:ctx.Run.parent
+      (Printf.sprintf "validation:%s:%s" (Spec.name spec)
+         (Attack_type.short attack))
+  in
   let ctx = Run.with_parent sp ctx in
   let t n = Figures.trials_for (Figures.scale_of ctx) n in
-  let recovered, separation =
+  match
     match attack with
     | Attack_type.Evict_and_time ->
-      let r =
-        Driver.run_evict_time ctx spec
-          {
-            Evict_time.default_config with
-            Evict_time.trials = t 50000;
-            lock_victim_tables = lock_for spec;
-          }
-      in
-      (r.Evict_time.nibble_recovered, r.Evict_time.separation)
+      Driver.map_pending
+        (fun r -> (r.Evict_time.nibble_recovered, r.Evict_time.separation))
+        (Driver.submit_evict_time ctx spec
+           {
+             Evict_time.default_config with
+             Evict_time.trials = t 50000;
+             lock_victim_tables = lock_for spec;
+           })
     | Attack_type.Prime_and_probe ->
-      let r =
-        Driver.run_prime_probe ctx spec
-          {
-            Prime_probe.default_config with
-            Prime_probe.trials = t 3000;
-            lock_victim_tables = lock_for spec;
-          }
-      in
-      (r.Prime_probe.nibble_recovered, r.Prime_probe.separation)
+      Driver.map_pending
+        (fun r -> (r.Prime_probe.nibble_recovered, r.Prime_probe.separation))
+        (Driver.submit_prime_probe ctx spec
+           {
+             Prime_probe.default_config with
+             Prime_probe.trials = t 3000;
+             lock_victim_tables = lock_for spec;
+           })
     | Attack_type.Cache_collision ->
-      let r =
-        Driver.run_collision ctx spec
-          { Collision.default_config with Collision.trials = t 250000 }
-      in
-      (r.Collision.nibble_recovered, r.Collision.separation)
+      Driver.map_pending
+        (fun r -> (r.Collision.nibble_recovered, r.Collision.separation))
+        (Driver.submit_collision ctx spec
+           { Collision.default_config with Collision.trials = t 250000 })
     | Attack_type.Flush_and_reload ->
-      let r =
-        Driver.run_flush_reload ctx spec
-          { Flush_reload.default_config with Flush_reload.trials = t 3000 }
-      in
-      (r.Flush_reload.nibble_recovered, r.Flush_reload.separation)
-  in
-  let pas = Attack_models.pas attack spec () in
-  (* The paper's own Table 7 judgment: noise-based PAS reduction does not
-     count as resilience (repetition defeats it). *)
-  let predicted_leak = Resilience.classify spec attack = Resilience.Low in
-  let agrees = predicted_leak = recovered in
-  {
-    arch = Spec.display_name spec;
-    attack;
-    pas;
-    predicted_leak;
-    recovered;
-    separation;
-    agrees;
-    note = (if agrees then "" else known_note spec attack);
-  }
+      Driver.map_pending
+        (fun r ->
+          (r.Flush_reload.nibble_recovered, r.Flush_reload.separation))
+        (Driver.submit_flush_reload ctx spec
+           { Flush_reload.default_config with Flush_reload.trials = t 3000 })
+  with
+  | exception e ->
+    Telemetry.close_span tm sp;
+    raise e
+  | sub ->
+    Driver.pending_of_thunk (fun () ->
+        match Driver.await sub with
+        | exception e ->
+          Telemetry.close_span tm sp;
+          raise e
+        | recovered, separation ->
+          let pas = Attack_models.pas attack spec () in
+          (* The paper's own Table 7 judgment: noise-based PAS reduction
+             does not count as resilience (repetition defeats it). *)
+          let predicted_leak =
+            Resilience.classify spec attack = Resilience.Low
+          in
+          let agrees = predicted_leak = recovered in
+          let c =
+            {
+              arch = Spec.display_name spec;
+              attack;
+              pas;
+              predicted_leak;
+              recovered;
+              separation;
+              agrees;
+              note = (if agrees then "" else known_note spec attack);
+            }
+          in
+          Telemetry.close_span tm sp;
+          c)
 
-let cells (ctx : Run.ctx) =
+let cell ctx spec attack = Driver.await (submit_cell ctx spec attack)
+
+(* The full 9x4 matrix. [pipeline:true] (the default) submits every
+   cell's campaign before the first await, so shards from all 36 cells
+   share the pool queue and workers never idle at one cell's join
+   barrier; [pipeline:false] runs the cells strictly one after another
+   (the pre-pool behaviour — and the sequential arm of the e2e bench).
+   Both orders await/merge cell-by-cell in the same list order, so the
+   result is bit-identical (enforced by test_runtime). *)
+let cells ?(pipeline = true) (ctx : Run.ctx) =
   Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
     "validation-matrix"
   @@ fun sp ->
   let ctx = Run.with_parent sp ctx in
-  List.concat_map
-    (fun spec ->
-      List.map (fun attack -> cell ctx spec attack) Attack_type.all)
-    Spec.all_paper
+  let combos =
+    List.concat_map
+      (fun spec -> List.map (fun attack -> (spec, attack)) Attack_type.all)
+      Spec.all_paper
+  in
+  if pipeline then
+    Driver.await_all
+      (List.map (fun (spec, attack) -> submit_cell ctx spec attack) combos)
+  else List.map (fun (spec, attack) -> cell ctx spec attack) combos
 
 let agreement_rate cells =
   if cells = [] then nan

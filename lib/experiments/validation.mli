@@ -23,8 +23,19 @@ val cell :
     telemetry span [validation:<arch>:<attack>]. The cell's value is
     independent of [ctx.jobs]. *)
 
-val cells : Run.ctx -> cell list
-(** All 9 x 4 combinations, under one [validation-matrix] span. *)
+val submit_cell :
+  Run.ctx -> Cachesec_cache.Spec.t -> Cachesec_analysis.Attack_type.t ->
+  cell Driver.pending
+(** Non-blocking {!cell}: the attack campaign's shards are dispatched
+    onto the pool immediately; the cell record is built (and its span
+    closed) at [Driver.await]. *)
+
+val cells : ?pipeline:bool -> Run.ctx -> cell list
+(** All 9 x 4 combinations, under one [validation-matrix] span.
+    [pipeline] (default [true]) submits every cell's campaign before the
+    first await, letting shards from all cells share the pool queue;
+    [false] runs the cells strictly sequentially. Both produce
+    bit-identical cell lists — pipelining changes wall-clock only. *)
 
 val render : cell list -> string
 

@@ -1,0 +1,70 @@
+(** Persistent, process-global Domain pool.
+
+    Spawned once per process and lazily sized to the largest worker
+    count ever requested ({!ensure}); every layer of the system —
+    scheduler shards, pipelined campaigns, report builders — dispatches
+    its tasks into the one shared FIFO queue. Workers park on a
+    condition variable between campaigns (no CPU cost), so the pool
+    replaces the per-campaign [Domain.spawn]/[Domain.join] cycle the
+    scheduler used to pay, and lets independent campaigns' shards
+    overlap instead of idling at each campaign's join barrier.
+
+    This module is the {e only} place in the codebase allowed to call
+    [Domain.spawn].
+
+    Determinism: the pool schedules opaque thunks; ordering between
+    tasks is never semantics. Callers must make each task a pure
+    function of its own inputs (in this codebase: RNG derived from
+    [(seed, index)], results into per-index slots, merges at await time
+    in index order) — then results are bit-identical for any worker
+    count, including zero ([{!submit}] degrades to eager inline
+    execution when the pool was never started, keeping serial paths
+    byte-identical to a pool-less world). *)
+
+type 'a future
+(** Handle to a submitted task's eventual result. *)
+
+val ensure : workers:int -> unit
+(** Grow the pool to at least [workers] Domains (never shrinks; capped
+    at 126 to respect OCaml 5's 128-domain limit). The first spawn
+    registers an [at_exit] {!shutdown}. Raises [Invalid_argument] after
+    {!shutdown}. *)
+
+val workers : unit -> int
+(** Current worker count ([0] until the first {!ensure}). *)
+
+val submit : (unit -> 'a) -> 'a future
+(** Enqueue a task. With zero workers the task runs eagerly inline in
+    the caller. Exceptions raised by the task are captured (with
+    backtrace) into the future and re-raised by {!await}. *)
+
+val await : 'a future -> 'a
+(** Block until the task completed; return its value or re-raise its
+    exception with the original backtrace. Must be called from outside
+    the pool (orchestration lives in the main domain; pooled tasks are
+    leaves) — awaiting from a pool worker raises [Invalid_argument]
+    rather than risking deadlock. *)
+
+val busy_seconds : unit -> float
+(** Cumulative seconds all workers have spent executing tasks (i.e. not
+    parked), measured on the monotonic clock. Sampled by
+    [Scheduler.timed] to derive the [pool.utilization] telemetry gauge:
+    [delta busy / (workers * wall)]. *)
+
+val worker_busy_seconds : unit -> float array
+(** Per-worker cumulative busy seconds (index = worker slot). *)
+
+val quiesce : unit -> unit
+(** Drain the queue, join every worker, and return the pool to its
+    zero-worker state — a later {!ensure} respawns. Use before a
+    single-domain timed measurement: on OCaml 5 every minor collection
+    is a stop-the-world handshake across all live domains, so even
+    parked workers tax a serial hot loop; quiescing makes the process
+    genuinely single-domain, matching the world throughput baselines
+    were recorded in. Cumulative {!busy_seconds} survive the cycle.
+    No-op with zero workers. *)
+
+val shutdown : unit -> unit
+(** Drain the queue, wake and join every worker, permanently ({!ensure}
+    afterwards raises). Runs automatically via [at_exit]; safe to call
+    more than once. *)

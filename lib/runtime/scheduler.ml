@@ -1,21 +1,38 @@
-(* Work-stealing-free static execution of independent trial instances.
+(* Deterministic execution of independent trial instances on the
+   persistent Domain pool.
 
    Parallelism model: the instance index space [0, n) is the unit of
-   scheduling. Workers (OCaml 5 Domains) pull the next index from an
-   atomic counter and write the result into its slot of a pre-sized
-   results array. Because instance [i]'s RNG is derived purely from
-   [(seed_base, i)] (see {!Trial}), the contents of the results array do
-   not depend on which worker ran which index or in what order — only
-   the wall-clock does. All merging therefore happens after the join, in
-   index order, which makes [jobs:1] and [jobs:n] bit-identical.
+   scheduling. Claimer tasks dispatched onto {!Pool} pull the next index
+   from an atomic counter and write the result into its slot of a
+   pre-sized results array. Because instance [i]'s RNG is derived purely
+   from [(seed_base, i)] (see {!Trial}), the contents of the results
+   array do not depend on which worker ran which index or in what order
+   — only the wall-clock does. All merging therefore happens after the
+   await, in index order, which makes [jobs:1] and [jobs:n]
+   bit-identical.
 
-   Telemetry: when handed an active [Telemetry.t], the scheduler emits
-   batch-start/batch-end events per claimed index and one per-domain
-   busy-time event per worker at join — all at batch boundaries, never
-   inside a trial body. With the default null context the execution path
-   is byte-for-byte the uninstrumented one (no clock reads, no
-   allocation), which is what keeps the zero-alloc and throughput gates
-   honest. *)
+   Since the pool refactor the execution entry points come in pairs:
+   [submit_*] enqueues the claimer tasks and returns a ['a pending]
+   without blocking, [await] joins them. The blocking forms ([run],
+   [map_array], ...) are submit-then-await. Campaign pipelining is
+   exactly "call several [submit_*] before the first [await]": shards
+   from many campaigns share the one pool queue, so a short campaign no
+   longer leaves workers idle at its join barrier while the next
+   campaign waits its turn. Determinism is unaffected — ordering moved
+   from execution time to await time.
+
+   The serial path ([jobs <= 1], the library default) never touches the
+   pool: [submit_*] degrades to an eager inline [Array.init], keeping it
+   byte-identical to the pre-pool world (no queue traffic, no context
+   switches) — which is what the zero-alloc and throughput gates
+   measure.
+
+   Telemetry: when handed an active [Telemetry.t], claimers emit
+   batch-start/batch-end events per claimed index and one per-claimer
+   busy-time event at exhaustion — all at batch boundaries, never inside
+   a trial body. With the default null context the execution path is
+   byte-for-byte the uninstrumented one (no clock reads, no
+   allocation). *)
 
 open Cachesec_telemetry
 
@@ -29,111 +46,132 @@ let resolve_jobs jobs =
     invalid_arg "Scheduler.run: jobs must be non-negative (0 = auto)"
   | Some j -> j
 
-(* Uninstrumented core: exactly the pre-telemetry execution. *)
-let parallel_init_plain ~jobs n f =
-  if jobs <= 1 || n = 1 then Array.init n f
+(* --- index-order fold (shared by run_reduce and Driver) --------------- *)
+
+let fold_results ~merge = function
+  | [||] -> invalid_arg "Scheduler.fold_results: empty results"
+  | results ->
+    let acc = ref results.(0) in
+    for i = 1 to Array.length results - 1 do
+      acc := merge !acc results.(i)
+    done;
+    !acc
+
+(* --- non-blocking execution ------------------------------------------- *)
+
+type 'a pending =
+  | Ready of 'a array  (* serial path: computed eagerly at submit *)
+  | Shards of {
+      slots : 'a option array;
+      failure : (exn * Printexc.raw_backtrace) option Atomic.t;
+      claimers : unit Pool.future array;
+    }
+
+(* Uninstrumented claimer body: exactly the pre-pool worker loop. *)
+let plain_claimer ~slots ~next ~failure n f () =
+  let rec loop () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n && Atomic.get failure = None then begin
+      (match f i with
+      | v -> slots.(i) <- Some v
+      | exception e ->
+        (* Keep the first failure; losers of the race are dropped. *)
+        ignore
+          (Atomic.compare_and_set failure None
+             (Some (e, Printexc.get_raw_backtrace ()))));
+      loop ()
+    end
+  in
+  loop ()
+
+(* Instrumented claimer: same claiming logic, plus per-index batch
+   events and a per-claimer busy-time summary. Claimer [k]'s identity is
+   its slot index, not the runtime domain id, so event streams are
+   comparable across runs and pool sizes. *)
+let instrumented_claimer ~tm ~span ~slots ~next ~failure n f k () =
+  let run_unit i =
+    let t0 = Telemetry.now_s tm in
+    Telemetry.batch_start tm ~span ~index:i ~total:n ~domain:k ~t_s:t0;
+    let v = f i in
+    Telemetry.batch_end tm ~span ~index:i ~total:n ~domain:k ~start_s:t0;
+    (v, Telemetry.now_s tm -. t0)
+  in
+  let busy = ref 0. in
+  let units = ref 0 in
+  let rec loop () =
+    let i = Atomic.fetch_and_add next 1 in
+    if i < n && Atomic.get failure = None then begin
+      (match run_unit i with
+      | v, dt ->
+        slots.(i) <- Some v;
+        busy := !busy +. dt;
+        incr units
+      | exception e ->
+        ignore
+          (Atomic.compare_and_set failure None
+             (Some (e, Printexc.get_raw_backtrace ()))));
+      loop ()
+    end
+  in
+  loop ();
+  Telemetry.domain_busy tm ~span ~domain:k ~busy_s:!busy ~units:!units
+
+(* Serial instrumented path, eager (pre-pool behaviour, unchanged). *)
+let serial_instrumented ~tm ~span n f =
+  let busy = ref 0. in
+  let r =
+    Array.init n (fun i ->
+        let t0 = Telemetry.now_s tm in
+        Telemetry.batch_start tm ~span ~index:i ~total:n ~domain:0 ~t_s:t0;
+        let v = f i in
+        Telemetry.batch_end tm ~span ~index:i ~total:n ~domain:0 ~start_s:t0;
+        busy := !busy +. (Telemetry.now_s tm -. t0);
+        v)
+  in
+  Telemetry.domain_busy tm ~span ~domain:0 ~busy_s:!busy ~units:n;
+  r
+
+let submit_init ?(tm = Telemetry.null) ?(span = Telemetry.null_span) ~jobs n f
+    =
+  if n < 0 then invalid_arg "Scheduler: negative instance count";
+  if n = 0 then Ready [||]
+  else if jobs <= 1 || n = 1 then
+    Ready
+      (if Telemetry.is_null tm then Array.init n f
+       else serial_instrumented ~tm ~span n f)
   else begin
+    Pool.ensure ~workers:jobs;
     let slots = Array.make n None in
     let next = Atomic.make 0 in
     let failure = Atomic.make None in
-    let worker () =
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (match f i with
-          | v -> slots.(i) <- Some v
-          | exception e ->
-            (* Keep the first failure; losers of the race are dropped. *)
-            ignore
-              (Atomic.compare_and_set failure None
-                 (Some (e, Printexc.get_raw_backtrace ()))));
-          loop ()
-        end
-      in
-      loop ()
+    let m = min jobs n in
+    let claimers =
+      if Telemetry.is_null tm then
+        Array.init m (fun _ ->
+            Pool.submit (plain_claimer ~slots ~next ~failure n f))
+      else
+        Array.init m (fun k ->
+            Pool.submit (instrumented_claimer ~tm ~span ~slots ~next ~failure n f k))
     in
-    let domains =
-      Array.init (min jobs n - 1) (fun _ -> Domain.spawn worker)
-    in
-    worker ();
-    Array.iter Domain.join domains;
+    Shards { slots; failure; claimers }
+  end
+
+let await = function
+  | Ready r -> r
+  | Shards { slots; failure; claimers } ->
+    Array.iter Pool.await claimers;
     (match Atomic.get failure with
     | Some (e, bt) -> Printexc.raise_with_backtrace e bt
     | None -> ());
     Array.map
       (function
         | Some v -> v
-        | None -> assert false (* every index < n was claimed and ran *))
+        | None -> assert false (* every index was claimed and ran *))
       slots
-  end
 
-(* Instrumented core: same claiming logic, plus per-index batch events
-   and a per-worker busy-time summary. Worker [k]'s identity is its slot
-   index (0 = the caller's domain), not the runtime domain id, so event
-   streams are comparable across runs. *)
-let parallel_init_instrumented ~tm ~span ~jobs n f =
-  let run_unit ~domain i =
-    let t0 = Telemetry.now_s tm in
-    Telemetry.batch_start tm ~span ~index:i ~total:n ~domain ~t_s:t0;
-    let v = f i in
-    Telemetry.batch_end tm ~span ~index:i ~total:n ~domain ~start_s:t0;
-    (v, Telemetry.now_s tm -. t0)
-  in
-  if jobs <= 1 || n = 1 then begin
-    let busy = ref 0. in
-    let r =
-      Array.init n (fun i ->
-          let v, dt = run_unit ~domain:0 i in
-          busy := !busy +. dt;
-          v)
-    in
-    Telemetry.domain_busy tm ~span ~domain:0 ~busy_s:!busy ~units:n;
-    r
-  end
-  else begin
-    let slots = Array.make n None in
-    let next = Atomic.make 0 in
-    let failure = Atomic.make None in
-    let worker k () =
-      let busy = ref 0. in
-      let units = ref 0 in
-      let rec loop () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n && Atomic.get failure = None then begin
-          (match run_unit ~domain:k i with
-          | v, dt ->
-            slots.(i) <- Some v;
-            busy := !busy +. dt;
-            incr units
-          | exception e ->
-            ignore
-              (Atomic.compare_and_set failure None
-                 (Some (e, Printexc.get_raw_backtrace ()))));
-          loop ()
-        end
-      in
-      loop ();
-      Telemetry.domain_busy tm ~span ~domain:k ~busy_s:!busy ~units:!units
-    in
-    let domains =
-      Array.init (min jobs n - 1) (fun k -> Domain.spawn (worker (k + 1)))
-    in
-    worker 0 ();
-    Array.iter Domain.join domains;
-    (match Atomic.get failure with
-    | Some (e, bt) -> Printexc.raise_with_backtrace e bt
-    | None -> ());
-    Array.map
-      (function Some v -> v | None -> assert false)
-      slots
-  end
+let parallel_init ?tm ?span ~jobs n f = await (submit_init ?tm ?span ~jobs n f)
 
-let parallel_init ?(tm = Telemetry.null) ?(span = Telemetry.null_span) ~jobs n
-    f =
-  if n < 0 then invalid_arg "Scheduler: negative instance count";
-  if n = 0 then [||]
-  else if Telemetry.is_null tm then parallel_init_plain ~jobs n f
-  else parallel_init_instrumented ~tm ~span ~jobs n f
+(* --- blocking conveniences -------------------------------------------- *)
 
 let run ?jobs ?tm ?span trial ~instances =
   let jobs = resolve_jobs jobs in
@@ -142,16 +180,13 @@ let run ?jobs ?tm ?span trial ~instances =
 let run_reduce ?jobs ?tm ?span ~merge trial ~instances =
   match run ?jobs ?tm ?span trial ~instances with
   | [||] -> invalid_arg "Scheduler.run_reduce: zero instances"
-  | results ->
-    let acc = ref results.(0) in
-    for i = 1 to Array.length results - 1 do
-      acc := merge !acc results.(i)
-    done;
-    !acc
+  | results -> fold_results ~merge results
 
-let map_array ?jobs ?tm ?span f xs =
+let submit_map ?jobs ?tm ?span f xs =
   let jobs = resolve_jobs jobs in
-  parallel_init ?tm ?span ~jobs (Array.length xs) (fun i -> f xs.(i))
+  submit_init ?tm ?span ~jobs (Array.length xs) (fun i -> f xs.(i))
+
+let map_array ?jobs ?tm ?span f xs = await (submit_map ?jobs ?tm ?span f xs)
 
 let map_list ?jobs ?tm ?span f xs =
   Array.to_list (map_array ?jobs ?tm ?span f (Array.of_list xs))
@@ -170,13 +205,33 @@ let plan ~total ~batch_size =
 
 type timed = { wall_s : float; jobs : int; span_id : int }
 
+(* The stopwatch is monotonic (Clock, not Unix.gettimeofday): an NTP
+   step mid-section must not skew the reported wall-clock — these
+   numbers feed the bench regression gates.
+
+   With an active telemetry context and a live pool, the section also
+   gets pool-utilization gauges: delta busy / (workers * wall) over the
+   timed window, plus the worker count. A sequence of join-barrier-bound
+   campaigns shows up as low utilization; pipelined submits of the same
+   campaigns push it toward 1.0 — that is the observable the e2e bench
+   gate is built on. *)
 let timed ?jobs ?(tm = Telemetry.null) ?(name = "timed") f =
   let j = resolve_jobs jobs in
   let sp = Telemetry.span tm name in
-  let t0 = Unix.gettimeofday () in
+  let busy0 = if Telemetry.is_null tm then 0. else Pool.busy_seconds () in
+  let t0 = Clock.now_s () in
   match f () with
   | v ->
-    let wall_s = Unix.gettimeofday () -. t0 in
+    let wall_s = Clock.elapsed_s ~since:t0 in
+    (if not (Telemetry.is_null tm) then begin
+       let workers = Pool.workers () in
+       if workers > 0 && wall_s > 0. then begin
+         let busy = Pool.busy_seconds () -. busy0 in
+         Telemetry.gauge tm ~span:sp "pool.workers" (float_of_int workers);
+         Telemetry.gauge tm ~span:sp "pool.utilization"
+           (Float.max 0. (busy /. (float_of_int workers *. wall_s)))
+       end
+     end);
     Telemetry.close_span tm sp;
     (v, { wall_s; jobs = j; span_id = Telemetry.span_id sp })
   | exception e ->

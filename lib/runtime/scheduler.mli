@@ -7,6 +7,21 @@
     results are written into per-instance slots, with any reduction
     performed after the join in index order.
 
+    Execution is dispatched onto the persistent process-global {!Pool}:
+    parallel entry points submit index-claiming shard tasks into the one
+    shared queue instead of spawning Domains per call. Each entry point
+    comes in a blocking form ([run], [map_array], ...) and a
+    non-blocking pair ([submit_*] returning an ['a pending], joined by
+    {!await}). Campaign pipelining is calling several [submit_*] before
+    the first [await]: shards from many campaigns interleave in the pool
+    queue, so workers never idle at one campaign's join barrier while
+    another campaign has runnable shards. Determinism is unaffected —
+    ordering moved from execution time to await time.
+
+    The serial path ([jobs <= 1], the default) never touches the pool:
+    [submit_*] degrades to an eager inline [Array.init], byte-identical
+    to the pre-pool world.
+
     Observability: every execution entry point accepts a telemetry
     context [?tm] and a parent [?span]. With an active context the
     scheduler emits [Batch_start]/[Batch_end] per claimed index and one
@@ -24,6 +39,37 @@ val resolve_jobs : int option -> int
 (** [None] is serial ([1]); [Some 0] is auto ({!default_jobs}); [Some j]
     with [j > 0] is exactly [j] workers. Raises [Invalid_argument] on
     negative [j]. *)
+
+val fold_results : merge:('a -> 'a -> 'a) -> 'a array -> 'a
+(** Left fold of [merge] over a results array in index order (so [merge]
+    need only be associative, not commutative). The single reduction
+    used by both {!run_reduce} and the experiment driver's partial-merge
+    step. Raises [Invalid_argument] on an empty array. *)
+
+type 'a pending
+(** A family of submitted shard tasks not yet joined. Obtained from
+    {!submit_init} / {!submit_map}; consumed exactly once by {!await}.
+    On the serial path the value is already computed at submit time. *)
+
+val submit_init :
+  ?tm:Telemetry.t -> ?span:Telemetry.span -> jobs:int -> int ->
+  (int -> 'a) -> 'a pending
+(** Non-blocking core: dispatch the index space [0, n) as [min jobs n]
+    index-claiming tasks onto the pool and return immediately. [jobs] is
+    a resolved worker count (see {!resolve_jobs}); [jobs <= 1] or
+    [n <= 1] computes eagerly inline without touching the pool. *)
+
+val await : 'a pending -> 'a array
+(** Join a pending family: block until every index has run, re-raise the
+    first failure (with its backtrace) if any shard raised, otherwise
+    return the results array in index order. Must be called from outside
+    the pool (shard tasks are leaves). *)
+
+val submit_map :
+  ?jobs:int -> ?tm:Telemetry.t -> ?span:Telemetry.span -> ('a -> 'b) ->
+  'a array -> 'b pending
+(** Non-blocking {!map_array}: [await (submit_map f xs)] ≡
+    [map_array f xs]. [?jobs] follows {!resolve_jobs}. *)
 
 val run :
   ?jobs:int -> ?tm:Telemetry.t -> ?span:Telemetry.span -> 'a Trial.t ->
@@ -67,6 +113,9 @@ type timed = { wall_s : float; jobs : int; span_id : int }
 val timed :
   ?jobs:int -> ?tm:Telemetry.t -> ?name:string -> (unit -> 'a) ->
   'a * timed
-(** Wall-clock a section, recording the resolved worker count. With an
-    active [tm], also brackets the section in a span named [name]
-    (default ["timed"]) and reports its id. *)
+(** Wall-clock a section on the monotonic clock ({!Clock}), recording
+    the resolved worker count. With an active [tm], also brackets the
+    section in a span named [name] (default ["timed"]), reports its id,
+    and — when the pool is live — emits [pool.workers] and
+    [pool.utilization] gauges for the section, where utilization is
+    [delta busy_seconds / (workers * wall_s)] over the timed window. *)

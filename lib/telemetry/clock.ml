@@ -1,0 +1,12 @@
+(* Monotonic time source. See clock_stubs.c for why this exists: every
+   duration in the codebase (telemetry event times, bench stopwatches,
+   pool busy accounting) must be measured against a clock that NTP
+   cannot step, or wall-clock regressions/gate verdicts can be skewed by
+   the host adjusting its realtime clock mid-run. *)
+
+external monotonic_ns : unit -> int64 = "cachesec_clock_monotonic_ns"
+
+(* Nanoseconds-to-seconds conversion keeps full double precision for
+   realistic process lifetimes: 2^53 ns is ~104 days. *)
+let now_s () = Int64.to_float (monotonic_ns ()) /. 1e9
+let elapsed_s ~since = now_s () -. since

@@ -1,0 +1,21 @@
+/* Monotonic clock for telemetry timestamps and bench stopwatches.
+ *
+ * Unix.gettimeofday is wall-clock time: an NTP step (or a sysadmin's
+ * `date -s`) in the middle of a benchmark section moves the stopwatch,
+ * which can flip a perf-gate verdict. CLOCK_MONOTONIC is immune to
+ * clock steps (and, on Linux, to slews of the realtime clock), so every
+ * duration measured in this codebase goes through this stub.
+ *
+ * The value returned is nanoseconds since an unspecified origin; only
+ * differences are meaningful. */
+
+#include <caml/mlvalues.h>
+#include <caml/alloc.h>
+#include <time.h>
+
+CAMLprim value cachesec_clock_monotonic_ns(value unit)
+{
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return caml_copy_int64((int64_t)ts.tv_sec * 1000000000 + (int64_t)ts.tv_nsec);
+}

@@ -40,16 +40,17 @@ let make ~sink () =
       lock = Mutex.create ();
       next_id = Atomic.make 1;
       locals = Atomic.make [];
-      epoch = Unix.gettimeofday ();
+      epoch = Clock.now_s ();
       closed = Atomic.make false;
     }
 
-(* Relative clock. [Unix.gettimeofday] is not formally monotonic, but
-   every consumer treats durations as best-effort observability data;
-   negative steps (NTP slews) are clamped at use sites. *)
+(* Relative clock, backed by {!Clock} (CLOCK_MONOTONIC): event times
+   cannot be skewed by NTP stepping the host's realtime clock mid-run.
+   The [Float.max 0.] clamps at the duration use sites are kept as
+   belt-and-braces. *)
 let now_s = function
   | Null -> 0.
-  | Active a -> Unix.gettimeofday () -. a.epoch
+  | Active a -> Clock.now_s () -. a.epoch
 
 let emit t e =
   match t with

@@ -112,6 +112,128 @@ let test_plan () =
   Alcotest.(check int) "last first" 8 plan.(2).Scheduler.first;
   Alcotest.(check int) "last count" 2 plan.(2).Scheduler.count
 
+(* --- Pool ------------------------------------------------------------ *)
+
+let test_pool_submit_await () =
+  Pool.ensure ~workers:4;
+  Alcotest.(check bool) "pool is live" true (Pool.workers () >= 4);
+  (* Values come back, in whatever order we await them. *)
+  let futs = List.init 20 (fun i -> Pool.submit (fun () -> i * i)) in
+  List.iteri
+    (fun i f -> Alcotest.(check int) "future value" (i * i) (Pool.await f))
+    futs;
+  (* Concurrent submits from a pooled task: tasks may enqueue more
+     tasks (they just must not await them) — the main domain joins
+     everything. *)
+  let inner = Atomic.make [] in
+  let outer =
+    List.init 8 (fun i ->
+        Pool.submit (fun () ->
+            let f = Pool.submit (fun () -> i + 100) in
+            let rec push () =
+              let old = Atomic.get inner in
+              if not (Atomic.compare_and_set inner old (f :: old)) then push ()
+            in
+            push ()))
+  in
+  List.iter Pool.await outer;
+  let inner_vals =
+    List.sort compare (List.map Pool.await (Atomic.get inner))
+  in
+  Alcotest.(check (list int))
+    "nested submits all ran" (List.init 8 (fun i -> i + 100)) inner_vals
+
+let test_pool_exception_propagates () =
+  Pool.ensure ~workers:2;
+  let f = Pool.submit (fun () -> failwith "pool-boom") in
+  Alcotest.check_raises "task exception re-raised at await"
+    (Failure "pool-boom") (fun () -> Pool.await f);
+  (* A failed future stays failed: awaiting again re-raises again. *)
+  Alcotest.check_raises "failure is sticky" (Failure "pool-boom") (fun () ->
+      Pool.await f);
+  (* And the pool survives: the worker that ran the failing task keeps
+     serving. *)
+  Alcotest.(check int) "pool still serves" 7
+    (Pool.await (Pool.submit (fun () -> 7)))
+
+let test_pool_await_inside_worker_rejected () =
+  Pool.ensure ~workers:2;
+  (* [blocker] stays Pending until [release] is set, so the worker
+     running [f] hits the real Pending path of [Pool.await] (a Done
+     future short-circuits before the in-worker check). *)
+  let release = Atomic.make false in
+  let blocker =
+    Pool.submit (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done)
+  in
+  let f = Pool.submit (fun () -> Pool.await blocker) in
+  Alcotest.check_raises "await from a worker refuses"
+    (Invalid_argument "Pool.await: cannot await from inside a pool worker")
+    (fun () -> Pool.await f);
+  Atomic.set release true;
+  Pool.await blocker
+
+let test_pool_quiesce_respawns () =
+  (* Quiesce joins the workers (serial benches need a genuinely
+     single-domain process) but is not a shutdown: eager inline
+     submission keeps working at zero workers, a later [ensure]
+     respawns, and cumulative busy-seconds never move backwards. *)
+  Pool.ensure ~workers:2;
+  Alcotest.(check int) "warm task" 6 (Pool.await (Pool.submit (fun () -> 6)));
+  let busy_before = Pool.busy_seconds () in
+  Pool.quiesce ();
+  Alcotest.(check int) "no workers after quiesce" 0 (Pool.workers ());
+  Alcotest.(check int) "eager inline at zero workers" 9
+    (Pool.await (Pool.submit (fun () -> 9)));
+  Alcotest.(check bool)
+    "busy seconds survive the cycle" true
+    (Pool.busy_seconds () >= busy_before);
+  Pool.ensure ~workers:2;
+  Alcotest.(check bool) "respawned" true (Pool.workers () >= 2);
+  Alcotest.(check int) "pooled task after respawn" 11
+    (Pool.await (Pool.submit (fun () -> 11)))
+
+let test_scheduler_fold_results () =
+  Alcotest.(check string)
+    "index-order fold" "abc"
+    (Scheduler.fold_results ~merge:( ^ ) [| "a"; "b"; "c" |]);
+  Alcotest.check_raises "empty"
+    (Invalid_argument "Scheduler.fold_results: empty results") (fun () ->
+      ignore (Scheduler.fold_results ~merge:( ^ ) [||]))
+
+let test_scheduler_pipelined_submits () =
+  (* Several families submitted before any await: results must equal the
+     blocking forms exactly, and awaiting out of submission order is
+     fine. *)
+  let xs = Array.init 40 (fun i -> i) in
+  let f i = (i * 7) mod 13 in
+  let g i = i + 1000 in
+  let a = Scheduler.submit_map ~jobs:4 f xs in
+  let b = Scheduler.submit_map ~jobs:4 g xs in
+  let c = Scheduler.submit_map ~jobs:1 f xs in
+  let rb = Scheduler.await b in
+  let ra = Scheduler.await a in
+  let rc = Scheduler.await c in
+  Alcotest.(check (array int)) "family a" (Array.map f xs) ra;
+  Alcotest.(check (array int)) "family b" (Array.map g xs) rb;
+  Alcotest.(check (array int)) "serial submit is eager and equal" ra rc
+
+let test_driver_pending_combinators () =
+  Alcotest.(check int) "pending_value" 5 (Driver.await (Driver.pending_value 5));
+  let calls = ref 0 in
+  let p =
+    Driver.map_pending
+      (fun x ->
+        incr calls;
+        x * 2)
+      (Driver.pending_value 21)
+  in
+  Alcotest.(check int) "map_pending" 42 (Driver.await p);
+  Alcotest.(check int) "await memoizes" 42 (Driver.await p);
+  Alcotest.(check int) "join ran once" 1 !calls
+
 (* --- Driver: jobs-invariance of real experiments --------------------- *)
 
 let spec = Spec.paper_sa
@@ -177,6 +299,25 @@ let test_validation_cells_jobs_invariant () =
   check_cell Spec.paper_sa Cachesec_analysis.Attack_type.Evict_and_time;
   check_cell Spec.paper_newcache Cachesec_analysis.Attack_type.Prime_and_probe;
   check_cell Spec.paper_rf Cachesec_analysis.Attack_type.Cache_collision
+
+let test_validation_matrix_pipelined_identical () =
+  (* The tentpole contract, end to end: the full 36-cell validation
+     matrix is bit-identical between strictly sequential campaign
+     execution and pipelined submits, serial and parallel. Sequential
+     jobs:4 is the reference; pipelined jobs:4 reorders execution on the
+     pool queue, pipelined jobs:1 degrades to eager submits — all three
+     must agree cell for cell. *)
+  let matrix ~pipeline ~jobs =
+    Validation.cells ~pipeline (Run.quick (Run.make ~seed:42 ~jobs ()))
+  in
+  let reference = matrix ~pipeline:false ~jobs:4 in
+  Alcotest.(check int) "36 cells" 36 (List.length reference);
+  Alcotest.(check (list cell_testable))
+    "pipelined jobs:4 = sequential jobs:4" reference
+    (matrix ~pipeline:true ~jobs:4);
+  Alcotest.(check (list cell_testable))
+    "pipelined jobs:1 = sequential jobs:4" reference
+    (matrix ~pipeline:true ~jobs:1)
 
 let test_learning_curve_jobs_invariant () =
   let c1 =
@@ -294,6 +435,16 @@ let () =
           Alcotest.test_case "seed derivation" `Quick test_trial_seed_derivation;
           Alcotest.test_case "map" `Quick test_trial_map;
         ] );
+      ( "pool",
+        [
+          Alcotest.test_case "submit / await" `Quick test_pool_submit_await;
+          Alcotest.test_case "exception propagates" `Quick
+            test_pool_exception_propagates;
+          Alcotest.test_case "await inside worker rejected" `Quick
+            test_pool_await_inside_worker_rejected;
+          Alcotest.test_case "quiesce / respawn" `Quick
+            test_pool_quiesce_respawns;
+        ] );
       ( "scheduler",
         [
           Alcotest.test_case "resolve_jobs" `Quick test_resolve_jobs;
@@ -307,6 +458,9 @@ let () =
             test_scheduler_exception_propagates;
           Alcotest.test_case "plan" `Quick test_plan;
           Alcotest.test_case "timed" `Quick test_timed_reports_jobs;
+          Alcotest.test_case "fold_results" `Quick test_scheduler_fold_results;
+          Alcotest.test_case "pipelined submits" `Quick
+            test_scheduler_pipelined_submits;
         ] );
       ( "driver",
         [
@@ -318,8 +472,12 @@ let () =
             test_driver_timing_stats_invariant;
           Alcotest.test_case "validation cells jobs-invariant" `Quick
             test_validation_cells_jobs_invariant;
+          Alcotest.test_case "validation matrix pipelined-identical" `Slow
+            test_validation_matrix_pipelined_identical;
           Alcotest.test_case "learning curve jobs-invariant" `Quick
             test_learning_curve_jobs_invariant;
+          Alcotest.test_case "pending combinators" `Quick
+            test_driver_pending_combinators;
         ] );
       ( "ctx migration",
         [
