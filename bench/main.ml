@@ -405,7 +405,26 @@ let main perf sim (ctx : Run.ctx) =
       ensure_results_dirs ();
       Throughput.write ~span_id:t.Scheduler.span_id
         ~path:"results/BENCH_cache.json" entries;
+      (* Hard engine gate: sa/lru accesses/sec against the FROZEN seed
+         numbers (bench/BENCH_cache.seed.json — the pre-slab, pre-kernel
+         engine, never re-recorded), unlike the re-recordable
+         BENCH_cache.baseline.json behind the vs-base column. sa/lru is
+         the gated row because it is the paper's conventional-cache
+         reference point and the hottest monomorphized kernel. *)
+      let gate_line =
+        let seed = Throughput.read ~path:"bench/BENCH_cache.seed.json" in
+        match
+          ( Throughput.find entries ~arch:"sa" ~policy:"lru",
+            Throughput.find seed ~arch:"sa" ~policy:"lru" )
+        with
+        | Some e, Some b when b.Throughput.per_sec > 0. ->
+          let x = e.Throughput.per_sec /. b.Throughput.per_sec in
+          Printf.sprintf "  gate bench_cache  sa/lru speedup %5.2fx %s\n" x
+            (if x >= 2.5 then ">= 2.50x PASS" else "<  2.50x FAIL")
+        | _ -> "  gate bench_cache  no seed baseline row for sa/lru\n"
+      in
       Throughput.render ~baseline:"bench/BENCH_cache.baseline.json" entries
+      ^ gate_line
       ^ Printf.sprintf "  wrote results/BENCH_cache.json%s\n"
           (if t.Scheduler.span_id = 0 then ""
            else

@@ -2,7 +2,7 @@ open Cachesec_stats
 
 type t = {
   cfg : Config.t;
-  lines : Line.t array;
+  slab : Slab.t;
   mutable seq : int;
   counters : Counters.t;
   rng : Rng.t;
@@ -16,7 +16,7 @@ let create cfg ~rng =
   let sets = Config.sets cfg in
   {
     cfg;
-    lines = Line.make_array cfg.Config.lines;
+    slab = Slab.create ~lines:cfg.Config.lines ~ways:cfg.Config.ways;
     seq = 0;
     counters = Counters.create ();
     rng;
@@ -28,8 +28,7 @@ let tick t =
   t.seq <- t.seq + 1;
   t.seq
 
-(* --- hot path: bounded int loops over the flat [lines] array, index
-   arithmetic instead of per-access list construction. -------------- *)
+(* --- hot path: bounded int scans over the flat slabs ---------------- *)
 
 let base_of_set t ~set = set * t.cfg.Config.ways
 
@@ -42,33 +41,16 @@ let base_of_set t ~set = set * t.cfg.Config.ways
 let set_of t line =
   if t.set_mask >= 0 then line land t.set_mask else line mod t.sets
 
-(* The scan loops live at top level and take every free variable as an
-   argument: without flambda, a local [let rec] capturing [lines]/[tag]
-   allocates its closure on each call, which would put ~6 minor words
-   back on the hit path. Top-level direct calls allocate nothing. *)
-let rec scan_tag (lines : Line.t array) tag i stop =
-  if i >= stop then -1
-  else
-    let l = lines.(i) in
-    if l.Line.valid && l.Line.tag = tag then i else scan_tag lines tag (i + 1) stop
-
-let rec scan_tag_owned (lines : Line.t array) tag owner i stop =
-  if i >= stop then -1
-  else
-    let l = lines.(i) in
-    if l.Line.valid && l.Line.tag = tag && l.Line.owner = owner then i
-    else scan_tag_owned lines tag owner (i + 1) stop
-
 (* Global index of the valid line in [set] holding [tag], or -1. *)
 let find_tag t ~set ~tag =
-  let base = set * t.cfg.Config.ways in
-  scan_tag t.lines tag base (base + t.cfg.Config.ways)
+  let w = t.cfg.Config.ways in
+  Slab.find_tag t.slab ~tag ~base:(set * w) ~len:w
 
 (* As [find_tag], additionally requiring the filling pid to match (the
    RP cache's PID feature: the tag array stores the owning context). *)
 let find_tag_owned t ~set ~tag ~owner =
-  let base = set * t.cfg.Config.ways in
-  scan_tag_owned t.lines tag owner base (base + t.cfg.Config.ways)
+  let w = t.cfg.Config.ways in
+  Slab.find_tag_owned t.slab ~tag ~owner ~base:(set * w) ~len:w
 
 (* --- cold paths ---------------------------------------------------- *)
 
@@ -80,24 +62,20 @@ let ways_of_set t ~set =
 
 let valid_indices t =
   let acc = ref [] in
-  for i = Array.length t.lines - 1 downto 0 do
-    if t.lines.(i).Line.valid then acc := i :: !acc
+  for i = t.slab.Slab.n - 1 downto 0 do
+    if Slab.valid t.slab i then acc := i :: !acc
   done;
   !acc
 
+(* Valid lines with their global index, as fresh boxed snapshots (the
+   slabs are the state of record; mutating a dumped [Line.t] no longer
+   reaches the engine). *)
 let dump t =
   let acc = ref [] in
-  for i = Array.length t.lines - 1 downto 0 do
-    if t.lines.(i).Line.valid then acc := (i, t.lines.(i)) :: !acc
+  for i = t.slab.Slab.n - 1 downto 0 do
+    if Slab.valid t.slab i then acc := (i, Slab.line t.slab i) :: !acc
   done;
   !acc
 
 let flush_all t =
-  (* Count and invalidate in one pass over the array. *)
-  let displaced = ref 0 in
-  for i = 0 to Array.length t.lines - 1 do
-    let l = t.lines.(i) in
-    if l.Line.valid then incr displaced;
-    Line.invalidate l
-  done;
-  Counters.record_eviction t.counters ~count:!displaced
+  Counters.record_eviction t.counters ~count:(Slab.clear t.slab)

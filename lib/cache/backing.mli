@@ -1,14 +1,14 @@
 (** Shared physical storage for the set-associative architecture models:
-    a flat line array viewed as [sets] groups of [ways], a global access
-    sequence counter, per-cache counters and an RNG.
+    flat {!Slab} field arrays viewed as [sets] groups of [ways], a
+    global access sequence counter, per-cache counters and an RNG.
 
-    The per-access probes ({!find_tag}, {!find_tag_owned}) and the range
-    helpers are allocation-free bounded loops; list-producing helpers
+    The per-access probes ({!find_tag}, {!find_tag_owned}) are
+    allocation-free bounded scans over the slabs; list-producing helpers
     ({!ways_of_set}, {!valid_indices}, {!dump}) are for cold paths. *)
 
 type t = {
   cfg : Config.t;
-  lines : Line.t array;
+  slab : Slab.t;  (** the line state of record (struct-of-arrays) *)
   mutable seq : int;
   counters : Counters.t;
   rng : Cachesec_stats.Rng.t;
@@ -47,8 +47,9 @@ val ways_of_set : t -> set:int -> int list
 val valid_indices : t -> int list
 
 val dump : t -> (int * Line.t) list
-(** Valid lines with their global index. *)
+(** Valid lines with their global index, materialized as fresh
+    snapshots of the slab state. *)
 
 val flush_all : t -> unit
 (** Invalidate every line, counting the displaced valid ones, in one
-    array pass. *)
+    pass per slab. *)

@@ -2,6 +2,8 @@ type t = {
   name : string;
   config : Config.t;
   sigma : float;
+  kernel : string;
+  slab_bytes : int;
   access : pid:int -> int -> Outcome.t;
   peek : pid:int -> int -> bool;
   flush_line : pid:int -> int -> bool;

@@ -12,6 +12,14 @@ type t = {
   sigma : float;
       (** standard deviation of Gaussian observation noise this cache adds
           to timing measurements (non-zero only for the noisy cache) *)
+  kernel : string;
+      (** which access path serves this engine: a monomorphized kernel
+          name (["sa-lru"], ["newcache"], ...) or ["generic"] for the
+          policy-dispatching fallback. Reported as the [cache.kernel]
+          telemetry gauge and in bench rows. *)
+  slab_bytes : int;
+      (** resident footprint of the engine's flat line-state slabs in
+          bytes (0 for wrappers without slabs of their own). *)
   access : pid:int -> int -> Outcome.t;
       (** one read of a memory line (line-number addressing) *)
   peek : pid:int -> int -> bool;

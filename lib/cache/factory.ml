@@ -5,10 +5,10 @@ let default_scenario = { victim_pid = 0; victim_lines = [] }
 let with_ways (cfg : Config.t) ways =
   Config.v ~line_bytes:cfg.line_bytes ~lines:cfg.lines ~ways
 
-let build ?(config = Config.standard) spec scenario ~rng =
+let build ?(config = Config.standard) ?kernel spec scenario ~rng =
   match spec with
   | Spec.Sa { ways; policy } ->
-    Sa.engine (Sa.create ~config:(with_ways config ways) ~policy ~rng ())
+    Sa.engine ?kernel (Sa.create ~config:(with_ways config ways) ~policy ~rng ())
   | Spec.Sp { ways; policy; partitions } ->
     let in_victim_ranges line =
       List.exists (fun (lo, hi) -> line >= lo && line <= hi) scenario.victim_lines
@@ -19,16 +19,16 @@ let build ?(config = Config.standard) spec scenario ~rng =
       (Sp.create ~config:(with_ways config ways) ~policy ~partitions ~home
          ~partition_of_pid ~rng ())
   | Spec.Pl { ways; policy } ->
-    Pl.engine (Pl.create ~config:(with_ways config ways) ~policy ~rng ())
+    Pl.engine ?kernel (Pl.create ~config:(with_ways config ways) ~policy ~rng ())
   | Spec.Nomo { ways; policy; reserved } ->
     Nomo.engine
       (Nomo.create ~config:(with_ways config ways) ~policy ~reserved
          ~protected_pids:[ scenario.victim_pid ] ~rng ())
   | Spec.Newcache { extra_bits } ->
     let config = with_ways config config.Config.lines in
-    Newcache.engine (Newcache.create ~config ~extra_bits ~rng ())
+    Newcache.engine ?kernel (Newcache.create ~config ~extra_bits ~rng ())
   | Spec.Rp { ways; policy } ->
-    Rp.engine (Rp.create ~config:(with_ways config ways) ~policy ~rng ())
+    Rp.engine ?kernel (Rp.create ~config:(with_ways config ways) ~policy ~rng ())
   | Spec.Rf { ways; policy; back; fwd } ->
     let rf = Rf.create ~config:(with_ways config ways) ~policy ~rng () in
     Rf.set_window rf ~pid:scenario.victim_pid ~back ~fwd;
@@ -36,4 +36,5 @@ let build ?(config = Config.standard) spec scenario ~rng =
   | Spec.Re { ways; policy; interval } ->
     Re.engine (Re.create ~config:(with_ways config ways) ~policy ~interval ~rng ())
   | Spec.Noisy { ways; policy; sigma } ->
-    Noisy.engine (Noisy.create ~config:(with_ways config ways) ~policy ~sigma ~rng ())
+    Noisy.engine ?kernel
+      (Noisy.create ~config:(with_ways config ways) ~policy ~sigma ~rng ())

@@ -13,6 +13,15 @@ val default_scenario : scenario
 (** victim pid 0 and no owned ranges — fine for single-process use. *)
 
 val build :
-  ?config:Config.t -> Spec.t -> scenario -> rng:Cachesec_stats.Rng.t -> Engine.t
+  ?config:Config.t ->
+  ?kernel:Kernel.selection ->
+  Spec.t ->
+  scenario ->
+  rng:Cachesec_stats.Rng.t ->
+  Engine.t
 (** Instantiate. [config]'s [ways] is overridden by the spec's [ways]
-    (its line count and line size are kept); Newcache ignores [ways]. *)
+    (its line count and line size are kept); Newcache ignores [ways].
+    [?kernel] (default [Auto]) selects monomorphized access kernels
+    where they exist (SA, PL, RP, Newcache, Noisy's inner SA) and is
+    ignored by the always-generic architectures; [Generic] forces the
+    dispatching fallback everywhere (the differential-testing oracle). *)

@@ -81,6 +81,10 @@ let engine t =
     Engine.name = Printf.sprintf "l1+%s" t.l2.Engine.name;
     config = t.l2.Engine.config;
     sigma = t.l2.Engine.sigma;
+    (* The L1s are private per-pid Sa engines created on demand; the
+       hierarchy reports the shared level's path and footprint. *)
+    kernel = t.l2.Engine.kernel;
+    slab_bytes = t.l2.Engine.slab_bytes;
     access = (fun ~pid addr -> access t ~pid addr);
     peek =
       (fun ~pid addr ->

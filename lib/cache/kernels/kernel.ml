@@ -1,0 +1,9 @@
+type selection = Auto | Generic
+
+let generic = "generic"
+let selection_to_string = function Auto -> "auto" | Generic -> "generic"
+
+let selection_of_string = function
+  | "auto" -> Some Auto
+  | "generic" -> Some Generic
+  | _ -> None

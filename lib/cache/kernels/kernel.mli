@@ -1,0 +1,17 @@
+(** Access-kernel selection.
+
+    Engines with monomorphized access loops ({!Kernel_sa}, {!Kernel_pl},
+    {!Kernel_rp}, {!Kernel_newcache}) take a [selection] at
+    engine-build time: [Auto] binds the per-(architecture, policy)
+    kernel once, [Generic] keeps the policy-dispatching path — the
+    differential-testing oracle. Both paths must stay bit-identical in
+    state, RNG draw order and outcomes; the selection is observable only
+    as throughput and as the [Engine.t.kernel] label. *)
+
+type selection = Auto | Generic
+
+val generic : string
+(** ["generic"] — the [Engine.t.kernel] label of the fallback path. *)
+
+val selection_to_string : selection -> string
+val selection_of_string : string -> selection option

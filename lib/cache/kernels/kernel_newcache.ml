@@ -1,0 +1,86 @@
+(* Newcache: shared CAM state + monomorphized access loop.
+
+   CAM keys are packed ints ((context, logical index) in one immediate
+   word), so probes allocate neither a tuple key nor hash a block: the
+   polymorphic [Hashtbl] primitives specialise to one [caml_hash] call
+   and an unboxed compare. (A [Hashtbl.Make] functor over int was
+   measured ~30% slower end to end here: without flambda each bucket
+   probe pays indirect closure calls for [equal]/[hash], whereas the
+   polymorphic table runs them in the C runtime.)
+
+   The CAM lives here (not in [Newcache]) because both the generic path
+   and the kernel mutate it and it must stay in lock-step with the slab
+   state. Bit-identity contract with [Newcache.access]: same CAM
+   probes/updates, same conflict invalidation, same single RNG draw. *)
+
+open Cachesec_stats
+
+type cam = {
+  table : (int, int) Hashtbl.t;
+      (** packed (context, logical index) key -> physical line index *)
+  lbits : int;  (** bits of a logical index: [1 lsl lbits >= logical_lines] *)
+  logical_lines : int;
+}
+
+let create_cam ~logical_lines =
+  if logical_lines <= 0 then
+    invalid_arg "Kernel_newcache.create_cam: logical_lines must be positive";
+  let lbits =
+    let rec go b = if 1 lsl b >= logical_lines then b else go (b + 1) in
+    go 0
+  in
+  { table = Hashtbl.create 1024; lbits; logical_lines }
+
+(* Packed CAM key: context in the high bits, logical index below. *)
+let cam_key c ~pid lindex = (pid lsl c.lbits) lor lindex
+
+(* CAM lookup: physical index of the line holding (context, logical
+   index), verified against the slab, or -1. Allocation-free. *)
+let cam_find c (s : Slab.t) ~pid ~lindex =
+  match Hashtbl.find c.table (cam_key c ~pid lindex) with
+  | i -> if s.Slab.tags.(i) >= 0 then i else -1
+  | exception Not_found -> -1
+
+let cam_remove_entry_of c (s : Slab.t) i =
+  if s.Slab.tags.(i) >= 0 then
+    Hashtbl.remove c.table (cam_key c ~pid:s.Slab.owners.(i) s.Slab.aux.(i))
+
+let access c (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let seq = Kernel_sa.tick b in
+  let li = addr mod c.logical_lines in
+  let m = cam_find c s ~pid ~lindex:li in
+  let outcome =
+    if m >= 0 && Array.unsafe_get s.Slab.tags m = addr then begin
+      Array.unsafe_set s.Slab.last_use m seq;
+      Outcome.hit
+    end
+    else begin
+      (* Tag miss: clear the index-conflicting line (the [m >= 0] case)
+         to keep the (context, index) CAM key unique. *)
+      let conflict_evicted =
+        if m >= 0 then begin
+          let victim = Slab.victim s m in
+          cam_remove_entry_of c s m;
+          Slab.invalidate s m;
+          victim
+        end
+        else None
+      in
+      let way = Rng.int b.Backing.rng s.Slab.n in
+      let evicted = Slab.victim s way in
+      cam_remove_entry_of c s way;
+      Slab.fill s way ~tag:addr ~owner:pid ~seq;
+      s.Slab.aux.(way) <- li;
+      Hashtbl.replace c.table (cam_key c ~pid li) way;
+      {
+        Outcome.event = Miss;
+        cached = true;
+        fetched = Some addr;
+        evicted;
+        also_evicted = conflict_evicted;
+      }
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome

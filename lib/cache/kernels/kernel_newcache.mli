@@ -1,0 +1,27 @@
+(** Newcache CAM state + monomorphized access kernel.
+
+    The packed-key CAM index is owned here so the generic
+    [Newcache.access] path and the kernel share one table kept in
+    lock-step with the slab. Bit-identical to the generic path; selected
+    by [Newcache.engine] with [~kernel:Auto]. *)
+
+type cam = {
+  table : (int, int) Hashtbl.t;
+      (** packed (context, logical index) key -> physical line index *)
+  lbits : int;
+  logical_lines : int;
+}
+
+val create_cam : logical_lines:int -> cam
+
+val cam_key : cam -> pid:int -> int -> int
+(** [cam_key c ~pid lindex] — context in the high bits, index below. *)
+
+val cam_find : cam -> Slab.t -> pid:int -> lindex:int -> int
+(** Physical index of the valid line holding (context, logical index),
+    or -1. Allocation-free. *)
+
+val cam_remove_entry_of : cam -> Slab.t -> int -> unit
+(** Drop the CAM entry of physical line [i] if it is valid. *)
+
+val access : cam -> Backing.t -> pid:int -> int -> Outcome.t

@@ -1,0 +1,7 @@
+(** Monomorphized per-policy access kernels for the PL cache.
+    Bit-identical to the generic [Pl.access] path; selected by
+    [Pl.engine] with [~kernel:Auto]. Locking stays in [Pl]. *)
+
+val access_lru : Backing.t -> pid:int -> int -> Outcome.t
+val access_fifo : Backing.t -> pid:int -> int -> Outcome.t
+val access_random : Backing.t -> pid:int -> int -> Outcome.t

@@ -1,0 +1,172 @@
+(* RP cache: shared mapping state + monomorphized per-policy access
+   loops.
+
+   The per-pid permutation tables live here (not in [Rp]) because both
+   the generic [Rp.access] path and the kernels below read and mutate
+   them — in particular the single-entry (pid -> table) memo: if each
+   path kept its own memo, [Rp.set_identity] could invalidate one and
+   leave the other serving a stale table. [Rp.t] embeds a [map] and
+   delegates.
+
+   Bit-identity contract with [Rp.access]: same probe, same victim
+   choice, same internal/external split, same RNG draw order (victim
+   draw, then set draw + way draw on external misses). *)
+
+open Cachesec_stats
+
+type map = {
+  tables : (int, int array) Hashtbl.t;
+  (* Last (pid, table) pair served by [table_of]: attack loops access in
+     long same-pid runs (a 512-line prime, a 160-lookup encryption), so
+     the memo turns the per-access table lookup into one int compare.
+     Invalidated by [set_identity]. *)
+  mutable memo_pid : int;
+  mutable memo_tbl : int array;
+}
+
+let create_map () =
+  { tables = Hashtbl.create 8; memo_pid = min_int; memo_tbl = [||] }
+
+(* [Hashtbl.find] + preallocated [Not_found] rather than [find_opt]:
+   this runs once per access and the option wrapper would put a
+   minor-heap allocation on the hit path. *)
+let table_of m ~sets pid =
+  if pid = m.memo_pid then m.memo_tbl
+  else begin
+    let tbl =
+      match Hashtbl.find m.tables pid with
+      | tbl -> tbl
+      | exception Not_found ->
+        let tbl = Array.init sets Fun.id in
+        Hashtbl.replace m.tables pid tbl;
+        tbl
+    in
+    m.memo_pid <- pid;
+    m.memo_tbl <- tbl;
+    tbl
+  end
+
+let set_identity m ~sets ~pid =
+  Hashtbl.replace m.tables pid (Array.init sets Fun.id);
+  m.memo_pid <- min_int
+
+(* Top-level downward scan (all state as arguments): the table is a
+   bijection, so first-from-the-end = last-from-the-start, without
+   allocating an iteri closure per external miss. *)
+let rec last_mapped (tbl : int array) target i =
+  if i < 0 then -1
+  else if tbl.(i) = target then i
+  else last_mapped tbl target (i - 1)
+
+let swap_mapping m ~sets pid ~logical ~target_set =
+  let tbl = table_of m ~sets pid in
+  (* Find the logical index currently mapped to [target_set] and exchange
+     it with [logical] so the table stays a bijection. *)
+  let other =
+    match last_mapped tbl target_set (Array.length tbl - 1) with
+    | -1 -> logical
+    | i -> i
+  in
+  let tmp = tbl.(logical) in
+  tbl.(logical) <- tbl.(other);
+  tbl.(other) <- tmp
+
+(* Miss tail shared by the three policies: internal miss replaces in
+   place; external miss (victim way owned by another process) fills a
+   random line of a random set and swaps the accessor's mappings. *)
+let miss_tail m (b : Backing.t) (s : Slab.t) way ~pid ~addr ~logical ~seq =
+  if Array.unsafe_get s.Slab.tags way < 0
+     || Array.unsafe_get s.Slab.owners way = pid
+  then begin
+    let evicted = Slab.victim s way in
+    Slab.fill s way ~tag:addr ~owner:pid ~seq;
+    Outcome.fill ~fetched:addr ~evicted
+  end
+  else begin
+    let s' = Rng.int b.Backing.rng b.Backing.sets in
+    let way' = (s' * s.Slab.ways) + Rng.int b.Backing.rng s.Slab.ways in
+    let evicted = Slab.victim s way' in
+    Slab.fill s way' ~tag:addr ~owner:pid ~seq;
+    swap_mapping m ~sets:b.Backing.sets pid ~logical ~target_set:s';
+    Outcome.fill ~fetched:addr ~evicted
+  end
+
+let access_lru m (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let seq = Kernel_sa.tick b in
+  let logical = Kernel_sa.set_of b addr in
+  let base = (table_of m ~sets:b.Backing.sets pid).(logical) * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag_owned tags s.Slab.owners addr pid base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          let last_use = s.Slab.last_use in
+          Slab.scan_min last_use (base + 1) stop base
+            (Array.unsafe_get last_use base)
+      in
+      miss_tail m b s way ~pid ~addr ~logical ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+let access_fifo m (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let seq = Kernel_sa.tick b in
+  let logical = Kernel_sa.set_of b addr in
+  let base = (table_of m ~sets:b.Backing.sets pid).(logical) * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag_owned tags s.Slab.owners addr pid base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          let fill_seq = s.Slab.fill_seq in
+          Slab.scan_min fill_seq (base + 1) stop base
+            (Array.unsafe_get fill_seq base)
+      in
+      miss_tail m b s way ~pid ~addr ~logical ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+let access_random m (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let seq = Kernel_sa.tick b in
+  let logical = Kernel_sa.set_of b addr in
+  let base = (table_of m ~sets:b.Backing.sets pid).(logical) * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag_owned tags s.Slab.owners addr pid base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv else base + Rng.int b.Backing.rng s.Slab.ways
+      in
+      miss_tail m b s way ~pid ~addr ~logical ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome

@@ -1,0 +1,109 @@
+(* Monomorphized access loops for the conventional set-associative
+   cache, one per replacement policy. Each is the [Sa.access] generic
+   path with every layer flattened into one straight-line function:
+   sequence tick and set index inlined (no [Backing] calls), the tag
+   probe and victim scans running directly over the slab arrays, and the
+   policy dispatch hoisted to engine-build time (the caller binds
+   [access_lru]/[access_fifo]/[access_random] once).
+
+   Bit-identity contract: state writes, RNG draw order and outcome
+   construction exactly match the generic path — [test_kernels] replays
+   random workloads against both. The hit path allocates nothing. *)
+
+open Cachesec_stats
+
+(* Shared straight-line pieces; top-level with all state as arguments so
+   the non-flambda compiler emits no closures. *)
+
+let[@inline] tick (b : Backing.t) =
+  let seq = b.Backing.seq + 1 in
+  b.Backing.seq <- seq;
+  seq
+
+let[@inline] set_of (b : Backing.t) addr =
+  if b.Backing.set_mask >= 0 then addr land b.Backing.set_mask
+  else addr mod b.Backing.sets
+
+(* Fill [way] with [addr] and build the filled outcome (identical to the
+   generic miss tail). *)
+let fill_outcome (s : Slab.t) way ~pid ~addr ~seq =
+  let evicted = Slab.victim s way in
+  Slab.fill s way ~tag:addr ~owner:pid ~seq;
+  Outcome.fill ~fetched:addr ~evicted
+
+let access_lru (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let last_use = s.Slab.last_use in
+  let seq = tick b in
+  let base = set_of b addr * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          Slab.scan_min last_use (base + 1) stop base
+            (Array.unsafe_get last_use base)
+      in
+      fill_outcome s way ~pid ~addr ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+let access_fifo (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let seq = tick b in
+  let base = set_of b addr * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          let fill_seq = s.Slab.fill_seq in
+          Slab.scan_min fill_seq (base + 1) stop base
+            (Array.unsafe_get fill_seq base)
+      in
+      fill_outcome s way ~pid ~addr ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+let access_random (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let seq = tick b in
+  let base = set_of b addr * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv else base + Rng.int b.Backing.rng s.Slab.ways
+      in
+      fill_outcome s way ~pid ~addr ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome

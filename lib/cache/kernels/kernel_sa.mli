@@ -1,0 +1,14 @@
+(** Monomorphized per-policy access kernels for the conventional
+    set-associative cache. Bit-identical to the generic [Sa.access]
+    path (state writes, RNG draws, outcomes); selected by [Sa.engine]
+    with [~kernel:Auto]. The hit path allocates nothing. *)
+
+val tick : Backing.t -> int
+(** Inlined [Backing.tick] (shared by the other kernels). *)
+
+val set_of : Backing.t -> int -> int
+(** Inlined [Backing.set_of] (shared by the other kernels). *)
+
+val access_lru : Backing.t -> pid:int -> int -> Outcome.t
+val access_fifo : Backing.t -> pid:int -> int -> Outcome.t
+val access_random : Backing.t -> pid:int -> int -> Outcome.t

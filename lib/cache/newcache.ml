@@ -1,63 +1,40 @@
 open Cachesec_stats
 
-(* CAM keys are packed ints ((context, logical index) in one immediate
-   word), so probes allocate neither a tuple key nor hash a block: the
-   polymorphic [Hashtbl] primitives specialise to one [caml_hash] call
-   and an unboxed compare. (A [Hashtbl.Make] functor over int was
-   measured ~30% slower end to end here: without flambda each bucket
-   probe pays indirect closure calls for [equal]/[hash], whereas the
-   polymorphic table runs them in the C runtime.) *)
-type t = {
-  b : Backing.t;
-  logical_lines : int;
-  lbits : int;  (** bits of a logical index: [1 lsl lbits = logical_lines] *)
-  (* CAM index: packed (context, logical index) key -> physical line
-     index. Kept in lock-step with the line array so lookups are O(1)
-     instead of a scan over all physical lines. *)
-  cam : (int, int) Hashtbl.t;
-}
+(* The CAM index (packed (context, logical index) key -> physical line)
+   lives in [Kernel_newcache.cam] so the monomorphized kernel and this
+   generic path share the one table; see that module for the packed-key
+   rationale. *)
+type t = { b : Backing.t; cam : Kernel_newcache.cam }
 
 let create ?(config = Config.fully_associative) ?(extra_bits = 4) ~rng () =
   if extra_bits < 0 then invalid_arg "Newcache.create: negative extra_bits";
-  let logical_lines = config.Config.lines lsl extra_bits in
-  let lbits =
-    let rec go b = if 1 lsl b >= logical_lines then b else go (b + 1) in
-    go 0
-  in
-  { b = Backing.create config ~rng; logical_lines; lbits; cam = Hashtbl.create 1024 }
+  {
+    b = Backing.create config ~rng;
+    cam = Kernel_newcache.create_cam ~logical_lines:(config.Config.lines lsl extra_bits);
+  }
 
 let config t = t.b.Backing.cfg
-let logical_lines t = t.logical_lines
-let lindex t addr = addr mod t.logical_lines
+let logical_lines t = t.cam.Kernel_newcache.logical_lines
+let lindex t addr = addr mod logical_lines t
 (* The stored tag is the full memory-line number, which subsumes the
    logical tag addr / logical_lines. *)
 
-(* Packed CAM key: context in the high bits, logical index below. *)
-let cam_key t ~pid lindex = (pid lsl t.lbits) lor lindex
-
-(* CAM lookup: physical index of the line holding (context, logical
-   index), verified against the line array, or -1. Allocation-free. *)
 let cam_find t ~pid ~lindex =
-  match Hashtbl.find t.cam (cam_key t ~pid lindex) with
-  | i -> if t.b.Backing.lines.(i).Line.valid then i else -1
-  | exception Not_found -> -1
-
-let cam_remove_entry_of t i =
-  let l = t.b.Backing.lines.(i) in
-  if l.Line.valid then Hashtbl.remove t.cam (cam_key t ~pid:l.owner l.Line.aux)
+  Kernel_newcache.cam_find t.cam t.b.Backing.slab ~pid ~lindex
 
 let full_match t ~pid addr =
   let i = cam_find t ~pid ~lindex:(lindex t addr) in
-  if i >= 0 && t.b.Backing.lines.(i).Line.tag = addr then i else -1
+  if i >= 0 && t.b.Backing.slab.Slab.tags.(i) = addr then i else -1
 
 let access t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let seq = Backing.tick b in
   let li = lindex t addr in
   let m = cam_find t ~pid ~lindex:li in
   let outcome =
-    if m >= 0 && b.lines.(m).Line.tag = addr then begin
-      Line.touch b.lines.(m) ~seq;
+    if m >= 0 && s.Slab.tags.(m) = addr then begin
+      Slab.touch s m ~seq;
       Outcome.hit
     end
     else begin
@@ -65,21 +42,21 @@ let access t ~pid addr =
          to keep the (context, index) CAM key unique. *)
       let conflict_evicted =
         if m >= 0 then begin
-          let l = b.lines.(m) in
-          let victim = Line.victim l in
-          cam_remove_entry_of t m;
-          Line.invalidate l;
+          let victim = Slab.victim s m in
+          Kernel_newcache.cam_remove_entry_of t.cam s m;
+          Slab.invalidate s m;
           victim
         end
         else None
       in
-      let way = Rng.int b.rng (Array.length b.lines) in
-      let victim = b.lines.(way) in
-      let evicted = Line.victim victim in
-      cam_remove_entry_of t way;
-      Line.fill victim ~tag:addr ~owner:pid ~seq;
-      victim.Line.aux <- li;
-      Hashtbl.replace t.cam (cam_key t ~pid li) way;
+      let way = Rng.int b.rng s.Slab.n in
+      let evicted = Slab.victim s way in
+      Kernel_newcache.cam_remove_entry_of t.cam s way;
+      Slab.fill s way ~tag:addr ~owner:pid ~seq;
+      s.Slab.aux.(way) <- li;
+      Hashtbl.replace t.cam.Kernel_newcache.table
+        (Kernel_newcache.cam_key t.cam ~pid li)
+        way;
       {
         Outcome.event = Miss;
         cached = true;
@@ -97,23 +74,30 @@ let peek t ~pid addr = full_match t ~pid addr >= 0
 let flush_line t ~pid addr =
   let i = full_match t ~pid addr in
   if i >= 0 then begin
-    cam_remove_entry_of t i;
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Kernel_newcache.cam_remove_entry_of t.cam t.b.Backing.slab i;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
 
 let flush_all t =
-  Hashtbl.reset t.cam;
+  Hashtbl.reset t.cam.Kernel_newcache.table;
   Backing.flush_all t.b
 
-let engine t =
+let engine ?(kernel = Kernel.Auto) t =
+  let access, kernel_name =
+    match kernel with
+    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto -> (Kernel_newcache.access t.cam t.b, "newcache")
+  in
   {
-    Engine.name = Printf.sprintf "newcache-%d-logical" t.logical_lines;
+    Engine.name = Printf.sprintf "newcache-%d-logical" (logical_lines t);
     config = config t;
     sigma = 0.;
-    access = (fun ~pid addr -> access t ~pid addr);
+    kernel = kernel_name;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
+    access;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

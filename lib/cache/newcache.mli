@@ -34,4 +34,8 @@ val flush_line : t -> pid:int -> int -> bool
     a pid cannot name another context's line). *)
 
 val flush_all : t -> unit
-val engine : t -> Engine.t
+
+val engine : ?kernel:Kernel.selection -> t -> Engine.t
+(** [?kernel] (default [Auto]) binds the monomorphized access kernel
+    from {!Kernel_newcache}; [Generic] keeps the fallback. Bit-identical
+    either way. *)

@@ -8,6 +8,6 @@ let sigma t = t.sigma
 let access t ~pid addr = Sa.access t.sa ~pid addr
 let peek t ~pid addr = Sa.peek t.sa ~pid addr
 
-let engine t =
-  let e = Sa.engine t.sa in
+let engine ?kernel t =
+  let e = Sa.engine ?kernel t.sa in
   { e with Engine.name = Printf.sprintf "noisy-sigma-%g" t.sigma; sigma = t.sigma }

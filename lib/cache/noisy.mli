@@ -21,4 +21,6 @@ val create :
 val sigma : t -> float
 val access : t -> pid:int -> int -> Outcome.t
 val peek : t -> pid:int -> int -> bool
-val engine : t -> Engine.t
+
+val engine : ?kernel:Kernel.selection -> t -> Engine.t
+(** [?kernel] is forwarded to the underlying {!Sa.engine}. *)

@@ -21,18 +21,18 @@ let is_protected t pid = List.mem pid t.protected_pids
 let set_of t addr = Backing.set_of t.b addr
 
 (* Top-level loop (all state as arguments): a local [let rec] capturing
-   [lines]/[stop]/[pid] would allocate its closure on every miss under
-   the non-flambda compiler. *)
-let rec count_owned (lines : Line.t array) pid i stop n =
+   the slabs/[stop]/[pid] would allocate its closure on every miss under
+   the non-flambda compiler. Valid lines have non-negative tags. *)
+let rec count_owned (tags : int array) (owners : int array) pid i stop n =
   if i >= stop then n
   else
-    let l = lines.(i) in
-    count_owned lines pid (i + 1) stop
-      (if l.Line.valid && l.Line.owner = pid then n + 1 else n)
+    count_owned tags owners pid (i + 1) stop
+      (if tags.(i) >= 0 && owners.(i) = pid then n + 1 else n)
 
 (* Valid lines in [base, base + len) filled by [pid]. Allocation-free. *)
 let owned_in_range t ~base ~len ~pid =
-  count_owned t.b.Backing.lines pid base (base + len) 0
+  let s = t.b.Backing.slab in
+  count_owned s.Slab.tags s.Slab.owners pid base (base + len) 0
 
 (* The set's ways split into two contiguous slices: the first [reserved]
    ways and the shared remainder. A protected pid that holds fewer than
@@ -48,12 +48,13 @@ let fill_range t ~set ~pid =
 
 let access t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let seq = Backing.tick b in
   let set = set_of t addr in
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch s i ~seq;
       Outcome.hit
     end
     else begin
@@ -66,12 +67,10 @@ let access t ~pid addr =
         Outcome.miss_uncached
       else begin
         let way =
-          Replacement.choose t.policy b.rng b.lines ~base:cand_base
-            ~len:cand_len
+          Replacement.choose_in t.policy b.rng s ~base:cand_base ~len:cand_len
         in
-        let victim = b.lines.(way) in
-        let evicted = Line.victim victim in
-        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        let evicted = Slab.victim s way in
+        Slab.fill s way ~tag:addr ~owner:pid ~seq;
         Outcome.fill ~fetched:addr ~evicted
       end
     end
@@ -84,8 +83,8 @@ let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 
 let flush_line t ~pid addr =
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
@@ -98,6 +97,8 @@ let engine t =
       Printf.sprintf "nomo-%d/%d-reserved" t.reserved (config t).Config.ways;
     config = config t;
     sigma = 0.;
+    kernel = Kernel.generic;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
     access = (fun ~pid addr -> access t ~pid addr);
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);

@@ -8,28 +8,30 @@ let config t = t.b.Backing.cfg
    [Address.set_index]. *)
 let set_of t addr = Backing.set_of t.b addr
 
+(* Generic access path; [Kernel_pl] holds the per-policy monomorphized
+   equivalents (bit-identical, see the differential kernel tests). *)
 let access t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let seq = Backing.tick b in
   let set = set_of t addr in
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch s i ~seq;
       Outcome.hit
     end
     else begin
       let way =
-        Replacement.choose t.policy b.rng b.lines
+        Replacement.choose_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
       in
-      let victim = b.lines.(way) in
-      if victim.Line.valid && victim.locked then
+      if Slab.valid s way && Slab.locked s way then
         (* Protected victim: direct memory-to-processor transfer. *)
         Outcome.miss_uncached
       else begin
-        let evicted = Line.victim victim in
-        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        let evicted = Slab.victim s way in
+        Slab.fill s way ~tag:addr ~owner:pid ~seq;
         Outcome.fill ~fetched:addr ~evicted
       end
     end
@@ -41,36 +43,35 @@ let access t ~pid addr =
    unlocked (non-contiguous) ways, so it keeps the list form. *)
 let lock_line t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let set = set_of t addr in
   let i = Backing.find_tag b ~set ~tag:addr in
   if i >= 0 then begin
-    b.lines.(i).Line.locked <- true;
-    b.lines.(i).Line.owner <- pid;
+    Slab.set_locked s i true;
+    s.Slab.owners.(i) <- pid;
     true
   end
   else begin
     let seq = Backing.tick b in
     let unlocked =
-      List.filter
-        (fun i -> not b.lines.(i).Line.locked)
-        (Backing.ways_of_set b ~set)
+      List.filter (fun i -> not (Slab.locked s i)) (Backing.ways_of_set b ~set)
     in
     match unlocked with
     | [] -> false
     | candidates ->
-      let way = Replacement.choose_among t.policy b.rng b.lines ~candidates in
-      let victim = b.lines.(way) in
-      let evicted = if victim.Line.valid then 1 else 0 in
-      Line.fill victim ~tag:addr ~owner:pid ~seq;
-      victim.Line.locked <- true;
+      let way = Replacement.choose_among_in t.policy b.rng s ~candidates in
+      let evicted = if Slab.valid s way then 1 else 0 in
+      Slab.fill s way ~tag:addr ~owner:pid ~seq;
+      Slab.set_locked s way true;
       Counters.record_eviction b.counters ~count:evicted;
       true
   end
 
 let unlock_line t ~pid addr =
+  let s = t.b.Backing.slab in
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
-  if i >= 0 && t.b.lines.(i).Line.locked && t.b.lines.(i).Line.owner = pid then begin
-    t.b.lines.(i).Line.locked <- false;
+  if i >= 0 && Slab.locked s i && s.Slab.owners.(i) = pid then begin
+    Slab.set_locked s i false;
     true
   end
   else false
@@ -83,13 +84,13 @@ let locked_lines t =
 let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 0
 
 let flush_line t ~pid addr =
+  let s = t.b.Backing.slab in
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
   if i >= 0 then begin
-    let l = t.b.lines.(i) in
-    if l.Line.locked && l.owner <> pid then false
+    if Slab.locked s i && s.Slab.owners.(i) <> pid then false
     else begin
-      Line.invalidate l;
-      Counters.record_flush t.b.counters ~pid;
+      Slab.invalidate s i;
+      Counters.record_flush t.b.Backing.counters ~pid;
       true
     end
   end
@@ -97,12 +98,21 @@ let flush_line t ~pid addr =
 
 let flush_all t = Backing.flush_all t.b
 
-let engine t =
+let engine ?(kernel = Kernel.Auto) t =
+  let access, kernel_name =
+    match (kernel, t.policy) with
+    | Kernel.Generic, _ -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto, Replacement.Lru -> (Kernel_pl.access_lru t.b, "pl-lru")
+    | Kernel.Auto, Replacement.Fifo -> (Kernel_pl.access_fifo t.b, "pl-fifo")
+    | Kernel.Auto, Replacement.Random -> (Kernel_pl.access_random t.b, "pl-random")
+  in
   {
     Engine.name = Printf.sprintf "pl-%d-way" (config t).Config.ways;
     config = config t;
     sigma = 0.;
-    access = (fun ~pid addr -> access t ~pid addr);
+    kernel = kernel_name;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
+    access;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

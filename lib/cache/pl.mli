@@ -39,4 +39,8 @@ val flush_line : t -> pid:int -> int -> bool
     [false]), mirroring that eviction of protected lines is impossible. *)
 
 val flush_all : t -> unit
-val engine : t -> Engine.t
+
+val engine : ?kernel:Kernel.selection -> t -> Engine.t
+(** [?kernel] (default [Auto]) binds the per-policy monomorphized access
+    kernel from {!Kernel_pl}; [Generic] keeps the dispatching fallback.
+    Bit-identical either way. *)

@@ -32,10 +32,10 @@ let periodic_eviction t =
   if t.since_eviction >= t.interval then begin
     t.since_eviction <- 0;
     t.random_evictions <- t.random_evictions + 1;
-    let slot = Rng.int t.b.rng (Array.length t.b.lines) in
-    let l = t.b.lines.(slot) in
-    let victim = Line.victim l in
-    if l.Line.valid then Line.invalidate l;
+    let s = t.b.Backing.slab in
+    let slot = Rng.int t.b.Backing.rng s.Slab.n in
+    let victim = Slab.victim s slot in
+    if Slab.valid s slot then Slab.invalidate s slot;
     victim
   end
   else None
@@ -47,17 +47,17 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let base =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch b.Backing.slab i ~seq;
       Outcome.hit
     end
     else begin
+      let s = b.Backing.slab in
       let way =
-        Replacement.choose t.policy b.rng b.lines
+        Replacement.choose_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
       in
-      let victim = b.lines.(way) in
-      let evicted = Line.victim victim in
-      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      let evicted = Slab.victim s way in
+      Slab.fill s way ~tag:addr ~owner:pid ~seq;
       Outcome.fill ~fetched:addr ~evicted
     end
   in
@@ -76,8 +76,8 @@ let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 
 let flush_line t ~pid addr =
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
@@ -90,6 +90,8 @@ let engine t =
       Printf.sprintf "re-%d-way-T%d" (config t).Config.ways t.interval;
     config = config t;
     sigma = 0.;
+    kernel = Kernel.generic;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
     access = (fun ~pid addr -> access t ~pid addr);
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);

@@ -67,6 +67,33 @@ let choose policy rng lines ~base ~len =
     | Fifo -> min_fill_seq lines ~base ~len
     | Random -> base + Rng.int rng len
 
+(* --- slab hot path: the same contract as [choose], over the flat
+   {!Slab} field arrays the engines now keep their state in. The
+   [Line.t array] entry points above survive as a compat shim (tests
+   and tools still build small line arrays directly). -------------- *)
+
+let check_slab (s : Slab.t) ~base ~len =
+  if len <= 0 then invalid_arg "Replacement.choose_in: no candidates";
+  if base < 0 || base + len > s.Slab.n then
+    invalid_arg "Replacement.choose_in: candidate out of range"
+
+let first_invalid_in (s : Slab.t) ~base ~len = Slab.first_invalid s ~base ~len
+
+let lru_victim_in (s : Slab.t) ~base ~len =
+  check_slab s ~base ~len;
+  let i = Slab.first_invalid s ~base ~len in
+  if i >= 0 then i else Slab.min_last_use s ~base ~len
+
+let choose_in policy rng (s : Slab.t) ~base ~len =
+  check_slab s ~base ~len;
+  let i = Slab.first_invalid s ~base ~len in
+  if i >= 0 then i
+  else
+    match policy with
+    | Lru -> Slab.min_last_use s ~base ~len
+    | Fifo -> Slab.min_fill_seq s ~base ~len
+    | Random -> base + Rng.int rng len
+
 (* --- cold path: arbitrary (possibly non-contiguous) candidate sets,
    e.g. the unlocked ways of a PL set during [lock_line]. ----------- *)
 
@@ -94,4 +121,31 @@ let choose_among policy rng lines ~candidates =
     match policy with
     | Lru -> min_by (fun (l : Line.t) -> l.last_use) lines candidates
     | Fifo -> min_by (fun (l : Line.t) -> l.fill_seq) lines candidates
+    | Random -> List.nth candidates (Rng.int rng (List.length candidates)))
+
+(* Slab variant of the list cold path (PL way-locking): same candidate
+   order, same tie-breaks (first occurrence of the minimum wins). *)
+
+let check_list_slab (s : Slab.t) candidates =
+  if candidates = [] then invalid_arg "Replacement.choose_among_in: no candidates";
+  List.iter
+    (fun i ->
+      if i < 0 || i >= s.Slab.n then
+        invalid_arg "Replacement.choose_among_in: candidate out of range")
+    candidates
+
+let min_by_slab (a : int array) candidates =
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left (fun best i -> if a.(i) < a.(best) then i else best) first rest
+
+let choose_among_in policy rng (s : Slab.t) ~candidates =
+  check_list_slab s candidates;
+  match List.find_opt (fun i -> not (Slab.valid s i)) candidates with
+  | Some i -> i
+  | None -> (
+    match policy with
+    | Lru -> min_by_slab s.Slab.last_use candidates
+    | Fifo -> min_by_slab s.Slab.fill_seq candidates
     | Random -> List.nth candidates (Rng.int rng (List.length candidates)))

@@ -34,3 +34,23 @@ val choose_among :
 
 val lru_victim : Line.t array -> base:int -> len:int -> int
 (** The LRU choice alone (exposed for tests). *)
+
+(** {2 Slab variants}
+
+    The same contracts over the flat {!Slab} state the engines keep
+    their lines in since the slab refactor. The [Line.t array] entry
+    points above remain as a compat shim for tests and tools that build
+    small line arrays directly. *)
+
+val choose_in :
+  policy -> Cachesec_stats.Rng.t -> Slab.t -> base:int -> len:int -> int
+(** {!choose} over a slab range: invalid-first (lowest index), then
+    LRU/FIFO minimum with first-occurrence tie-break, Random = one RNG
+    draw over the range. Allocation-free. *)
+
+val choose_among_in :
+  policy -> Cachesec_stats.Rng.t -> Slab.t -> candidates:int list -> int
+(** {!choose_among} over a slab (PL way-locking cold path). *)
+
+val lru_victim_in : Slab.t -> base:int -> len:int -> int
+val first_invalid_in : Slab.t -> base:int -> len:int -> int

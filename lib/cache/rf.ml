@@ -34,18 +34,18 @@ let set_of t addr = Backing.set_of t.b addr
    access to [addr] that randomly fetched [line]. *)
 let fill_line t ~pid ~addr line ~seq =
   let b = t.b in
+  let s = b.Backing.slab in
   let set = set_of t line in
   if Backing.find_tag b ~set ~tag:line >= 0 then
     (* already cached; nothing fetched, nothing displaced *)
     Outcome.miss_uncached
   else begin
     let way =
-      Replacement.choose t.policy b.rng b.lines
+      Replacement.choose_in t.policy b.rng s
         ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
     in
-    let victim = b.lines.(way) in
-    let evicted = Line.victim victim in
-    Line.fill victim ~tag:line ~owner:pid ~seq;
+    let evicted = Slab.victim s way in
+    Slab.fill s way ~tag:line ~owner:pid ~seq;
     {
       Outcome.event = Miss;
       cached = line = addr;
@@ -62,7 +62,7 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch b.Backing.slab i ~seq;
       Outcome.hit
     end
     else begin
@@ -84,8 +84,8 @@ let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 
 let flush_line t ~pid addr =
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
@@ -97,6 +97,8 @@ let engine t =
     Engine.name = Printf.sprintf "rf-%d-way" (config t).Config.ways;
     config = config t;
     sigma = 0.;
+    kernel = Kernel.generic;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
     access = (fun ~pid addr -> access t ~pid addr);
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);

@@ -1,80 +1,24 @@
 open Cachesec_stats
 
-type t = {
-  b : Backing.t;
-  policy : Replacement.policy;
-  tables : (int, int array) Hashtbl.t;
-  (* Last (pid, table) pair served by [table_of]: attack loops access in
-     long same-pid runs (a 512-line prime, a 160-lookup encryption), so
-     the memo turns the per-access table lookup into one int compare.
-     Invalidated by [set_identity]. *)
-  mutable memo_pid : int;
-  mutable memo_tbl : int array;
-}
+(* The per-pid permutation tables (and their single-entry memo) live in
+   [Kernel_rp.map] so the monomorphized kernels and this generic path
+   share one state record — a stale memo in either would silently fork
+   the mappings. *)
+type t = { b : Backing.t; policy : Replacement.policy; map : Kernel_rp.map }
 
 let create ?(config = Config.standard) ?(policy = Replacement.Random) ~rng () =
-  {
-    b = Backing.create config ~rng;
-    policy;
-    tables = Hashtbl.create 8;
-    memo_pid = min_int;
-    memo_tbl = [||];
-  }
+  { b = Backing.create config ~rng; policy; map = Kernel_rp.create_map () }
 
 let config t = t.b.Backing.cfg
 let sets t = Config.sets t.b.Backing.cfg
-
-(* [Hashtbl.find] + preallocated [Not_found] rather than [find_opt]:
-   this runs once per access and the option wrapper would put a
-   minor-heap allocation on the hit path. *)
-let table_of t pid =
-  if pid = t.memo_pid then t.memo_tbl
-  else begin
-    let tbl =
-      match Hashtbl.find t.tables pid with
-      | tbl -> tbl
-      | exception Not_found ->
-        let tbl = Array.init (sets t) Fun.id in
-        Hashtbl.replace t.tables pid tbl;
-        tbl
-    in
-    t.memo_pid <- pid;
-    t.memo_tbl <- tbl;
-    tbl
-  end
-
+let table_of t pid = Kernel_rp.table_of t.map ~sets:(sets t) pid
 let table t ~pid = Array.copy (table_of t pid)
-
-let set_identity t ~pid =
-  Hashtbl.replace t.tables pid (Array.init (sets t) Fun.id);
-  t.memo_pid <- min_int
-
+let set_identity t ~pid = Kernel_rp.set_identity t.map ~sets:(sets t) ~pid
 let physical_set t ~pid addr = (table_of t pid).(Backing.set_of t.b addr)
-
-(* Top-level downward scan (all state as arguments): same result as the
-   old [Array.iteri] last-match loop -- the table is a bijection, so
-   first-from-the-end = last-from-the-start -- without allocating the
-   iteri closure and a ref on every external miss. *)
-let rec last_mapped (tbl : int array) target i =
-  if i < 0 then -1
-  else if tbl.(i) = target then i
-  else last_mapped tbl target (i - 1)
-
-let swap_mapping t ~pid ~logical ~target_set =
-  let tbl = table_of t pid in
-  (* Find the logical index currently mapped to [target_set] and exchange
-     it with [logical] so the table stays a bijection. *)
-  let other =
-    match last_mapped tbl target_set (Array.length tbl - 1) with
-    | -1 -> logical
-    | i -> i
-  in
-  let tmp = tbl.(logical) in
-  tbl.(logical) <- tbl.(other);
-  tbl.(other) <- tmp
 
 let access t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let seq = Backing.tick b in
   let logical = Backing.set_of b addr in
   let set = (table_of t pid).(logical) in
@@ -83,30 +27,29 @@ let access t ~pid addr =
   let i = Backing.find_tag_owned b ~set ~tag:addr ~owner:pid in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch s i ~seq;
       Outcome.hit
     end
     else begin
       let w = b.cfg.Config.ways in
       let way =
-        Replacement.choose t.policy b.rng b.lines
+        Replacement.choose_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:w
       in
-      let victim = b.lines.(way) in
-      if (not victim.Line.valid) || victim.owner = pid then begin
+      if s.Slab.tags.(way) < 0 || s.Slab.owners.(way) = pid then begin
         (* Internal miss: replace in place. *)
-        let evicted = Line.victim victim in
-        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        let evicted = Slab.victim s way in
+        Slab.fill s way ~tag:addr ~owner:pid ~seq;
         Outcome.fill ~fetched:addr ~evicted
       end
       else begin
         (* External miss: random set, random line there, swap mappings. *)
         let s' = Rng.int b.rng b.Backing.sets in
         let way' = Backing.base_of_set b ~set:s' + Rng.int b.rng w in
-        let victim' = b.lines.(way') in
-        let evicted = Line.victim victim' in
-        Line.fill victim' ~tag:addr ~owner:pid ~seq;
-        swap_mapping t ~pid ~logical ~target_set:s';
+        let evicted = Slab.victim s way' in
+        Slab.fill s way' ~tag:addr ~owner:pid ~seq;
+        Kernel_rp.swap_mapping t.map ~sets:(sets t) pid ~logical
+          ~target_set:s';
         Outcome.fill ~fetched:addr ~evicted
       end
     end
@@ -125,20 +68,30 @@ let flush_line t ~pid addr =
       ~owner:pid
   in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
 
 let flush_all t = Backing.flush_all t.b
 
-let engine t =
+let engine ?(kernel = Kernel.Auto) t =
+  let access, kernel_name =
+    match (kernel, t.policy) with
+    | Kernel.Generic, _ -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto, Replacement.Lru -> (Kernel_rp.access_lru t.map t.b, "rp-lru")
+    | Kernel.Auto, Replacement.Fifo -> (Kernel_rp.access_fifo t.map t.b, "rp-fifo")
+    | Kernel.Auto, Replacement.Random ->
+      (Kernel_rp.access_random t.map t.b, "rp-random")
+  in
   {
     Engine.name = Printf.sprintf "rp-%d-way" (config t).Config.ways;
     config = config t;
     sigma = 0.;
-    access = (fun ~pid addr -> access t ~pid addr);
+    kernel = kernel_name;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
+    access;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

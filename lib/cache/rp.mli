@@ -40,4 +40,7 @@ val set_identity : t -> pid:int -> unit
 (** Reset the pid's table to the identity (models an attacker opting out
     of the permutation feature for his own process). *)
 
-val engine : t -> Engine.t
+val engine : ?kernel:Kernel.selection -> t -> Engine.t
+(** [?kernel] (default [Auto]) binds the per-policy monomorphized access
+    kernel from {!Kernel_rp}; [Generic] keeps the dispatching fallback.
+    Bit-identical either way. *)

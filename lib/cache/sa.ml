@@ -9,26 +9,31 @@ let policy t = t.policy
    [Address.set_index]. *)
 let set_of t addr = Backing.set_of t.b addr
 
-(* The hit path allocates nothing: tag probe and LRU touch are int
-   loops/stores and the outcome is the preallocated [Outcome.hit]. *)
+(* Generic access path: policy dispatched per miss through
+   [Replacement]. [Kernel_sa] holds the per-policy monomorphized
+   equivalents selected by {!engine}; the two must stay bit-identical
+   (state, RNG draws, outcomes — replayed against each other by the
+   differential kernel tests). The hit path allocates nothing: tag
+   probe and LRU touch are int loops/stores over the slab and the
+   outcome is the preallocated [Outcome.hit]. *)
 let access t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let seq = Backing.tick b in
   let set = set_of t addr in
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch s i ~seq;
       Outcome.hit
     end
     else begin
       let way =
-        Replacement.choose t.policy b.rng b.lines
+        Replacement.choose_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
       in
-      let victim = b.lines.(way) in
-      let evicted = Line.victim victim in
-      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      let evicted = Slab.victim s way in
+      Slab.fill s way ~tag:addr ~owner:pid ~seq;
       Outcome.fill ~fetched:addr ~evicted
     end
   in
@@ -40,8 +45,8 @@ let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 
 let flush_line t ~pid addr =
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
@@ -49,13 +54,22 @@ let flush_line t ~pid addr =
 let flush_all t = Backing.flush_all t.b
 let counters t = t.b.Backing.counters
 
-let engine t =
+let engine ?(kernel = Kernel.Auto) t =
+  let access, kernel_name =
+    match (kernel, t.policy) with
+    | Kernel.Generic, _ -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto, Replacement.Lru -> (Kernel_sa.access_lru t.b, "sa-lru")
+    | Kernel.Auto, Replacement.Fifo -> (Kernel_sa.access_fifo t.b, "sa-fifo")
+    | Kernel.Auto, Replacement.Random -> (Kernel_sa.access_random t.b, "sa-random")
+  in
   {
     Engine.name = Printf.sprintf "sa-%d-way-%s" (config t).Config.ways
         (Replacement.policy_to_string t.policy);
     config = config t;
     sigma = 0.;
-    access = (fun ~pid addr -> access t ~pid addr);
+    kernel = kernel_name;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
+    access;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

@@ -23,4 +23,9 @@ val peek : t -> pid:int -> int -> bool
 val flush_line : t -> pid:int -> int -> bool
 val flush_all : t -> unit
 val counters : t -> Counters.t
-val engine : t -> Engine.t
+
+val engine : ?kernel:Kernel.selection -> t -> Engine.t
+(** [?kernel] (default [Auto]) selects the access path: [Auto] binds the
+    per-policy monomorphized kernel from {!Kernel_sa}; [Generic] keeps
+    the policy-dispatching fallback (differential-testing oracle). Both
+    are bit-identical in state, RNG draws and outcomes. *)

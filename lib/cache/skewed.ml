@@ -35,13 +35,14 @@ let slot_of t ~pid ~bank addr =
 let cell t ~bank ~slot = (bank * slots_per_bank t) + slot
 
 (* Top-level probe loop (state passed explicitly) so the non-flambda
-   compiler emits no per-call closure. *)
+   compiler emits no per-call closure. Tags are non-negative when
+   valid, so [tags.(i) = addr] subsumes the valid check. *)
 let rec probe_banks t pid addr bank n =
   if bank >= n then -1
   else begin
     let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
-    let l = t.b.Backing.lines.(i) in
-    if l.Line.valid && l.owner = pid && l.tag = addr then i
+    let s = t.b.Backing.slab in
+    if s.Slab.tags.(i) = addr && s.Slab.owners.(i) = pid then i
     else probe_banks t pid addr (bank + 1) n
   end
 
@@ -55,15 +56,15 @@ let access t ~pid addr =
   let i = find t ~pid addr in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch b.Backing.slab i ~seq;
       Outcome.hit
     end
     else begin
+      let s = b.Backing.slab in
       let bank = Rng.int b.rng (banks t) in
       let i = cell t ~bank ~slot:(slot_of t ~pid ~bank addr) in
-      let victim = b.lines.(i) in
-      let evicted = Line.victim victim in
-      Line.fill victim ~tag:addr ~owner:pid ~seq;
+      let evicted = Slab.victim s i in
+      Slab.fill s i ~tag:addr ~owner:pid ~seq;
       Outcome.fill ~fetched:addr ~evicted
     end
   in
@@ -75,8 +76,8 @@ let peek t ~pid addr = find t ~pid addr >= 0
 let flush_line t ~pid addr =
   let i = find t ~pid addr in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
@@ -88,6 +89,8 @@ let engine t =
     Engine.name = Printf.sprintf "skewed-%d-bank" (banks t);
     config = config t;
     sigma = 0.;
+    kernel = Kernel.generic;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
     access = (fun ~pid addr -> access t ~pid addr);
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);

@@ -1,0 +1,96 @@
+(** Flat struct-of-arrays cache-line state.
+
+    One untagged [int array] slab per line field, indexed by physical
+    line number; set [s] occupies the contiguous range
+    [s * ways, (s + 1) * ways) in every slab (per-set stride = [ways]).
+    [tags.(i) >= 0] iff line [i] is valid — memory-line numbers are
+    non-negative throughout the simulator, so [-1] is a free sentinel
+    and validity needs no slab of its own.
+
+    The scan entry points use [Array.unsafe_get] internally: callers
+    must pass ranges with [0 <= base] and [base + len <= n], which every
+    set-derived range satisfies by construction. *)
+
+type t = {
+  n : int;  (** physical line count; every slab has length [n] *)
+  ways : int;  (** per-set stride: set [s] starts at [s * ways] *)
+  tags : int array;  (** memory-line number, or [-1] when invalid *)
+  owners : int array;  (** filling pid; [-1] when invalid *)
+  last_use : int array;  (** access sequence of the last touch (LRU) *)
+  fill_seq : int array;  (** access sequence of the fill (FIFO) *)
+  aux : int array;  (** architecture-specific (Newcache logical index) *)
+  locked : int array;  (** PL protection bit, 0/1 *)
+}
+
+val invalid_tag : int
+(** [-1]. *)
+
+val create : lines:int -> ways:int -> t
+(** All-invalid slabs. [ways] must divide [lines]. *)
+
+val bytes : t -> int
+(** Resident footprint of the field slabs in bytes (the
+    [cache.slab_bytes] bench gauge). *)
+
+val valid : t -> int -> bool
+
+val find_tag : t -> tag:int -> base:int -> len:int -> int
+(** Index of the valid line holding [tag] in [base, base + len), or -1.
+    Allocation-free. *)
+
+val find_tag_owned : t -> tag:int -> owner:int -> base:int -> len:int -> int
+(** As {!find_tag}, additionally requiring the filling pid to match
+    (RP's PID feature). *)
+
+val first_invalid : t -> base:int -> len:int -> int
+(** First invalid index in the range, or -1. *)
+
+val min_last_use : t -> base:int -> len:int -> int
+(** Index of the least-recently-used line in the (non-empty) range;
+    first occurrence wins ties. *)
+
+val min_fill_seq : t -> base:int -> len:int -> int
+(** Index of the oldest fill in the (non-empty) range; first occurrence
+    wins ties. *)
+
+val fill : t -> int -> tag:int -> owner:int -> seq:int -> unit
+(** Install a memory line: clears the lock bit and [aux], sets both
+    timestamps (same contract as [Line.fill]). *)
+
+val touch : t -> int -> seq:int -> unit
+(** LRU bookkeeping for a hit. *)
+
+val invalidate : t -> int -> unit
+(** Clear the line ([owner = -1], lock and [aux] cleared; timestamps
+    retained — same contract as [Line.invalidate]). *)
+
+val victim : t -> int -> (int * int) option
+(** [(owner, tag)] if the line is valid — the eviction payload when the
+    line is displaced. Allocates only when valid. *)
+
+val locked : t -> int -> bool
+val set_locked : t -> int -> bool -> unit
+
+val line : t -> int -> Line.t
+(** Materialize line [i] as a fresh boxed snapshot (dump/debug view;
+    bit-compatible with the seed per-line records). *)
+
+val clear : t -> int
+(** Invalidate every line in one pass per slab; returns the number of
+    valid lines displaced. *)
+
+(* Raw scan loops over bare arrays, for the monomorphized kernels (all
+   state passed explicitly; [Array.unsafe_get] under the range
+   invariant above). *)
+
+val scan_tag : int array -> int -> int -> int -> int
+(** [scan_tag tags tag i stop]. *)
+
+val scan_tag_owned : int array -> int array -> int -> int -> int -> int -> int
+(** [scan_tag_owned tags owners tag owner i stop]. *)
+
+val scan_invalid : int array -> int -> int -> int
+(** [scan_invalid tags i stop]. *)
+
+val scan_min : int array -> int -> int -> int -> int -> int
+(** [scan_min a i stop best bestv]. *)

@@ -45,12 +45,13 @@ let set_of t addr =
 
 let access t ~pid addr =
   let b = t.b in
+  let s = b.Backing.slab in
   let seq = Backing.tick b in
   let set = set_of t addr in
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Line.touch b.lines.(i) ~seq;
+      Slab.touch s i ~seq;
       Outcome.hit
     end
     else begin
@@ -61,12 +62,11 @@ let access t ~pid addr =
         Outcome.miss_uncached
       else begin
         let way =
-          Replacement.choose t.policy b.rng b.lines
+          Replacement.choose_in t.policy b.rng s
             ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
         in
-        let victim = b.lines.(way) in
-        let evicted = Line.victim victim in
-        Line.fill victim ~tag:addr ~owner:pid ~seq;
+        let evicted = Slab.victim s way in
+        Slab.fill s way ~tag:addr ~owner:pid ~seq;
         Outcome.fill ~fetched:addr ~evicted
       end
     end
@@ -79,8 +79,8 @@ let peek t ~pid:_ addr = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr >= 
 let flush_line t ~pid addr =
   let i = Backing.find_tag t.b ~set:(set_of t addr) ~tag:addr in
   if i >= 0 then begin
-    Line.invalidate t.b.lines.(i);
-    Counters.record_flush t.b.counters ~pid;
+    Slab.invalidate t.b.Backing.slab i;
+    Counters.record_flush t.b.Backing.counters ~pid;
     true
   end
   else false
@@ -92,6 +92,8 @@ let engine t =
     Engine.name = Printf.sprintf "sp-%d-part-%d-way" t.partitions (config t).Config.ways;
     config = config t;
     sigma = 0.;
+    kernel = Kernel.generic;
+    slab_bytes = Slab.bytes t.b.Backing.slab;
     access = (fun ~pid addr -> access t ~pid addr);
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);

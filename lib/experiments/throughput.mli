@@ -9,13 +9,31 @@ type entry = {
   arch : string;
   policy : string;  (** "lru" | "random" | "fifo" | "secrand" (Newcache) *)
   accesses : int;  (** timed accesses (after a warm-up pass) *)
-  seconds : float;
-  per_sec : float;
+  seconds : float;  (** fastest repetition *)
+  per_sec : float;  (** [accesses /. seconds] *)
+  warmup : int;  (** warm-up accesses before the first stopwatch *)
+  repeats : int;  (** timed repetitions behind [seconds]/[stddev] *)
+  stddev : float;  (** of accesses/sec across the repetitions — the
+      error bar; 0 for single-repetition (or v1-file) rows *)
+  kernel : string;  (** [Engine.t.kernel]: the monomorphized kernel name
+      or ["generic"]; [""] for rows read from a v1 file *)
+  slab_bytes : int;  (** [Engine.t.slab_bytes]; 0 for v1 rows *)
 }
 
-val measure : ?accesses:int -> ?seed:int -> Cachesec_cache.Spec.t -> entry
+val measure :
+  ?accesses:int ->
+  ?seed:int ->
+  ?repeats:int ->
+  ?kernel:Cachesec_cache.Kernel.selection ->
+  Cachesec_cache.Spec.t ->
+  entry
 (** Time [accesses] engine accesses over a frozen mixed working set
-    (hot 600-line region + 4096-line spread), after a warm-up pass. *)
+    (hot 600-line region + 4096-line spread), after a warm-up pass.
+    [repeats] (default 3) timed repetitions over the same addresses;
+    the fastest is reported (minimum time is the standard estimator of
+    unloaded cost) with the stddev of the per-repetition rates as the
+    error bar. [?kernel] forwards to {!Cachesec_cache.Factory.build}
+    ([Generic] measures the dispatching fallback). *)
 
 val cases : unit -> Cachesec_cache.Spec.t list
 (** The 25 benchmark rows: 8 policied architectures x {lru, random,
@@ -23,11 +41,16 @@ val cases : unit -> Cachesec_cache.Spec.t list
 
 val bench : Run.ctx -> entry list
 (** Measure every case (40k accesses each when [ctx.quick], 400k
-    otherwise). Each case is bracketed in a [throughput:<arch>] span
-    with [accesses_per_sec] / [accesses] gauges, reported only after the
+    otherwise; 2 repetitions instead of 3 under [ctx.quick]). Each case
+    is bracketed in a [throughput:<arch>] span with [accesses_per_sec] /
+    [accesses] gauges plus [cache.kernel] (1.0 = monomorphized kernel,
+    0.0 = generic fallback — gauges are floats; the name string is in
+    the JSON row) and [cache.slab_bytes], reported only after the
     stopwatch has stopped — the timed loop is never instrumented. *)
 
 val to_json : ?span_id:int -> entry list -> string
+(** Schema [bench_cache/v2]: v1's keys plus [warmup], [repeats],
+    [stddev], [kernel], [slab_bytes]. {!read} accepts both versions. *)
 
 val write : ?span_id:int -> path:string -> entry list -> unit
 (** [?span_id] (when non-zero) records the telemetry span id of the
@@ -36,7 +59,9 @@ val write : ?span_id:int -> path:string -> entry list -> unit
     skips the line, keeping old and new files mutually parseable. *)
 
 val read : path:string -> entry list
-(** Parse a file produced by {!write}; [[]] if absent or unparseable. *)
+(** Parse a file produced by {!write} — either schema version; v1 rows
+    get [warmup = 0], [repeats = 1], [stddev = 0.], [kernel = ""],
+    [slab_bytes = 0]. [[]] if absent or unparseable. *)
 
 val find : entry list -> arch:string -> policy:string -> entry option
 

@@ -1,0 +1,185 @@
+(* Differential fuzz: monomorphized kernels vs the generic fallback.
+
+   The monomorphized per-(arch, policy) access kernels under
+   lib/cache/kernels/ must be bit-identical to the generic dispatching
+   path they replace — same per-op outcomes (including eviction
+   payloads), same RNG draw order, same counters, same final line dump.
+   The hotpath golden suite pins both against ONE frozen workload; this
+   suite hammers the equivalence with RANDOM workloads (mixed pids,
+   flushes, locks, window changes, full flushes) so a divergence that
+   the frozen trace happens to miss still gets caught.
+
+   Every factory cell is built twice from identical derived seeds —
+   [Factory.build ~kernel:Generic] vs [~kernel:Auto] — and replayed
+   through the same op stream. Cells without a monomorphized kernel
+   (sp, nomo, rf, re) run both arms through the same generic code by
+   construction; they stay in the matrix so the cell list never needs
+   editing when a kernel is added for them. *)
+
+open Cachesec_stats
+open Cachesec_cache
+
+let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 200) ] }
+
+let case_name spec =
+  match Spec.policy_of spec with
+  | Some p -> Spec.name spec ^ ":" ^ Replacement.policy_to_string p
+  | None -> Spec.name spec ^ ":secrand"
+
+(* All 25 factory cells: 8 policied architectures x {lru, random, fifo}
+   plus Newcache (SecRAND only). *)
+let cells () =
+  List.concat_map
+    (fun spec ->
+      match Spec.policy_of spec with
+      | None -> [ spec ]
+      | Some _ ->
+        List.map (Spec.with_policy spec)
+          [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])
+    Spec.all_paper
+
+let fmt_outcome (o : Outcome.t) =
+  let b = Buffer.create 32 in
+  Buffer.add_char b (match o.Outcome.event with Outcome.Hit -> 'H' | Outcome.Miss -> 'M');
+  Buffer.add_char b (if o.Outcome.cached then 'c' else 'u');
+  (match o.Outcome.fetched with
+  | None -> Buffer.add_char b '-'
+  | Some l -> Buffer.add_string b (string_of_int l));
+  List.iter
+    (fun (pid, line) -> Buffer.add_string b (Printf.sprintf "e%d.%d" pid line))
+    (Outcome.evictions o);
+  Buffer.contents b
+
+let fmt_snapshot (s : Counters.snapshot) =
+  Printf.sprintf "acc=%d hit=%d miss=%d ev=%d rt=%d fl=%d" s.accesses s.hits
+    s.misses s.evictions s.read_throughs s.flushes
+
+let fmt_dump dump =
+  List.sort (fun (a, _) (b, _) -> Int.compare a b) dump
+  |> List.map (fun (i, (l : Line.t)) ->
+         Printf.sprintf "%d:%b,%d,%d,%b,%d,%d,%d" i l.valid l.tag l.owner
+           l.locked l.last_use l.fill_seq l.aux)
+  |> String.concat "|"
+
+(* Replay a [seed]-derived random mixed-op stream; returns one formatted
+   observable per op (so a mismatch pinpoints the op) plus the final
+   counters/dump summary. The op stream depends only on [seed], and the
+   engine's own RNG only on the identical [Rng.create ~seed |> split]
+   prefix — the two arms see byte-identical inputs. *)
+let replay ~seed ~steps kernel spec =
+  let rng = Rng.create ~seed in
+  let engine = Factory.build ~kernel spec scenario ~rng:(Rng.split rng) in
+  let ops =
+    List.init steps (fun _ ->
+        let pid = Rng.int rng 3 in
+        let addr = if Rng.bool rng then Rng.int rng 600 else Rng.int rng 4096 in
+        let r = Rng.int rng 100 in
+        if r < 78 then Printf.sprintf "a%d/%d:%s" pid addr
+            (fmt_outcome (engine.Engine.access ~pid addr))
+        else if r < 88 then
+          Printf.sprintf "p%d/%d:%b" pid addr (engine.Engine.peek ~pid addr)
+        else if r < 92 then
+          Printf.sprintf "f%d/%d:%b" pid addr (engine.Engine.flush_line ~pid addr)
+        else if r < 95 then
+          Printf.sprintf "l%d/%d:%b" pid addr (engine.Engine.lock_line ~pid addr)
+        else if r < 97 then
+          Printf.sprintf "u%d/%d:%b" pid addr (engine.Engine.unlock_line ~pid addr)
+        else if r < 99 then begin
+          let back = Rng.int rng 4 and fwd = Rng.int rng 4 in
+          engine.Engine.set_window ~pid ~back ~fwd;
+          Printf.sprintf "w%d/%d.%d" pid back fwd
+        end
+        else begin
+          engine.Engine.flush_all ();
+          "F"
+        end)
+  in
+  let summary =
+    String.concat " | "
+      [
+        fmt_snapshot (engine.Engine.counters ());
+        fmt_snapshot (engine.Engine.counters_for 0);
+        fmt_snapshot (engine.Engine.counters_for 1);
+        fmt_snapshot (engine.Engine.counters_for 2);
+        fmt_dump (engine.Engine.dump ());
+      ]
+  in
+  (engine.Engine.kernel, ops, summary)
+
+let check_cell ~seed ~steps spec =
+  let name = case_name spec in
+  let _, generic_ops, generic_sum = replay ~seed ~steps Kernel.Generic spec in
+  let kernel, auto_ops, auto_sum = replay ~seed ~steps Kernel.Auto spec in
+  List.iteri
+    (fun i (g, a) ->
+      if g <> a then
+        Alcotest.failf "%s seed=%#x op %d diverged (%s kernel): generic %S vs auto %S"
+          name seed i kernel g a)
+    (List.combine generic_ops auto_ops);
+  Alcotest.(check string)
+    (Printf.sprintf "%s seed=%#x final counters+dump (%s kernel)" name seed
+       kernel)
+    generic_sum auto_sum
+
+(* A couple of seeds per cell at a few thousand ops each: enough random
+   coverage to hit every branch (invalid-way fills, lock conflicts,
+   external RP misses, CAM conflicts, full flushes) while staying well
+   inside the quick-test budget. *)
+let seeds = [ 0xD1FF; 0xF0221; 0xABCDE ]
+let steps = 4_000
+
+let test_cell spec () =
+  List.iter (fun seed -> check_cell ~seed ~steps spec) seeds
+
+(* The monomorphized cells must actually exercise a kernel — guard
+   against a silent fallback to generic making the diff test vacuous. *)
+let expected_kernel spec =
+  let policy_suffix () =
+    match Spec.policy_of spec with
+    | Some p -> Replacement.policy_to_string p
+    | None -> assert false
+  in
+  match Spec.name spec with
+  | "sa" -> Some ("sa-" ^ policy_suffix ())
+  | "pl" -> Some ("pl-" ^ policy_suffix ())
+  | "rp" -> Some ("rp-" ^ policy_suffix ())
+  | "newcache" -> Some "newcache"
+  | "noisy" -> Some ("sa-" ^ policy_suffix ())
+  | _ -> None (* generic-only architectures *)
+
+let test_kernel_selection () =
+  List.iter
+    (fun spec ->
+      let rng = Rng.create ~seed:7 in
+      let auto = Factory.build spec scenario ~rng:(Rng.split rng) in
+      let rng = Rng.create ~seed:7 in
+      let forced =
+        Factory.build ~kernel:Kernel.Generic spec scenario ~rng:(Rng.split rng)
+      in
+      Alcotest.(check string)
+        (case_name spec ^ " forced generic")
+        Kernel.generic forced.Engine.kernel;
+      match expected_kernel spec with
+      | Some k ->
+        Alcotest.(check string) (case_name spec ^ " auto kernel") k
+          auto.Engine.kernel
+      | None ->
+        Alcotest.(check string)
+          (case_name spec ^ " auto falls back to generic")
+          Kernel.generic auto.Engine.kernel)
+    (cells ())
+
+let () =
+  Alcotest.run "kernels"
+    [
+      ( "selection",
+        [
+          Alcotest.test_case "auto picks the monomorphized kernel" `Quick
+            test_kernel_selection;
+        ] );
+      ( "differential-fuzz",
+        List.map
+          (fun spec ->
+            Alcotest.test_case (case_name spec) `Quick (test_cell spec))
+          (cells ()) );
+    ]
