@@ -54,11 +54,18 @@ let run_e2e ctx ~out =
    --list-sections, the out-flag parser, the Makefile's baseline-%
    targets (which just forward $* as --section NAME) — derives from
    this list, so adding a section here is the whole change. *)
+let run_serve ctx ~out =
+  let entries = Cachesec_serve.Serve_bench.bench ctx in
+  Cachesec_serve.Serve_bench.write ~path:out entries;
+  print_string (Cachesec_serve.Serve_bench.render entries);
+  Printf.printf "serve baseline written to %s\n%!" out
+
 let sections =
   [
     ("cache", "bench/BENCH_cache.baseline.json", "--cache-out", run_cache);
     ("attacks", "bench/BENCH_attacks.baseline.json", "--attacks-out", run_attacks);
     ("e2e", "bench/BENCH_e2e.baseline.json", "--e2e-out", run_e2e);
+    ("serve", "bench/BENCH_serve.baseline.json", "--serve-out", run_serve);
   ]
 
 let section_names = List.map (fun (n, _, _, _) -> n) sections
@@ -73,6 +80,9 @@ let usage () =
   exit 2
 
 let () =
+  (* Serve-bench server children re-exec this executable; intercept the
+     sentinel argv before our own flag parsing sees it. *)
+  Cachesec_serve.Serve_bench.child_entry ();
   let selected = ref None (* None = all *) in
   let outs =
     List.map (fun (name, default, flag, _) -> (flag, (name, ref default))) sections

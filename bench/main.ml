@@ -506,6 +506,37 @@ let main perf sim (ctx : Run.ctx) =
       ^ Printf.sprintf "  wrote results/BENCH_e2e.json%s\n"
           (if t.Scheduler.span_id = 0 then ""
            else Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
+  (* Fourth perf gate: the PAS query server. A forked Inline server is
+     driven over its real socket in three mixes — memo-hit (batched
+     repeats of the heaviest closed form against a warm memo), cold
+     (the same query recomputed every round trip) and sim (quick-scale
+     validate cells). The hard gate is memo-hit QPS >= 50x cold QPS:
+     what memoization + batching buy over honest recomputation,
+     measured end to end through framing, syscalls and routing. *)
+  section "PAS query server throughput (memo-hit / cold / sim mixes)"
+    (fun () ->
+      let entries, t =
+        Scheduler.timed ?jobs:ctx.Run.jobs ~tm:ctx.Run.telemetry
+          ~name:"serve-bench"
+          (fun () -> Cachesec_serve.Serve_bench.bench ctx)
+      in
+      ensure_results_dirs ();
+      Cachesec_serve.Serve_bench.write ~span_id:t.Scheduler.span_id
+        ~path:"results/BENCH_serve.json" entries;
+      let gate_line =
+        match Cachesec_serve.Serve_bench.gate entries with
+        | None -> "  gate bench_serve  missing mix, no ratio\n"
+        | Some (x, pass) ->
+          Printf.sprintf
+            "  gate bench_serve  memo-hit/cold qps ratio %7.1fx %s\n" x
+            (if pass then ">= 50.0x PASS" else "<  50.0x FAIL")
+      in
+      Cachesec_serve.Serve_bench.render
+        ~baseline:"bench/BENCH_serve.baseline.json" entries
+      ^ gate_line
+      ^ Printf.sprintf "  wrote results/BENCH_serve.json%s\n"
+          (if t.Scheduler.span_id = 0 then ""
+           else Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
   section "CSV export" (fun () ->
       export_csvs !cells;
       "");
@@ -538,4 +569,8 @@ let cmd =
           export CSVs and run the perf regression gate.")
     Term.(const run $ no_perf $ no_sim $ Run.of_cmdline ~run:"bench" ())
 
-let () = exit (Cmdliner.Cmd.eval cmd)
+let () =
+  (* Serve-bench server children re-exec this executable; intercept the
+     sentinel argv before Cmdliner parses it. *)
+  Cachesec_serve.Serve_bench.child_entry ();
+  exit (Cmdliner.Cmd.eval cmd)

@@ -440,6 +440,99 @@ let llc_cmd =
        ~doc:"Cross-core flush-and-reload through a two-level hierarchy.")
     Term.(const run $ quick_arg $ seed_arg)
 
+(* --- PAS-as-a-service: the query server and its client ------------- *)
+
+let socket_arg =
+  Arg.(
+    value
+    & opt string "pas-tool.sock"
+    & info [ "socket" ] ~docv:"PATH"
+        ~doc:"Unix-domain socket path (OS limit ~107 bytes).")
+
+let serve_cmd =
+  let queue_bound_arg =
+    Arg.(
+      value
+      & opt int Cachesec_serve.Server.default_queue_bound
+      & info [ "queue-bound" ] ~docv:"N"
+          ~doc:
+            "Maximum simulation campaigns queued awaiting a worker before \
+             new queries are refused with an 'overloaded' reply. 0 refuses \
+             every simulation (serve closed forms and memo only).")
+  in
+  let max_memo_arg =
+    Arg.(
+      value & opt int 65536
+      & info [ "max-memo" ] ~docv:"N"
+          ~doc:"Answer-cache entry bound (FIFO eviction beyond it).")
+  in
+  let inline_arg =
+    Arg.(
+      value & flag
+      & info [ "inline" ]
+          ~doc:
+            "Run simulation campaigns synchronously in the server's own \
+             domain instead of pool workers (single-client/test mode; \
+             ignores --jobs and --queue-bound).")
+  in
+  let run socket queue_bound max_memo inline (ctx : Run.ctx) =
+    let execution =
+      if inline then Cachesec_serve.Server.Inline
+      else
+        let j = Scheduler.resolve_jobs ctx.Run.jobs in
+        Cachesec_serve.Server.Pooled
+          { workers = (if j <= 1 then 0 else j); queue_bound }
+    in
+    match
+      Cachesec_serve.Server.run ~telemetry:ctx.Run.telemetry
+        { Cachesec_serve.Server.socket; execution; max_memo }
+    with
+    | Ok () -> `Ok ()
+    | Error msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the PAS query server: a daemon answering pas/prepas/\
+          resilience/table queries from a memo cache (microseconds when \
+          warm) and validate queries through the simulation pool, with \
+          in-flight deduplication and backpressure. Stop it with a \
+          'shutdown' query or SIGINT.")
+    Term.(
+      ret
+        (const run $ socket_arg $ queue_bound_arg $ max_memo_arg $ inline_arg
+       $ ctx_term))
+
+let query_cmd =
+  let lines_arg =
+    Arg.(
+      non_empty & pos_all string []
+      & info [] ~docv:"QUERY"
+          ~doc:
+            "Query lines, e.g. 'pas cache=sa attack=prime-and-probe', \
+             'table attack=cache-collision', 'validate cache=rp \
+             attack=flush-and-reload seed=7', 'stats', 'shutdown'. All \
+             lines are sent as one frame; replies print in query order.")
+  in
+  let run socket lines =
+    match
+      Cachesec_serve.Client.with_connection socket (fun c ->
+          Cachesec_serve.Client.round_trip_raw c lines)
+    with
+    | replies ->
+      List.iter print_endline replies;
+      `Ok ()
+    | exception Unix.Unix_error (e, _, _) ->
+      `Error (false, Printf.sprintf "%s: %s" socket (Unix.error_message e))
+    | exception Failure msg -> `Error (false, msg)
+  in
+  Cmd.v
+    (Cmd.info "query"
+       ~doc:
+         "Send query lines to a running PAS query server and print the \
+          replies (one per query line, in order).")
+    Term.(ret (const run $ socket_arg $ lines_arg))
+
 let main =
   let doc = "PIFG/PAS cache side-channel security quantification (MICRO-50 2017)" in
   Cmd.group
@@ -448,6 +541,7 @@ let main =
       tables_cmd; figures_cmd; pas_cmd; dot_cmd; prepas_cmd; simulate_cmd;
       validate_cmd; perf_cmd; metrics_cmd; svf_cmd; covert_cmd; multi_cmd;
       fullkey_cmd; lastround_cmd; expleak_cmd; llc_cmd; mitigation_cmd;
+      serve_cmd; query_cmd;
     ]
 
 let () = exit (Cmd.eval main)

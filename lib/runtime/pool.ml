@@ -185,6 +185,21 @@ let run_task f =
   | v -> Done v
   | exception e -> Failed (e, Printexc.get_raw_backtrace ())
 
+(* Enqueue under the (held) lock and return the future. *)
+let enqueue_locked p f =
+  let fut = { state = Pending } in
+  Queue.push
+    (fun () ->
+      let r = run_task f in
+      Mutex.lock p.lock;
+      fut.state <- r;
+      Condition.broadcast p.finished;
+      Mutex.unlock p.lock)
+    p.queue;
+  Condition.signal p.work;
+  Mutex.unlock p.lock;
+  fut
+
 let submit f =
   let p = the in
   Mutex.lock p.lock;
@@ -196,20 +211,51 @@ let submit f =
     Mutex.unlock p.lock;
     { state = run_task f }
   end
-  else begin
-    let fut = { state = Pending } in
-    Queue.push
-      (fun () ->
-        let r = run_task f in
-        Mutex.lock p.lock;
-        fut.state <- r;
-        Condition.broadcast p.finished;
-        Mutex.unlock p.lock)
-      p.queue;
-    Condition.signal p.work;
+  else enqueue_locked p f
+
+let queued_tasks () =
+  let p = the in
+  Mutex.lock p.lock;
+  let n = Queue.length p.queue in
+  Mutex.unlock p.lock;
+  n
+
+(* Bounded admission for callers that must not buffer without limit
+   (the PAS query server's backpressure path): the task is enqueued
+   only while fewer than [max_pending] tasks are waiting for a worker.
+   The bound is on the *queue*, not on running tasks — a saturated pool
+   with an empty queue still admits, which is the intended semantics
+   (admitting work that a worker will pick up next keeps the pool warm;
+   the bound exists to cap memory and queueing delay). The length check
+   and the push happen under one lock acquisition, so concurrent
+   admitters cannot jointly overshoot the bound. [max_pending = 0]
+   refuses everything — callers use it as a hard "serve from cache
+   only" switch. With zero workers the queue is always empty, so any
+   positive bound admits and the task degrades to eager inline
+   execution exactly like {!submit}. *)
+let try_submit ~max_pending f =
+  let p = the in
+  Mutex.lock p.lock;
+  if Queue.length p.queue >= max_pending then begin
     Mutex.unlock p.lock;
-    fut
+    None
   end
+  else if p.size = 0 then begin
+    Mutex.unlock p.lock;
+    Some { state = run_task f }
+  end
+  else Some (enqueue_locked p f)
+
+(* Non-blocking completion check. [state] is a single mutable field
+   written once under the pool lock; OCaml's memory model guarantees
+   the read here sees either [Pending] or the final state, never a torn
+   value, so no lock is needed — the same racy-read fast path [await]
+   already uses. *)
+let poll fut =
+  match fut.state with
+  | Pending -> None
+  | Done v -> Some v
+  | Failed (e, bt) -> Printexc.raise_with_backtrace e bt
 
 let await fut =
   match fut.state with

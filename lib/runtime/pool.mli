@@ -38,12 +38,37 @@ val submit : (unit -> 'a) -> 'a future
     the caller. Exceptions raised by the task are captured (with
     backtrace) into the future and re-raised by {!await}. *)
 
+val try_submit : max_pending:int -> (unit -> 'a) -> 'a future option
+(** Bounded {!submit}: enqueue only while fewer than [max_pending]
+    tasks are queued (waiting for a worker; running tasks don't count),
+    else [None]. Check and push are atomic, so concurrent admitters
+    never jointly overshoot the bound. [max_pending = 0] refuses
+    everything. With zero workers the queue is always empty, so any
+    positive bound admits and the task runs eagerly inline like
+    {!submit}. This is the admission point for callers that must
+    reply "overloaded" rather than buffer without limit — the PAS
+    query server's backpressure path. *)
+
+val queued_tasks : unit -> int
+(** Tasks currently queued (not yet claimed by a worker). The queue
+    depth behind {!try_submit}'s bound; exported as the server's
+    [serve.queue_depth] gauge. *)
+
 val await : 'a future -> 'a
 (** Block until the task completed; return its value or re-raise its
     exception with the original backtrace. Must be called from outside
     the pool (orchestration lives in the main domain; pooled tasks are
     leaves) — awaiting from a pool worker raises [Invalid_argument]
     rather than risking deadlock. *)
+
+val poll : 'a future -> 'a option
+(** Non-blocking {!await}: [None] while the task is pending, its value
+    once done, or re-raises its captured exception (with backtrace) if
+    it failed. Safe from any domain, including pool workers — it never
+    blocks, so the worker-deadlock guard of {!await} is unnecessary.
+    Like {!await}, polling a failed future re-raises the same exception
+    on every call, so any number of joined observers see the same
+    outcome. *)
 
 val busy_seconds : unit -> float
 (** Cumulative seconds all workers have spent executing tasks (i.e. not

@@ -1,0 +1,134 @@
+(** Wire protocol of the PAS query server.
+
+    Dependency-free and deliberately boring: a stream of
+    length-prefixed frames over a Unix-domain socket, each frame
+    carrying a batch of newline-separated text lines. A request frame
+    holds one query per line; the matching response frame holds exactly
+    one reply per query, in query order. Frames on one connection are
+    answered in arrival order (the server never reorders responses), so
+    a client may pipeline frames and match responses positionally.
+
+    {2 Frame layout}
+
+    {v
+    +----------------+---------------------------+
+    | length: 4 bytes| payload: <length> bytes   |
+    | big-endian     | UTF-8 text, one query or  |
+    | payload length | reply per '\n'-joined line|
+    +----------------+---------------------------+
+    v}
+
+    Payloads are capped at {!max_frame} bytes; oversized frames are a
+    protocol error and the server closes the connection.
+
+    {2 Query lines}
+
+    [<verb> key=value ... [cold]] — e.g.
+    [pas cache=sa attack=prime-and-probe],
+    [prepas cache=rp k=32 policy=lru],
+    [table attack=cache-collision],
+    [validate cache=sa attack=flush-and-reload seed=42 quick=1],
+    [ping], [stats], [shutdown].
+
+    The [cold] flag bypasses the memo (no read, no write) and, for
+    simulation-backed queries, in-flight deduplication — it exists so
+    benchmarks can measure the recompute path repeatably.
+
+    Cache arguments accept the paper architectures by name plus
+    overrides: [policy=lru|random|fifo], [ways=N], [sigma=F] (noisy),
+    [nbits=N] (newcache), [partitions=N] (sp), [reserved=N] (nomo),
+    [back=N]/[fwd=N] (rf), [interval=N] (re), and geometry
+    [lines=N]/[lb=N]. Defaults are the paper's Table 4 values; parsing
+    expands every default, so equivalent spellings of the same
+    question canonicalize to the same {!query} value (and hence the
+    same memo key — see {!Memo}). *)
+
+open Cachesec_cache
+open Cachesec_analysis
+
+type query =
+  | Ping
+  | Stats
+  | Shutdown  (** graceful: drain in-flight work, reply, then exit *)
+  | Pas of {
+      spec : Spec.t;
+      config : Config.t;
+      attack : Attack_type.t;
+      cold : bool;
+    }
+  | Prepas of { spec : Spec.t; k : int; cold : bool }
+  | Resilience of { spec : Spec.t; attack : Attack_type.t; cold : bool }
+  | Table of { attack : Attack_type.t; config : Config.t; cold : bool }
+      (** all nine architectures' PAS under one attack
+          ({!Cachesec_analysis.Pas_tables.rows_for}) — the heaviest
+          closed form served *)
+  | Validate of {
+      spec : Spec.t;
+      attack : Attack_type.t;
+      seed : int;
+      quick : bool;
+      cold : bool;
+    }  (** simulation-backed: one validation-matrix cell *)
+
+type reply =
+  | Ok_
+  | Overloaded
+      (** backpressure: the simulation admission queue is full; retry
+          later. Never sent for closed-form queries. *)
+  | Error_ of string
+  | Pas_v of float
+  | Prepas_v of float
+  | Resilience_v of { verdict : string; pas : float }
+  | Table_v of (string * float) list  (** (arch name, PAS) per row *)
+  | Validate_v of {
+      pas : float;
+      predicted_leak : bool;
+      recovered : bool;
+      separation : float;
+      agrees : bool;
+    }
+  | Stats_v of (string * float) list
+
+val cold : query -> bool
+(** The [cold] flag ([false] for ping/stats/shutdown). *)
+
+val encode_query : query -> string
+val decode_query : string -> (query, string) result
+(** One line, no newline. [decode_query (encode_query q) = Ok q]. *)
+
+val encode_reply : reply -> string
+val decode_reply : string -> (reply, string) result
+(** One line, no newline. Floats survive the round trip bit-exactly
+    ([%.17g]). *)
+
+(** {2 Framing} *)
+
+val max_frame : int
+(** 4 MiB payload cap. *)
+
+val frame : string -> bytes
+(** Length prefix + payload, ready to write. Raises [Invalid_argument]
+    beyond {!max_frame}. *)
+
+val write_frame : Unix.file_descr -> string -> unit
+(** Blocking write of {!frame}, looping over partial writes. *)
+
+val read_frame : Unix.file_descr -> string option
+(** Blocking read of one whole frame; [None] on clean EOF. Raises
+    [Failure] on a truncated or oversized frame. *)
+
+(** Incremental frame extraction for the server's select loop: feed
+    whatever bytes arrived, get back every frame completed so far. *)
+module Frames : sig
+  type t
+
+  val create : unit -> t
+
+  val feed : t -> bytes:Bytes.t -> len:int -> (string list, string) result
+  (** Append [len] bytes and extract complete frame payloads, in order.
+      [Error] on an oversized frame declaration (the connection is
+      beyond recovery — close it). *)
+
+  val pending_bytes : t -> int
+  (** Buffered bytes not yet forming a complete frame. *)
+end

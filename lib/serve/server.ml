@@ -1,0 +1,306 @@
+open Cachesec_runtime
+open Cachesec_telemetry
+
+type execution = Inline | Pooled of { workers : int; queue_bound : int }
+
+type config = {
+  socket : string;
+  execution : execution;
+  max_memo : int;
+}
+
+let default_queue_bound = 64
+
+(* --- connection / batch bookkeeping ----------------------------------- *)
+
+type conn = {
+  fd : Unix.file_descr;
+  frames : Protocol.Frames.t;
+  pending : batch Queue.t;  (* request frames, oldest first (FIFO) *)
+  mutable closed : bool;
+}
+
+(* One request frame: a slot per query line. A batch flushes when every
+   slot is filled AND it is the oldest unflushed batch on its
+   connection — that invariant is what gives clients positional
+   response matching. *)
+and batch = {
+  conn : conn;
+  slots : string option array;
+  mutable left : int;
+}
+
+let deliver b i enc =
+  if b.slots.(i) = None then begin
+    b.slots.(i) <- Some enc;
+    b.left <- b.left - 1
+  end
+
+let close_conn c =
+  if not c.closed then begin
+    c.closed <- true;
+    try Unix.close c.fd with Unix.Unix_error _ -> ()
+  end
+
+(* Write every complete batch at the head of the connection's queue.
+   Write errors (peer gone) close the connection; in-flight campaigns
+   it was waiting on keep running — their results still feed the memo
+   and any deduplicated co-waiters. *)
+let flush_conn c =
+  let rec go () =
+    match Queue.peek_opt c.pending with
+    | Some b when b.left = 0 ->
+      ignore (Queue.pop c.pending);
+      if not c.closed then begin
+        let payload =
+          String.concat "\n"
+            (Array.to_list
+               (Array.map (fun s -> Option.value s ~default:"") b.slots))
+        in
+        match Protocol.write_frame c.fd payload with
+        | () -> go ()
+        | exception (Unix.Unix_error _ | Failure _) -> close_conn c
+      end
+      else go ()
+    | _ -> ()
+  in
+  go ()
+
+(* --- preflight -------------------------------------------------------- *)
+
+let preflight ~socket =
+  if not (Sys.file_exists socket) then Ok ()
+  else begin
+    let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    Fun.protect
+      ~finally:(fun () -> try Unix.close fd with Unix.Unix_error _ -> ())
+      (fun () ->
+        match Unix.connect fd (Unix.ADDR_UNIX socket) with
+        | () ->
+          Error
+            (Printf.sprintf
+               "%s: a PAS query server is already listening on this socket"
+               socket)
+        | exception Unix.Unix_error (Unix.ECONNREFUSED, _, _) ->
+          Error
+            (Printf.sprintf
+               "%s: stale socket file (no server is listening behind it — \
+                probably left by a crash); remove it and retry"
+               socket)
+        | exception Unix.Unix_error (Unix.ENOENT, _, _) ->
+          (* Removed between the existence check and the connect. *)
+          Ok ()
+        | exception Unix.Unix_error _ ->
+          Error
+            (Printf.sprintf
+               "%s: path exists and is not a connectable socket; refusing \
+                to overwrite it"
+               socket))
+  end
+
+(* --- the event loop --------------------------------------------------- *)
+
+type state = {
+  router : Router.t;
+  queue_bound : int;
+  listener : Unix.file_descr;
+  mutable conns : conn list;
+  (* deduplicated campaigns: canonical key -> running future + waiters *)
+  inflight : (string, batch * int) Memo.Inflight.t;
+  (* cold campaigns: tracked for completion, exempt from dedup *)
+  mutable anon : (string Pool.future * batch * int) list;
+  mutable draining : bool;  (* shutdown requested: no new input *)
+}
+
+let inflight_empty st =
+  Memo.Inflight.count st.inflight = 0 && st.anon = []
+
+let handle_line st b i line =
+  match Router.route st.router line with
+  | Router.Now enc -> deliver b i enc
+  | Router.Quit enc ->
+    st.draining <- true;
+    deliver b i enc
+  | Router.Sim { key; run } -> (
+    let join_existing =
+      match key with
+      | None -> false
+      | Some k -> (
+        match Memo.Inflight.find st.inflight k with
+        | Some e ->
+          Memo.Inflight.join e (b, i);
+          Router.note_dedup_join st.router;
+          true
+        | None -> false)
+    in
+    if not join_existing then
+      match Pool.try_submit ~max_pending:st.queue_bound run with
+      | None ->
+        Router.note_overloaded st.router;
+        deliver b i (Protocol.encode_reply Protocol.Overloaded)
+      | Some fut -> (
+        match key with
+        | Some k -> ignore (Memo.Inflight.add st.inflight ~key:k ~fut (b, i))
+        | None -> st.anon <- (fut, b, i) :: st.anon))
+
+let handle_frame st c payload =
+  let lines = String.split_on_char '\n' payload in
+  let n = List.length lines in
+  let b = { conn = c; slots = Array.make n None; left = n } in
+  Queue.push b c.pending;
+  List.iteri (fun i line -> handle_line st b i line) lines
+
+(* Completion sweep: non-blocking poll of every outstanding campaign.
+   A completed campaign's result is delivered to every waiter (the
+   starter and all dedup joiners — one list, one result), memoized via
+   the router, and the entry retired. A raised campaign delivers the
+   same error to every waiter and is never memoized. *)
+let poll_inflight st =
+  let finish_waiters waiters enc =
+    List.iter (fun (b, i) -> deliver b i enc) waiters
+  in
+  List.iter
+    (fun (e : (string, batch * int) Memo.Inflight.entry) ->
+      match Pool.poll e.fut with
+      | None -> ()
+      | Some enc ->
+        Router.note_sim_done st.router ~key:(Some e.key) enc;
+        finish_waiters e.waiters enc;
+        Memo.Inflight.remove st.inflight e.key
+      | exception ex ->
+        Router.note_sim_error st.router;
+        finish_waiters e.waiters
+          (Protocol.encode_reply (Protocol.Error_ (Printexc.to_string ex)));
+        Memo.Inflight.remove st.inflight e.key)
+    (Memo.Inflight.entries st.inflight);
+  st.anon <-
+    List.filter
+      (fun (fut, b, i) ->
+        match Pool.poll fut with
+        | None -> true
+        | Some enc ->
+          Router.note_sim_done st.router ~key:None enc;
+          deliver b i enc;
+          false
+        | exception ex ->
+          Router.note_sim_error st.router;
+          deliver b i
+            (Protocol.encode_reply (Protocol.Error_ (Printexc.to_string ex)));
+          false)
+      st.anon
+
+let read_buf = Bytes.create 65536
+
+let read_conn st c =
+  match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
+  | 0 -> close_conn c
+  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
+    close_conn c
+  | len -> (
+    match Protocol.Frames.feed c.frames ~bytes:read_buf ~len with
+    | Error _ -> close_conn c (* oversized frame: unrecoverable stream *)
+    | Ok payloads -> List.iter (handle_frame st c) payloads)
+
+let serve_loop st ~stop =
+  let rec loop () =
+    st.conns <- List.filter (fun c -> not c.closed) st.conns;
+    List.iter flush_conn st.conns;
+    if !stop then ()
+    else if
+      st.draining && inflight_empty st
+      && List.for_all (fun c -> Queue.is_empty c.pending) st.conns
+    then ()
+    else begin
+      (* While campaigns are in flight we tick fast to poll their
+         futures; otherwise we sit in select until traffic arrives. *)
+      let timeout = if inflight_empty st then 0.5 else 0.02 in
+      let read_fds =
+        if st.draining then []
+        else
+          st.listener
+          :: List.filter_map
+               (fun c -> if c.closed then None else Some c.fd)
+               st.conns
+      in
+      (match Unix.select read_fds [] [] timeout with
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | ready, _, _ ->
+        if List.mem st.listener ready then begin
+          match Unix.accept st.listener with
+          | fd, _ ->
+            st.conns <-
+              {
+                fd;
+                frames = Protocol.Frames.create ();
+                pending = Queue.create ();
+                closed = false;
+              }
+              :: st.conns
+          | exception Unix.Unix_error _ -> ()
+        end;
+        List.iter
+          (fun c ->
+            if (not c.closed) && List.mem c.fd ready then read_conn st c)
+          st.conns);
+      poll_inflight st;
+      loop ()
+    end
+  in
+  loop ()
+
+let run ?(telemetry = Telemetry.null) cfg =
+  match preflight ~socket:cfg.socket with
+  | Error _ as e -> e
+  | Ok () -> (
+    let queue_bound =
+      match cfg.execution with
+      | Inline -> 1 (* pool stays empty: any positive bound admits inline *)
+      | Pooled { queue_bound; _ } -> queue_bound
+    in
+    (match cfg.execution with
+    | Pooled { workers; _ } when workers > 0 -> Pool.ensure ~workers
+    | Pooled _ | Inline -> ());
+    let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    match
+      Unix.bind listener (Unix.ADDR_UNIX cfg.socket);
+      Unix.listen listener 64
+    with
+    | exception Unix.Unix_error (err, _, _) ->
+      (try Unix.close listener with Unix.Unix_error _ -> ());
+      Error
+        (Printf.sprintf "%s: cannot bind/listen: %s" cfg.socket
+           (Unix.error_message err))
+    | () ->
+      let st =
+        {
+          router = Router.create ~telemetry ~max_memo:cfg.max_memo ();
+          queue_bound;
+          listener;
+          conns = [];
+          inflight = Memo.Inflight.create ();
+          anon = [];
+          draining = false;
+        }
+      in
+      let stop = ref false in
+      let old_int = Sys.signal Sys.sigint (Sys.Signal_handle (fun _ -> stop := true)) in
+      let old_term =
+        Sys.signal Sys.sigterm (Sys.Signal_handle (fun _ -> stop := true))
+      in
+      (* A peer that disconnects mid-write must not kill the daemon. *)
+      let old_pipe = Sys.signal Sys.sigpipe Sys.Signal_ignore in
+      Fun.protect
+        ~finally:(fun () ->
+          List.iter close_conn st.conns;
+          (try Unix.close st.listener with Unix.Unix_error _ -> ());
+          (try Sys.remove cfg.socket with Sys_error _ -> ());
+          (* Leave the process genuinely single-domain: parked workers
+             would tax any later serial measurement, and tests fork. *)
+          Pool.quiesce ();
+          Sys.set_signal Sys.sigint old_int;
+          Sys.set_signal Sys.sigterm old_term;
+          Sys.set_signal Sys.sigpipe old_pipe)
+        (fun () ->
+          serve_loop st ~stop;
+          Ok ()))

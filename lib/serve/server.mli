@@ -1,0 +1,55 @@
+(** The PAS query server: a single-domain [Unix.select] event loop over
+    a Unix-domain socket, answering {!Protocol} frames.
+
+    Closed-form queries are answered inline by the {!Router} (memo hit:
+    microseconds; miss: the [lib/analysis] closed forms). Simulation-
+    backed queries are admitted to the process-global
+    {!Cachesec_runtime.Pool} through the bounded
+    [Pool.try_submit] gate — a full queue yields an [overloaded] reply
+    instead of unbounded buffering — and identical in-flight campaigns
+    are deduplicated: the second asker joins the running campaign's
+    future instead of starting its own, and every joined waiter
+    observes the same result (or the same error).
+
+    Response ordering is FIFO per connection: a response frame is
+    written only when every earlier frame on that connection has been
+    fully answered, so clients can pipeline frames and match replies
+    positionally.
+
+    Shutdown: a [shutdown] query (or SIGINT/SIGTERM) drains in-flight
+    campaigns, flushes every completed batch, closes connections,
+    removes the socket file and quiesces the pool, so a clean exit
+    leaves no socket litter and no live domains. *)
+
+type execution =
+  | Inline
+      (** Simulations run synchronously in the server's own domain (the
+          pool is never started). Queries arriving behind a running
+          simulation wait; good for tests and single-client use. *)
+  | Pooled of { workers : int; queue_bound : int }
+      (** Simulations run in pool workers; at most [queue_bound] may be
+          queued awaiting a worker before new admissions are refused
+          with [overloaded]. [workers = 0] degrades to inline execution
+          with the same admission bound. *)
+
+type config = {
+  socket : string;  (** Unix-domain socket path (OS limit ~107 bytes) *)
+  execution : execution;
+  max_memo : int;  (** answer-cache entry bound *)
+}
+
+val default_queue_bound : int
+(** 64. *)
+
+val preflight : socket:string -> (unit, string) result
+(** Refuse to start over an existing socket path: if a server is
+    already listening, or the file is a stale socket left by a crash
+    (connect refused), or the path is not a socket at all, return a
+    clear error naming the situation. [Ok] when the path is free. *)
+
+val run :
+  ?telemetry:Cachesec_telemetry.Telemetry.t -> config -> (unit, string) result
+(** Bind, listen and serve until [shutdown]/SIGINT/SIGTERM. Returns
+    after cleanup. [Error] covers preflight failures and bind/listen
+    errors; protocol errors on individual connections only close that
+    connection. *)

@@ -195,6 +195,82 @@ let test_pool_quiesce_respawns () =
   Alcotest.(check int) "pooled task after respawn" 11
     (Pool.await (Pool.submit (fun () -> 11)))
 
+let test_pool_try_submit_bound () =
+  (* Deterministic backpressure: park every worker on a gate so tasks
+     queue instead of being claimed, then watch the bound refuse
+     exactly at [max_pending]. *)
+  Pool.ensure ~workers:2;
+  let w = Pool.workers () in
+  let release = Atomic.make false in
+  let started = Atomic.make 0 in
+  let gates =
+    List.init w (fun _ ->
+        Pool.submit (fun () ->
+            Atomic.incr started;
+            while not (Atomic.get release) do
+              Domain.cpu_relax ()
+            done))
+  in
+  (* Wait until every worker is provably inside a gate task: the queue
+     is now empty and nothing else will be claimed until release. *)
+  while Atomic.get started < w do
+    Domain.cpu_relax ()
+  done;
+  Alcotest.(check int) "queue empty while workers busy" 0 (Pool.queued_tasks ());
+  let a = Pool.try_submit ~max_pending:2 (fun () -> 1) in
+  let b = Pool.try_submit ~max_pending:2 (fun () -> 2) in
+  Alcotest.(check bool) "under the bound admits" true
+    (a <> None && b <> None);
+  Alcotest.(check int) "two queued" 2 (Pool.queued_tasks ());
+  Alcotest.(check bool) "at the bound refuses" true
+    (Pool.try_submit ~max_pending:2 (fun () -> 3) = None);
+  Alcotest.(check bool) "zero bound refuses even when empty" true
+    (Pool.try_submit ~max_pending:0 (fun () -> 4) = None);
+  Atomic.set release true;
+  List.iter Pool.await gates;
+  (* Admitted-then-queued work completes normally after release. *)
+  (match (a, b) with
+  | Some fa, Some fb ->
+    Alcotest.(check int) "first admitted" 1 (Pool.await fa);
+    Alcotest.(check int) "second admitted" 2 (Pool.await fb)
+  | _ -> Alcotest.fail "admissions lost");
+  (* With zero workers the queue cannot exist: any positive bound
+     admits and runs eagerly inline. *)
+  Pool.quiesce ();
+  (match Pool.try_submit ~max_pending:1 (fun () -> 5) with
+  | Some f -> Alcotest.(check int) "inline at zero workers" 5 (Pool.await f)
+  | None -> Alcotest.fail "positive bound refused at zero workers");
+  Pool.ensure ~workers:2
+
+let test_pool_poll () =
+  Pool.ensure ~workers:2;
+  (* Pending -> None; Done -> Some; repeated polls agree. *)
+  let release = Atomic.make false in
+  let f =
+    Pool.submit (fun () ->
+        while not (Atomic.get release) do
+          Domain.cpu_relax ()
+        done;
+        42)
+  in
+  Alcotest.(check (option int)) "pending polls None" None (Pool.poll f);
+  Atomic.set release true;
+  Alcotest.(check int) "await" 42 (Pool.await f);
+  Alcotest.(check (option int)) "done polls Some" (Some 42) (Pool.poll f);
+  Alcotest.(check (option int)) "poll is idempotent" (Some 42) (Pool.poll f);
+  (* Every observer of a failed future sees the same exception, on
+     every poll — the dedup server joins many waiters onto one future
+     and reports one shared outcome. *)
+  let g = Pool.submit (fun () -> failwith "poll-boom") in
+  (try ignore (Pool.await g) with Failure _ -> ());
+  List.iter
+    (fun observer ->
+      Alcotest.check_raises
+        (Printf.sprintf "observer %d sees the failure" observer)
+        (Failure "poll-boom")
+        (fun () -> ignore (Pool.poll g)))
+    [ 1; 2; 3 ]
+
 let test_scheduler_fold_results () =
   Alcotest.(check string)
     "index-order fold" "abc"
@@ -444,6 +520,9 @@ let () =
             test_pool_await_inside_worker_rejected;
           Alcotest.test_case "quiesce / respawn" `Quick
             test_pool_quiesce_respawns;
+          Alcotest.test_case "try_submit bound" `Quick
+            test_pool_try_submit_bound;
+          Alcotest.test_case "poll" `Quick test_pool_poll;
         ] );
       ( "scheduler",
         [
