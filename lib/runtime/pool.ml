@@ -246,13 +246,20 @@ let try_submit ~max_pending f =
   end
   else Some (enqueue_locked p f)
 
-(* Non-blocking completion check. [state] is a single mutable field
-   written once under the pool lock; OCaml's memory model guarantees
-   the read here sees either [Pending] or the final state, never a torn
-   value, so no lock is needed — the same racy-read fast path [await]
-   already uses. *)
+(* Non-blocking completion check. [state] is written by a worker domain
+   under the pool lock, so read it under the same lock: a plain
+   unsynchronized read could never tear, but the OCaml memory model
+   would also permit it to keep returning a stale [Pending] forever —
+   a polling loop needs the acquire/release pairing the mutex provides
+   to be guaranteed to eventually observe completion. The lock is
+   uncontended in the common case (workers hold it only for the
+   instants of dequeue and completion), so this costs nanoseconds. *)
 let poll fut =
-  match fut.state with
+  let p = the in
+  Mutex.lock p.lock;
+  let s = fut.state in
+  Mutex.unlock p.lock;
+  match s with
   | Pending -> None
   | Done v -> Some v
   | Failed (e, bt) -> Printexc.raise_with_backtrace e bt

@@ -64,11 +64,14 @@ val await : 'a future -> 'a
 val poll : 'a future -> 'a option
 (** Non-blocking {!await}: [None] while the task is pending, its value
     once done, or re-raises its captured exception (with backtrace) if
-    it failed. Safe from any domain, including pool workers — it never
-    blocks, so the worker-deadlock guard of {!await} is unnecessary.
-    Like {!await}, polling a failed future re-raises the same exception
-    on every call, so any number of joined observers see the same
-    outcome. *)
+    it failed. Safe from any domain, including pool workers — it takes
+    the pool lock only for the instant of the state read (so a polling
+    loop in another domain is guaranteed to eventually observe
+    completion; a plain racy read would carry no such guarantee under
+    the OCaml memory model) and never waits on a condition, so the
+    worker-deadlock guard of {!await} is unnecessary. Like {!await},
+    polling a failed future re-raises the same exception on every
+    call, so any number of joined observers see the same outcome. *)
 
 val busy_seconds : unit -> float
 (** Cumulative seconds all workers have spent executing tasks (i.e. not

@@ -126,6 +126,18 @@ let encode_query = function
   | Stats -> "stats"
   | Shutdown -> "shutdown"
   | Pas { spec; config; attack; cold } ->
+    (* The pas wire form carries one [ways=] (a spec field); the decoder
+       mirrors it into the config (Newcache, which has none, gets the
+       standard 8). A config whose way count disagrees with the spec
+       therefore cannot round-trip — refuse loudly instead of silently
+       sending a different question. *)
+    let wire_ways = Option.value (spec_ways spec) ~default:8 in
+    if config.Config.ways <> wire_ways then
+      invalid_arg
+        (Printf.sprintf
+           "Protocol.encode_query: Pas config.ways (%d) disagrees with the \
+            spec's ways (%d); the wire form cannot express the mismatch"
+           config.Config.ways wire_ways);
     String.concat " "
       (("pas" :: spec_args spec) @ config_args config @ [ attack_arg attack ]
       @ cold_arg cold)
@@ -508,6 +520,14 @@ let decode_reply line =
 (* --- framing ---------------------------------------------------------- *)
 
 let max_frame = 4 * 1024 * 1024
+
+(* Reply lines are usually far bigger than their query lines (a ~27-byte
+   [table] query yields a ~250-byte nine-row reply), so the request-side
+   [max_frame] does not bound the response frame. Capping the number of
+   query lines per request frame is what keeps well-formed batches'
+   replies under [max_frame]; the server rejects bigger batches with a
+   protocol error instead of assembling an unencodable reply. *)
+let max_batch_lines = 4096
 
 let frame payload =
   let n = String.length payload in

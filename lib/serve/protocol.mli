@@ -94,7 +94,12 @@ val cold : query -> bool
 
 val encode_query : query -> string
 val decode_query : string -> (query, string) result
-(** One line, no newline. [decode_query (encode_query q) = Ok q]. *)
+(** One line, no newline. [decode_query (encode_query q) = Ok q].
+    [encode_query] raises [Invalid_argument] on a [Pas] whose
+    [config.ways] disagrees with the spec's way count (standard 8 for
+    [Newcache]): the wire form carries a single [ways=] argument, so
+    such a value cannot round-trip and must not be sent silently as a
+    different question. *)
 
 val encode_reply : reply -> string
 val decode_reply : string -> (reply, string) result
@@ -105,6 +110,14 @@ val decode_reply : string -> (reply, string) result
 
 val max_frame : int
 (** 4 MiB payload cap. *)
+
+val max_batch_lines : int
+(** 4096 — the most query lines a request frame may carry. Reply lines
+    are usually far bigger than their query lines, so the request-side
+    {!max_frame} alone does not bound the response frame; this cap is
+    what keeps well-formed batches' replies encodable. The server
+    answers an oversized batch with a single-line [error] frame and
+    closes the connection. *)
 
 val frame : string -> bytes
 (** Length prefix + payload, ready to write. Raises [Invalid_argument]

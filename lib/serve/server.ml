@@ -14,9 +14,14 @@ let default_queue_bound = 64
 (* --- connection / batch bookkeeping ----------------------------------- *)
 
 type conn = {
-  fd : Unix.file_descr;
+  fd : Unix.file_descr;  (* non-blocking *)
   frames : Protocol.Frames.t;
   pending : batch Queue.t;  (* request frames, oldest first (FIFO) *)
+  out : Bytes.t Queue.t;  (* encoded reply frames not yet fully written *)
+  mutable out_off : int;  (* bytes of [Queue.peek out] already written *)
+  mutable out_bytes : int;  (* total unwritten bytes across [out] *)
+  mutable closing : bool;  (* protocol error: stop reading, close when
+                              every pending batch has been written out *)
   mutable closed : bool;
 }
 
@@ -42,29 +47,79 @@ let close_conn c =
     try Unix.close c.fd with Unix.Unix_error _ -> ()
   end
 
-(* Write every complete batch at the head of the connection's queue.
+(* A peer that stops reading while pipelining can make us buffer its
+   replies without limit; past this backlog it is declared stalled and
+   its connection closed. Generous: several maximal reply frames. *)
+let max_out_backlog = 4 * Protocol.max_frame
+
+(* Queue an encoded reply frame for (non-blocking) writing. A reply
+   payload over [Protocol.max_frame] cannot be framed at all
+   ([Protocol.frame] raises [Invalid_argument]); that kills only this
+   connection, never the daemon — the request-side frame cap does not
+   bound the reply side, so this is reachable by a hostile batch even
+   with [max_batch_lines] enforced. *)
+let enqueue_frame c payload =
+  if not c.closed then begin
+    match Protocol.frame payload with
+    | b ->
+      Queue.push b c.out;
+      c.out_bytes <- c.out_bytes + Bytes.length b;
+      if c.out_bytes > max_out_backlog then close_conn c
+    | exception Invalid_argument _ -> close_conn c
+  end
+
+(* Drain as much of the out-queue as the socket accepts right now.
    Write errors (peer gone) close the connection; in-flight campaigns
    it was waiting on keep running — their results still feed the memo
    and any deduplicated co-waiters. *)
+let write_out c =
+  if not c.closed then begin
+    let blocked = ref false in
+    while (not !blocked) && (not c.closed) && not (Queue.is_empty c.out) do
+      let b = Queue.peek c.out in
+      let len = Bytes.length b - c.out_off in
+      match Unix.write c.fd b c.out_off len with
+      | 0 -> close_conn c
+      | w ->
+        c.out_bytes <- c.out_bytes - w;
+        if w = len then begin
+          ignore (Queue.pop c.out);
+          c.out_off <- 0
+        end
+        else begin
+          c.out_off <- c.out_off + w;
+          blocked := true
+        end
+      | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+        blocked := true
+      | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+      | exception Unix.Unix_error _ -> close_conn c
+    done;
+    if
+      c.closing && (not c.closed)
+      && Queue.is_empty c.out
+      && Queue.is_empty c.pending
+    then close_conn c
+  end
+
+(* Move every complete batch at the head of the connection's queue into
+   its out-queue (preserving FIFO reply order), then write
+   opportunistically. *)
 let flush_conn c =
   let rec go () =
     match Queue.peek_opt c.pending with
     | Some b when b.left = 0 ->
       ignore (Queue.pop c.pending);
-      if not c.closed then begin
-        let payload =
-          String.concat "\n"
-            (Array.to_list
-               (Array.map (fun s -> Option.value s ~default:"") b.slots))
-        in
-        match Protocol.write_frame c.fd payload with
-        | () -> go ()
-        | exception (Unix.Unix_error _ | Failure _) -> close_conn c
-      end
-      else go ()
+      if not c.closed then
+        enqueue_frame c
+          (String.concat "\n"
+             (Array.to_list
+                (Array.map (fun s -> Option.value s ~default:"") b.slots)));
+      go ()
     | _ -> ()
   in
-  go ()
+  go ();
+  write_out c
 
 (* --- preflight -------------------------------------------------------- *)
 
@@ -143,12 +198,34 @@ let handle_line st b i line =
         | Some k -> ignore (Memo.Inflight.add st.inflight ~key:k ~fut (b, i))
         | None -> st.anon <- (fut, b, i) :: st.anon))
 
+(* One read may carry several frames; nothing after the frame that
+   doomed a connection is processed. *)
 let handle_frame st c payload =
-  let lines = String.split_on_char '\n' payload in
-  let n = List.length lines in
-  let b = { conn = c; slots = Array.make n None; left = n } in
-  Queue.push b c.pending;
-  List.iteri (fun i line -> handle_line st b i line) lines
+  if c.closing || c.closed then ()
+  else begin
+    let lines = String.split_on_char '\n' payload in
+    let n = List.length lines in
+    if n > Protocol.max_batch_lines then begin
+      (* An unbounded batch could assemble a reply frame no client
+         could even receive. Answer with a single-line error frame —
+         queued as a pre-completed one-slot batch so it still goes out
+         after every earlier pipelined batch — and close once
+         everything pending has been written. *)
+      let b = { conn = c; slots = Array.make 1 None; left = 1 } in
+      Queue.push b c.pending;
+      deliver b 0
+        (Protocol.encode_reply
+           (Protocol.Error_
+              (Printf.sprintf "batch of %d queries exceeds %d lines per frame"
+                 n Protocol.max_batch_lines)));
+      c.closing <- true
+    end
+    else begin
+      let b = { conn = c; slots = Array.make n None; left = n } in
+      Queue.push b c.pending;
+      List.iteri (fun i line -> handle_line st b i line) lines
+    end
+  end
 
 (* Completion sweep: non-blocking poll of every outstanding campaign.
    A completed campaign's result is delivered to every waiter (the
@@ -194,13 +271,24 @@ let read_buf = Bytes.create 65536
 let read_conn st c =
   match Unix.read c.fd read_buf 0 (Bytes.length read_buf) with
   | 0 -> close_conn c
-  | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
+  | exception
+      Unix.Unix_error
+        ((Unix.EINTR | Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+    ()
   | exception Unix.Unix_error ((Unix.ECONNRESET | Unix.EPIPE), _, _) ->
     close_conn c
   | len -> (
     match Protocol.Frames.feed c.frames ~bytes:read_buf ~len with
     | Error _ -> close_conn c (* oversized frame: unrecoverable stream *)
     | Ok payloads -> List.iter (handle_frame st c) payloads)
+
+(* [Unix.select] breaks past FD_SETSIZE (1024 on Linux): a descriptor
+   numbered >= 1024 fails with EINVAL/EBADF and would kill the event
+   loop. Cap accepted connections with a margin for the listener,
+   stdio, and whatever else the process holds open; extras are
+   accepted and immediately closed (the client sees a clean EOF and
+   can retry). *)
+let max_conns = 960
 
 let serve_loop st ~stop =
   let rec loop () =
@@ -209,7 +297,10 @@ let serve_loop st ~stop =
     if !stop then ()
     else if
       st.draining && inflight_empty st
-      && List.for_all (fun c -> Queue.is_empty c.pending) st.conns
+      && List.for_all
+           (fun c ->
+             c.closed || (Queue.is_empty c.pending && Queue.is_empty c.out))
+           st.conns
     then ()
     else begin
       (* While campaigns are in flight we tick fast to poll their
@@ -220,28 +311,49 @@ let serve_loop st ~stop =
         else
           st.listener
           :: List.filter_map
-               (fun c -> if c.closed then None else Some c.fd)
+               (fun c ->
+                 if c.closed || c.closing then None else Some c.fd)
                st.conns
       in
-      (match Unix.select read_fds [] [] timeout with
+      let write_fds =
+        List.filter_map
+          (fun c ->
+            if (not c.closed) && c.out_bytes > 0 then Some c.fd else None)
+          st.conns
+      in
+      (match Unix.select read_fds write_fds [] timeout with
       | exception Unix.Unix_error (Unix.EINTR, _, _) -> ()
-      | ready, _, _ ->
-        if List.mem st.listener ready then begin
+      | ready_r, ready_w, _ ->
+        if List.mem st.listener ready_r then begin
           match Unix.accept st.listener with
           | fd, _ ->
-            st.conns <-
-              {
-                fd;
-                frames = Protocol.Frames.create ();
-                pending = Queue.create ();
-                closed = false;
-              }
-              :: st.conns
+            if List.length st.conns >= max_conns then
+              (try Unix.close fd with Unix.Unix_error _ -> ())
+            else begin
+              Unix.set_nonblock fd;
+              st.conns <-
+                {
+                  fd;
+                  frames = Protocol.Frames.create ();
+                  pending = Queue.create ();
+                  out = Queue.create ();
+                  out_off = 0;
+                  out_bytes = 0;
+                  closing = false;
+                  closed = false;
+                }
+                :: st.conns
+            end
           | exception Unix.Unix_error _ -> ()
         end;
         List.iter
           (fun c ->
-            if (not c.closed) && List.mem c.fd ready then read_conn st c)
+            if (not c.closed) && List.mem c.fd ready_w then write_out c)
+          st.conns;
+        List.iter
+          (fun c ->
+            if (not c.closed) && (not c.closing) && List.mem c.fd ready_r
+            then read_conn st c)
           st.conns);
       poll_inflight st;
       loop ()
@@ -262,6 +374,10 @@ let run ?(telemetry = Telemetry.null) cfg =
     | Pooled { workers; _ } when workers > 0 -> Pool.ensure ~workers
     | Pooled _ | Inline -> ());
     let listener = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+    (* Non-blocking: a peer that resets between select and accept must
+       not block the loop (accepted fds get set_nonblock individually —
+       they do not inherit the listener's flag on all platforms). *)
+    Unix.set_nonblock listener;
     match
       Unix.bind listener (Unix.ADDR_UNIX cfg.socket);
       Unix.listen listener 64

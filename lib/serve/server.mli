@@ -16,6 +16,17 @@
     fully answered, so clients can pipeline frames and match replies
     positionally.
 
+    All sockets are non-blocking: replies are buffered per connection
+    and drained as [select] reports writability, so one peer that
+    pipelines requests but stops reading can never stall the event
+    loop (or the other connections) — it is closed once its unread
+    backlog passes a few maximal frames. Individual misbehaving
+    connections are always closed alone, never the daemon: a batch
+    over [Protocol.max_batch_lines] gets a single-line error frame and
+    a close, a reply that cannot be framed (over [Protocol.max_frame])
+    closes just that connection, and connections beyond the
+    [select]/FD_SETSIZE budget (~960) are refused with immediate EOF.
+
     Shutdown: a [shutdown] query (or SIGINT/SIGTERM) drains in-flight
     campaigns, flushes every completed batch, closes connections,
     removes the socket file and quiesces the pool, so a clean exit

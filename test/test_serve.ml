@@ -117,6 +117,23 @@ let test_decode_errors () =
       | Ok _ -> Alcotest.failf "expected decode error for %S" line)
     bad
 
+let test_encode_ways_mismatch () =
+  (* The pas wire form carries a single ways= argument; a Pas whose
+     config disagrees with the spec cannot round-trip and must refuse
+     to encode rather than silently ask a different question. *)
+  let q : Protocol.query =
+    Pas
+      {
+        spec = Spec.Sa { ways = 8; policy = Replacement.Lru };
+        config = Config.v ~line_bytes:64 ~lines:512 ~ways:4;
+        attack = Attack_type.Prime_and_probe;
+        cold = false;
+      }
+  in
+  match Protocol.encode_query q with
+  | exception Invalid_argument _ -> ()
+  | s -> Alcotest.failf "expected Invalid_argument, got %S" s
+
 let test_frames_incremental () =
   let payloads = [ "ping"; "pas cache=sa attack=prime-and-probe\nstats"; "" ] in
   let wire =
@@ -503,6 +520,61 @@ let test_e2e_dedup () =
         Alcotest.(check int) "still one campaign" 1 (stat kvs "sim_runs")
       | _ -> Alcotest.fail "third ask")
 
+let test_e2e_batch_cap () =
+  (* A batch over max_batch_lines is a protocol error: the server
+     answers (after every earlier pipelined frame, in order) with a
+     single-line error frame and closes that connection — only that
+     connection; the daemon survives. *)
+  let socket = "test-serve-batchcap.sock" in
+  with_server ~socket (fun c _pid ->
+      let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+      Fun.protect
+        ~finally:(fun () ->
+          try Unix.close fd with Unix.Unix_error _ -> ())
+        (fun () ->
+          Unix.connect fd (Unix.ADDR_UNIX socket);
+          Protocol.write_frame fd "ping";
+          Protocol.write_frame fd
+            (String.concat "\n"
+               (List.init (Protocol.max_batch_lines + 1) (fun _ -> "ping")));
+          (match Protocol.read_frame fd with
+          | Some "ok" -> ()
+          | _ -> Alcotest.fail "pipelined good frame should answer first");
+          (match Protocol.read_frame fd with
+          | Some payload -> (
+            match Protocol.decode_reply payload with
+            | Ok (Protocol.Error_ _) -> ()
+            | _ -> Alcotest.failf "expected error reply, got %S" payload)
+          | None -> Alcotest.fail "expected an error reply before close");
+          (match Protocol.read_frame fd with
+          | None -> ()
+          | Some _ -> Alcotest.fail "connection should be closed"));
+      (* The daemon is unharmed: the untouched connection still works. *)
+      match Client.request1 c Protocol.Ping with
+      | Protocol.Ok_ -> ()
+      | _ -> Alcotest.fail "daemon should survive the oversized batch")
+
+let test_e2e_large_batch () =
+  (* A maximal legal batch of the heaviest closed form: the ~500 KB
+     reply far exceeds the socket buffer, so this drives the buffered
+     non-blocking write path (EAGAIN, partial writes, select on
+     writability) end to end. *)
+  let socket = "test-serve-bigbatch.sock" in
+  with_server ~socket (fun c _pid ->
+      let n = 2000 in
+      let replies =
+        Client.round_trip_raw c
+          (List.init n (fun _ -> "table attack=prime-and-probe"))
+      in
+      Alcotest.(check int) "one reply per query" n (List.length replies);
+      List.iter
+        (fun r ->
+          match Protocol.decode_reply r with
+          | Ok (Protocol.Table_v rows) ->
+            Alcotest.(check int) "nine rows" 9 (List.length rows)
+          | _ -> Alcotest.failf "expected table reply, got %S" r)
+        replies)
+
 let test_preflight_stale () =
   (* A bound-then-abandoned socket file (a crash artifact): preflight
      refuses with a distinct message, and a server cannot start. *)
@@ -545,6 +617,8 @@ let () =
           Alcotest.test_case "query round trips" `Quick test_query_roundtrip;
           Alcotest.test_case "reply round trips" `Quick test_reply_roundtrip;
           Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "pas ways mismatch refuses to encode" `Quick
+            test_encode_ways_mismatch;
           Alcotest.test_case "incremental frames" `Quick test_frames_incremental;
         ] );
       ( "canonical keys",
@@ -565,6 +639,8 @@ let () =
       ( "end-to-end",
         [
           Alcotest.test_case "inline server" `Quick test_e2e_inline;
+          Alcotest.test_case "oversized batch" `Quick test_e2e_batch_cap;
+          Alcotest.test_case "buffered large batch" `Quick test_e2e_large_batch;
           Alcotest.test_case "backpressure" `Quick test_e2e_overloaded;
           Alcotest.test_case "in-flight dedup" `Quick test_e2e_dedup;
           Alcotest.test_case "stale socket preflight" `Quick test_preflight_stale;
