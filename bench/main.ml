@@ -276,6 +276,25 @@ let main perf sim (ctx : Run.ctx) =
   section "Table 6 (PAS of 4 attack types x 9 caches)" (fun () ->
       Tables.table6 ());
   section "Table 7 (resilience classification)" (fun () -> Tables.table7 ());
+  (* Tentpole artefact of the policy-registry work: the full policy x
+     attack x architecture resilience table (PAS x the k->infinity
+     cleaning limit of each replacement policy, with the absorbed-
+     information bits ceiling), written under results/ for the CI
+     artifact upload alongside its machine-readable CSV. Analytical --
+     closed forms only -- so it runs even under --no-sim. *)
+  section "Policy resilience (policy x attack x architecture)" (fun () ->
+      let text = Tables.policy_resilience () in
+      ensure_results_dirs ();
+      let oc = open_out "results/POLICY_resilience.txt" in
+      output_string oc text;
+      close_out oc;
+      Cachesec_report.Csv.write ~path:"results/policy_resilience.csv"
+        ~header:
+          [ "arch"; "policy"; "attack"; "pas"; "limit"; "effective"; "bits";
+            "verdict" ]
+        ~rows:(Tables.policy_resilience_csv_rows ());
+      text
+      ^ "  wrote results/POLICY_resilience.txt and results/policy_resilience.csv\n");
   section "Figure 4 (noise edge probability p5)" (fun () -> Figures.figure4 ());
   section "Figure 8 (pre-PAS, closed forms)" (fun () -> Figures.figure8 ());
   section "Table 6 at an alternative geometry (16 KB, 4-way)" (fun () ->

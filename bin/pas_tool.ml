@@ -54,6 +54,34 @@ let attack_arg =
           "Attack class: evict-and-time, prime-and-probe, cache-collision, \
            flush-and-reload.")
 
+let policy_conv =
+  let parse s =
+    match Policy.of_string s with
+    | Some p -> Ok p
+    | None ->
+      Error
+        (`Msg
+          (Printf.sprintf "unknown policy %S (expected one of: %s)" s
+             (String.concat ", " (List.map Policy.to_string Policy.all))))
+  in
+  let print ppf p = Format.pp_print_string ppf (Policy.to_string p) in
+  Arg.conv (parse, print)
+
+let policy_arg =
+  Arg.(
+    value
+    & opt (some policy_conv) None
+    & info [ "policy"; "p" ] ~docv:"POLICY"
+        ~doc:
+          (Printf.sprintf
+             "Replacement policy: %s. Default: the paper's configuration \
+              (random). Newcache keeps its SecRAND replacement regardless."
+             Policy.names))
+
+(* Rebind the spec's replacement policy when --policy was given. *)
+let apply_policy policy spec =
+  match policy with None -> spec | Some p -> Spec.with_policy spec p
+
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"RNG seed.")
 
@@ -95,10 +123,10 @@ let figures_cmd =
       & opt (some int) None
       & info [ "figure"; "f" ] ~docv:"N" ~doc:"Print only figure N (4, 8, 9 or 10).")
   in
-  let run which (ctx : Run.ctx) =
+  let run which policy (ctx : Run.ctx) =
     let all = which = None in
     if all || which = Some 4 then print_string (Figures.figure4 ());
-    if all || which = Some 8 then print_string (Figures.figure8 ());
+    if all || which = Some 8 then print_string (Figures.figure8 ?policy ());
     if all || which = Some 9 then print_string (Figures.render_figure9 ctx);
     if all || which = Some 10 then print_string (Figures.render_figure10 ctx);
     (match which with
@@ -109,7 +137,7 @@ let figures_cmd =
   in
   Cmd.v
     (Cmd.info "figures" ~doc:"Reproduce the paper's Figures 4, 8, 9 and 10.")
-    Term.(const run $ which $ ctx_term)
+    Term.(const run $ which $ policy_arg $ ctx_term)
 
 let pas_cmd =
   let run spec attack =
@@ -161,9 +189,14 @@ let prepas_cmd =
       value & opt int 2000
       & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
   in
-  let run spec k mc samples seed =
-    Printf.printf "pre-PAS(%s, k=%d) = %s (closed form, paper Section 5)\n"
-      (Spec.name spec) k
+  let run spec policy k mc samples seed =
+    let spec = apply_policy policy spec in
+    Printf.printf "pre-PAS(%s%s, k=%d) = %s (closed form, paper Section 5)\n"
+      (Spec.name spec)
+      (match Spec.policy_of spec with
+      | Some p -> "/" ^ Policy.to_string p
+      | None -> "")
+      k
       (Cachesec_report.Table.fmt_prob (Prepas.for_spec spec ~k));
     if mc then begin
       let rng = Cachesec_stats.Rng.create ~seed in
@@ -175,7 +208,9 @@ let prepas_cmd =
   Cmd.v
     (Cmd.info "prepas"
        ~doc:"Cache-cleaning success probability (pre-PAS) for one cache.")
-    Term.(const run $ cache_arg $ k_arg $ mc_arg $ samples_arg $ seed_arg)
+    Term.(
+      const run $ cache_arg $ policy_arg $ k_arg $ mc_arg $ samples_arg
+      $ seed_arg)
 
 let simulate_cmd =
   let trials_arg =
@@ -186,7 +221,8 @@ let simulate_cmd =
   in
   (* Trials fan out over the Driver's batch plan, so --jobs shards the
      campaign over domains without changing the verdict. *)
-  let run spec attack trials (ctx : Run.ctx) =
+  let run spec policy attack trials (ctx : Run.ctx) =
+    let spec = apply_policy policy spec in
     let lock = match spec with Spec.Pl _ -> true | _ -> false in
     let report recovered best true_v separation =
       Printf.printf
@@ -255,17 +291,102 @@ let simulate_cmd =
        ~doc:
          "Run a simulated attack against a cache architecture (trials \
           sharded over --jobs domains).")
-    Term.(const run $ cache_arg $ attack_arg $ trials_arg $ ctx_term)
+    Term.(
+      const run $ cache_arg $ policy_arg $ attack_arg $ trials_arg $ ctx_term)
 
 let validate_cmd =
-  let run (ctx : Run.ctx) =
-    print_string (Validation.render (Validation.cells ctx));
+  let run policy (ctx : Run.ctx) =
+    print_string (Validation.render (Validation.cells ?policy ctx));
     Cachesec_telemetry.Telemetry.close ctx.Run.telemetry
   in
   Cmd.v
     (Cmd.info "validate"
-       ~doc:"Run the full 9-cache x 4-attack validation matrix.")
-    Term.(const run $ ctx_term)
+       ~doc:
+         "Run the full 9-cache x 4-attack validation matrix (optionally \
+          under a non-default replacement policy).")
+    Term.(const run $ policy_arg $ ctx_term)
+
+let policy_matrix_cmd =
+  let cache_opt_arg =
+    Arg.(
+      value
+      & opt (some spec_conv) None
+      & info [ "cache"; "c" ] ~docv:"CACHE"
+          ~doc:"Restrict the table to one architecture.")
+  in
+  let threshold_arg =
+    Arg.(
+      value
+      & opt (some float) None
+      & info [ "threshold" ] ~docv:"T"
+          ~doc:"Resilience threshold on the effective PAS (default 0.01).")
+  in
+  let csv_arg =
+    Arg.(
+      value & flag
+      & info [ "csv" ]
+          ~doc:
+            "Emit machine-readable rows (arch, policy, attack, pas, limit, \
+             effective, bits, verdict) instead of the table.")
+  in
+  let check_arg =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Cross-check each policy's closed-form cleaning probability \
+             against the Monte-Carlo cleaning game on the SA cache.")
+  in
+  let samples_arg =
+    Arg.(
+      value & opt int 2000
+      & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count for --check.")
+  in
+  let run cache policy threshold csv check samples seed =
+    let specs = Option.map (fun s -> [ s ]) cache in
+    let policies = Option.map (fun p -> [ p ]) policy in
+    if csv then
+      List.iter
+        (fun row -> print_endline (String.concat "," row))
+        (Tables.policy_resilience_csv_rows ())
+    else print_string (Tables.policy_resilience ?threshold ?specs ?policies ());
+    if check then begin
+      let ways =
+        match Spec.paper_sa with Spec.Sa { ways; _ } -> ways | _ -> 8
+      in
+      Printf.printf
+        "\nClosed form vs Monte-Carlo cleaning game (SA %d-way, %d samples):\n"
+        ways samples;
+      Printf.printf "  %-8s %6s %12s %12s %s\n" "policy" "k" "closed" "mc"
+        "agree";
+      List.iter
+        (fun p ->
+          let spec = Spec.with_policy Spec.paper_sa p in
+          List.iter
+            (fun k ->
+              let closed = Prepas.for_spec spec ~k in
+              let rng = Cachesec_stats.Rng.create ~seed in
+              let mc =
+                Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k ~samples
+                  ~rng
+              in
+              Printf.printf "  %-8s %6d %12.4f %12.4f %s\n" (Policy.to_string p)
+                k closed mc
+                (if Float.abs (closed -. mc) < 0.05 then "yes" else "NO"))
+            [ ways - 1; ways; 4 * ways ])
+        (match policy with Some p -> [ p ] | None -> Policy.all)
+    end
+  in
+  Cmd.v
+    (Cmd.info "policy-matrix"
+       ~doc:
+         "The policy x attack x architecture resilience table: effective \
+          PAS (gated by the k->inf cleaning limit for miss-based attacks), \
+          absorbed-information leakage bound and verdict for every \
+          replacement policy.")
+    Term.(
+      const run $ cache_opt_arg $ policy_arg $ threshold_arg $ csv_arg
+      $ check_arg $ samples_arg $ seed_arg)
 
 let perf_cmd =
   let accesses =
@@ -539,7 +660,8 @@ let main =
     (Cmd.info "pas-tool" ~version:"1.0.0" ~doc)
     [
       tables_cmd; figures_cmd; pas_cmd; dot_cmd; prepas_cmd; simulate_cmd;
-      validate_cmd; perf_cmd; metrics_cmd; svf_cmd; covert_cmd; multi_cmd;
+      validate_cmd; policy_matrix_cmd; perf_cmd; metrics_cmd; svf_cmd;
+      covert_cmd; multi_cmd;
       fullkey_cmd; lastround_cmd; expleak_cmd; llc_cmd; mitigation_cmd;
       serve_cmd; query_cmd;
     ]

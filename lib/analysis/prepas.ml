@@ -9,14 +9,52 @@ let sa_lru ~ways ~k =
   check_kw ~ways ~k;
   if k >= ways then 1. else 0.
 
+(* Same step as LRU — the attacker's k distinct misses are the set's k
+   oldest fills — but deliberately its own arm: a policy must own its
+   formula so a new policy can never silently inherit a wrong one. *)
+let sa_fifo ~ways ~k =
+  check_kw ~ways ~k;
+  if k >= ways then 1. else 0.
+
 let sa_random ~ways ~k =
   check_kw ~ways ~k;
   Coupon.prob_all_covered ~bins:ways ~trials:k
 
+(* MRU, LFU and MFU all self-thrash under the cleaning game: the
+   attacker's first miss evicts one victim line (the most-recent /
+   tie-broken-first one), but the attacker's own fresh fill is then
+   itself the most-recently-used line — and under LFU/MFU every line
+   ties at frequency 1 with the same first-occurrence tie-break — so
+   every subsequent miss evicts the attacker's previous fill. Exactly
+   one victim line is ever cleaned; the game succeeds only in the
+   degenerate single-way set. *)
+let sa_self_thrash ~ways ~k =
+  check_kw ~ways ~k;
+  if ways = 1 && k >= 1 then 1. else 0.
+
+let sa_mru ~ways ~k = sa_self_thrash ~ways ~k
+let sa_lfu ~ways ~k = sa_self_thrash ~ways ~k
+let sa_mfu ~ways ~k = sa_self_thrash ~ways ~k
+
+(* Tree-PLRU: from any tree state, [ways] consecutive misses (each fill
+   re-pointing the tree away from itself) visit [ways] distinct leaves
+   — by induction on the tree height the walk alternates subtrees — so
+   the set is cleaned exactly when k reaches the associativity; the
+   same step as true LRU. Non-power-of-two geometries run the engine's
+   LRU fallback, which is the same step again. *)
+let sa_plru ~ways ~k =
+  check_kw ~ways ~k;
+  if k >= ways then 1. else 0.
+
 let sa ~ways ~k ~policy =
   match policy with
-  | Replacement.Lru | Replacement.Fifo -> sa_lru ~ways ~k
+  | Replacement.Lru -> sa_lru ~ways ~k
+  | Replacement.Fifo -> sa_fifo ~ways ~k
   | Replacement.Random -> sa_random ~ways ~k
+  | Replacement.Mru -> sa_mru ~ways ~k
+  | Replacement.Lfu -> sa_lfu ~ways ~k
+  | Replacement.Mfu -> sa_mfu ~ways ~k
+  | Replacement.Plru -> sa_plru ~ways ~k
 
 let newcache ~logical_lines ~k =
   if logical_lines <= 0 then invalid_arg "Prepas.newcache: lines must be positive";
@@ -58,6 +96,13 @@ let for_spec ?victim_lines_in_set ?(prefetched = true) spec ~k =
   | Spec.Rp { ways; policy } -> rp ~ways ~k ~policy
   | Spec.Rf { ways; policy; _ } -> rf ~ways ~k ~policy
   | Spec.Re { ways; policy; interval } -> re ~ways ~interval ~k ~policy
+
+(* k -> infinity limit of {!for_spec}: every closed form above is
+   eventually constant in k except Random's coupon-collector sum, whose
+   tail term ((ways-1)/ways)^k is far below double-precision resolution
+   at this horizon — so the result is exactly 0. or 1. *)
+let cleaning_limit ?victim_lines_in_set ?prefetched spec =
+  for_spec ?victim_lines_in_set ?prefetched spec ~k:65536
 
 let figure8_series ~specs ~ks =
   List.map

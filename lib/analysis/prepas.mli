@@ -5,15 +5,66 @@
     Under LRU the attacker succeeds deterministically once k reaches the
     associativity; under random replacement cleaning is the ball-picking
     game whose success probability is the inclusion-exclusion
-    coupon-collector sum. *)
+    coupon-collector sum.
+
+    {b Exact vs curve-fit.} Every formula in this module is an exact
+    closed form for the corresponding engine under the cleaning game —
+    none is a curve fit. [sa_lru], [sa_fifo] and [sa_plru] are the
+    paper's Equation (10) step; [sa_random] is the Equation (11)
+    coupon-collector sum; [sa_mru], [sa_lfu] and [sa_mfu] follow from
+    the self-thrashing argument below and are cross-checked against
+    Monte-Carlo simulation in the test suite. Each policy owns its own
+    arm in {!sa} — no two policies share a pattern — so adding a policy
+    forces an explicit (compiler-checked) decision about its formula. *)
 
 open Cachesec_cache
 
 val sa_lru : ways:int -> k:int -> float
-(** Equation (10): the step function 1{k >= ways}. *)
+(** Equation (10): the step function 1{k >= ways}. Exact. *)
+
+val sa_fifo : ways:int -> k:int -> float
+(** FIFO cleans like LRU — the attacker's k distinct misses are always
+    the set's k oldest fills, so queue order and recency order agree —
+    but the formula is its own definition, not an alias. Exact. *)
 
 val sa_random : ways:int -> k:int -> float
-(** Equation (11): P(all [ways] slots picked in [k] uniform draws). *)
+(** Equation (11): P(all [ways] slots picked in [k] uniform draws).
+    Exact. *)
+
+val sa_mru : ways:int -> k:int -> float
+(** 1{ways = 1 && k >= 1}: under MRU the attacker self-thrashes — each
+    miss evicts the attacker's own previous fill (the most recently
+    used line) — so at most one victim line is ever cleaned and the
+    game succeeds only in a single-way set. Exact. *)
+
+val sa_lfu : ways:int -> k:int -> float
+(** 1{ways = 1 && k >= 1}: every line in the cleaning game ties at
+    frequency 1 and the first-occurrence tie-break re-selects the same
+    way forever, so LFU self-thrashes exactly like {!sa_mru}. Exact. *)
+
+val sa_mfu : ways:int -> k:int -> float
+(** 1{ways = 1 && k >= 1}: the all-equal-frequency tie-break makes MFU
+    indistinguishable from LFU in the cleaning game. Exact. *)
+
+val sa_plru : ways:int -> k:int -> float
+(** 1{k >= ways}: from any tree state, [ways] consecutive misses visit
+    [ways] distinct leaves (each fill points the tree away from itself),
+    so tree-PLRU cleans on the same step as true LRU. Non-power-of-two
+    geometries use the engine's LRU fallback — the same step. Exact. *)
+
+val sa :
+  ways:int -> k:int -> policy:Replacement.policy -> float
+(** Per-policy dispatch over the seven arms above; exhaustive, so a new
+    {!Cachesec_cache.Policy} constructor is a compile error here until
+    its formula is written. *)
+
+val cleaning_limit :
+  ?victim_lines_in_set:int -> ?prefetched:bool -> Spec.t -> float
+(** The k -> infinity limit of {!for_spec}: the probability an
+    unbounded attacker ever cleans the victim's lines. Every closed
+    form is eventually constant in k (Random's coupon sum converges to
+    1), so the limit is exactly 0. or 1. — the "cleanable at all" bit
+    used by the policy resilience table. *)
 
 val newcache : logical_lines:int -> k:int -> float
 (** Section 5B: 1 - (1 - 1/n)^k for evicting one designated physical

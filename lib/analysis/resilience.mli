@@ -40,3 +40,54 @@ val verdict_to_string : verdict -> string
 
 val verdict_mark : verdict -> string
 (** The paper's glyphs: "Y" for high, "X" for low. *)
+
+(** {2 Policy resilience}
+
+    The policy x attack x architecture refinement of Table 7: every
+    architecture re-evaluated under each replacement policy of
+    {!Cachesec_cache.Policy.all}. The PIFG edge probabilities are
+    policy-agnostic, so the policy axis acts through the k -> infinity
+    cleaning limit ({!Prepas.cleaning_limit}): a policy under which the
+    attacker cannot clean the victim's set (MRU/LFU/MFU self-thrash in
+    multi-way sets) zeroes the effective PAS of the miss-based attack
+    types. *)
+
+type policy_cell = {
+  policy : Replacement.policy;
+  attack : Attack_type.t;
+  pas : float;  (** the raw PIFG PAS, identical across policies *)
+  limit : float;
+      (** {!Prepas.cleaning_limit} for miss-based attacks, 1 otherwise *)
+  effective : float;  (** [pas *. limit] — what an unbounded attacker gets *)
+  bits : float;
+      (** absorbed information per observation of the induced erasure
+          channel: [effective] times log2 of the symbol space (cache
+          sets for miss-based attacks, memory lines for reuse-based) *)
+  verdict : verdict;  (** {!classify} applied to the {e effective} PAS *)
+}
+
+val policy_cell :
+  ?threshold:float ->
+  ?config:Config.t ->
+  Spec.t ->
+  Replacement.policy ->
+  Attack_type.t ->
+  policy_cell
+(** One cell of the matrix; the spec is rebound with
+    {!Cachesec_cache.Spec.with_policy} first. *)
+
+val policy_specs : Spec.t list
+(** The paper architectures whose replacement policy is a free
+    parameter — {!Cachesec_cache.Spec.all_paper} minus Newcache, whose
+    SecRAND replacement is part of the design. *)
+
+val policy_matrix :
+  ?threshold:float ->
+  ?config:Config.t ->
+  ?specs:Spec.t list ->
+  ?policies:Replacement.policy list ->
+  unit ->
+  (Spec.t * (Replacement.policy * policy_cell list) list) list
+(** The full matrix, one {!policy_cell} per attack type in
+    {!Attack_type.all} order. Defaults: {!policy_specs} x
+    {!Cachesec_cache.Policy.all}. *)

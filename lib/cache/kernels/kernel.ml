@@ -7,3 +7,19 @@ let selection_of_string = function
   | "auto" -> Some Auto
   | "generic" -> Some Generic
   | _ -> None
+
+(* Table-driven kernel registry, keyed by [Policy.id]: each engine
+   declares its monomorphized kernels once and [pick] replaces the old
+   per-engine [Kernel.Auto, Replacement.Lru -> ...] match ladders. A
+   policy without an entry falls back to the generic path — adding a
+   policy never breaks an engine, it just runs generic until someone
+   monomorphizes it. *)
+
+let table ~prefix entries =
+  let t = Array.make Policy.count None in
+  List.iter
+    (fun (p, k) -> t.(Policy.id p) <- Some (prefix ^ "-" ^ Policy.to_string p, k))
+    entries;
+  t
+
+let pick t (policy : Policy.t) = t.(Policy.id policy)

@@ -15,3 +15,14 @@ val generic : string
 
 val selection_to_string : selection -> string
 val selection_of_string : string -> selection option
+
+(** {2 Kernel registry}
+
+    One table per engine, keyed by {!Policy.id}. [table ~prefix entries]
+    labels each kernel [prefix ^ "-" ^ Policy.to_string p] (the
+    [Engine.t.kernel] string); {!pick} returns the kernel for a policy,
+    or [None] when the engine has no monomorphized loop for it — the
+    caller then uses the generic path. *)
+
+val table : prefix:string -> (Policy.t * 'k) list -> (string * 'k) option array
+val pick : (string * 'k) option array -> Policy.t -> (string * 'k) option

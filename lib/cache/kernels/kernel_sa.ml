@@ -107,3 +107,128 @@ let access_random (b : Backing.t) ~pid addr =
   in
   Counters.record b.Backing.counters ~pid outcome;
   outcome
+
+let access_mru (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let last_use = s.Slab.last_use in
+  let seq = tick b in
+  let base = set_of b addr * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set last_use i seq;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          Slab.scan_max last_use (base + 1) stop base
+            (Array.unsafe_get last_use base)
+      in
+      fill_outcome s way ~pid ~addr ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+(* LFU/MFU: the hit path carries one extra int store (the frequency
+   bump [Policy.touch] does on the generic path); the victim scan runs
+   over the frequency slab with the same first-occurrence tie-break as
+   every other scan. *)
+
+let access_lfu (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let freq = s.Slab.freq in
+  let seq = tick b in
+  let base = set_of b addr * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Array.unsafe_set freq i (Array.unsafe_get freq i + 1);
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          Slab.scan_min freq (base + 1) stop base (Array.unsafe_get freq base)
+      in
+      fill_outcome s way ~pid ~addr ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+let access_mfu (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let freq = s.Slab.freq in
+  let seq = tick b in
+  let base = set_of b addr * s.Slab.ways in
+  let stop = base + s.Slab.ways in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Array.unsafe_set freq i (Array.unsafe_get freq i + 1);
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          Slab.scan_max freq (base + 1) stop base (Array.unsafe_get freq base)
+      in
+      fill_outcome s way ~pid ~addr ~seq
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome
+
+(* Tree-PLRU: the tree word is re-pointed on every hit AND after every
+   fill ([Policy.touch]/[Policy.filled] on the generic path). The
+   non-power-of-two fallback mirrors [Policy.victim_in]'s LRU order so
+   the two paths stay bit-identical on any geometry. *)
+
+let access_plru (b : Backing.t) ~pid addr =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let seq = tick b in
+  let set = set_of b addr in
+  let w = s.Slab.ways in
+  let base = set * w in
+  let stop = base + w in
+  let i = Slab.scan_tag tags addr base stop in
+  let outcome =
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Policy.plru_touch s i;
+      Outcome.hit
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else if Policy.plru_tree_capable w then
+          base + Policy.plru_walk (Array.unsafe_get s.Slab.tree set) w 1
+        else
+          let last_use = s.Slab.last_use in
+          Slab.scan_min last_use (base + 1) stop base
+            (Array.unsafe_get last_use base)
+      in
+      let o = fill_outcome s way ~pid ~addr ~seq in
+      Policy.plru_touch s way;
+      o
+    end
+  in
+  Counters.record b.Backing.counters ~pid outcome;
+  outcome

@@ -12,3 +12,7 @@ val set_of : Backing.t -> int -> int
 val access_lru : Backing.t -> pid:int -> int -> Outcome.t
 val access_fifo : Backing.t -> pid:int -> int -> Outcome.t
 val access_random : Backing.t -> pid:int -> int -> Outcome.t
+val access_mru : Backing.t -> pid:int -> int -> Outcome.t
+val access_lfu : Backing.t -> pid:int -> int -> Outcome.t
+val access_mfu : Backing.t -> pid:int -> int -> Outcome.t
+val access_plru : Backing.t -> pid:int -> int -> Outcome.t

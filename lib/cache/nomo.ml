@@ -54,7 +54,7 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Slab.touch s i ~seq;
+      Policy.touch t.policy s i ~seq;
       Outcome.hit
     end
     else begin
@@ -66,11 +66,16 @@ let access t ~pid addr =
            read-through defensively. *)
         Outcome.miss_uncached
       else begin
+        (* The reserved/shared slices are never a whole set, so under
+           Plru the victim choice is the deterministic LRU fallback
+           (tree bits are maintained by the hooks but never consulted
+           for slice-shaped ranges — see {!Policy}). *)
         let way =
-          Replacement.choose_in t.policy b.rng s ~base:cand_base ~len:cand_len
+          Policy.victim_in t.policy b.rng s ~base:cand_base ~len:cand_len
         in
         let evicted = Slab.victim s way in
         Slab.fill s way ~tag:addr ~owner:pid ~seq;
+        Policy.filled t.policy s way;
         Outcome.fill ~fetched:addr ~evicted
       end
     end

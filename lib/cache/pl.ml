@@ -18,20 +18,23 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Slab.touch s i ~seq;
+      Policy.touch t.policy s i ~seq;
       Outcome.hit
     end
     else begin
       let way =
-        Replacement.choose_in t.policy b.rng s
+        Policy.victim_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
       in
       if Slab.valid s way && Slab.locked s way then
-        (* Protected victim: direct memory-to-processor transfer. *)
+        (* Protected victim: direct memory-to-processor transfer (no
+           fill, so no [Policy.filled] either — the tree/counters only
+           move when cache state does). *)
         Outcome.miss_uncached
       else begin
         let evicted = Slab.victim s way in
         Slab.fill s way ~tag:addr ~owner:pid ~seq;
+        Policy.filled t.policy s way;
         Outcome.fill ~fetched:addr ~evicted
       end
     end
@@ -59,9 +62,10 @@ let lock_line t ~pid addr =
     match unlocked with
     | [] -> false
     | candidates ->
-      let way = Replacement.choose_among_in t.policy b.rng s ~candidates in
+      let way = Policy.victim_among_in t.policy b.rng s ~candidates in
       let evicted = if Slab.valid s way then 1 else 0 in
       Slab.fill s way ~tag:addr ~owner:pid ~seq;
+      Policy.filled t.policy s way;
       Slab.set_locked s way true;
       Counters.record_eviction b.counters ~count:evicted;
       true
@@ -98,13 +102,24 @@ let flush_line t ~pid addr =
 
 let flush_all t = Backing.flush_all t.b
 
+(* Only the three original policies are monomorphized here; the newer
+   ones run the generic path (Kernel.pick returns None). *)
+let kernels =
+  Kernel.table ~prefix:"pl"
+    [
+      (Policy.Lru, Kernel_pl.access_lru);
+      (Policy.Random, Kernel_pl.access_random);
+      (Policy.Fifo, Kernel_pl.access_fifo);
+    ]
+
 let engine ?(kernel = Kernel.Auto) t =
   let access, kernel_name =
-    match (kernel, t.policy) with
-    | Kernel.Generic, _ -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto, Replacement.Lru -> (Kernel_pl.access_lru t.b, "pl-lru")
-    | Kernel.Auto, Replacement.Fifo -> (Kernel_pl.access_fifo t.b, "pl-fifo")
-    | Kernel.Auto, Replacement.Random -> (Kernel_pl.access_random t.b, "pl-random")
+    match kernel with
+    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto -> (
+      match Kernel.pick kernels t.policy with
+      | Some (name, k) -> (k t.b, name)
+      | None -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic))
   in
   {
     Engine.name = Printf.sprintf "pl-%d-way" (config t).Config.ways;

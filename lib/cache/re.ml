@@ -47,17 +47,18 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let base =
     if i >= 0 then begin
-      Slab.touch b.Backing.slab i ~seq;
+      Policy.touch t.policy b.Backing.slab i ~seq;
       Outcome.hit
     end
     else begin
       let s = b.Backing.slab in
       let way =
-        Replacement.choose_in t.policy b.rng s
+        Policy.victim_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
       in
       let evicted = Slab.victim s way in
       Slab.fill s way ~tag:addr ~owner:pid ~seq;
+      Policy.filled t.policy s way;
       Outcome.fill ~fetched:addr ~evicted
     end
   in

@@ -1,25 +1,34 @@
 open Cachesec_stats
 
-type policy = Lru | Random | Fifo
+(* Compat shim: the policy type and its dispatch now live in {!Policy}
+   (the registry every engine, kernel table and protocol speller
+   consumes). This module re-exports the type so the historical
+   [Replacement.Lru] spellings keep compiling, keeps the boxed
+   [Line.t array] entry points for tests and tools that build small
+   line arrays directly, and forwards the slab entry points to
+   {!Policy} behind deprecation alerts. *)
 
-let policy_to_string = function Lru -> "lru" | Random -> "random" | Fifo -> "fifo"
+type policy = Policy.t = Lru | Random | Fifo | Mru | Lfu | Mfu | Plru
 
-let policy_of_string = function
-  | "lru" -> Some Lru
-  | "random" -> Some Random
-  | "fifo" -> Some Fifo
-  | _ -> None
+let policy_to_string = Policy.to_string
+let policy_of_string = Policy.of_string
 
-(* --- hot path: candidates are the contiguous index range
-   [base, base + len) (one set, or a contiguous slice of one for Nomo's
-   reserved/shared split). No lists, no options, no closures: every
-   scan is a bounded int loop and the only allocation anywhere below is
-   [invalid_arg]'s on the error path. ------------------------------- *)
+(* --- boxed [Line.t array] paths (compat) ---------------------------
+   Candidates are the contiguous index range [base, base + len). Only
+   the policies whose state lives inside [Line.t] are supported here:
+   Lru/Random/Fifo/Mru. The slab-state policies (Lfu/Mfu need the
+   frequency slab, Plru the tree-bits slab) raise — refusing beats
+   silently picking a different victim order. ----------------------- *)
 
 let check lines ~base ~len =
   if len <= 0 then invalid_arg "Replacement.choose: no candidates";
   if base < 0 || base + len > Array.length lines then
     invalid_arg "Replacement.choose: candidate out of range"
+
+let slab_only () =
+  invalid_arg
+    "Replacement.choose: policy state lives in Slab arrays (use \
+     Policy.victim_in)"
 
 (* The loops are top-level recursive functions with every free variable
    passed explicitly: without flambda a local [let rec] capturing
@@ -42,6 +51,15 @@ let rec scan_min_last_use (lines : Line.t array) i stop best =
 
 let min_last_use (lines : Line.t array) ~base ~len =
   scan_min_last_use lines (base + 1) (base + len) base
+
+let rec scan_max_last_use (lines : Line.t array) i stop best =
+  if i >= stop then best
+  else
+    scan_max_last_use lines (i + 1) stop
+      (if lines.(i).Line.last_use > lines.(best).Line.last_use then i else best)
+
+let max_last_use (lines : Line.t array) ~base ~len =
+  scan_max_last_use lines (base + 1) (base + len) base
 
 let rec scan_min_fill_seq (lines : Line.t array) i stop best =
   if i >= stop then best
@@ -66,33 +84,21 @@ let choose policy rng lines ~base ~len =
     | Lru -> min_last_use lines ~base ~len
     | Fifo -> min_fill_seq lines ~base ~len
     | Random -> base + Rng.int rng len
+    | Mru -> max_last_use lines ~base ~len
+    | Lfu | Mfu | Plru -> slab_only ()
 
-(* --- slab hot path: the same contract as [choose], over the flat
-   {!Slab} field arrays the engines now keep their state in. The
-   [Line.t array] entry points above survive as a compat shim (tests
-   and tools still build small line arrays directly). -------------- *)
+(* --- slab paths: forwarded to the {!Policy} registry --------------- *)
 
-let check_slab (s : Slab.t) ~base ~len =
-  if len <= 0 then invalid_arg "Replacement.choose_in: no candidates";
-  if base < 0 || base + len > s.Slab.n then
-    invalid_arg "Replacement.choose_in: candidate out of range"
-
-let first_invalid_in (s : Slab.t) ~base ~len = Slab.first_invalid s ~base ~len
+let choose_in policy rng s ~base ~len = Policy.victim_in policy rng s ~base ~len
 
 let lru_victim_in (s : Slab.t) ~base ~len =
-  check_slab s ~base ~len;
+  if len <= 0 then invalid_arg "Replacement.lru_victim_in: no candidates";
+  if base < 0 || base + len > s.Slab.n then
+    invalid_arg "Replacement.lru_victim_in: candidate out of range";
   let i = Slab.first_invalid s ~base ~len in
   if i >= 0 then i else Slab.min_last_use s ~base ~len
 
-let choose_in policy rng (s : Slab.t) ~base ~len =
-  check_slab s ~base ~len;
-  let i = Slab.first_invalid s ~base ~len in
-  if i >= 0 then i
-  else
-    match policy with
-    | Lru -> Slab.min_last_use s ~base ~len
-    | Fifo -> Slab.min_fill_seq s ~base ~len
-    | Random -> base + Rng.int rng len
+let first_invalid_in (s : Slab.t) ~base ~len = Slab.first_invalid s ~base ~len
 
 (* --- cold path: arbitrary (possibly non-contiguous) candidate sets,
    e.g. the unlocked ways of a PL set during [lock_line]. ----------- *)
@@ -113,6 +119,14 @@ let min_by key (lines : Line.t array) candidates =
       (fun best i -> if key lines.(i) < key lines.(best) then i else best)
       first rest
 
+let max_by key (lines : Line.t array) candidates =
+  match candidates with
+  | [] -> assert false
+  | first :: rest ->
+    List.fold_left
+      (fun best i -> if key lines.(i) > key lines.(best) then i else best)
+      first rest
+
 let choose_among policy rng lines ~candidates =
   check_list lines candidates;
   match List.find_opt (fun i -> not lines.(i).Line.valid) candidates with
@@ -121,31 +135,9 @@ let choose_among policy rng lines ~candidates =
     match policy with
     | Lru -> min_by (fun (l : Line.t) -> l.last_use) lines candidates
     | Fifo -> min_by (fun (l : Line.t) -> l.fill_seq) lines candidates
-    | Random -> List.nth candidates (Rng.int rng (List.length candidates)))
+    | Random -> List.nth candidates (Rng.int rng (List.length candidates))
+    | Mru -> max_by (fun (l : Line.t) -> l.last_use) lines candidates
+    | Lfu | Mfu | Plru -> slab_only ())
 
-(* Slab variant of the list cold path (PL way-locking): same candidate
-   order, same tie-breaks (first occurrence of the minimum wins). *)
-
-let check_list_slab (s : Slab.t) candidates =
-  if candidates = [] then invalid_arg "Replacement.choose_among_in: no candidates";
-  List.iter
-    (fun i ->
-      if i < 0 || i >= s.Slab.n then
-        invalid_arg "Replacement.choose_among_in: candidate out of range")
-    candidates
-
-let min_by_slab (a : int array) candidates =
-  match candidates with
-  | [] -> assert false
-  | first :: rest ->
-    List.fold_left (fun best i -> if a.(i) < a.(best) then i else best) first rest
-
-let choose_among_in policy rng (s : Slab.t) ~candidates =
-  check_list_slab s candidates;
-  match List.find_opt (fun i -> not (Slab.valid s i)) candidates with
-  | Some i -> i
-  | None -> (
-    match policy with
-    | Lru -> min_by_slab s.Slab.last_use candidates
-    | Fifo -> min_by_slab s.Slab.fill_seq candidates
-    | Random -> List.nth candidates (Rng.int rng (List.length candidates)))
+let choose_among_in policy rng s ~candidates =
+  Policy.victim_among_in policy rng s ~candidates

@@ -1,56 +1,56 @@
-(** Replacement policies.
+(** Replacement policies — legacy entry points.
+
+    The policy type and all victim-selection / touch dispatch now live
+    in the {!Policy} registry; this module re-exports the type (so the
+    historical [Replacement.Lru] spellings keep compiling across the
+    codebase) and keeps the old entry points as compat wrappers.
+
+    New code should call {!Policy.victim_in} / {!Policy.victim_among_in}
+    and thread {!Policy.touch} / {!Policy.filled}; the slab wrappers
+    below are deprecated and merely forward there.
 
     A policy selects the victim way among a candidate subset of a set's
     lines. Invalid candidates are always preferred (a fill never evicts
-    while free space remains), matching every design in the paper.
+    while free space remains), matching every design in the paper. *)
 
-    The hot-path entry point {!choose} takes the candidate ways as a
-    contiguous index range [(base, len)] — which every per-access fill
-    in the simulator has: a whole set, or a contiguous slice of one
-    (Nomo's reserved/shared split) — and runs allocation-free.
-    {!choose_among} keeps the general list form for cold paths with
-    non-contiguous candidates (PL way-locking). *)
-
-type policy = Lru | Random | Fifo
+type policy = Policy.t = Lru | Random | Fifo | Mru | Lfu | Mfu | Plru
 
 val policy_to_string : policy -> string
 val policy_of_string : string -> policy option
 
+(** [choose policy rng lines ~base ~len] picks the victim index from the
+    range [base, base + len) of boxed [lines]: any invalid candidate
+    first (lowest index), otherwise by policy (LRU = least [last_use],
+    FIFO = least [fill_seq], Random = uniform over the range, MRU =
+    greatest [last_use]). Allocation-free. Raises [Invalid_argument]
+    when the range is empty or out of bounds — or for [Lfu]/[Mfu]/[Plru],
+    whose state lives in {!Slab} field arrays the boxed view does not
+    carry (use {!Policy.victim_in}). *)
 val choose :
   policy -> Cachesec_stats.Rng.t -> Line.t array -> base:int -> len:int -> int
-(** [choose policy rng lines ~base ~len] picks the victim index from the
-    range [base, base + len) of [lines]:
-    - any invalid candidate first (lowest index);
-    - otherwise by policy: LRU = least [last_use], FIFO = least
-      [fill_seq], Random = uniform over the range (one RNG draw).
-    Allocation-free. Raises [Invalid_argument] when the range is empty
-    or out of bounds. *)
+[@@alert deprecated "use Policy.victim_in over a Slab"]
 
+(** As {!choose} over an explicit candidate list (invalid-first order is
+    list order; Random is [List.nth] over the list). Same policy support
+    as {!choose}. *)
 val choose_among :
   policy -> Cachesec_stats.Rng.t -> Line.t array -> candidates:int list -> int
-(** As {!choose} over an explicit candidate list (invalid-first order is
-    list order; Random is [List.nth] over the list). For cold paths with
-    non-contiguous candidates only. *)
+[@@alert deprecated "use Policy.victim_among_in over a Slab"]
 
 val lru_victim : Line.t array -> base:int -> len:int -> int
 (** The LRU choice alone (exposed for tests). *)
 
-(** {2 Slab variants}
+(** {2 Slab variants — deprecated forwards to {!Policy}} *)
 
-    The same contracts over the flat {!Slab} state the engines keep
-    their lines in since the slab refactor. The [Line.t array] entry
-    points above remain as a compat shim for tests and tools that build
-    small line arrays directly. *)
-
+(** Forwards to {!Policy.victim_in}. *)
 val choose_in :
   policy -> Cachesec_stats.Rng.t -> Slab.t -> base:int -> len:int -> int
-(** {!choose} over a slab range: invalid-first (lowest index), then
-    LRU/FIFO minimum with first-occurrence tie-break, Random = one RNG
-    draw over the range. Allocation-free. *)
+[@@alert deprecated "use Policy.victim_in"]
 
+(** Forwards to {!Policy.victim_among_in}. *)
 val choose_among_in :
   policy -> Cachesec_stats.Rng.t -> Slab.t -> candidates:int list -> int
-(** {!choose_among} over a slab (PL way-locking cold path). *)
+[@@alert deprecated "use Policy.victim_among_in"]
 
 val lru_victim_in : Slab.t -> base:int -> len:int -> int
 val first_invalid_in : Slab.t -> base:int -> len:int -> int

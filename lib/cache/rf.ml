@@ -41,11 +41,12 @@ let fill_line t ~pid ~addr line ~seq =
     Outcome.miss_uncached
   else begin
     let way =
-      Replacement.choose_in t.policy b.rng s
+      Policy.victim_in t.policy b.rng s
         ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
     in
     let evicted = Slab.victim s way in
     Slab.fill s way ~tag:line ~owner:pid ~seq;
+    Policy.filled t.policy s way;
     {
       Outcome.event = Miss;
       cached = line = addr;
@@ -62,7 +63,7 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Slab.touch b.Backing.slab i ~seq;
+      Policy.touch t.policy b.Backing.slab i ~seq;
       Outcome.hit
     end
     else begin

@@ -27,19 +27,20 @@ let access t ~pid addr =
   let i = Backing.find_tag_owned b ~set ~tag:addr ~owner:pid in
   let outcome =
     if i >= 0 then begin
-      Slab.touch s i ~seq;
+      Policy.touch t.policy s i ~seq;
       Outcome.hit
     end
     else begin
       let w = b.cfg.Config.ways in
       let way =
-        Replacement.choose_in t.policy b.rng s
+        Policy.victim_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:w
       in
       if s.Slab.tags.(way) < 0 || s.Slab.owners.(way) = pid then begin
         (* Internal miss: replace in place. *)
         let evicted = Slab.victim s way in
         Slab.fill s way ~tag:addr ~owner:pid ~seq;
+        Policy.filled t.policy s way;
         Outcome.fill ~fetched:addr ~evicted
       end
       else begin
@@ -48,6 +49,7 @@ let access t ~pid addr =
         let way' = Backing.base_of_set b ~set:s' + Rng.int b.rng w in
         let evicted = Slab.victim s way' in
         Slab.fill s way' ~tag:addr ~owner:pid ~seq;
+        Policy.filled t.policy s way';
         Kernel_rp.swap_mapping t.map ~sets:(sets t) pid ~logical
           ~target_set:s';
         Outcome.fill ~fetched:addr ~evicted
@@ -76,14 +78,24 @@ let flush_line t ~pid addr =
 
 let flush_all t = Backing.flush_all t.b
 
+(* Only the three original policies are monomorphized here; the newer
+   ones run the generic path (Kernel.pick returns None). *)
+let kernels =
+  Kernel.table ~prefix:"rp"
+    [
+      (Policy.Lru, Kernel_rp.access_lru);
+      (Policy.Random, Kernel_rp.access_random);
+      (Policy.Fifo, Kernel_rp.access_fifo);
+    ]
+
 let engine ?(kernel = Kernel.Auto) t =
   let access, kernel_name =
-    match (kernel, t.policy) with
-    | Kernel.Generic, _ -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto, Replacement.Lru -> (Kernel_rp.access_lru t.map t.b, "rp-lru")
-    | Kernel.Auto, Replacement.Fifo -> (Kernel_rp.access_fifo t.map t.b, "rp-fifo")
-    | Kernel.Auto, Replacement.Random ->
-      (Kernel_rp.access_random t.map t.b, "rp-random")
+    match kernel with
+    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto -> (
+      match Kernel.pick kernels t.policy with
+      | Some (name, k) -> (k t.map t.b, name)
+      | None -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic))
   in
   {
     Engine.name = Printf.sprintf "rp-%d-way" (config t).Config.ways;

@@ -9,13 +9,14 @@ let policy t = t.policy
    [Address.set_index]. *)
 let set_of t addr = Backing.set_of t.b addr
 
-(* Generic access path: policy dispatched per miss through
-   [Replacement]. [Kernel_sa] holds the per-policy monomorphized
-   equivalents selected by {!engine}; the two must stay bit-identical
-   (state, RNG draws, outcomes — replayed against each other by the
-   differential kernel tests). The hit path allocates nothing: tag
-   probe and LRU touch are int loops/stores over the slab and the
-   outcome is the preallocated [Outcome.hit]. *)
+(* Generic access path: policy dispatched per access through the
+   {!Policy} registry (victim selection on miss, touch hook on hit,
+   filled hook after install). [Kernel_sa] holds the per-policy
+   monomorphized equivalents selected by {!engine}; the two must stay
+   bit-identical (state, RNG draws, outcomes — replayed against each
+   other by the differential kernel tests). The hit path allocates
+   nothing: tag probe and policy touch are int loops/stores over the
+   slab and the outcome is the preallocated [Outcome.hit]. *)
 let access t ~pid addr =
   let b = t.b in
   let s = b.Backing.slab in
@@ -24,16 +25,17 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Slab.touch s i ~seq;
+      Policy.touch t.policy s i ~seq;
       Outcome.hit
     end
     else begin
       let way =
-        Replacement.choose_in t.policy b.rng s
+        Policy.victim_in t.policy b.rng s
           ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
       in
       let evicted = Slab.victim s way in
       Slab.fill s way ~tag:addr ~owner:pid ~seq;
+      Policy.filled t.policy s way;
       Outcome.fill ~fetched:addr ~evicted
     end
   in
@@ -54,13 +56,28 @@ let flush_line t ~pid addr =
 let flush_all t = Backing.flush_all t.b
 let counters t = t.b.Backing.counters
 
+(* All seven policies are monomorphized for this engine (it is the
+   gated bench row and the hottest path). *)
+let kernels =
+  Kernel.table ~prefix:"sa"
+    [
+      (Policy.Lru, Kernel_sa.access_lru);
+      (Policy.Random, Kernel_sa.access_random);
+      (Policy.Fifo, Kernel_sa.access_fifo);
+      (Policy.Mru, Kernel_sa.access_mru);
+      (Policy.Lfu, Kernel_sa.access_lfu);
+      (Policy.Mfu, Kernel_sa.access_mfu);
+      (Policy.Plru, Kernel_sa.access_plru);
+    ]
+
 let engine ?(kernel = Kernel.Auto) t =
   let access, kernel_name =
-    match (kernel, t.policy) with
-    | Kernel.Generic, _ -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto, Replacement.Lru -> (Kernel_sa.access_lru t.b, "sa-lru")
-    | Kernel.Auto, Replacement.Fifo -> (Kernel_sa.access_fifo t.b, "sa-fifo")
-    | Kernel.Auto, Replacement.Random -> (Kernel_sa.access_random t.b, "sa-random")
+    match kernel with
+    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
+    | Kernel.Auto -> (
+      match Kernel.pick kernels t.policy with
+      | Some (name, k) -> (k t.b, name)
+      | None -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic))
   in
   {
     Engine.name = Printf.sprintf "sa-%d-way-%s" (config t).Config.ways

@@ -33,6 +33,8 @@ type t = {
   fill_seq : int array;  (** access sequence of the fill (FIFO) *)
   aux : int array;  (** architecture-specific (Newcache logical index) *)
   locked : int array;  (** PL protection bit, 0/1 *)
+  freq : int array;  (** access count since fill (LFU/MFU); 0 when invalid *)
+  tree : int array;  (** per-set tree-PLRU bits word, indexed by set *)
 }
 
 let invalid_tag = -1
@@ -50,12 +52,15 @@ let create ~lines ~ways =
     fill_seq = Array.make lines 0;
     aux = Array.make lines 0;
     locked = Array.make lines 0;
+    freq = Array.make lines 0;
+    tree = Array.make (lines / ways) 0;
   }
 
-(* Resident footprint of the six field slabs (header word + [n] unboxed
-   words each, 8 bytes per word on 64-bit): the [cache.slab_bytes]
-   gauge the bench reports per engine. *)
-let bytes t = 6 * (t.n + 1) * 8
+(* Resident footprint of the seven per-line field slabs plus the
+   per-set PLRU tree slab (header word + elements, unboxed words,
+   8 bytes per word on 64-bit): the [cache.slab_bytes] gauge the bench
+   reports per engine. *)
+let bytes t = ((7 * (t.n + 1)) + (t.n / t.ways) + 1) * 8
 
 let valid t i = t.tags.(i) >= 0
 
@@ -90,6 +95,15 @@ let rec scan_min (a : int array) i stop best bestv =
     if v < bestv then scan_min a (i + 1) stop i v
     else scan_min a (i + 1) stop best bestv
 
+(* Index of the maximum of [a] over [i, stop); first occurrence wins
+   ties, mirroring {!scan_min} (MRU and MFU victim scans). *)
+let rec scan_max (a : int array) i stop best bestv =
+  if i >= stop then best
+  else
+    let v = Array.unsafe_get a i in
+    if v > bestv then scan_max a (i + 1) stop i v
+    else scan_max a (i + 1) stop best bestv
+
 let find_tag t ~tag ~base ~len = scan_tag t.tags tag base (base + len)
 
 let find_tag_owned t ~tag ~owner ~base ~len =
@@ -103,6 +117,15 @@ let min_last_use t ~base ~len =
 let min_fill_seq t ~base ~len =
   scan_min t.fill_seq (base + 1) (base + len) base t.fill_seq.(base)
 
+let max_last_use t ~base ~len =
+  scan_max t.last_use (base + 1) (base + len) base t.last_use.(base)
+
+let min_freq t ~base ~len =
+  scan_min t.freq (base + 1) (base + len) base t.freq.(base)
+
+let max_freq t ~base ~len =
+  scan_max t.freq (base + 1) (base + len) base t.freq.(base)
+
 (* --- per-line mutators --------------------------------------------- *)
 
 let fill t i ~tag ~owner ~seq =
@@ -111,7 +134,8 @@ let fill t i ~tag ~owner ~seq =
   t.locked.(i) <- 0;
   t.last_use.(i) <- seq;
   t.fill_seq.(i) <- seq;
-  t.aux.(i) <- 0
+  t.aux.(i) <- 0;
+  t.freq.(i) <- 1
 
 let touch t i ~seq = t.last_use.(i) <- seq
 
@@ -119,7 +143,8 @@ let invalidate t i =
   t.tags.(i) <- invalid_tag;
   t.owners.(i) <- -1;
   t.locked.(i) <- 0;
-  t.aux.(i) <- 0
+  t.aux.(i) <- 0;
+  t.freq.(i) <- 0
 
 let victim t i = if t.tags.(i) >= 0 then Some (t.owners.(i), t.tags.(i)) else None
 
@@ -153,4 +178,6 @@ let clear t =
   Array.fill t.owners 0 t.n (-1);
   Array.fill t.locked 0 t.n 0;
   Array.fill t.aux 0 t.n 0;
+  Array.fill t.freq 0 t.n 0;
+  Array.fill t.tree 0 (t.n / t.ways) 0;
   !displaced

@@ -20,6 +20,16 @@ type t = {
   fill_seq : int array;  (** access sequence of the fill (FIFO) *)
   aux : int array;  (** architecture-specific (Newcache logical index) *)
   locked : int array;  (** PL protection bit, 0/1 *)
+  freq : int array;
+      (** access count since fill (LFU/MFU victim scans); set to 1 by
+          {!fill}, incremented on hits only under a frequency-counting
+          policy ({!Policy.touch}), 0 when invalid *)
+  tree : int array;
+      (** per-set tree-PLRU bits word, indexed by set number. Heap
+          numbering inside the word: node 1 is the root, node [k] has
+          children [2k] (left) and [2k+1] (right), bit [k] = 1 points at
+          the right subtree; leaves are ways [0, ways). Maintained by
+          {!Policy.touch}/{!Policy.filled} under [Plru] only. *)
 }
 
 val invalid_tag : int
@@ -53,16 +63,29 @@ val min_fill_seq : t -> base:int -> len:int -> int
 (** Index of the oldest fill in the (non-empty) range; first occurrence
     wins ties. *)
 
+val max_last_use : t -> base:int -> len:int -> int
+(** Index of the most-recently-used line in the (non-empty) range
+    (MRU victim); first occurrence wins ties. *)
+
+val min_freq : t -> base:int -> len:int -> int
+(** Index of the least-frequently-used line in the (non-empty) range
+    (LFU victim); first occurrence wins ties. *)
+
+val max_freq : t -> base:int -> len:int -> int
+(** Index of the most-frequently-used line in the (non-empty) range
+    (MFU victim); first occurrence wins ties. *)
+
 val fill : t -> int -> tag:int -> owner:int -> seq:int -> unit
 (** Install a memory line: clears the lock bit and [aux], sets both
-    timestamps (same contract as [Line.fill]). *)
+    timestamps (same contract as [Line.fill]) and resets the frequency
+    counter to 1 (the fill itself is the first use). *)
 
 val touch : t -> int -> seq:int -> unit
 (** LRU bookkeeping for a hit. *)
 
 val invalidate : t -> int -> unit
-(** Clear the line ([owner = -1], lock and [aux] cleared; timestamps
-    retained — same contract as [Line.invalidate]). *)
+(** Clear the line ([owner = -1], lock, [aux] and [freq] cleared;
+    timestamps retained — same contract as [Line.invalidate]). *)
 
 val victim : t -> int -> (int * int) option
 (** [(owner, tag)] if the line is valid — the eviction payload when the
@@ -94,3 +117,6 @@ val scan_invalid : int array -> int -> int -> int
 
 val scan_min : int array -> int -> int -> int -> int -> int
 (** [scan_min a i stop best bestv]. *)
+
+val scan_max : int array -> int -> int -> int -> int -> int
+(** [scan_max a i stop best bestv]; first occurrence wins ties. *)

@@ -51,7 +51,7 @@ let access t ~pid addr =
   let i = Backing.find_tag b ~set ~tag:addr in
   let outcome =
     if i >= 0 then begin
-      Slab.touch s i ~seq;
+      Policy.touch t.policy s i ~seq;
       Outcome.hit
     end
     else begin
@@ -62,11 +62,12 @@ let access t ~pid addr =
         Outcome.miss_uncached
       else begin
         let way =
-          Replacement.choose_in t.policy b.rng s
+          Policy.victim_in t.policy b.rng s
             ~base:(Backing.base_of_set b ~set) ~len:b.cfg.Config.ways
         in
         let evicted = Slab.victim s way in
         Slab.fill s way ~tag:addr ~owner:pid ~seq;
+        Policy.filled t.policy s way;
         Outcome.fill ~fetched:addr ~evicted
       end
     end

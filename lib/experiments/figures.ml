@@ -48,8 +48,17 @@ let figure8_specs =
 
 let figure8_series ~ks = Prepas.figure8_series ~specs:figure8_specs ~ks
 
-let figure8 () =
+let figure8 ?policy () =
   let ks = List.init 25 (fun i -> i * 5) in
+  let specs, policy_label =
+    match policy with
+    | None -> (figure8_specs, "random replacement")
+    | Some p ->
+      ( List.map
+          (fun (name, spec) -> (name, Spec.with_policy spec p))
+          figure8_specs,
+        Replacement.policy_to_string p ^ " replacement" )
+  in
   let series =
     List.map
       (fun (name, pts) ->
@@ -57,9 +66,9 @@ let figure8 () =
           Plot.name;
           points = List.map (fun (k, p) -> (float_of_int k, p)) pts;
         })
-      (figure8_series ~ks)
+      (Prepas.figure8_series ~specs ~ks)
   in
-  "Figure 8: pre-PAS vs attacker accesses k (random replacement)\n"
+  Printf.sprintf "Figure 8: pre-PAS vs attacker accesses k (%s)\n" policy_label
   ^ Plot.render ~x_label:"attacker memory accesses k" ~y_min:0. ~y_max:1. series
 
 (* Downsample a 256-point curve for terminal display. *)

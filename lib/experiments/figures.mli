@@ -26,9 +26,11 @@ val scale_of : Run.ctx -> scale
 val figure4 : unit -> string
 (** p5 (attacker's per-observation success probability) vs noise sigma. *)
 
-val figure8 : unit -> string
-(** Analytical pre-PAS vs attacker accesses k, random replacement, for
-    the paper's cache set: 8/32-way SA-RP-RF, RE, Nomo, Newcache, SP/PL. *)
+val figure8 : ?policy:Cachesec_cache.Replacement.policy -> unit -> string
+(** Analytical pre-PAS vs attacker accesses k for the paper's cache
+    set: 8/32-way SA-RP-RF, RE, Nomo, Newcache, SP/PL. Default policy
+    is the paper's random replacement; [policy] rebinds every spec via
+    {!Cachesec_cache.Spec.with_policy}. *)
 
 val figure8_series : ks:int list -> (string * (int * float) list) list
 (** The data behind {!figure8} (exposed for CSV export and tests). *)

@@ -134,5 +134,64 @@ let table6_alt_geometry () =
       ~headers:[ "Cache"; "Type 1"; "Type 2"; "Type 3"; "Type 4" ]
       ~rows ()
 
+let policy_resilience ?threshold ?specs ?policies () =
+  let open Cachesec_cache in
+  let matrix = Resilience.policy_matrix ?threshold ?specs ?policies () in
+  let headers =
+    [ "Cache"; "Policy"; "T1"; "T2"; "T3"; "T4"; "limit"; "max bits" ]
+  in
+  let rows =
+    List.concat_map
+      (fun (spec, by_policy) ->
+        List.map
+          (fun (policy, cells) ->
+            (* All miss-based cells of a row share the same cleaning
+               limit; the first cell is evict-and-time. *)
+            let limit =
+              match cells with c :: _ -> c.Resilience.limit | [] -> nan
+            in
+            let max_bits =
+              List.fold_left
+                (fun acc (c : Resilience.policy_cell) -> Float.max acc c.bits)
+                0. cells
+            in
+            [ Spec.display_name spec; Replacement.policy_to_string policy ]
+            @ List.map
+                (fun (c : Resilience.policy_cell) ->
+                  Printf.sprintf "%s %s" (Table.fmt_prob c.effective)
+                    (Resilience.verdict_mark c.verdict))
+                cells
+            @ [ Table.fmt_prob limit; Printf.sprintf "%.3f" max_bits ])
+          by_policy)
+      matrix
+  in
+  "Policy resilience: effective PAS per replacement policy (Y = high\n\
+   resilience, X = low). Miss-based types (T1/T2) are gated by the\n\
+   k->inf cleaning limit; 'max bits' is the worst-case absorbed\n\
+   information per observation across the four attack types.\n"
+  ^ Table.render ~headers ~rows ()
+
+let policy_resilience_csv_rows () =
+  let open Cachesec_cache in
+  List.concat_map
+    (fun (spec, by_policy) ->
+      List.concat_map
+        (fun (policy, cells) ->
+          List.map
+            (fun (c : Resilience.policy_cell) ->
+              [
+                Spec.name spec;
+                Replacement.policy_to_string policy;
+                Attack_type.name c.attack;
+                Printf.sprintf "%.6g" c.pas;
+                Printf.sprintf "%.6g" c.limit;
+                Printf.sprintf "%.6g" c.effective;
+                Printf.sprintf "%.6g" c.bits;
+                Resilience.verdict_to_string c.verdict;
+              ])
+            cells)
+        by_policy)
+    (Resilience.policy_matrix ())
+
 let all () =
   String.concat "\n" [ table3 (); table5 (); table6 (); table7 () ]

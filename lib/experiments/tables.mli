@@ -20,5 +20,21 @@ val table6_alt_geometry : unit -> string
 (** The same PAS computation at a 16 KB / 4-way design point — the
     model's parametric generality. *)
 
+val policy_resilience :
+  ?threshold:float ->
+  ?specs:Cachesec_cache.Spec.t list ->
+  ?policies:Cachesec_cache.Replacement.policy list ->
+  unit ->
+  string
+(** The policy x attack x architecture refinement of Table 7
+    ({!Cachesec_analysis.Resilience.policy_matrix}): one row per
+    (architecture, policy), effective PAS and verdict per attack type,
+    the k -> infinity cleaning limit and the worst-case absorbed
+    information per observation. *)
+
+val policy_resilience_csv_rows : unit -> string list list
+(** arch, policy, attack, pas, limit, effective, bits, verdict — for
+    CSV export. *)
+
 val all : unit -> string
 (** All four tables concatenated with headers. *)

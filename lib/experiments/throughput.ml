@@ -96,12 +96,19 @@ let measure ?(accesses = 200_000) ?(seed = 0xBE7C) ?(repeats = 3) ?kernel spec =
   }
 
 (* 9 architectures x {lru, random, fifo} (Newcache's SecRAND replacement
-   is part of the design, so it contributes a single row). *)
+   is part of the design, so it contributes a single row), plus the
+   conventional SA cache swept across the FULL policy registry — the SA
+   rows are where per-policy victim-selection cost shows up undiluted,
+   and the registry's newcomers (mru/lfu/mfu/plru) need a trajectory
+   from their first PR. Rows absent from a committed baseline render as
+   "-" in the vs-base column and never gate. *)
 let cases () =
   List.concat_map
     (fun spec ->
       match Spec.policy_of spec with
       | None -> [ spec ]
+      | Some _ when Spec.name spec = "sa" ->
+        List.map (Spec.with_policy spec) Policy.all
       | Some _ ->
         List.map (Spec.with_policy spec)
           [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])

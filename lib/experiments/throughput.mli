@@ -7,7 +7,8 @@ open Cachesec_runtime
 
 type entry = {
   arch : string;
-  policy : string;  (** "lru" | "random" | "fifo" | "secrand" (Newcache) *)
+  policy : string;  (** a {!Cachesec_cache.Policy.to_string} spelling
+      ("lru" .. "plru") or "secrand" (Newcache) *)
   accesses : int;  (** timed accesses (after a warm-up pass) *)
   seconds : float;  (** fastest repetition *)
   per_sec : float;  (** [accesses /. seconds] *)
@@ -36,8 +37,11 @@ val measure :
     ([Generic] measures the dispatching fallback). *)
 
 val cases : unit -> Cachesec_cache.Spec.t list
-(** The 25 benchmark rows: 8 policied architectures x {lru, random,
-    fifo} plus Newcache (SecRAND only). *)
+(** The 29 benchmark rows: 8 policied architectures x {lru, random,
+    fifo}, with the conventional SA cache swept across the full
+    {!Cachesec_cache.Policy.all} registry instead, plus Newcache
+    (SecRAND only). Rows missing from a committed baseline render as
+    ["-"] in the vs-base column and never gate. *)
 
 val bench : Run.ctx -> entry list
 (** Measure every case (40k accesses each when [ctx.quick], 400k

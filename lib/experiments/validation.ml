@@ -131,15 +131,20 @@ let cell ctx spec attack = Driver.await (submit_cell ctx spec attack)
    (the pre-pool behaviour — and the sequential arm of the e2e bench).
    Both orders await/merge cell-by-cell in the same list order, so the
    result is bit-identical (enforced by test_runtime). *)
-let cells ?(pipeline = true) (ctx : Run.ctx) =
+let cells ?(pipeline = true) ?policy (ctx : Run.ctx) =
   Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
     "validation-matrix"
   @@ fun sp ->
   let ctx = Run.with_parent sp ctx in
+  let specs =
+    match policy with
+    | None -> Spec.all_paper
+    | Some p -> List.map (fun spec -> Spec.with_policy spec p) Spec.all_paper
+  in
   let combos =
     List.concat_map
       (fun spec -> List.map (fun attack -> (spec, attack)) Attack_type.all)
-      Spec.all_paper
+      specs
   in
   if pipeline then
     Driver.await_all

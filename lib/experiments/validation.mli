@@ -30,12 +30,18 @@ val submit_cell :
     onto the pool immediately; the cell record is built (and its span
     closed) at [Driver.await]. *)
 
-val cells : ?pipeline:bool -> Run.ctx -> cell list
+val cells :
+  ?pipeline:bool ->
+  ?policy:Cachesec_cache.Replacement.policy ->
+  Run.ctx ->
+  cell list
 (** All 9 x 4 combinations, under one [validation-matrix] span.
     [pipeline] (default [true]) submits every cell's campaign before the
     first await, letting shards from all cells share the pool queue;
     [false] runs the cells strictly sequentially. Both produce
-    bit-identical cell lists — pipelining changes wall-clock only. *)
+    bit-identical cell lists — pipelining changes wall-clock only.
+    [policy] rebinds every architecture's replacement policy via
+    {!Cachesec_cache.Spec.with_policy} (Newcache keeps SecRAND). *)
 
 val render : cell list -> string
 

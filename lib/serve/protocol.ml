@@ -233,7 +233,10 @@ let parse_spec args =
         match base with
         | Spec.Newcache _ -> Error "newcache has no replacement policy"
         | _ -> Ok (Spec.with_policy base policy))
-      | None -> Error (Printf.sprintf "unknown policy %s" p))
+      | None ->
+        Error
+          (Printf.sprintf "unknown policy %s (expected one of: %s)" p
+             Policy.names))
   in
   let* spec =
     match List.assoc_opt "ways" args with

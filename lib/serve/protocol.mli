@@ -35,7 +35,8 @@
     benchmarks can measure the recompute path repeatably.
 
     Cache arguments accept the paper architectures by name plus
-    overrides: [policy=lru|random|fifo], [ways=N], [sigma=F] (noisy),
+    overrides: [policy=lru|random|fifo|mru|lfu|mfu|plru]
+    ({!Cachesec_cache.Policy.names}), [ways=N], [sigma=F] (noisy),
     [nbits=N] (newcache), [partitions=N] (sp), [reserved=N] (nomo),
     [back=N]/[fwd=N] (rf), [interval=N] (re), and geometry
     [lines=N]/[lb=N]. Defaults are the paper's Table 4 values; parsing

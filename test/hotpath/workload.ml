@@ -77,8 +77,9 @@ let digest build =
   fmt_dump buf (engine.Engine.dump ());
   Digest.to_hex (Digest.string (Buffer.contents buf))
 
-(* --- the engine zoo: 9 paper architectures x 3 policies (Newcache
-   contributes its single SecRAND row) + skewed + two-level hierarchy -- *)
+(* --- the engine zoo: 9 paper architectures x the full policy registry
+   (Newcache contributes its single SecRAND row) + skewed + two-level
+   hierarchy -- *)
 
 let scenario = { Factory.victim_pid = 0; victim_lines = [ (0, 200) ] }
 
@@ -93,9 +94,7 @@ let cases () =
       (fun spec ->
         match Spec.policy_of spec with
         | None -> [ spec ]
-        | Some _ ->
-          List.map (Spec.with_policy spec)
-            [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])
+        | Some _ -> List.map (Spec.with_policy spec) Policy.all)
       Spec.all_paper
   in
   List.map

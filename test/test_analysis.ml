@@ -270,6 +270,73 @@ let test_prepas_for_spec () =
     (Prepas.sa_random ~ways:8 ~k:20)
     (Prepas.for_spec Spec.paper_rf ~k:20)
 
+let test_prepas_policy_arms () =
+  (* FIFO owns its arm but coincides with the LRU step. *)
+  check_prob "fifo below" 0. (Prepas.sa_fifo ~ways:8 ~k:7);
+  check_prob "fifo at" 1. (Prepas.sa_fifo ~ways:8 ~k:8);
+  (* MRU/LFU/MFU self-thrash: cleaning succeeds only in a 1-way set. *)
+  List.iter
+    (fun (name, f) ->
+      check_prob (name ^ " multi-way never cleans") 0. (f ~ways:8 ~k:10_000);
+      check_prob (name ^ " single-way k=0") 0. (f ~ways:1 ~k:0);
+      check_prob (name ^ " single-way k=1") 1. (f ~ways:1 ~k:1))
+    [ ("mru", Prepas.sa_mru); ("lfu", Prepas.sa_lfu); ("mfu", Prepas.sa_mfu) ];
+  (* Tree-PLRU cleans on the same step as true LRU. *)
+  check_prob "plru below" 0. (Prepas.sa_plru ~ways:8 ~k:7);
+  check_prob "plru at" 1. (Prepas.sa_plru ~ways:8 ~k:8);
+  (* The exhaustive dispatch routes each policy to its own arm. *)
+  List.iter
+    (fun (policy, expect) ->
+      check_prob ("dispatch " ^ Replacement.policy_to_string policy) expect
+        (Prepas.sa ~ways:8 ~k:8 ~policy))
+    [
+      (Replacement.Lru, 1.);
+      (Replacement.Fifo, 1.);
+      (Replacement.Random, Coupon.prob_all_covered ~bins:8 ~trials:8);
+      (Replacement.Mru, 0.);
+      (Replacement.Lfu, 0.);
+      (Replacement.Mfu, 0.);
+      (Replacement.Plru, 1.);
+    ]
+
+(* The closed forms are derivations, not fits — check every policy's
+   arm against the Monte-Carlo cleaning game played on the real SA
+   engine (which exercises the monomorphized kernels and policy hooks). *)
+let test_prepas_policy_monte_carlo () =
+  List.iter
+    (fun policy ->
+      let spec = Spec.with_policy Spec.paper_sa policy in
+      List.iter
+        (fun k ->
+          let closed = Prepas.for_spec spec ~k in
+          let rng = Rng.create ~seed:0xC1EA0 in
+          let mc =
+            Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k ~samples:400
+              ~rng
+          in
+          if Float.abs (closed -. mc) > 0.07 then
+            Alcotest.failf "%s k=%d: closed form %.4f vs Monte-Carlo %.4f"
+              (Replacement.policy_to_string policy)
+              k closed mc)
+        [ 7; 8; 32 ])
+    Policy.all
+
+let test_cleaning_limit () =
+  check_prob "sa random" 1. (Prepas.cleaning_limit Spec.paper_sa);
+  check_prob "sa lru" 1.
+    (Prepas.cleaning_limit (Spec.with_policy Spec.paper_sa Replacement.Lru));
+  check_prob "sa mru" 0.
+    (Prepas.cleaning_limit (Spec.with_policy Spec.paper_sa Replacement.Mru));
+  check_prob "sa lfu" 0.
+    (Prepas.cleaning_limit (Spec.with_policy Spec.paper_sa Replacement.Lfu));
+  check_prob "sp" 0. (Prepas.cleaning_limit Spec.paper_sp);
+  check_prob "pl locked" 0. (Prepas.cleaning_limit Spec.paper_pl);
+  check_prob "pl unlocked" 1.
+    (Prepas.cleaning_limit ~prefetched:false Spec.paper_pl);
+  (* The paper's RE cache is direct-mapped, so even MRU cleans it. *)
+  check_prob "re mru (1-way)" 1.
+    (Prepas.cleaning_limit (Spec.with_policy Spec.paper_re Replacement.Mru))
+
 let prop_prepas_monotone_in_k =
   qtest "pre-PAS non-decreasing in k"
     QCheck.(pair (int_bound 8) (int_range 0 100))
@@ -307,6 +374,55 @@ let test_resilience_misc () =
   Alcotest.(check bool) "combined prepas callable" true
     (c.Resilience.prepas_at 64 < 0.2);
   Alcotest.(check bool) "verdict high" true (c.Resilience.verdict = Resilience.High)
+
+let test_policy_matrix () =
+  let m = Resilience.policy_matrix () in
+  Alcotest.(check int) "8 policied archs" 8 (List.length m);
+  List.iter
+    (fun (_, by_policy) ->
+      Alcotest.(check int) "7 policies" 7 (List.length by_policy);
+      List.iter
+        (fun (_, cells) ->
+          Alcotest.(check int) "4 attacks" 4 (List.length cells);
+          List.iter
+            (fun (c : Resilience.policy_cell) ->
+              Alcotest.(check bool) "effective <= pas" true
+                (c.effective <= c.pas +. 1e-12);
+              Alcotest.(check bool) "limit is a 0/1 bit" true
+                (c.limit = 0. || c.limit = 1.);
+              Alcotest.(check bool) "bits non-negative" true (c.bits >= 0.))
+            cells)
+        by_policy)
+    m;
+  (* MRU zeroes the SA cache's miss-based columns: the self-thrashing
+     attacker can never clean the victim's set. *)
+  let sa_mru =
+    let _, by_policy =
+      List.find (fun (s, _) -> Spec.name s = "sa") m
+    in
+    List.assoc Replacement.Mru by_policy
+  in
+  List.iter
+    (fun (c : Resilience.policy_cell) ->
+      if Attack_type.is_miss_based c.attack then begin
+        check_prob "sa/mru miss-based effective PAS" 0. c.effective;
+        Alcotest.(check bool) "sa/mru miss-based verdict" true
+          (c.verdict = Resilience.High)
+      end
+      else
+        Alcotest.(check bool) "sa/mru reuse-based unaffected" true
+          (c.effective = c.pas))
+    sa_mru;
+  (* Under LRU/random/fifo/plru the SA cache keeps its Table 7 row. *)
+  let sa_lru =
+    let _, by_policy = List.find (fun (s, _) -> Spec.name s = "sa") m in
+    List.assoc Replacement.Lru by_policy
+  in
+  List.iter
+    (fun (c : Resilience.policy_cell) ->
+      Alcotest.(check bool) "sa/lru stays low-resilience" true
+        (c.verdict = Resilience.Low))
+    sa_lru
 
 let test_resilience_threshold_sensitivity () =
   (* With a huge threshold everything is resilient except pure-noise
@@ -401,6 +517,10 @@ let () =
           prop_re_dominates_sa;
           Alcotest.test_case "nomo" `Quick test_prepas_nomo;
           Alcotest.test_case "for_spec" `Quick test_prepas_for_spec;
+          Alcotest.test_case "per-policy arms" `Quick test_prepas_policy_arms;
+          Alcotest.test_case "policy closed forms vs monte-carlo" `Quick
+            test_prepas_policy_monte_carlo;
+          Alcotest.test_case "cleaning limit" `Quick test_cleaning_limit;
           prop_prepas_monotone_in_k;
           prop_prepas_in_unit;
         ] );
@@ -418,5 +538,6 @@ let () =
           Alcotest.test_case "misc" `Quick test_resilience_misc;
           Alcotest.test_case "threshold sensitivity" `Quick
             test_resilience_threshold_sensitivity;
+          Alcotest.test_case "policy matrix" `Quick test_policy_matrix;
         ] );
     ]

@@ -1,6 +1,10 @@
 (* Tests for the cache simulator substrate: geometry, policies and the
    architecture-specific security mechanisms of all nine caches. *)
 
+(* This file deliberately exercises the deprecated [Replacement.choose]
+   compatibility shims alongside the [Policy] registry they forward to. *)
+[@@@alert "-deprecated"]
+
 open Cachesec_stats
 open Cachesec_cache
 
@@ -137,6 +141,120 @@ let test_replacement_errors () =
     (Invalid_argument "Replacement.choose: candidate out of range") (fun () ->
       ignore
         (Replacement.choose_among Replacement.Lru r lines ~candidates:[ 5 ]))
+
+(* --- Policy registry ----------------------------------------------------- *)
+
+let filled_slab ~lines ~ways =
+  let s = Slab.create ~lines ~ways in
+  for i = 0 to lines - 1 do
+    Slab.fill s i ~tag:i ~owner:0 ~seq:(i + 1)
+  done;
+  s
+
+let test_policy_registry () =
+  Alcotest.(check int) "seven policies" 7 Policy.count;
+  Alcotest.(check int) "all lists each once" 7
+    (List.length (List.sort_uniq compare Policy.all));
+  List.iteri
+    (fun i p ->
+      Alcotest.(check int)
+        (Policy.to_string p ^ " id is registry position")
+        i (Policy.id p);
+      Alcotest.(check bool)
+        (Policy.to_string p ^ " round-trips")
+        true
+        (Policy.of_string (Policy.to_string p) = Some p))
+    Policy.all;
+  Alcotest.(check bool) "unknown spelling" true (Policy.of_string "mlu" = None);
+  Alcotest.(check string) "names joins the registry"
+    "lru|random|fifo|mru|lfu|mfu|plru" Policy.names;
+  (* The compat alias and the registry are the same type and spelling. *)
+  Alcotest.(check string) "replacement alias agrees" "plru"
+    (Replacement.policy_to_string Replacement.Plru)
+
+let test_policy_needs () =
+  let n = Policy.needs in
+  Alcotest.(check bool) "lru last_use" true (n Policy.Lru).Policy.last_use;
+  Alcotest.(check bool) "mru last_use" true (n Policy.Mru).Policy.last_use;
+  Alcotest.(check bool) "random rng" true (n Policy.Random).Policy.rng;
+  Alcotest.(check bool) "fifo fill_seq" true (n Policy.Fifo).Policy.fill_seq;
+  Alcotest.(check bool) "lfu freq" true (n Policy.Lfu).Policy.freq;
+  Alcotest.(check bool) "mfu freq" true (n Policy.Mfu).Policy.freq;
+  Alcotest.(check bool) "plru tree" true (n Policy.Plru).Policy.tree;
+  Alcotest.(check bool) "lru draws no rng" false (n Policy.Lru).Policy.rng;
+  Alcotest.(check bool) "plru needs no freq" false (n Policy.Plru).Policy.freq
+
+let test_policy_victims () =
+  let s = filled_slab ~lines:8 ~ways:8 in
+  let r = rng () in
+  (* Line i filled at seq i+1; touching line 0 makes it MRU. *)
+  Slab.touch s 0 ~seq:100;
+  Alcotest.(check int) "lru skips the touched line" 1
+    (Policy.victim_in Policy.Lru r s ~base:0 ~len:8);
+  Alcotest.(check int) "mru picks the touched line" 0
+    (Policy.victim_in Policy.Mru r s ~base:0 ~len:8);
+  Alcotest.(check int) "fifo ignores touches" 0
+    (Policy.victim_in Policy.Fifo r s ~base:0 ~len:8);
+  (* Frequency: bump line 3 twice through the policy touch hook. *)
+  Policy.touch Policy.Lfu s 3 ~seq:101;
+  Policy.touch Policy.Lfu s 3 ~seq:102;
+  Alcotest.(check int) "mfu evicts the hottest line" 3
+    (Policy.victim_in Policy.Mfu r s ~base:0 ~len:8);
+  Alcotest.(check bool) "lfu avoids the hottest line" true
+    (Policy.victim_in Policy.Lfu r s ~base:0 ~len:8 <> 3);
+  (* Every policy fills an invalid way before evicting. *)
+  Slab.invalidate s 5;
+  List.iter
+    (fun p ->
+      Alcotest.(check int)
+        (Policy.to_string p ^ " invalid way first")
+        5
+        (Policy.victim_in p r s ~base:0 ~len:8))
+    Policy.all
+
+let test_policy_plru () =
+  Alcotest.(check bool) "pow2 capable" true (Policy.plru_tree_capable 8);
+  Alcotest.(check bool) "1-way not capable" false (Policy.plru_tree_capable 1);
+  Alcotest.(check bool) "non-pow2 not capable" false
+    (Policy.plru_tree_capable 6);
+  let s = filled_slab ~lines:8 ~ways:4 in
+  let r = rng () in
+  (* Fresh tree word (all zero) walks left-left to leaf 0. *)
+  Alcotest.(check int) "zero tree walks to way 0" 0
+    (Policy.victim_in Policy.Plru r s ~base:0 ~len:4);
+  (* Touching way 0 points the whole path away from it. *)
+  Policy.plru_touch s 0;
+  Alcotest.(check int) "after touch 0 victim moves subtree" 2
+    (Policy.victim_in Policy.Plru r s ~base:0 ~len:4);
+  (* Four victim+fill rounds visit four distinct leaves (the basis of
+     the sa_plru = sa_lru closed-form step). *)
+  let visited = ref [] in
+  for round = 1 to 4 do
+    let v = Policy.victim_in Policy.Plru r s ~base:4 ~len:4 in
+    visited := v :: !visited;
+    Slab.fill s v ~tag:(100 + round) ~owner:0 ~seq:(50 + round);
+    Policy.filled Policy.Plru s v
+  done;
+  Alcotest.(check int) "4 consecutive misses clean the set" 4
+    (List.length (List.sort_uniq compare !visited));
+  (* A range that is not a whole aligned set falls back to LRU order:
+     the tree word covers set-shaped candidate ranges only. *)
+  Slab.touch s 1 ~seq:200;
+  Alcotest.(check int) "slice range uses LRU fallback" 0
+    (Policy.victim_in Policy.Plru r s ~base:0 ~len:2)
+
+let test_policy_errors () =
+  let s = filled_slab ~lines:4 ~ways:4 in
+  let r = rng () in
+  Alcotest.check_raises "empty range"
+    (Invalid_argument "Policy.victim_in: no candidates") (fun () ->
+      ignore (Policy.victim_in Policy.Lru r s ~base:0 ~len:0));
+  Alcotest.check_raises "out of range"
+    (Invalid_argument "Policy.victim_in: candidate out of range") (fun () ->
+      ignore (Policy.victim_in Policy.Lru r s ~base:2 ~len:4));
+  Alcotest.check_raises "empty list"
+    (Invalid_argument "Policy.victim_among_in: no candidates") (fun () ->
+      ignore (Policy.victim_among_in Policy.Lru r s ~candidates:[]))
 
 (* --- Counters ---------------------------------------------------------- *)
 
@@ -703,6 +821,14 @@ let () =
           Alcotest.test_case "range/list agree" `Quick
             test_replacement_range_list_agree;
           Alcotest.test_case "errors" `Quick test_replacement_errors;
+        ] );
+      ( "policy registry",
+        [
+          Alcotest.test_case "registry round-trip" `Quick test_policy_registry;
+          Alcotest.test_case "state needs" `Quick test_policy_needs;
+          Alcotest.test_case "victim semantics" `Quick test_policy_victims;
+          Alcotest.test_case "tree-plru" `Quick test_policy_plru;
+          Alcotest.test_case "errors" `Quick test_policy_errors;
         ] );
       ("counters", [ Alcotest.test_case "arithmetic" `Quick test_counters ]);
       ( "sa",

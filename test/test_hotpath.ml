@@ -81,6 +81,58 @@ let test_sa_random_miss_path_allocation_lean () =
     Alcotest.failf "SA/Random miss path allocates %.1f minor words/access"
       per_access
 
+let test_sa_plru_hit_path_allocation_free () =
+  (* PLRU hits run [Policy.plru_touch] — an int-array read-modify-write
+     walking the tree word — on top of the [last_use] store. Must stay
+     off the minor heap like the LRU hit path. *)
+  let rng = Rng.create ~seed:44 in
+  let sa = Sa.create ~config:Config.standard ~policy:Replacement.Plru ~rng () in
+  let sets = Config.sets (Sa.config sa) in
+  for addr = 0 to sets - 1 do
+    ignore (Sa.access sa ~pid:0 addr)
+  done;
+  let iters = 100_000 in
+  let before = Gc.minor_words () in
+  for i = 0 to iters - 1 do
+    ignore (Sa.access sa ~pid:0 (i mod sets))
+  done;
+  let after = Gc.minor_words () in
+  let delta = after -. before in
+  if delta > 64. then
+    Alcotest.failf "SA/PLRU hit path allocated %.0f minor words over %d hits"
+      delta iters
+
+let test_sa_lfu_miss_path_allocation_lean () =
+  (* LFU misses run the contiguous min-frequency scan; like the random
+     miss path, only the outcome record itself may allocate. *)
+  let rng = Rng.create ~seed:45 in
+  let sa = Sa.create ~config:Config.standard ~policy:Replacement.Lfu ~rng () in
+  let iters = 50_000 in
+  let before = Gc.minor_words () in
+  for i = 0 to iters - 1 do
+    ignore (Sa.access sa ~pid:0 i)
+  done;
+  let after = Gc.minor_words () in
+  let per_access = (after -. before) /. float_of_int iters in
+  if per_access > 20. then
+    Alcotest.failf "SA/LFU miss path allocates %.1f minor words/access"
+      per_access
+
+let test_sa_mru_miss_path_allocation_lean () =
+  (* MRU misses run the max-last-use scan ([Slab.scan_max]). *)
+  let rng = Rng.create ~seed:46 in
+  let sa = Sa.create ~config:Config.standard ~policy:Replacement.Mru ~rng () in
+  let iters = 50_000 in
+  let before = Gc.minor_words () in
+  for i = 0 to iters - 1 do
+    ignore (Sa.access sa ~pid:0 i)
+  done;
+  let after = Gc.minor_words () in
+  let per_access = (after -. before) /. float_of_int iters in
+  if per_access > 20. then
+    Alcotest.failf "SA/MRU miss path allocates %.1f minor words/access"
+      per_access
+
 let () =
   Alcotest.run "hotpath"
     [
@@ -92,5 +144,11 @@ let () =
             test_sa_lru_hit_path_allocation_free;
           Alcotest.test_case "sa/random miss path lean" `Quick
             test_sa_random_miss_path_allocation_lean;
+          Alcotest.test_case "sa/plru hit path zero-alloc" `Quick
+            test_sa_plru_hit_path_allocation_free;
+          Alcotest.test_case "sa/lfu miss path lean" `Quick
+            test_sa_lfu_miss_path_allocation_lean;
+          Alcotest.test_case "sa/mru miss path lean" `Quick
+            test_sa_mru_miss_path_allocation_lean;
         ] );
     ]

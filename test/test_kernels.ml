@@ -26,16 +26,14 @@ let case_name spec =
   | Some p -> Spec.name spec ^ ":" ^ Replacement.policy_to_string p
   | None -> Spec.name spec ^ ":secrand"
 
-(* All 25 factory cells: 8 policied architectures x {lru, random, fifo}
-   plus Newcache (SecRAND only). *)
+(* All 57 factory cells: 8 policied architectures x the full policy
+   registry plus Newcache (SecRAND only). *)
 let cells () =
   List.concat_map
     (fun spec ->
       match Spec.policy_of spec with
       | None -> [ spec ]
-      | Some _ ->
-        List.map (Spec.with_policy spec)
-          [ Replacement.Lru; Replacement.Random; Replacement.Fifo ])
+      | Some _ -> List.map (Spec.with_policy spec) Policy.all)
     Spec.all_paper
 
 let fmt_outcome (o : Outcome.t) =
@@ -139,13 +137,20 @@ let expected_kernel spec =
     | Some p -> Replacement.policy_to_string p
     | None -> assert false
   in
+  (* pl/rp carry kernels only for the original three policies; the new
+     registry entries fall back to the generic path there. *)
+  let original_three () =
+    match Spec.policy_of spec with
+    | Some (Replacement.Lru | Replacement.Random | Replacement.Fifo) -> true
+    | _ -> false
+  in
   match Spec.name spec with
   | "sa" -> Some ("sa-" ^ policy_suffix ())
-  | "pl" -> Some ("pl-" ^ policy_suffix ())
-  | "rp" -> Some ("rp-" ^ policy_suffix ())
+  | "pl" when original_three () -> Some ("pl-" ^ policy_suffix ())
+  | "rp" when original_three () -> Some ("rp-" ^ policy_suffix ())
   | "newcache" -> Some "newcache"
   | "noisy" -> Some ("sa-" ^ policy_suffix ())
-  | _ -> None (* generic-only architectures *)
+  | _ -> None (* generic-only (arch, policy) cells *)
 
 let test_kernel_selection () =
   List.iter

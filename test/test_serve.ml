@@ -16,6 +16,9 @@ let bits = Int64.bits_of_float
 
 let float_eq a b = bits a = bits b
 
+let qtest ?(count = 200) name gen prop =
+  QCheck_alcotest.to_alcotest (QCheck.Test.make ~count ~name gen prop)
+
 (* --- protocol codec -------------------------------------------------- *)
 
 let sample_queries : Protocol.query list =
@@ -216,9 +219,16 @@ let test_key_distinctness () =
       add (Printf.sprintf "table attack=%s lines=1024" (Attack_type.name a));
       add (Printf.sprintf "table attack=%s ways=4" (Attack_type.name a)))
     Attack_type.all;
-  (* Policy / parameter overrides of one architecture. *)
-  add "pas cache=sa attack=prime-and-probe policy=lru";
-  add "pas cache=sa attack=prime-and-probe policy=fifo";
+  (* Policy / parameter overrides of one architecture. Every non-default
+     registry policy must key apart ([policy=random] is the default and
+     canonicalizes onto the bare matrix line above, so it is skipped). *)
+  List.iter
+    (fun p ->
+      if p <> Policy.Random then
+        add
+          (Printf.sprintf "pas cache=sa attack=prime-and-probe policy=%s"
+             (Policy.to_string p)))
+    Policy.all;
   add "pas cache=sa attack=prime-and-probe ways=4";
   add "pas cache=sa attack=prime-and-probe lb=32";
   add "pas cache=noisy attack=prime-and-probe sigma=0.5";
@@ -238,6 +248,63 @@ let test_key_distinctness () =
     !lines;
   Alcotest.(check int)
     "every question keyed" (List.length !lines) (Hashtbl.length tbl)
+
+(* Ckey injectivity over the enlarged policy registry: any two distinct
+   (architecture, policy, attack) questions — policy spelled explicitly,
+   so the default never aliases — must map to distinct memo keys, and
+   equal questions to equal keys. *)
+let policied_specs =
+  List.filter (fun s -> Spec.policy_of s <> None) Spec.all_paper
+
+let test_key_policy_injective =
+  let question =
+    QCheck.(
+      triple
+        (int_bound (List.length policied_specs - 1))
+        (int_bound (Policy.count - 1))
+        (int_bound (List.length Attack_type.all - 1)))
+  in
+  qtest ~count:400 "ckey injective over (arch, policy, attack)"
+    (QCheck.pair question question)
+    (fun (t1, t2) ->
+      let line (ci, pi, ai) =
+        Printf.sprintf "pas cache=%s policy=%s attack=%s"
+          (Spec.name (List.nth policied_specs ci))
+          (Policy.to_string (List.nth Policy.all pi))
+          (Attack_type.name (List.nth Attack_type.all ai))
+      in
+      let k1 = key_of_line (line t1) and k2 = key_of_line (line t2) in
+      if t1 = t2 then String.equal k1 k2 else not (String.equal k1 k2))
+
+let test_policy_spellings () =
+  (* Every registry spelling decodes on a policied architecture... *)
+  List.iter
+    (fun p ->
+      let line =
+        Printf.sprintf "pas cache=sa attack=prime-and-probe policy=%s"
+          (Policy.to_string p)
+      in
+      match Protocol.decode_query line with
+      | Ok _ -> ()
+      | Error e -> Alcotest.failf "decode %S: %s" line e)
+    Policy.all;
+  (* ...and an unknown one is refused with the full menu spelled out. *)
+  match
+    Protocol.decode_query "pas cache=sa attack=prime-and-probe policy=clock"
+  with
+  | Ok _ -> Alcotest.fail "policy=clock decoded"
+  | Error e ->
+    let mentions needle =
+      let nl = String.length needle and el = String.length e in
+      let rec go i = i + nl <= el && (String.sub e i nl = needle || go (i + 1)) in
+      go 0
+    in
+    List.iter
+      (fun p ->
+        let s = Policy.to_string p in
+        if not (mentions s) then
+          Alcotest.failf "error %S does not list policy %s" e s)
+      Policy.all
 
 (* --- memo table & inflight ------------------------------------------- *)
 
@@ -625,6 +692,9 @@ let () =
         [
           Alcotest.test_case "equivalent spellings" `Quick test_key_equivalence;
           Alcotest.test_case "matrix distinctness" `Quick test_key_distinctness;
+          test_key_policy_injective;
+          Alcotest.test_case "policy spellings + error menu" `Quick
+            test_policy_spellings;
         ] );
       ( "memo",
         [
