@@ -497,6 +497,8 @@ let main perf sim (ctx : Run.ctx) =
      and reported otherwise. The committed bench/BENCH_e2e.baseline.json
      (pre-refactor sequential numbers) feeds the vs-base trajectory
      column. *)
+  let e2e_entries = ref [] in
+  let e2e_span = ref 0 in
   section "End-to-end throughput (sequential vs pipelined campaigns)"
     (fun () ->
       let entries, t =
@@ -504,6 +506,8 @@ let main perf sim (ctx : Run.ctx) =
           ~name:"e2e-bench"
           (fun () -> Throughput.E2e.bench ctx)
       in
+      e2e_entries := entries;
+      e2e_span := t.Scheduler.span_id;
       ensure_results_dirs ();
       Throughput.E2e.write ~span_id:t.Scheduler.span_id
         ~path:"results/BENCH_e2e.json" entries;
@@ -523,6 +527,38 @@ let main perf sim (ctx : Run.ctx) =
       Throughput.E2e.render ~baseline:"bench/BENCH_e2e.baseline.json" entries
       ^ gate_line
       ^ Printf.sprintf "  wrote results/BENCH_e2e.json%s\n"
+          (if t.Scheduler.span_id = 0 then ""
+           else Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
+  (* Adaptive-stopping gate: the quick matrix run twice through the
+     same adaptive machinery — a run-to-cap arm that measures the CI
+     widths the fixed budgets achieve, then a run-to-confidence arm
+     targeted at the fixed arm's worst width. The trials ratio between
+     the arms is seed-deterministic and jobs-invariant, so it is a hard
+     PASS/FAIL on every host; wall-clock is reported and tracked
+     against the committed baseline's adaptive rows. Both row kinds are
+     re-written into results/BENCH_e2e.json (schema bench_e2e/v2). *)
+  section "Adaptive stopping (fixed-count vs run-to-confidence matrix)"
+    (fun () ->
+      let entries, t =
+        Scheduler.timed ?jobs:ctx.Run.jobs ~tm:ctx.Run.telemetry
+          ~name:"adaptive-bench"
+          (fun () -> Throughput.Adaptive.bench ctx)
+      in
+      ensure_results_dirs ();
+      Throughput.E2e.write ~span_id:!e2e_span ~adaptive:entries
+        ~path:"results/BENCH_e2e.json" !e2e_entries;
+      let gate_line =
+        match Throughput.Adaptive.gate ~threshold:2.0 entries with
+        | None, _ -> "  gate adaptive     missing arm, no ratio\n"
+        | Some x, pass ->
+          Printf.sprintf
+            "  gate adaptive     trials saved at matched width %5.2fx %s\n" x
+            (if pass then ">= 2.00x PASS" else "<  2.00x FAIL")
+      in
+      Throughput.Adaptive.render ~baseline:"bench/BENCH_e2e.baseline.json"
+        entries
+      ^ gate_line
+      ^ Printf.sprintf "  wrote results/BENCH_e2e.json (with adaptive rows)%s\n"
           (if t.Scheduler.span_id = 0 then ""
            else Printf.sprintf " (telemetry_span %d)" t.Scheduler.span_id));
   (* Fourth perf gate: the PAS query server. A forked Inline server is

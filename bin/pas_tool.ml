@@ -94,6 +94,35 @@ let scale_of_quick quick = if quick then Figures.Quick else Figures.Full
    term: --seed, --quick, --jobs, --progress, --metrics PATH. *)
 let ctx_term = Run.of_cmdline ~run:"pas_tool" ()
 
+(* Adaptive (run-to-confidence) stopping knobs, shared by the
+   Monte-Carlo commands: --ci-width enables sequential stopping at that
+   target half-width; --confidence sets the interval's coverage. *)
+let confidence_arg =
+  Arg.(
+    value & opt float 0.95
+    & info [ "confidence" ] ~docv:"C"
+        ~doc:
+          "Confidence level of the stopping interval (with $(b,--ci-width)).")
+
+let ci_width_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "ci-width" ] ~docv:"W"
+        ~doc:
+          "Adaptive stopping: end each Monte-Carlo campaign once its \
+           estimator's confidence-interval half-width reaches W (absolute \
+           for success rates, relative to the mean for timing means) \
+           instead of always running the full trial budget. W=0 runs to \
+           the budget while measuring the achieved widths.")
+
+(* Build a stopping target for a cleaning-game campaign capped at
+   [samples] (mirrors the floor Validation applies to its cells). *)
+let cleaning_target ~confidence ~ci_width ~samples =
+  Cachesec_stats.Sequential.target ~confidence
+    ~min_trials:(max 1 (min 100 samples))
+    ~half_width:ci_width ~max_trials:samples ()
+
 (* --- commands ------------------------------------------------------- *)
 
 let tables_cmd =
@@ -189,7 +218,7 @@ let prepas_cmd =
       value & opt int 2000
       & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count.")
   in
-  let run spec policy k mc samples seed =
+  let run spec policy k mc samples confidence ci_width seed =
     let spec = apply_policy policy spec in
     Printf.printf "pre-PAS(%s%s, k=%d) = %s (closed form, paper Section 5)\n"
       (Spec.name spec)
@@ -199,10 +228,24 @@ let prepas_cmd =
       k
       (Cachesec_report.Table.fmt_prob (Prepas.for_spec spec ~k));
     if mc then begin
-      let rng = Cachesec_stats.Rng.create ~seed in
-      Printf.printf "Monte-Carlo estimate (%d samples) = %s\n" samples
-        (Cachesec_report.Table.fmt_prob
-           (Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k ~samples ~rng))
+      match ci_width with
+      | None ->
+        let rng = Cachesec_stats.Rng.create ~seed in
+        Printf.printf "Monte-Carlo estimate (%d samples) = %s\n" samples
+          (Cachesec_report.Table.fmt_prob
+             (Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k ~samples
+                ~rng))
+      | Some w ->
+        let ctx = { Run.default with Run.seed } in
+        let target = cleaning_target ~confidence ~ci_width:w ~samples in
+        let a = Driver.run_cleaning_game_adaptive ctx spec ~accesses:k ~target in
+        Printf.printf
+          "Monte-Carlo estimate (adaptive, %d of %d samples%s) = %s (ci \
+           half-width %.4g @ %.0f%%)\n"
+          a.Driver.trials a.Driver.cap
+          (if a.Driver.stopped_early then ", stopped early" else "")
+          (Cachesec_report.Table.fmt_prob a.Driver.value)
+          a.Driver.achieved (100. *. confidence)
     end
   in
   Cmd.v
@@ -210,7 +253,7 @@ let prepas_cmd =
        ~doc:"Cache-cleaning success probability (pre-PAS) for one cache.")
     Term.(
       const run $ cache_arg $ policy_arg $ k_arg $ mc_arg $ samples_arg
-      $ seed_arg)
+      $ confidence_arg $ ci_width_arg $ seed_arg)
 
 let simulate_cmd =
   let trials_arg =
@@ -295,16 +338,23 @@ let simulate_cmd =
       const run $ cache_arg $ policy_arg $ attack_arg $ trials_arg $ ctx_term)
 
 let validate_cmd =
-  let run policy (ctx : Run.ctx) =
-    print_string (Validation.render (Validation.cells ?policy ctx));
+  let run policy confidence ci_width (ctx : Run.ctx) =
+    let adaptive =
+      Option.map
+        (fun w -> { Validation.confidence; ci_width = w })
+        ci_width
+    in
+    print_string (Validation.render (Validation.cells ?policy ?adaptive ctx));
     Cachesec_telemetry.Telemetry.close ctx.Run.telemetry
   in
   Cmd.v
     (Cmd.info "validate"
        ~doc:
          "Run the full 9-cache x 4-attack validation matrix (optionally \
-          under a non-default replacement policy).")
-    Term.(const run $ policy_arg $ ctx_term)
+          under a non-default replacement policy; with $(b,--ci-width), \
+          each cell stops at the target confidence instead of running its \
+          full trial budget).")
+    Term.(const run $ policy_arg $ confidence_arg $ ci_width_arg $ ctx_term)
 
 let policy_matrix_cmd =
   let cache_opt_arg =
@@ -342,7 +392,7 @@ let policy_matrix_cmd =
       value & opt int 2000
       & info [ "samples" ] ~docv:"N" ~doc:"Monte-Carlo sample count for --check.")
   in
-  let run cache policy threshold csv check samples seed =
+  let run cache policy threshold csv check samples confidence ci_width seed =
     let specs = Option.map (fun s -> [ s ]) cache in
     let policies = Option.map (fun p -> [ p ]) policy in
     if csv then
@@ -354,27 +404,68 @@ let policy_matrix_cmd =
       let ways =
         match Spec.paper_sa with Spec.Sa { ways; _ } -> ways | _ -> 8
       in
-      Printf.printf
-        "\nClosed form vs Monte-Carlo cleaning game (SA %d-way, %d samples):\n"
-        ways samples;
-      Printf.printf "  %-8s %6s %12s %12s %s\n" "policy" "k" "closed" "mc"
-        "agree";
-      List.iter
-        (fun p ->
-          let spec = Spec.with_policy Spec.paper_sa p in
-          List.iter
-            (fun k ->
-              let closed = Prepas.for_spec spec ~k in
-              let rng = Cachesec_stats.Rng.create ~seed in
-              let mc =
-                Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k ~samples
-                  ~rng
-              in
-              Printf.printf "  %-8s %6d %12.4f %12.4f %s\n" (Policy.to_string p)
-                k closed mc
-                (if Float.abs (closed -. mc) < 0.05 then "yes" else "NO"))
-            [ ways - 1; ways; 4 * ways ])
-        (match policy with Some p -> [ p ] | None -> Policy.all)
+      let checked_policies =
+        match policy with Some p -> [ p ] | None -> Policy.all
+      in
+      let ks = [ ways - 1; ways; 4 * ways ] in
+      match ci_width with
+      | None ->
+        Printf.printf
+          "\nClosed form vs Monte-Carlo cleaning game (SA %d-way, %d \
+           samples):\n"
+          ways samples;
+        Printf.printf "  %-8s %6s %12s %12s %s\n" "policy" "k" "closed" "mc"
+          "agree";
+        List.iter
+          (fun p ->
+            let spec = Spec.with_policy Spec.paper_sa p in
+            List.iter
+              (fun k ->
+                let closed = Prepas.for_spec spec ~k in
+                let rng = Cachesec_stats.Rng.create ~seed in
+                let mc =
+                  Cachesec_attacks.Cleaner.monte_carlo spec ~accesses:k
+                    ~samples ~rng
+                in
+                Printf.printf "  %-8s %6d %12.4f %12.4f %s\n"
+                  (Policy.to_string p) k closed mc
+                  (if Float.abs (closed -. mc) < 0.05 then "yes" else "NO"))
+              ks)
+          checked_policies
+      | Some w ->
+        (* Run-to-confidence cross-check: each cleaning game stops once
+           the win rate's Wilson half-width reaches the target, capped
+           at --samples. *)
+        let ctx = { Run.default with Run.seed } in
+        let target = cleaning_target ~confidence ~ci_width:w ~samples in
+        Printf.printf
+          "\nClosed form vs adaptive Monte-Carlo cleaning game (SA %d-way, \
+           cap %d, ci %.4g @ %.0f%%):\n"
+          ways samples w (100. *. confidence);
+        Printf.printf "  %-8s %6s %12s %12s %12s %s\n" "policy" "k" "closed"
+          "mc" "trials" "agree";
+        let total = ref 0 and caps = ref 0 in
+        List.iter
+          (fun p ->
+            let spec = Spec.with_policy Spec.paper_sa p in
+            List.iter
+              (fun k ->
+                let closed = Prepas.for_spec spec ~k in
+                let a =
+                  Driver.run_cleaning_game_adaptive ctx spec ~accesses:k
+                    ~target
+                in
+                total := !total + a.Driver.trials;
+                caps := !caps + a.Driver.cap;
+                Printf.printf "  %-8s %6d %12.4f %12.4f %12d %s\n"
+                  (Policy.to_string p) k closed a.Driver.value a.Driver.trials
+                  (if Float.abs (closed -. a.Driver.value) < 0.05 then "yes"
+                   else "NO"))
+              ks)
+          checked_policies;
+        Printf.printf "  adaptive: %d of %d trials (%.1fx saved)\n" !total
+          !caps
+          (float_of_int !caps /. Float.max 1. (float_of_int !total))
     end
   in
   Cmd.v
@@ -386,7 +477,7 @@ let policy_matrix_cmd =
           replacement policy.")
     Term.(
       const run $ cache_opt_arg $ policy_arg $ threshold_arg $ csv_arg
-      $ check_arg $ samples_arg $ seed_arg)
+      $ check_arg $ samples_arg $ confidence_arg $ ci_width_arg $ seed_arg)
 
 let perf_cmd =
   let accesses =

@@ -32,20 +32,28 @@ let validate c =
 
 (* --- partial (mergeable) trial accumulators -------------------------- *)
 
-type partial = { sums : float array; counts : int array }
+(* [times] is a Welford summary of every observed whole-block time —
+   the adaptive runtime's stopping estimator ([observe]). It never feeds
+   [finalize], so results (and the golden digests over them) are
+   unchanged. *)
+type partial = { sums : float array; counts : int array; times : Summary.t }
 
-let empty_partial () = { sums = Array.make 256 0.; counts = Array.make 256 0 }
+let empty_partial () =
+  { sums = Array.make 256 0.; counts = Array.make 256 0; times = Summary.create () }
 
 let merge_partial a b =
   {
     sums = Array.init 256 (fun i -> a.sums.(i) +. b.sums.(i));
     counts = Array.init 256 (fun i -> a.counts.(i) + b.counts.(i));
+    times = Summary.merge a.times b.times;
   }
+
+let observe p = Sequential.Mean_rel p.times
 
 let run_span ~victim ~rng ~count c =
   validate { c with trials = count };
   let engine = Victim.engine victim in
-  let { sums; counts } = empty_partial () in
+  let ({ sums; counts; times } as part) = empty_partial () in
   let p = Bytes.create 16 in
   for _ = 1 to count do
     engine.Engine.flush_all ();
@@ -64,11 +72,12 @@ let run_span ~victim ~rng ~count c =
       Char.code (Bytes.get p c.byte_i) lxor Char.code (Bytes.get p c.byte_j)
     in
     sums.(delta) <- sums.(delta) +. observed;
-    counts.(delta) <- counts.(delta) + 1
+    counts.(delta) <- counts.(delta) + 1;
+    Summary.add times observed
   done;
-  { sums; counts }
+  part
 
-let finalize ~victim c { sums; counts } =
+let finalize ~victim c { sums; counts; _ } =
   let grand_mean =
     Array.fold_left ( +. ) 0. sums /. float_of_int (Array.fold_left ( + ) 0 counts)
   in

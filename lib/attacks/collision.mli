@@ -44,6 +44,10 @@ type partial
 val empty_partial : unit -> partial
 val merge_partial : partial -> partial -> partial
 
+val observe : partial -> Cachesec_stats.Sequential.observation
+(** The adaptive runtime's estimator hook: a [Mean_rel] over the span's
+    observed whole-block times (see {!Evict_time.observe}). *)
+
 val run_span :
   victim:Victim.t -> rng:Cachesec_stats.Rng.t -> count:int -> config -> partial
 

@@ -31,15 +31,23 @@ let validate layout c =
 
 (* --- partial (mergeable) trial accumulators -------------------------- *)
 
-type partial = { sums : float array; counts : int array }
+(* [times] is a Welford summary of every observed block time — the
+   estimator the adaptive runtime stops on ([observe]). It rides along
+   without touching the per-bin sums the finalize consumes, so adding it
+   changes no result field (the golden digests pin this). *)
+type partial = { sums : float array; counts : int array; times : Summary.t }
 
-let empty_partial () = { sums = Array.make 256 0.; counts = Array.make 256 0 }
+let empty_partial () =
+  { sums = Array.make 256 0.; counts = Array.make 256 0; times = Summary.create () }
 
 let merge_partial a b =
   {
     sums = Array.init 256 (fun i -> a.sums.(i) +. b.sums.(i));
     counts = Array.init 256 (fun i -> a.counts.(i) + b.counts.(i));
+    times = Summary.merge a.times b.times;
   }
+
+let observe p = Sequential.Mean_rel p.times
 
 (* One contiguous span of the global trial index space, [first+1 ..
    first+count]. The global index matters: the attacker rotates through
@@ -56,7 +64,7 @@ let run_span ~victim ~attacker_pid ~rng ~first ~count c =
     Aes_layout.set_of_entry layout ~table ~index:(c.target_table_line * epl)
   in
   if c.lock_victim_tables then ignore (Victim.lock_tables victim);
-  let { sums; counts } = empty_partial () in
+  let ({ sums; counts; times } as part) = empty_partial () in
   let cfg = engine.Engine.config in
   let stride = cfg.Config.ways * Config.sets cfg in
   let p = Bytes.create 16 in
@@ -77,11 +85,12 @@ let run_span ~victim ~attacker_pid ~rng ~first ~count c =
     in
     let bin = Char.code (Bytes.get p c.target_byte) in
     sums.(bin) <- sums.(bin) +. observed;
-    counts.(bin) <- counts.(bin) + 1
+    counts.(bin) <- counts.(bin) + 1;
+    Summary.add times observed
   done;
-  { sums; counts }
+  part
 
-let finalize ~victim c { sums; counts } =
+let finalize ~victim c { sums; counts; _ } =
   let layout = Victim.layout victim in
   let epl = Aes_layout.entries_per_line layout in
   let grand_total = Array.fold_left ( +. ) 0. sums in

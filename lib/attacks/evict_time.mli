@@ -48,10 +48,17 @@ val run : victim:Victim.t -> attacker_pid:int -> rng:Cachesec_stats.Rng.t -> con
     back together (associatively, in span order). *)
 
 type partial
-(** Per-plaintext-byte timing sums and counts for a span of trials. *)
+(** Per-plaintext-byte timing sums and counts for a span of trials,
+    plus a Welford summary of every observed time for {!observe}. *)
 
 val empty_partial : unit -> partial
 val merge_partial : partial -> partial -> partial
+
+val observe : partial -> Cachesec_stats.Sequential.observation
+(** The adaptive runtime's estimator hook: a [Mean_rel] over the span's
+    observed block times — the stopping rule pins the mean observed time
+    to a relative half-width. Derived from the merged partial only; the
+    trial loop is unchanged. *)
 
 val run_span :
   victim:Victim.t ->

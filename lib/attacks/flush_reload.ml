@@ -34,6 +34,16 @@ let merge_partial a b =
     span = a.span + b.span;
   }
 
+(* Adaptive-runtime estimator: the best candidate's reload-hit rate, a
+   proportion over the span — computed from the merged partial's
+   existing accumulators, never inside the zero-allocation trial loop. *)
+let observe p =
+  Cachesec_stats.Sequential.Proportion
+    {
+      successes = Array.fold_left Float.max 0. p.cand_hits;
+      trials = p.span;
+    }
+
 let run_span ~victim ~attacker_pid ~rng ~count c =
   validate { c with trials = count };
   let layout = Victim.layout victim in

@@ -34,6 +34,12 @@ type partial
 
 val merge_partial : partial -> partial -> partial
 
+val observe : partial -> Cachesec_stats.Sequential.observation
+(** The adaptive runtime's estimator hook: a [Proportion] — the best
+    candidate's reload-hit rate over the span, from the merged partial's
+    existing accumulators (the zero-allocation trial loop is never
+    instrumented). *)
+
 val run_span :
   victim:Victim.t ->
   attacker_pid:int ->

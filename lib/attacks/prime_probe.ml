@@ -37,6 +37,16 @@ let merge_partial a b =
     span = a.span + b.span;
   }
 
+(* Adaptive-runtime estimator: the best candidate's hit rate, a
+   proportion over the span. Computed from the merged partial's existing
+   accumulators — the zero-allocation trial loop is never touched. *)
+let observe p =
+  Cachesec_stats.Sequential.Proportion
+    {
+      successes = Array.fold_left Float.max 0. p.cand_hits;
+      trials = p.span;
+    }
+
 let run_span ~victim ~attacker_pid ~rng ~count c =
   validate { c with trials = count };
   let layout = Victim.layout victim in

@@ -39,6 +39,13 @@ val merge_partial : partial -> partial -> partial
 (** Associative and commutative; raises [Invalid_argument] when the two
     partials were produced against different cache geometries. *)
 
+val observe : partial -> Cachesec_stats.Sequential.observation
+(** The adaptive runtime's estimator hook: a [Proportion] — the best
+    candidate's per-trial hit rate over the span. Computed from the
+    merged partial's existing accumulators; the zero-allocation trial
+    loop is never instrumented (the per-access allocation budget in
+    test_attacks pins this). *)
+
 val run_span :
   victim:Victim.t ->
   attacker_pid:int ->

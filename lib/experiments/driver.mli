@@ -116,6 +116,99 @@ val run_timing_stats :
     separation): per-batch histograms and summaries merged with
     {!Histogram.merge} / {!Summary.merge}. *)
 
+(** {1 Adaptive (run-to-confidence) campaigns}
+
+    Each adaptive variant executes the same batch plan as a fixed
+    campaign capped at [target.max_trials], but partitioned into
+    deterministic geometrically-growing rounds
+    ({!Cachesec_runtime.Adaptive}): after each round the cumulative
+    batch-order merge is handed to the attack's estimator hook
+    ([observe]) and {!Cachesec_stats.Sequential.decide} chooses between
+    stopping and dispatching the next round. The decision is a function
+    of [(seed, round plan, merged estimate)] only — never of [jobs] —
+    so adaptive runs keep the jobs:1 ≡ jobs:N and sequential ≡
+    pipelined bit-identity of the fixed paths.
+
+    Adaptive campaigns default to a finer batch size
+    ([min default_batch (ceil (cap / 8))]) so quick-scale caps contain
+    several round boundaries; [ctx.batch] still overrides it. The
+    attack config's own [trials] field is ignored — the cap is
+    [target.max_trials].
+
+    Telemetry: the campaign span carries a [trials_cap] gauge at submit
+    and a [trials] gauge (actual executed, post-early-stop) at await;
+    [driver.trials] counts actual trials and [driver.trials_saved]
+    counts [cap - actual]. *)
+
+type 'a adaptive = {
+  value : 'a;  (** the finalized result, over the trials that ran *)
+  trials : int;  (** trials actually executed *)
+  cap : int;  (** [target.max_trials] *)
+  rounds : int;  (** rounds executed *)
+  stopped_early : bool;  (** true iff the stopping rule fired below cap *)
+  achieved : float;
+      (** the final merged estimate's CI half-width at
+          [target.confidence] (absolute for proportion estimators,
+          relative for mean estimators — see
+          {!Cachesec_stats.Sequential.achieved}) *)
+}
+
+val submit_evict_time_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Evict_time.config ->
+  Evict_time.result adaptive pending
+(** Stops on the mean observed encryption time ({!Evict_time.observe},
+    relative half-width). *)
+
+val submit_prime_probe_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Prime_probe.config ->
+  Prime_probe.result adaptive pending
+(** Stops on the best candidate's per-trial hit rate
+    ({!Prime_probe.observe}, Wilson half-width). *)
+
+val submit_collision_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Collision.config ->
+  Collision.result adaptive pending
+
+val submit_flush_reload_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Flush_reload.config ->
+  Flush_reload.result adaptive pending
+
+val submit_cleaning_game_adaptive :
+  Run.ctx -> Spec.t -> accesses:int -> target:Sequential.target ->
+  float adaptive pending
+(** Stops on the win rate's Wilson half-width; the cap replaces the
+    fixed [samples] argument. *)
+
+val submit_timing_stats_adaptive :
+  ?lo:float -> ?hi:float -> ?bins:int -> Run.ctx -> Spec.t ->
+  target:Sequential.target -> unit ->
+  (Histogram.t * Summary.t) adaptive pending
+(** Stops on the merged summary's relative mean half-width. *)
+
+val run_evict_time_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Evict_time.config ->
+  Evict_time.result adaptive
+
+val run_prime_probe_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Prime_probe.config ->
+  Prime_probe.result adaptive
+
+val run_collision_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Collision.config ->
+  Collision.result adaptive
+
+val run_flush_reload_adaptive :
+  Run.ctx -> Spec.t -> target:Sequential.target -> Flush_reload.config ->
+  Flush_reload.result adaptive
+
+val run_cleaning_game_adaptive :
+  Run.ctx -> Spec.t -> accesses:int -> target:Sequential.target ->
+  float adaptive
+
+val run_timing_stats_adaptive :
+  ?lo:float -> ?hi:float -> ?bins:int -> Run.ctx -> Spec.t ->
+  target:Sequential.target -> unit -> (Histogram.t * Summary.t) adaptive
+
 (** {1 Deprecated optional-tail wrappers}
 
     Bit-identical to the ctx API for equal [(seed, batch, jobs)] —

@@ -494,6 +494,171 @@ module Attacks = struct
     Buffer.contents buf
 end
 
+(* --- adaptive-stopping throughput (trials-to-confidence) ------------- *)
+
+(* Controlled experiment for the adaptive runtime: the quick validation
+   matrix run twice through the SAME adaptive machinery and batch plan —
+   once with [ci_width = 0.] (never stops early: a fixed-count run that
+   also measures the CI widths its budget achieves) and once with the
+   target set to the fixed arm's WORST achieved width. The adaptive arm
+   is therefore at least as precise as the fixed arm's least precise
+   cell, and the trials ratio between the arms is exactly what
+   sequential stopping buys at matched precision. Both arms share plan
+   and seeds, so the ratio is seed-deterministic and jobs-invariant —
+   it can gate hard, unlike wall-clock (which is reported, and tracked
+   against the committed baseline's adaptive rows). *)
+
+module Adaptive = struct
+  type entry = {
+    arm : string;  (* "fixed" | "adaptive" *)
+    jobs : int;
+    cores : int;
+    cells : int;
+    trials : int;  (** attack trials executed across the matrix *)
+    caps : int;  (** total trial budget of the same cells *)
+    width : float;  (** worst achieved CI half-width across the cells *)
+    seconds : float;
+  }
+
+  let confidence = 0.95
+
+  let bench (ctx : Run.ctx) =
+    let ctx = Run.quick ctx in
+    let jobs = Scheduler.resolve_jobs ctx.Run.jobs in
+    let cores = Domain.recommended_domain_count () in
+    let tm = ctx.Run.telemetry in
+    let one ~arm ~ci_width =
+      Telemetry.with_span tm ~parent:ctx.Run.parent ("adaptive:" ^ arm)
+      @@ fun sp ->
+      let ctx = Run.with_parent sp ctx in
+      let t0 = Clock.now_s () in
+      let cs =
+        Validation.cells ~pipeline:true
+          ~adaptive:{ Validation.confidence; ci_width }
+          ctx
+      in
+      let dt = Clock.elapsed_s ~since:t0 in
+      let dt = if dt <= 0. then epsilon_float else dt in
+      let e =
+        {
+          arm;
+          jobs;
+          cores;
+          cells = List.length cs;
+          trials = Validation.total_trials cs;
+          caps = Validation.total_caps cs;
+          width = Validation.worst_half_width cs;
+          seconds = dt;
+        }
+      in
+      Telemetry.gauge tm ~span:sp "seconds" dt;
+      Telemetry.gauge tm ~span:sp "trials" (float_of_int e.trials);
+      Telemetry.gauge tm ~span:sp "ci_width" e.width;
+      e
+    in
+    let fixed = one ~arm:"fixed" ~ci_width:0. in
+    let adaptive = one ~arm:"adaptive" ~ci_width:fixed.width in
+    [ fixed; adaptive ]
+
+  let entry_to_json e =
+    Printf.sprintf
+      "{\"arm\": \"%s\", \"jobs\": %d, \"cores\": %d, \"cells\": %d, \
+       \"trials\": %d, \"caps\": %d, \"width\": %.6f, \"seconds\": %.6f}"
+      e.arm e.jobs e.cores e.cells e.trials e.caps e.width e.seconds
+
+  let entry_of_line line =
+    match
+      Scanf.sscanf line
+        "{\"arm\": %S, \"jobs\": %d, \"cores\": %d, \"cells\": %d, \
+         \"trials\": %d, \"caps\": %d, \"width\": %f, \"seconds\": %f}"
+        (fun arm jobs cores cells trials caps width seconds ->
+          { arm; jobs; cores; cells; trials; caps; width; seconds })
+    with
+    | e -> Some e
+    | exception Scanf.Scan_failure _ | (exception End_of_file) -> None
+
+  (* Scans a BENCH_e2e.json for adaptive-arm rows, skipping the
+     section-mode rows (and anything else) line by line — the same
+     schema-compatible coexistence the other readers practice. *)
+  let read ~path =
+    match open_in path with
+    | exception Sys_error _ -> []
+    | ic ->
+      let entries = ref [] in
+      (try
+         while true do
+           let line = String.trim (input_line ic) in
+           let line =
+             if String.length line > 0 && line.[String.length line - 1] = ','
+             then String.sub line 0 (String.length line - 1)
+             else line
+           in
+           match entry_of_line line with
+           | Some e -> entries := e :: !entries
+           | None -> ()
+         done
+       with End_of_file -> ());
+      close_in ic;
+      List.rev !entries
+
+  let find entries ~arm = List.find_opt (fun e -> e.arm = arm) entries
+
+  (* Within-run trials ratio (fixed / adaptive): the gate observable. *)
+  let savings entries =
+    match (find entries ~arm:"fixed", find entries ~arm:"adaptive") with
+    | Some f, Some a when a.trials > 0 ->
+      Some (float_of_int f.trials /. float_of_int a.trials)
+    | _ -> None
+
+  (* Within-run wall-clock ratio (fixed / adaptive); reported, never
+     gated — wall-clock on a shared host is not deterministic. *)
+  let wall_reduction entries =
+    match (find entries ~arm:"fixed", find entries ~arm:"adaptive") with
+    | Some f, Some a when a.seconds > 0. -> Some (f.seconds /. a.seconds)
+    | _ -> None
+
+  (* Hard gate: both arms run the same seeds and the stop decisions are
+     functions of seed-determined estimates at deterministic round
+     boundaries, so the ratio cannot vary across hosts or job counts. *)
+  let gate ?(threshold = 2.0) entries =
+    match savings entries with
+    | None -> (None, false)
+    | Some x -> (Some x, x >= threshold)
+
+  let render ?baseline entries =
+    let buf = Buffer.create 1024 in
+    let base = match baseline with None -> [] | Some path -> read ~path in
+    Buffer.add_string buf
+      (Printf.sprintf "  %-10s %5s %6s %6s %10s %10s %10s %10s %10s\n" "arm"
+         "jobs" "cores" "cells" "trials" "caps" "ci width" "seconds" "vs base");
+    List.iter
+      (fun e ->
+        let vs =
+          match find base ~arm:e.arm with
+          | Some b when e.seconds > 0. ->
+            Printf.sprintf "%9.2fx" (b.seconds /. e.seconds)
+          | Some _ | None -> "         -"
+        in
+        Buffer.add_string buf
+          (Printf.sprintf "  %-10s %5d %6d %6d %10d %10d %10.4f %10.3f %s\n"
+             e.arm e.jobs e.cores e.cells e.trials e.caps e.width e.seconds vs))
+      entries;
+    (match savings entries with
+    | Some x ->
+      Buffer.add_string buf
+        (Printf.sprintf
+           "  trials saved at matched worst-cell width (fixed / adaptive): \
+            %.2fx\n"
+           x)
+    | None -> ());
+    (match wall_reduction entries with
+    | Some x ->
+      Buffer.add_string buf
+        (Printf.sprintf "  wall-clock reduction (fixed / adaptive): %.2fx\n" x)
+    | None -> ());
+    Buffer.contents buf
+end
+
 (* --- end-to-end harness throughput (campaign pipelining) ------------- *)
 
 (* The sections above time one engine access and one attack trial; this
@@ -573,27 +738,34 @@ module E2e = struct
        \"units\": %d, \"seconds\": %.6f}"
       e.section e.mode e.jobs e.cores e.units e.seconds
 
-  let to_json ?span_id entries =
+  (* v2 = v1 plus optional adaptive-arm rows in the same entries array
+     (distinct key set; every reader here scans line-wise and skips
+     rows it does not parse, so v1 and v2 files are mutually readable). *)
+  let to_json ?span_id ?(adaptive = []) entries =
     let buf = Buffer.create 1024 in
-    Buffer.add_string buf "{\n  \"schema\": \"bench_e2e/v1\",\n";
+    Buffer.add_string buf "{\n  \"schema\": \"bench_e2e/v2\",\n";
     (match span_id with
     | Some id when id <> 0 ->
       Buffer.add_string buf (Printf.sprintf "  \"telemetry_span\": %d,\n" id)
     | Some _ | None -> ());
     Buffer.add_string buf "  \"entries\": [\n";
+    let rows =
+      List.map entry_to_json entries
+      @ List.map Adaptive.entry_to_json adaptive
+    in
     List.iteri
-      (fun i e ->
+      (fun i r ->
         Buffer.add_string buf "    ";
-        Buffer.add_string buf (entry_to_json e);
-        if i < List.length entries - 1 then Buffer.add_char buf ',';
+        Buffer.add_string buf r;
+        if i < List.length rows - 1 then Buffer.add_char buf ',';
         Buffer.add_char buf '\n')
-      entries;
+      rows;
     Buffer.add_string buf "  ]\n}\n";
     Buffer.contents buf
 
-  let write ?span_id ~path entries =
+  let write ?span_id ?adaptive ~path entries =
     let oc = open_out path in
-    output_string oc (to_json ?span_id entries);
+    output_string oc (to_json ?span_id ?adaptive entries);
     close_out oc
 
   let read ~path =

@@ -21,6 +21,16 @@ type entry = {
   slab_bytes : int;  (** [Engine.t.slab_bytes]; 0 for v1 rows *)
 }
 
+val stddev_of : float list -> float
+(** Standard deviation of the per-repetition rates behind a row's error
+    bar — the POPULATION convention (divide by [n]): the repetitions
+    ARE the complete set being described, not a sample from which a
+    larger population's spread is inferred. [0.] below two values.
+    Contrast {!Cachesec_stats.Summary.std}, which uses the unbiased
+    SAMPLE convention ([n-1]) because a summary always holds a sample
+    of a larger trial population. Both conventions are pinned by
+    regression tests in test_stats. *)
+
 val measure :
   ?accesses:int ->
   ?seed:int ->
@@ -137,6 +147,57 @@ module Attacks : sig
   val render : ?baseline:string -> entry list -> string
 end
 
+(** Adaptive-stopping benchmark: the quick validation matrix run twice
+    through the same adaptive machinery and batch plan — a [fixed] arm
+    ([ci_width = 0.], never stops early, measures the CI widths the
+    fixed budgets achieve) and an [adaptive] arm targeted at the fixed
+    arm's worst achieved width. The trials ratio between the arms is
+    what sequential stopping saves at matched worst-cell precision; it
+    is seed-deterministic and jobs-invariant, so it gates hard.
+    Wall-clock rides along (reported, compared against the committed
+    baseline's adaptive rows, never gated). Rows are exported into
+    [BENCH_e2e.json] alongside the pipelining rows (schema
+    [bench_e2e/v2]). *)
+module Adaptive : sig
+  type entry = {
+    arm : string;  (** "fixed" | "adaptive" *)
+    jobs : int;
+    cores : int;
+    cells : int;
+    trials : int;  (** attack trials executed across the matrix *)
+    caps : int;  (** total trial budget of the same cells *)
+    width : float;  (** worst achieved CI half-width across the cells *)
+    seconds : float;
+  }
+
+  val confidence : float
+  (** Confidence level both arms measure at (0.95). *)
+
+  val bench : Run.ctx -> entry list
+  (** Always quick scale; each arm spanned as [adaptive:<arm>] with
+      [seconds] / [trials] / [ci_width] gauges. Returns
+      [[fixed; adaptive]]. *)
+
+  val entry_to_json : entry -> string
+  val read : path:string -> entry list
+  (** Scan a [BENCH_e2e.json] for adaptive rows, skipping the
+      section-mode rows; [[]] when absent. *)
+
+  val find : entry list -> arm:string -> entry option
+
+  val savings : entry list -> float option
+  (** Within-run trials ratio fixed/adaptive — the gate observable. *)
+
+  val wall_reduction : entry list -> float option
+  (** Within-run wall-clock ratio fixed/adaptive; reported, not gated. *)
+
+  val gate : ?threshold:float -> entry list -> float option * bool
+  (** [(savings, savings >= threshold)] (default 2.0). Hard on every
+      host: the ratio is a function of the seeds alone. *)
+
+  val render : ?baseline:string -> entry list -> string
+end
+
 (** End-to-end harness throughput: wall-clock of whole report sections —
     the quick-scale validation matrix (36 cells) and the experimental
     figures (9 and 10) — measured twice, with strictly sequential
@@ -168,8 +229,17 @@ module E2e : sig
       are bit-identical between the arms — only the wall-clock differs
       (enforced by test_runtime's pipelined-equivalence cases). *)
 
-  val to_json : ?span_id:int -> entry list -> string
-  val write : ?span_id:int -> path:string -> entry list -> unit
+  val to_json :
+    ?span_id:int -> ?adaptive:Adaptive.entry list -> entry list -> string
+  (** Schema [bench_e2e/v2]: the pipelining rows plus (optionally) the
+      adaptive-arm rows in the same entries array. Every reader scans
+      line-wise and skips rows it does not parse, so v1 and v2 files
+      are mutually readable. *)
+
+  val write :
+    ?span_id:int -> ?adaptive:Adaptive.entry list -> path:string ->
+    entry list -> unit
+
   val read : path:string -> entry list
   val find :
     ?jobs:int -> entry list -> section:string -> mode:string -> entry option

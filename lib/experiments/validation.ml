@@ -1,3 +1,4 @@
+open Cachesec_stats
 open Cachesec_cache
 open Cachesec_attacks
 open Cachesec_analysis
@@ -14,7 +15,12 @@ type cell = {
   separation : float;
   agrees : bool;
   note : string;
+  trials : int;
+  max_trials : int;
+  ci_half_width : float;
 }
+
+type adaptive = { confidence : float; ci_width : float }
 
 (* Explanations for the documented analytical-vs-simulated gaps. *)
 let known_note spec attack =
@@ -48,8 +54,42 @@ let lock_for spec =
 
    [submit_cell] is the non-blocking form: the cell span is opened and
    the attack campaign's shards dispatched onto the pool now; building
-   the cell record (and closing its span) happens at [Driver.await]. *)
-let submit_cell (ctx : Run.ctx) spec attack =
+   the cell record (and closing its span) happens at [Driver.await].
+
+   With [?adaptive] the cell's campaign runs through the Driver's
+   run-to-confidence variants instead: same per-cell trial budget, but
+   as the cap of a sequential-stopping target. [ci_width = 0.] never
+   stops early — the campaign runs to cap on the adaptive batch plan,
+   which is how the bench's fixed arm measures achieved widths on a
+   plan identical to the adaptive arm's. *)
+let target_for adaptive cap =
+  match adaptive with
+  | None -> None
+  | Some { confidence; ci_width } ->
+    Some
+      (Sequential.target ~confidence
+         ~min_trials:(Stdlib.max 1 (Stdlib.min 100 cap))
+         ~half_width:ci_width ~max_trials:cap ())
+
+(* Both arms reduce an attack result to the same tuple:
+   (recovered, separation, trials executed, cap, achieved half-width).
+   Fixed campaigns execute exactly their plan and measure no interval,
+   so trials = cap and the width is [nan]. *)
+let fixed_arm extract cap p =
+  Driver.map_pending
+    (fun r ->
+      let recovered, separation = extract r in
+      (recovered, separation, cap, cap, nan))
+    p
+
+let adaptive_arm extract p =
+  Driver.map_pending
+    (fun (a : _ Driver.adaptive) ->
+      let recovered, separation = extract a.Driver.value in
+      (recovered, separation, a.Driver.trials, a.Driver.cap, a.Driver.achieved))
+    p
+
+let submit_cell ?adaptive (ctx : Run.ctx) spec attack =
   let tm = ctx.Run.telemetry in
   let sp =
     Telemetry.span tm ~parent:ctx.Run.parent
@@ -61,34 +101,52 @@ let submit_cell (ctx : Run.ctx) spec attack =
   match
     match attack with
     | Attack_type.Evict_and_time ->
-      Driver.map_pending
-        (fun r -> (r.Evict_time.nibble_recovered, r.Evict_time.separation))
-        (Driver.submit_evict_time ctx spec
-           {
-             Evict_time.default_config with
-             Evict_time.trials = t 50000;
-             lock_victim_tables = lock_for spec;
-           })
+      let cap = t 50000 in
+      let c =
+        {
+          Evict_time.default_config with
+          Evict_time.trials = cap;
+          lock_victim_tables = lock_for spec;
+        }
+      in
+      let ex r = (r.Evict_time.nibble_recovered, r.Evict_time.separation) in
+      (match target_for adaptive cap with
+      | None -> fixed_arm ex cap (Driver.submit_evict_time ctx spec c)
+      | Some target ->
+        adaptive_arm ex (Driver.submit_evict_time_adaptive ctx spec ~target c))
     | Attack_type.Prime_and_probe ->
-      Driver.map_pending
-        (fun r -> (r.Prime_probe.nibble_recovered, r.Prime_probe.separation))
-        (Driver.submit_prime_probe ctx spec
-           {
-             Prime_probe.default_config with
-             Prime_probe.trials = t 3000;
-             lock_victim_tables = lock_for spec;
-           })
+      let cap = t 3000 in
+      let c =
+        {
+          Prime_probe.default_config with
+          Prime_probe.trials = cap;
+          lock_victim_tables = lock_for spec;
+        }
+      in
+      let ex r = (r.Prime_probe.nibble_recovered, r.Prime_probe.separation) in
+      (match target_for adaptive cap with
+      | None -> fixed_arm ex cap (Driver.submit_prime_probe ctx spec c)
+      | Some target ->
+        adaptive_arm ex (Driver.submit_prime_probe_adaptive ctx spec ~target c))
     | Attack_type.Cache_collision ->
-      Driver.map_pending
-        (fun r -> (r.Collision.nibble_recovered, r.Collision.separation))
-        (Driver.submit_collision ctx spec
-           { Collision.default_config with Collision.trials = t 250000 })
+      let cap = t 250000 in
+      let c = { Collision.default_config with Collision.trials = cap } in
+      let ex r = (r.Collision.nibble_recovered, r.Collision.separation) in
+      (match target_for adaptive cap with
+      | None -> fixed_arm ex cap (Driver.submit_collision ctx spec c)
+      | Some target ->
+        adaptive_arm ex (Driver.submit_collision_adaptive ctx spec ~target c))
     | Attack_type.Flush_and_reload ->
-      Driver.map_pending
-        (fun r ->
-          (r.Flush_reload.nibble_recovered, r.Flush_reload.separation))
-        (Driver.submit_flush_reload ctx spec
-           { Flush_reload.default_config with Flush_reload.trials = t 3000 })
+      let cap = t 3000 in
+      let c = { Flush_reload.default_config with Flush_reload.trials = cap } in
+      let ex r =
+        (r.Flush_reload.nibble_recovered, r.Flush_reload.separation)
+      in
+      (match target_for adaptive cap with
+      | None -> fixed_arm ex cap (Driver.submit_flush_reload ctx spec c)
+      | Some target ->
+        adaptive_arm ex
+          (Driver.submit_flush_reload_adaptive ctx spec ~target c))
   with
   | exception e ->
     Telemetry.close_span tm sp;
@@ -99,7 +157,7 @@ let submit_cell (ctx : Run.ctx) spec attack =
         | exception e ->
           Telemetry.close_span tm sp;
           raise e
-        | recovered, separation ->
+        | recovered, separation, trials, max_trials, ci_half_width ->
           let pas = Attack_models.pas attack spec () in
           (* The paper's own Table 7 judgment: noise-based PAS reduction
              does not count as resilience (repetition defeats it). *)
@@ -117,12 +175,16 @@ let submit_cell (ctx : Run.ctx) spec attack =
               separation;
               agrees;
               note = (if agrees then "" else known_note spec attack);
+              trials;
+              max_trials;
+              ci_half_width;
             }
           in
           Telemetry.close_span tm sp;
           c)
 
-let cell ctx spec attack = Driver.await (submit_cell ctx spec attack)
+let cell ?adaptive ctx spec attack =
+  Driver.await (submit_cell ?adaptive ctx spec attack)
 
 (* The full 9x4 matrix. [pipeline:true] (the default) submits every
    cell's campaign before the first await, so shards from all 36 cells
@@ -131,7 +193,7 @@ let cell ctx spec attack = Driver.await (submit_cell ctx spec attack)
    (the pre-pool behaviour — and the sequential arm of the e2e bench).
    Both orders await/merge cell-by-cell in the same list order, so the
    result is bit-identical (enforced by test_runtime). *)
-let cells ?(pipeline = true) ?policy (ctx : Run.ctx) =
+let cells ?(pipeline = true) ?policy ?adaptive (ctx : Run.ctx) =
   Telemetry.with_span ctx.Run.telemetry ~parent:ctx.Run.parent
     "validation-matrix"
   @@ fun sp ->
@@ -148,8 +210,27 @@ let cells ?(pipeline = true) ?policy (ctx : Run.ctx) =
   in
   if pipeline then
     Driver.await_all
-      (List.map (fun (spec, attack) -> submit_cell ctx spec attack) combos)
-  else List.map (fun (spec, attack) -> cell ctx spec attack) combos
+      (List.map
+         (fun (spec, attack) -> submit_cell ?adaptive ctx spec attack)
+         combos)
+  else List.map (fun (spec, attack) -> cell ?adaptive ctx spec attack) combos
+
+let total_trials cells =
+  List.fold_left (fun acc c -> acc + c.trials) 0 cells
+
+let total_caps cells =
+  List.fold_left (fun acc c -> acc + c.max_trials) 0 cells
+
+(* Non-finite widths are skipped, not just nan: a cell whose relative
+   width is [infinity] (zero mean with spread) can never stop early and
+   runs to cap in both bench arms, so it must not poison the
+   matched-width target. *)
+let worst_half_width cells =
+  List.fold_left
+    (fun acc c ->
+      if Float.is_finite c.ci_half_width then Float.max acc c.ci_half_width
+      else acc)
+    0. cells
 
 let agreement_rate cells =
   if cells = [] then nan
@@ -159,8 +240,16 @@ let agreement_rate cells =
   end
 
 let render cells =
+  (* Adaptive columns appear only when at least one cell actually
+     measured an interval, so fixed-matrix output is byte-identical to
+     what it was before the adaptive runtime existed. *)
+  let adaptive_run =
+    List.exists (fun c -> not (Float.is_nan c.ci_half_width)) cells
+  in
   let headers =
-    [ "Cache"; "Attack"; "PAS"; "predicted"; "simulated"; "agree"; "note" ]
+    [ "Cache"; "Attack"; "PAS"; "predicted"; "simulated"; "agree" ]
+    @ (if adaptive_run then [ "trials"; "ci" ] else [])
+    @ [ "note" ]
   in
   let rows =
     List.map
@@ -172,16 +261,34 @@ let render cells =
           (if c.predicted_leak then "leak" else "safe");
           (if c.recovered then "leak" else "safe");
           (if c.agrees then "yes" else "NO");
-          c.note;
-        ])
+        ]
+        @ (if adaptive_run then
+             [
+               Printf.sprintf "%d/%d" c.trials c.max_trials;
+               (if Float.is_nan c.ci_half_width then "-"
+                else Printf.sprintf "%.4f" c.ci_half_width);
+             ]
+           else [])
+        @ [ c.note ])
       cells
   in
   let aligns =
-    [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right; Table.Right; Table.Left ]
+    [ Table.Left; Table.Left; Table.Right; Table.Right; Table.Right;
+      Table.Right ]
+    @ (if adaptive_run then [ Table.Right; Table.Right ] else [])
+    @ [ Table.Left ]
   in
   "Validation matrix: PIFG prediction vs simulated attack outcome\n"
   ^ Table.render ~aligns ~headers ~rows ()
   ^ Printf.sprintf "agreement: %.0f%%\n" (100. *. agreement_rate cells)
+  ^
+  if adaptive_run then
+    Printf.sprintf "adaptive: %d of %d trials (%.1fx saved), worst ci %.4f\n"
+      (total_trials cells) (total_caps cells)
+      (float_of_int (total_caps cells)
+      /. Float.max 1. (float_of_int (total_trials cells)))
+      (worst_half_width cells)
+  else ""
 
 (* --- deprecated optional-tail wrappers ------------------------------- *)
 

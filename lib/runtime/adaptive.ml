@@ -1,0 +1,161 @@
+(* Round-based adaptive execution on top of the fixed batch plan.
+
+   The whole trick is that adaptivity changes WHICH PREFIX of the fixed
+   campaign runs, never what any batch computes:
+
+   - The batch plan is [Scheduler.plan ~total:cap ~batch_size] — the
+     same plan a fixed-count campaign over [cap] trials would use, so
+     batch [i]'s seed, first index and count are byte-identical to the
+     fixed world's.
+   - Rounds are a deterministic, geometrically growing partition of
+     that plan: round [r] covers batches [boundaries.(r-1) ..
+     boundaries.(r) - 1], where the boundaries are computed from
+     [(cap, batch_size, start, factor)] alone — never from [jobs],
+     wall-clock or partial values.
+   - The stop decision is taken ONLY at round boundaries, on the
+     batch-order merge of every batch executed so far. Merging in batch
+     index order makes the merged value jobs-invariant (same argument
+     as [Scheduler.fold_results]), hence the decision — and therefore
+     the executed prefix — is too.
+
+   So an adaptive run is bit-identical across jobs:1 / jobs:N and
+   across sequential / pipelined submission; what it saves is the
+   suffix of batches it never runs.
+
+   Round 0's shards are dispatched at [submit] time (pipelining with
+   other campaigns' shards works exactly as for fixed campaigns); each
+   later round is dispatched from [await] after the previous round's
+   merge said Continue. The inter-round join is the price of adaptivity
+   — with several adaptive campaigns submitted before the first await,
+   the other campaigns' round-0 shards fill the pool while this one
+   decides. *)
+
+open Cachesec_telemetry
+
+type plan = {
+  batches : Scheduler.batch array;
+  boundaries : int array;
+      (* boundaries.(r) = #batches executed once round r completed;
+         strictly increasing, last element = Array.length batches. *)
+}
+
+let plan ?(start = 0) ?(factor = 2) ~total ~batch_size () =
+  if factor < 2 then invalid_arg "Adaptive.plan: factor must be >= 2";
+  if start < 0 then invalid_arg "Adaptive.plan: start must be non-negative";
+  let batches = Scheduler.plan ~total ~batch_size in
+  let nbatches = Array.length batches in
+  if nbatches = 0 then { batches; boundaries = [||] }
+  else begin
+    (* Cumulative trial target after round r: start * factor^r (start
+       defaults to one batch), rounded UP to a batch boundary so a
+       round is never empty. *)
+    let start = if start <= 0 then batch_size else start in
+    let bound_of_target t = min nbatches ((t + batch_size - 1) / batch_size) in
+    let rec grow acc target prev =
+      let b = max (prev + 1) (bound_of_target target) in
+      if b >= nbatches then List.rev (nbatches :: acc)
+      else grow (b :: acc) (target * factor) b
+    in
+    { batches; boundaries = Array.of_list (grow [] start 0) }
+  end
+
+let rounds p = Array.length p.boundaries
+
+let round_trials p r =
+  if r < 0 || r >= Array.length p.boundaries then
+    invalid_arg "Adaptive.round_trials: round out of range";
+  let upto = p.boundaries.(r) in
+  let t = ref 0 in
+  for i = 0 to upto - 1 do
+    t := !t + p.batches.(i).Scheduler.count
+  done;
+  !t
+
+(* --- execution -------------------------------------------------------- *)
+
+type 'p progress = {
+  merged : 'p;
+  trials : int;  (** trials actually executed (sum over executed batches) *)
+  cap : int;  (** the fixed-count total the campaign was bounded by *)
+  batches_run : int;
+  rounds_run : int;
+  stopped_early : bool;
+}
+
+type 'p running = {
+  p : plan;
+  what : string;
+  shard : Scheduler.batch -> 'p;
+  merge : 'p -> 'p -> 'p;
+  keep_going : trials:int -> 'p -> bool;
+  jobs : int option;
+  tm : Telemetry.t;
+  span : Telemetry.span;
+  first_round : 'p Scheduler.pending;
+}
+
+let submit_round r ~jobs ~tm ~span ~shard (p : plan) =
+  let lo = if r = 0 then 0 else p.boundaries.(r - 1) in
+  let hi = p.boundaries.(r) in
+  Scheduler.submit_map ?jobs ~tm ~span shard
+    (Array.sub p.batches lo (hi - lo))
+
+let submit ?jobs ?(tm = Telemetry.null) ?(span = Telemetry.null_span)
+    ~what ~shard ~merge ~keep_going p =
+  if rounds p = 0 then
+    invalid_arg ("Adaptive.submit: empty plan for " ^ what);
+  let first_round = submit_round 0 ~jobs ~tm ~span ~shard p in
+  { p; what; shard; merge; keep_going; jobs; tm; span; first_round }
+
+let await (r : 'p running) =
+  let { p; what; shard; merge; keep_going; jobs; tm; span; first_round } =
+    r
+  in
+  let total_rounds = rounds p in
+  let cap =
+    Array.fold_left (fun acc b -> acc + b.Scheduler.count) 0 p.batches
+  in
+  let fold_new acc parts =
+    (* Batch-order merge: [acc] already holds batches [0, lo); [parts]
+       are batches [lo, hi) in index order, so the running left fold is
+       exactly [Scheduler.fold_results] over the executed prefix. *)
+    Array.fold_left
+      (fun a part -> match a with None -> Some part | Some a -> Some (merge a part))
+      acc parts
+  in
+  let rec loop round acc trials pending_round =
+    let parts = Scheduler.await pending_round in
+    let acc = fold_new acc parts in
+    let lo = if round = 0 then 0 else p.boundaries.(round - 1) in
+    let trials =
+      Array.fold_left
+        (fun t (b : Scheduler.batch) -> t + b.Scheduler.count)
+        trials
+        (Array.sub p.batches lo (p.boundaries.(round) - lo))
+    in
+    let merged =
+      match acc with
+      | Some v -> v
+      | None ->
+        invalid_arg ("Adaptive.await: empty round for " ^ what)
+    in
+    let finish ~stopped_early =
+      {
+        merged;
+        trials;
+        cap;
+        batches_run = p.boundaries.(round);
+        rounds_run = round + 1;
+        stopped_early;
+      }
+    in
+    if round + 1 >= total_rounds then finish ~stopped_early:false
+    else if not (keep_going ~trials merged) then finish ~stopped_early:true
+    else
+      loop (round + 1) acc trials
+        (submit_round (round + 1) ~jobs ~tm ~span ~shard p)
+  in
+  loop 0 None 0 first_round
+
+let run ?jobs ?tm ?span ~what ~shard ~merge ~keep_going p =
+  await (submit ?jobs ?tm ?span ~what ~shard ~merge ~keep_going p)

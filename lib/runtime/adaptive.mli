@@ -1,0 +1,93 @@
+(** Adaptive (run-to-confidence) execution of a batched campaign in
+    deterministic geometrically-growing rounds.
+
+    An adaptive campaign is the fixed campaign's batch plan
+    ([Scheduler.plan ~total:cap ~batch_size]) partitioned into rounds
+    whose boundaries depend only on [(cap, batch_size, start, factor)].
+    After each round the partials executed so far are merged in batch
+    index order and a caller-supplied predicate decides whether to
+    continue; the suffix of batches never run is the saving.
+
+    Because batch seeds, the round partition and the batch-order merge
+    are all independent of [jobs] and of submission order, an adaptive
+    run is bit-identical across [jobs:1] / [jobs:N] and across
+    sequential / pipelined execution — the invariant the rest of the
+    trial runtime already guarantees for fixed campaigns (enforced by
+    test_runtime's adaptive matrix case). Stopping decisions happen at
+    round boundaries ONLY, never inside a round or a batch. *)
+
+open Cachesec_telemetry
+
+type plan = {
+  batches : Scheduler.batch array;
+  boundaries : int array;
+      (** [boundaries.(r)] = number of leading batches executed once
+          round [r] has completed; strictly increasing, ending at
+          [Array.length batches]. *)
+}
+
+val plan :
+  ?start:int -> ?factor:int -> total:int -> batch_size:int -> unit -> plan
+(** Partition the fixed plan for [total] trials into rounds with
+    cumulative trial targets [start, start*factor, start*factor^2, ...]
+    (each rounded up to a batch boundary; every round is non-empty).
+    [start] must be non-negative; [0] (the default) means one batch.
+    [factor] defaults to 2 and must be [>= 2]. A [total] of 0 yields an
+    empty plan. *)
+
+val rounds : plan -> int
+(** Number of rounds in the plan (0 only for an empty plan). *)
+
+val round_trials : plan -> int -> int
+(** [round_trials p r] is the cumulative trial count once round [r] has
+    completed. Raises [Invalid_argument] out of range. *)
+
+(** {1 Execution} *)
+
+type 'p progress = {
+  merged : 'p;  (** batch-order merge of every executed batch *)
+  trials : int;  (** trials actually executed *)
+  cap : int;  (** the fixed-count bound ([trials = cap] without early stop) *)
+  batches_run : int;
+  rounds_run : int;
+  stopped_early : bool;
+}
+
+type 'p running
+(** An adaptive campaign whose round 0 has been dispatched. *)
+
+val submit :
+  ?jobs:int ->
+  ?tm:Telemetry.t ->
+  ?span:Telemetry.span ->
+  what:string ->
+  shard:(Scheduler.batch -> 'p) ->
+  merge:('p -> 'p -> 'p) ->
+  keep_going:(trials:int -> 'p -> bool) ->
+  plan ->
+  'p running
+(** Dispatch round 0's shards onto the pool (or run them eagerly on the
+    serial path) and return without blocking — so several adaptive
+    campaigns submitted before the first {!await} pipeline their round-0
+    shards exactly like fixed campaigns. [keep_going] is consulted at
+    each round boundary with the cumulative trial count and the merged
+    partials; it must be pure (typically [Sequential.decide] against a
+    target). [what] names the campaign in error messages. Raises
+    [Invalid_argument] on an empty plan. *)
+
+val await : 'p running -> 'p progress
+(** Drive rounds to completion: await the current round, merge its
+    partials in batch order, consult [keep_going], and either dispatch
+    the next round or return. Must be called from outside the pool. *)
+
+val run :
+  ?jobs:int ->
+  ?tm:Telemetry.t ->
+  ?span:Telemetry.span ->
+  what:string ->
+  shard:(Scheduler.batch -> 'p) ->
+  merge:('p -> 'p -> 'p) ->
+  keep_going:(trials:int -> 'p -> bool) ->
+  plan ->
+  'p progress
+(** [await] of [submit] — the blocking form. *)

@@ -48,14 +48,22 @@ let resolve_jobs jobs =
 
 (* --- index-order fold (shared by run_reduce and Driver) --------------- *)
 
-let fold_results ~merge = function
-  | [||] -> invalid_arg "Scheduler.fold_results: empty results"
+(* [?what] names the campaign whose results are being folded, so an
+   empty-input failure points at the experiment that produced no
+   partials instead of at this anonymous fold. The default keeps the
+   historical message (pinned by test_runtime). *)
+let fold_results ?(what = "results") ~merge = function
+  | [||] -> invalid_arg ("Scheduler.fold_results: empty " ^ what)
   | results ->
     let acc = ref results.(0) in
     for i = 1 to Array.length results - 1 do
       acc := merge !acc results.(i)
     done;
     !acc
+
+let fold_results_opt ~merge = function
+  | [||] -> None
+  | results -> Some (fold_results ~merge results)
 
 (* --- non-blocking execution ------------------------------------------- *)
 

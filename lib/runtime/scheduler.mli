@@ -40,11 +40,19 @@ val resolve_jobs : int option -> int
     with [j > 0] is exactly [j] workers. Raises [Invalid_argument] on
     negative [j]. *)
 
-val fold_results : merge:('a -> 'a -> 'a) -> 'a array -> 'a
+val fold_results : ?what:string -> merge:('a -> 'a -> 'a) -> 'a array -> 'a
 (** Left fold of [merge] over a results array in index order (so [merge]
     need only be associative, not commutative). The single reduction
     used by both {!run_reduce} and the experiment driver's partial-merge
-    step. Raises [Invalid_argument] on an empty array. *)
+    step. Raises [Invalid_argument] on an empty array; [?what] (default
+    ["results"]) names the campaign in that message — e.g.
+    ["Scheduler.fold_results: empty evict-time:sa partials"] — so an
+    empty campaign is attributed, not anonymous. Callers that have a
+    meaningful empty case should prefer {!fold_results_opt}. *)
+
+val fold_results_opt : merge:('a -> 'a -> 'a) -> 'a array -> 'a option
+(** Total variant of {!fold_results}: [None] on an empty array instead
+    of raising. *)
 
 type 'a pending
 (** A family of submitted shard tasks not yet joined. Obtained from

@@ -1,0 +1,171 @@
+(* Sequential stopping for Monte-Carlo estimators (CacheFX-style
+   "run to a fixed confidence, not a fixed trial count").
+
+   Two estimator shapes cover every consumer in the repo:
+
+   - proportions (cleaning-game wins, nibble-recovery hit rates,
+     prime-probe / flush-reload candidate hit frequencies) get a Wilson
+     score interval — well-behaved near 0 and 1, where the easy cells
+     live and where the naive Wald interval collapses to zero width
+     after one round;
+
+   - means (evict-time / collision observed-time bins, timing stats)
+     get a normal interval from a Welford {!Summary.t}, with the half
+     width measured RELATIVE to |mean| so one --ci-width number is
+     meaningful for both shapes (absolute for proportions, which live
+     in [0,1]; relative for times, whose scale is arbitrary).
+
+   The decision rule itself is deliberately dumb and pure: given a
+   target and the merged partials' trial count, [decide] says Stop or
+   Continue. All scheduling (rounds, batches, seeds) lives in
+   [Cachesec_runtime.Adaptive]; keeping the rule pure is what makes the
+   stop decision a function of (seed, round plan, merged estimate) and
+   never of jobs. *)
+
+(* --- inverse normal CDF ---------------------------------------------- *)
+
+(* Acklam's rational approximation to the standard normal quantile
+   (|relative error| < 1.15e-9 over (0,1)): [Special] has the CDF but
+   not its inverse, and z-values for arbitrary --confidence levels need
+   one. Coefficients are the published ones. *)
+let normal_quantile p =
+  if Float.is_nan p || p <= 0. || p >= 1. then
+    invalid_arg "Sequential.normal_quantile: p must be in (0,1)";
+  let a =
+    [| -3.969683028665376e+01; 2.209460984245205e+02; -2.759285104469687e+02;
+       1.383577518672690e+02; -3.066479806614716e+01; 2.506628277459239e+00 |]
+  in
+  let b =
+    [| -5.447609879822406e+01; 1.615858368580409e+02; -1.556989798598866e+02;
+       6.680131188771972e+01; -1.328068155288572e+01 |]
+  in
+  let c =
+    [| -7.784894002430293e-03; -3.223964580411365e-01; -2.400758277161838e+00;
+       -2.549732539343734e+00; 4.374664141464968e+00; 2.938163982698783e+00 |]
+  in
+  let d =
+    [| 7.784695709041462e-03; 3.224671290700398e-01; 2.445134137142996e+00;
+       3.754408661907416e+00 |]
+  in
+  let p_low = 0.02425 in
+  let p_high = 1. -. p_low in
+  if p < p_low then begin
+    let q = sqrt (-2. *. log p) in
+    let num =
+      ((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q)
+      +. c.(5)
+    in
+    num /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  end
+  else if p <= p_high then begin
+    let q = p -. 0.5 in
+    let r = q *. q in
+    ((((((a.(0) *. r) +. a.(1)) *. r +. a.(2)) *. r +. a.(3)) *. r +. a.(4))
+     *. r +. a.(5))
+    *. q
+    /. (((((b.(0) *. r +. b.(1)) *. r +. b.(2)) *. r +. b.(3)) *. r +. b.(4))
+        *. r +. 1.)
+  end
+  else begin
+    let q = sqrt (-2. *. log (1. -. p)) in
+    -.((((((c.(0) *. q) +. c.(1)) *. q +. c.(2)) *. q +. c.(3)) *. q +. c.(4))
+       *. q +. c.(5))
+    /. ((((d.(0) *. q +. d.(1)) *. q +. d.(2)) *. q +. d.(3)) *. q +. 1.)
+  end
+
+(* Two-sided: z such that P(|Z| <= z) = confidence. *)
+let z_of_confidence confidence =
+  if Float.is_nan confidence || confidence <= 0. || confidence >= 1. then
+    invalid_arg "Sequential.z_of_confidence: confidence must be in (0,1)";
+  normal_quantile (0.5 *. (1. +. confidence))
+
+(* --- confidence intervals -------------------------------------------- *)
+
+let wilson ~successes ~trials ~confidence =
+  if trials <= 0 then invalid_arg "Sequential.wilson: trials must be positive";
+  if Float.is_nan successes || successes < 0. || successes > float_of_int trials
+  then invalid_arg "Sequential.wilson: successes must be in [0, trials]";
+  let z = z_of_confidence confidence in
+  let n = float_of_int trials in
+  let p = successes /. n in
+  let z2 = z *. z in
+  let denom = 1. +. (z2 /. n) in
+  let center = (p +. (z2 /. (2. *. n))) /. denom in
+  let spread =
+    z /. denom *. sqrt ((p *. (1. -. p) /. n) +. (z2 /. (4. *. n *. n)))
+  in
+  (Float.max 0. (center -. spread), Float.min 1. (center +. spread))
+
+let wilson_half_width ~successes ~trials ~confidence =
+  let lo, hi = wilson ~successes ~trials ~confidence in
+  0.5 *. (hi -. lo)
+
+(* Normal interval on the mean of a Welford summary: z * s / sqrt(n).
+   [infinity] below two observations — there is no variance estimate
+   yet, so the honest answer is "don't stop". *)
+let mean_half_width summary ~confidence =
+  let n = Summary.count summary in
+  if n < 2 then infinity
+  else begin
+    let s = Summary.std summary in
+    z_of_confidence confidence *. s /. sqrt (float_of_int n)
+  end
+
+(* --- observations (the estimator hook attacks/driver expose) --------- *)
+
+type observation =
+  | Proportion of { successes : float; trials : int }
+  | Mean_rel of Summary.t
+
+let achieved obs ~confidence =
+  match obs with
+  | Proportion { successes; trials } ->
+    if trials <= 0 then infinity
+    else wilson_half_width ~successes ~trials ~confidence
+  | Mean_rel summary ->
+    let hw = mean_half_width summary ~confidence in
+    let m = Float.abs (Summary.mean summary) in
+    (* Degenerate-constant stream (>= 2 observations, zero spread —
+       e.g. a locked cache whose observed time never varies): the
+       estimate cannot move, so the honest half-width is 0 even when
+       the constant is 0 and "relative" loses meaning. A zero mean
+       WITH spread stays [infinity]: relative precision is undefined
+       and the campaign must run to its cap. *)
+    if hw = 0. then 0.
+    else if Float.is_nan m || m = 0. then infinity
+    else hw /. m
+
+(* --- target + stopping rule ------------------------------------------ *)
+
+type target = {
+  confidence : float;
+  half_width : float;
+  min_trials : int;
+  max_trials : int;
+}
+
+let target ?(confidence = 0.95) ?(min_trials = 100) ~half_width ~max_trials ()
+    =
+  if Float.is_nan confidence || confidence <= 0. || confidence >= 1. then
+    invalid_arg "Sequential.target: confidence must be in (0,1)";
+  if Float.is_nan half_width || half_width < 0. then
+    invalid_arg "Sequential.target: half_width must be non-negative";
+  if min_trials < 1 then
+    invalid_arg "Sequential.target: min_trials must be positive";
+  if max_trials < min_trials then
+    invalid_arg "Sequential.target: max_trials must be >= min_trials";
+  { confidence; half_width; min_trials; max_trials }
+
+type decision = Stop | Continue
+
+(* [half_width = 0.] never stops early — not even at an achieved width
+   of exactly 0 (degenerate-constant streams): it is the measurement
+   mode contract that the campaign executes its full cap. *)
+let decide t ~trials obs =
+  if trials >= t.max_trials then Stop
+  else if trials < t.min_trials then Continue
+  else if
+    t.half_width > 0. && achieved obs ~confidence:t.confidence <= t.half_width
+  then Stop
+  else Continue

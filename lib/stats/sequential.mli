@@ -1,0 +1,82 @@
+(** Sequential stopping for Monte-Carlo estimators: run each campaign to
+    a target confidence-interval half-width instead of a fixed trial
+    count (the CacheFX framing; ROADMAP item 3's prerequisite).
+
+    This module is pure decision logic. The round scheduling that feeds
+    it merged partials lives in [Cachesec_runtime.Adaptive]; the
+    separation is what keeps the stop decision a function of
+    [(seed, round plan, merged estimate)] and never of [jobs]. *)
+
+(** {1 Intervals} *)
+
+val normal_quantile : float -> float
+(** Inverse standard normal CDF (Acklam's rational approximation,
+    relative error < 1.2e-9). Raises [Invalid_argument] outside (0,1). *)
+
+val z_of_confidence : float -> float
+(** Two-sided z-value: [z_of_confidence 0.95 ≈ 1.96]. Raises
+    [Invalid_argument] outside (0,1). *)
+
+val wilson :
+  successes:float -> trials:int -> confidence:float -> float * float
+(** Wilson score interval [(lo, hi)] for a proportion, clamped to
+    [[0,1]]. Well-behaved at observed rates of exactly 0 or 1, where the
+    Wald interval degenerates. [successes] is a float because attack
+    partials accumulate hit indicators as floats. *)
+
+val wilson_half_width :
+  successes:float -> trials:int -> confidence:float -> float
+(** Half the Wilson interval's width. *)
+
+val mean_half_width : Summary.t -> confidence:float -> float
+(** Normal-approximation half-width [z * std / sqrt n] on the mean of a
+    Welford summary; [infinity] below two observations (no variance
+    estimate — never a reason to stop). *)
+
+(** {1 Observations}
+
+    The estimator hook an adaptive campaign exposes from its merged
+    partials. One constructor per estimator shape; {!achieved} maps both
+    onto a single comparable half-width so one [--ci-width] knob serves
+    every consumer. *)
+
+type observation =
+  | Proportion of { successes : float; trials : int }
+      (** A success rate in [0,1] — cleaning-game wins, candidate hit
+          frequencies. Half-width is absolute (Wilson). *)
+  | Mean_rel of Summary.t
+      (** A mean on an arbitrary scale — observed encryption times.
+          Half-width is relative to [|mean|], so the same target value
+          means "the mean is pinned to within X of itself". *)
+
+val achieved : observation -> confidence:float -> float
+(** The observation's current half-width (absolute for [Proportion],
+    relative for [Mean_rel]); [infinity] when it cannot be estimated yet
+    (no trials, fewer than two mean observations, zero mean with
+    spread). A degenerate-constant mean stream (>= 2 observations, zero
+    spread) reports [0.] — the estimate cannot move, even when the
+    constant itself is 0. *)
+
+(** {1 Stopping rule} *)
+
+type target = {
+  confidence : float;  (** two-sided coverage, in (0,1) *)
+  half_width : float;  (** stop once {!achieved} is at or below this *)
+  min_trials : int;  (** never stop before this many trials *)
+  max_trials : int;  (** always stop at this many (the fixed-count cap) *)
+}
+
+val target :
+  ?confidence:float -> ?min_trials:int -> half_width:float ->
+  max_trials:int -> unit -> target
+(** Smart constructor (validates every field). Defaults: [confidence]
+    0.95, [min_trials] 100. [half_width = 0.] never stops early — the
+    adaptive machinery then degrades to the fixed-count run, which is
+    how the bench's fixed arm measures achieved widths. *)
+
+type decision = Stop | Continue
+
+val decide : target -> trials:int -> observation -> decision
+(** [Stop] iff [trials >= max_trials], or [trials >= min_trials] and the
+    achieved half-width has reached the target. Pure: same inputs, same
+    decision, on every jobs setting. *)

@@ -17,6 +17,16 @@ val variance : t -> float
 (** Unbiased sample variance; [nan] with fewer than two observations. *)
 
 val std : t -> float
+(** Square root of {!variance} — the UNBIASED SAMPLE convention
+    (divide by [n-1]). This is the right estimator here because a
+    summary always holds a sample of a larger trial population and its
+    spread feeds inference (separation judgments, the adaptive
+    runtime's [Sequential.mean_half_width]). Contrast
+    [Cachesec_experiments.Throughput.stddev_of], which deliberately
+    uses the POPULATION convention (divide by [n]) for bench error
+    bars over the complete set of repetitions. Both choices are pinned
+    by regression tests in test_stats. *)
+
 val min : t -> float
 val max : t -> float
 val total : t -> float

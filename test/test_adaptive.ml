@@ -1,0 +1,384 @@
+(* Sequential stopping + adaptive round scheduling.
+
+   The stats side (Sequential) is pure decision logic: quantile pins,
+   interval behavior at the edges, the target smart constructor, and
+   the decide semantics (min/max trials, the half_width = 0 measurement
+   mode). The runtime side (Adaptive) is checked structurally — every
+   round plan is a partition of the fixed Scheduler plan with
+   geometrically growing boundaries — and behaviorally: early stops
+   happen at round boundaries only, and an adaptive run is bit-identical
+   across jobs settings. *)
+
+open Cachesec_stats
+open Cachesec_runtime
+
+(* --- Sequential: inverse normal CDF ---------------------------------- *)
+
+let test_normal_quantile () =
+  (* Textbook pins, well inside Acklam's 1.2e-9 relative error. *)
+  Alcotest.(check (float 1e-6)) "median" 0. (Sequential.normal_quantile 0.5);
+  Alcotest.(check (float 1e-6)) "97.5%" 1.959964
+    (Sequential.normal_quantile 0.975);
+  Alcotest.(check (float 1e-6)) "2.5%" (-1.959964)
+    (Sequential.normal_quantile 0.025);
+  Alcotest.(check (float 1e-5)) "99.5%" 2.575829
+    (Sequential.normal_quantile 0.995);
+  (* Deep tail exercises the p < p_low rational branch. *)
+  Alcotest.(check (float 1e-5)) "0.1% tail" (-3.090232)
+    (Sequential.normal_quantile 0.001);
+  (* Symmetry across the two tail branches. *)
+  Alcotest.(check (float 1e-9)) "tails are symmetric"
+    (Sequential.normal_quantile 0.9999)
+    (-.Sequential.normal_quantile 0.0001);
+  List.iter
+    (fun p ->
+      Alcotest.check_raises
+        (Printf.sprintf "p=%g rejected" p)
+        (Invalid_argument "Sequential.normal_quantile: p must be in (0,1)")
+        (fun () -> ignore (Sequential.normal_quantile p)))
+    [ 0.; 1.; -0.5; 1.5; Float.nan ]
+
+let test_z_of_confidence () =
+  Alcotest.(check (float 1e-6)) "95%" 1.959964
+    (Sequential.z_of_confidence 0.95);
+  Alcotest.(check (float 1e-6)) "99%" 2.575829
+    (Sequential.z_of_confidence 0.99);
+  Alcotest.check_raises "confidence 1 rejected"
+    (Invalid_argument "Sequential.z_of_confidence: confidence must be in (0,1)")
+    (fun () -> ignore (Sequential.z_of_confidence 1.))
+
+(* --- Sequential: intervals ------------------------------------------- *)
+
+let test_wilson () =
+  (* Wilson stays strictly inside (0,1) at the degenerate observed
+     rates where Wald collapses to zero width. *)
+  let lo0, hi0 = Sequential.wilson ~successes:0. ~trials:50 ~confidence:0.95 in
+  Alcotest.(check (float 0.)) "all-miss lower bound" 0. lo0;
+  Alcotest.(check bool) "all-miss upper bound positive" true (hi0 > 0.);
+  let lo1, hi1 = Sequential.wilson ~successes:50. ~trials:50 ~confidence:0.95 in
+  Alcotest.(check (float 1e-12)) "all-hit upper bound" 1. hi1;
+  Alcotest.(check bool) "all-hit lower bound below 1" true (lo1 < 1.);
+  (* Interval brackets the observed rate and narrows with n. *)
+  let lo, hi = Sequential.wilson ~successes:30. ~trials:100 ~confidence:0.95 in
+  Alcotest.(check bool) "brackets p-hat" true (lo < 0.3 && 0.3 < hi);
+  let w n =
+    Sequential.wilson_half_width
+      ~successes:(0.3 *. float_of_int n)
+      ~trials:n ~confidence:0.95
+  in
+  Alcotest.(check bool) "narrows with trials" true (w 10000 < w 100);
+  Alcotest.check_raises "zero trials rejected"
+    (Invalid_argument "Sequential.wilson: trials must be positive") (fun () ->
+      ignore (Sequential.wilson ~successes:0. ~trials:0 ~confidence:0.95));
+  Alcotest.check_raises "successes > trials rejected"
+    (Invalid_argument "Sequential.wilson: successes must be in [0, trials]")
+    (fun () ->
+      ignore (Sequential.wilson ~successes:11. ~trials:10 ~confidence:0.95))
+
+let summary_of xs =
+  let s = Summary.create () in
+  List.iter (Summary.add s) xs;
+  s
+
+let test_mean_half_width () =
+  Alcotest.(check (float 0.)) "no observations" infinity
+    (Sequential.mean_half_width (Summary.create ()) ~confidence:0.95);
+  Alcotest.(check (float 0.)) "one observation" infinity
+    (Sequential.mean_half_width (summary_of [ 5. ]) ~confidence:0.95);
+  (* z * s / sqrt n against a hand computation: {2,4} has unbiased
+     sample std sqrt(2). *)
+  Alcotest.(check (float 1e-6)) "two observations"
+    (1.959964 *. sqrt 2. /. sqrt 2.)
+    (Sequential.mean_half_width (summary_of [ 2.; 4. ]) ~confidence:0.95)
+
+let test_achieved () =
+  let achieved = Sequential.achieved ~confidence:0.95 in
+  Alcotest.(check (float 0.)) "proportion with no trials" infinity
+    (achieved (Sequential.Proportion { successes = 0.; trials = 0 }));
+  Alcotest.(check (float 1e-9)) "proportion = wilson half-width"
+    (Sequential.wilson_half_width ~successes:30. ~trials:100 ~confidence:0.95)
+    (achieved (Sequential.Proportion { successes = 30.; trials = 100 }));
+  (* Mean_rel is relative to |mean|. *)
+  let s = summary_of [ 90.; 110.; 95.; 105. ] in
+  Alcotest.(check (float 1e-9)) "mean_rel = hw / |mean|"
+    (Sequential.mean_half_width s ~confidence:0.95 /. Summary.mean s)
+    (achieved (Sequential.Mean_rel s));
+  (* Degenerate-constant stream: the estimate cannot move, honest
+     half-width 0 — even when the constant is 0 itself. *)
+  Alcotest.(check (float 0.)) "constant stream" 0.
+    (achieved (Sequential.Mean_rel (summary_of [ 7.; 7.; 7. ])));
+  Alcotest.(check (float 0.)) "constant-zero stream" 0.
+    (achieved (Sequential.Mean_rel (summary_of [ 0.; 0.; 0. ])));
+  (* Zero mean WITH spread: relative precision undefined, run to cap. *)
+  Alcotest.(check (float 0.)) "zero mean with spread" infinity
+    (achieved (Sequential.Mean_rel (summary_of [ -1.; 1. ])));
+  Alcotest.(check (float 0.)) "below two observations" infinity
+    (achieved (Sequential.Mean_rel (summary_of [ 3. ])))
+
+(* --- Sequential: target + decide ------------------------------------- *)
+
+let test_target_validation () =
+  let t = Sequential.target ~half_width:0.05 ~max_trials:1000 () in
+  Alcotest.(check (float 0.)) "default confidence" 0.95
+    t.Sequential.confidence;
+  Alcotest.(check int) "default min_trials" 100 t.Sequential.min_trials;
+  List.iter
+    (fun (label, msg, thunk) ->
+      Alcotest.check_raises label (Invalid_argument msg) (fun () ->
+          ignore (thunk ())))
+    [
+      ( "bad confidence",
+        "Sequential.target: confidence must be in (0,1)",
+        fun () ->
+          Sequential.target ~confidence:1. ~half_width:0.05 ~max_trials:1000 ()
+      );
+      ( "negative half_width",
+        "Sequential.target: half_width must be non-negative",
+        fun () -> Sequential.target ~half_width:(-0.1) ~max_trials:1000 () );
+      ( "zero min_trials",
+        "Sequential.target: min_trials must be positive",
+        fun () ->
+          Sequential.target ~min_trials:0 ~half_width:0.05 ~max_trials:1000 ()
+      );
+      ( "cap below floor",
+        "Sequential.target: max_trials must be >= min_trials",
+        fun () ->
+          Sequential.target ~min_trials:100 ~half_width:0.05 ~max_trials:50 ()
+      );
+    ]
+
+let test_decide () =
+  let t =
+    Sequential.target ~min_trials:100 ~half_width:0.05 ~max_trials:1000 ()
+  in
+  (* Tight observation: wilson half-width at 500/1000 trials is ~0.03,
+     well under the 0.05 target. *)
+  let tight trials =
+    Sequential.Proportion { successes = 0.5 *. float_of_int trials; trials }
+  in
+  Alcotest.(check bool) "below min_trials never stops" true
+    (Sequential.decide t ~trials:50 (tight 50) = Sequential.Continue);
+  Alcotest.(check bool) "tight interval past the floor stops" true
+    (Sequential.decide t ~trials:500 (tight 500) = Sequential.Stop);
+  Alcotest.(check bool) "wide interval continues" true
+    (Sequential.decide t ~trials:150
+       (Sequential.Proportion { successes = 75.; trials = 150 })
+    = Sequential.Continue);
+  Alcotest.(check bool) "cap always stops" true
+    (Sequential.decide t ~trials:1000
+       (Sequential.Proportion { successes = 500.; trials = 1000 })
+    = Sequential.Stop);
+  (* Measurement mode: half_width = 0 never stops early, not even at an
+     achieved width of exactly 0 (degenerate-constant stream). *)
+  let m = Sequential.target ~half_width:0. ~max_trials:1000 () in
+  Alcotest.(check bool) "measurement mode ignores perfect precision" true
+    (Sequential.decide m ~trials:500
+       (Sequential.Mean_rel (summary_of [ 7.; 7.; 7. ]))
+    = Sequential.Continue);
+  Alcotest.(check bool) "measurement mode still stops at cap" true
+    (Sequential.decide m ~trials:1000
+       (Sequential.Mean_rel (summary_of [ 7.; 7.; 7. ]))
+    = Sequential.Stop)
+
+(* --- Adaptive: round plans ------------------------------------------- *)
+
+(* Structural invariants every plan must satisfy: the batches ARE the
+   fixed Scheduler plan (same indices, firsts, counts — adaptivity must
+   never change what any batch computes), and the boundaries strictly
+   increase to exactly the batch count. *)
+let check_plan_invariants ~total ~batch_size (p : Adaptive.plan) =
+  let fixed = Scheduler.plan ~total ~batch_size in
+  Alcotest.(check int)
+    (Printf.sprintf "total=%d bs=%d: batches = fixed plan" total batch_size)
+    (Array.length fixed)
+    (Array.length p.Adaptive.batches);
+  Array.iteri
+    (fun i (b : Scheduler.batch) ->
+      let f = fixed.(i) in
+      Alcotest.(check bool) "batch matches fixed plan" true
+        (b.Scheduler.index = f.Scheduler.index
+        && b.Scheduler.first = f.Scheduler.first
+        && b.Scheduler.count = f.Scheduler.count))
+    p.Adaptive.batches;
+  let bounds = p.Adaptive.boundaries in
+  let n = Array.length bounds in
+  Alcotest.(check bool) "at least one round when non-empty" true
+    (Array.length fixed = 0 || n > 0);
+  Array.iteri
+    (fun r b ->
+      Alcotest.(check bool) "boundaries strictly increase" true
+        (b > if r = 0 then 0 else bounds.(r - 1)))
+    bounds;
+  if n > 0 then
+    Alcotest.(check int) "last round covers every batch"
+      (Array.length fixed)
+      bounds.(n - 1)
+
+let test_plan_structure () =
+  List.iter
+    (fun (total, batch_size) ->
+      check_plan_invariants ~total ~batch_size
+        (Adaptive.plan ~total ~batch_size ()))
+    [ (1, 1); (10, 4); (100, 7); (275400, 512); (4096, 4096); (50, 100) ]
+
+let test_plan_geometry () =
+  (* start=100, factor=2 over 1000 trials in batches of 50: cumulative
+     round targets 100, 200, 400, 800, 1000 — each already on a batch
+     boundary. *)
+  let p = Adaptive.plan ~start:100 ~factor:2 ~total:1000 ~batch_size:50 () in
+  Alcotest.(check int) "rounds" 5 (Adaptive.rounds p);
+  Alcotest.(check (list int)) "cumulative trials"
+    [ 100; 200; 400; 800; 1000 ]
+    (List.init (Adaptive.rounds p) (Adaptive.round_trials p));
+  (* Targets that fall inside a batch round UP to its boundary. *)
+  let q = Adaptive.plan ~start:100 ~factor:2 ~total:1000 ~batch_size:64 () in
+  Alcotest.(check int) "round 0 rounds up to a batch boundary" 128
+    (Adaptive.round_trials q 0);
+  (* start <= 0 means one batch. *)
+  let r = Adaptive.plan ~total:1000 ~batch_size:64 () in
+  Alcotest.(check int) "default start is one batch" 64
+    (Adaptive.round_trials r 0);
+  Alcotest.check_raises "round_trials out of range"
+    (Invalid_argument "Adaptive.round_trials: round out of range") (fun () ->
+      ignore (Adaptive.round_trials p 5))
+
+let test_plan_empty () =
+  let p = Adaptive.plan ~total:0 ~batch_size:64 () in
+  Alcotest.(check int) "no batches" 0 (Array.length p.Adaptive.batches);
+  Alcotest.(check int) "no rounds" 0 (Adaptive.rounds p);
+  Alcotest.check_raises "submit refuses an empty plan"
+    (Invalid_argument "Adaptive.submit: empty plan for nothing") (fun () ->
+      ignore
+        (Adaptive.submit ~what:"nothing"
+           ~shard:(fun _ -> 0)
+           ~merge:( + )
+           ~keep_going:(fun ~trials:_ _ -> true)
+           p))
+
+(* QCheck sweep: the structural invariants hold for arbitrary
+   (total, batch_size, start, factor). *)
+let plan_partition_prop =
+  QCheck.Test.make ~count:200 ~name:"adaptive plan partitions the fixed plan"
+    QCheck.(
+      quad (int_range 0 10_000) (int_range 1 512) (int_range (-10) 2_000)
+        (int_range 2 5))
+    (fun (total, batch_size, start, factor) ->
+      (* The shrinker may step outside the generator ranges; clamp back
+         into the documented domain. *)
+      let total = Stdlib.max 0 total in
+      let batch_size = Stdlib.max 1 batch_size in
+      let start = Stdlib.max 0 start in
+      let factor = Stdlib.max 2 factor in
+      let p = Adaptive.plan ~start ~factor ~total ~batch_size () in
+      check_plan_invariants ~total ~batch_size p;
+      (* Cumulative trials at the final boundary cover the total. *)
+      let n = Adaptive.rounds p in
+      n = 0 || Adaptive.round_trials p (n - 1) = total)
+
+(* --- Adaptive: execution --------------------------------------------- *)
+
+let test_early_stop_at_round_boundary () =
+  (* Count shard invocations: with start=100/factor=2 over batches of
+     50 and a predicate that stops once 200 trials are merged, exactly
+     rounds 0 and 1 (4 batches, 200 trials) may run — never a partial
+     round, never a batch beyond the stopping boundary. *)
+  let ran = Atomic.make 0 in
+  let shard (b : Scheduler.batch) =
+    Atomic.incr ran;
+    b.Scheduler.count
+  in
+  let p = Adaptive.plan ~start:100 ~factor:2 ~total:1000 ~batch_size:50 () in
+  let progress =
+    Adaptive.run ~jobs:1 ~what:"early-stop" ~shard ~merge:( + )
+      ~keep_going:(fun ~trials _ -> trials < 200)
+      p
+  in
+  Alcotest.(check int) "stopped at the round-1 boundary" 200
+    progress.Adaptive.trials;
+  Alcotest.(check int) "merged partials cover exactly those trials" 200
+    progress.Adaptive.merged;
+  Alcotest.(check int) "no batch beyond the boundary ran" 4 (Atomic.get ran);
+  Alcotest.(check int) "rounds_run" 2 progress.Adaptive.rounds_run;
+  Alcotest.(check bool) "flagged as early" true progress.Adaptive.stopped_early;
+  Alcotest.(check int) "cap preserved" 1000 progress.Adaptive.cap
+
+let test_no_stop_runs_to_cap () =
+  let p = Adaptive.plan ~start:100 ~factor:2 ~total:1000 ~batch_size:50 () in
+  let progress =
+    Adaptive.run ~jobs:1 ~what:"to-cap"
+      ~shard:(fun b -> b.Scheduler.count)
+      ~merge:( + )
+      ~keep_going:(fun ~trials:_ _ -> true)
+      p
+  in
+  Alcotest.(check int) "every trial ran" 1000 progress.Adaptive.trials;
+  Alcotest.(check bool) "not early" false progress.Adaptive.stopped_early;
+  Alcotest.(check int) "all rounds ran" (Adaptive.rounds p)
+    progress.Adaptive.rounds_run
+
+let test_adaptive_jobs_invariant () =
+  (* A shard with real per-batch RNG and an order-sensitive merge
+     (string concatenation): serial, parallel and pipelined-parallel
+     runs must agree bit for bit, including the stopping point. *)
+  let shard (b : Scheduler.batch) =
+    let rng = Rng.create ~seed:(Rng.derive_seed 42 b.Scheduler.index) in
+    let acc = ref [] in
+    for _ = 1 to b.Scheduler.count do
+      acc := string_of_int (Rng.int rng 10) :: !acc
+    done;
+    String.concat "" (List.rev !acc)
+  in
+  let keep_going ~trials merged = trials < 300 && String.length merged < 250 in
+  let p = Adaptive.plan ~start:64 ~factor:2 ~total:2000 ~batch_size:64 () in
+  let run jobs =
+    Adaptive.run ~jobs ~what:"jobs-invariance" ~shard ~merge:( ^ ) ~keep_going p
+  in
+  let serial = run 1 in
+  let parallel = run 4 in
+  Alcotest.(check string) "jobs:1 = jobs:4 merged" serial.Adaptive.merged
+    parallel.Adaptive.merged;
+  Alcotest.(check int) "jobs:1 = jobs:4 trials" serial.Adaptive.trials
+    parallel.Adaptive.trials;
+  Alcotest.(check bool) "same stop flag"
+    serial.Adaptive.stopped_early parallel.Adaptive.stopped_early;
+  (* Pipelined: two adaptive campaigns submitted before any await, so
+     round-0 shards interleave on the pool queue. *)
+  let a = Adaptive.submit ~jobs:4 ~what:"pipe-a" ~shard ~merge:( ^ ) ~keep_going p in
+  let b = Adaptive.submit ~jobs:4 ~what:"pipe-b" ~shard ~merge:( ^ ) ~keep_going p in
+  let rb = Adaptive.await b in
+  let ra = Adaptive.await a in
+  Alcotest.(check string) "pipelined = sequential" serial.Adaptive.merged
+    ra.Adaptive.merged;
+  Alcotest.(check string) "pipelined campaigns agree" ra.Adaptive.merged
+    rb.Adaptive.merged
+
+let () =
+  Alcotest.run "adaptive"
+    [
+      ( "sequential",
+        [
+          Alcotest.test_case "normal quantile" `Quick test_normal_quantile;
+          Alcotest.test_case "z of confidence" `Quick test_z_of_confidence;
+          Alcotest.test_case "wilson interval" `Quick test_wilson;
+          Alcotest.test_case "mean half-width" `Quick test_mean_half_width;
+          Alcotest.test_case "achieved" `Quick test_achieved;
+          Alcotest.test_case "target validation" `Quick test_target_validation;
+          Alcotest.test_case "decide" `Quick test_decide;
+        ] );
+      ( "plan",
+        [
+          Alcotest.test_case "structure" `Quick test_plan_structure;
+          Alcotest.test_case "geometry" `Quick test_plan_geometry;
+          Alcotest.test_case "empty" `Quick test_plan_empty;
+          QCheck_alcotest.to_alcotest plan_partition_prop;
+        ] );
+      ( "execution",
+        [
+          Alcotest.test_case "early stop at round boundary" `Quick
+            test_early_stop_at_round_boundary;
+          Alcotest.test_case "no stop runs to cap" `Quick
+            test_no_stop_runs_to_cap;
+          Alcotest.test_case "jobs-invariant" `Quick
+            test_adaptive_jobs_invariant;
+        ] );
+    ]

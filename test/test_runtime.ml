@@ -277,7 +277,21 @@ let test_scheduler_fold_results () =
     (Scheduler.fold_results ~merge:( ^ ) [| "a"; "b"; "c" |]);
   Alcotest.check_raises "empty"
     (Invalid_argument "Scheduler.fold_results: empty results") (fun () ->
-      ignore (Scheduler.fold_results ~merge:( ^ ) [||]))
+      ignore (Scheduler.fold_results ~merge:( ^ ) [||]));
+  (* ?what names the campaign in the error, so an empty merge can be
+     traced to its submitter. *)
+  Alcotest.check_raises "empty with what"
+    (Invalid_argument "Scheduler.fold_results: empty evict-time partials")
+    (fun () ->
+      ignore
+        (Scheduler.fold_results ~what:"evict-time partials" ~merge:( ^ ) [||]));
+  (* The option variant makes emptiness a value, not an exception. *)
+  Alcotest.(check (option string))
+    "opt on empty" None
+    (Scheduler.fold_results_opt ~merge:( ^ ) [||]);
+  Alcotest.(check (option string))
+    "opt folds in index order" (Some "abc")
+    (Scheduler.fold_results_opt ~merge:( ^ ) [| "a"; "b"; "c" |])
 
 let test_scheduler_pipelined_submits () =
   (* Several families submitted before any await: results must equal the
@@ -393,6 +407,32 @@ let test_validation_matrix_pipelined_identical () =
     (matrix ~pipeline:true ~jobs:4);
   Alcotest.(check (list cell_testable))
     "pipelined jobs:1 = sequential jobs:4" reference
+    (matrix ~pipeline:true ~jobs:1)
+
+let test_adaptive_matrix_pipelined_identical () =
+  (* The adaptive analogue of the pipelined-identity contract: with
+     run-to-confidence stopping engaged, the full matrix — including
+     each cell's executed trial count and achieved half-width — must be
+     bit-identical across jobs:1 / jobs:4 and sequential / pipelined
+     submission. Stop decisions happen only at seed-determined round
+     boundaries on batch-order merges, so adaptivity adds no
+     nondeterminism. *)
+  let adaptive = { Validation.confidence = 0.95; ci_width = 0.05 } in
+  let matrix ~pipeline ~jobs =
+    Validation.cells ~pipeline ~adaptive
+      (Run.quick (Run.make ~seed:42 ~jobs ()))
+  in
+  let reference = matrix ~pipeline:false ~jobs:4 in
+  Alcotest.(check int) "36 cells" 36 (List.length reference);
+  (* Early stopping genuinely engaged: the matrix ran fewer trials than
+     its caps (the 0.05 target is loose enough for the easy cells). *)
+  Alcotest.(check bool) "some trials saved" true
+    (Validation.total_trials reference < Validation.total_caps reference);
+  Alcotest.(check (list cell_testable))
+    "adaptive pipelined jobs:4 = sequential jobs:4" reference
+    (matrix ~pipeline:true ~jobs:4);
+  Alcotest.(check (list cell_testable))
+    "adaptive pipelined jobs:1 = sequential jobs:4" reference
     (matrix ~pipeline:true ~jobs:1)
 
 let test_learning_curve_jobs_invariant () =
@@ -553,6 +593,8 @@ let () =
             test_validation_cells_jobs_invariant;
           Alcotest.test_case "validation matrix pipelined-identical" `Slow
             test_validation_matrix_pipelined_identical;
+          Alcotest.test_case "adaptive matrix pipelined-identical" `Slow
+            test_adaptive_matrix_pipelined_identical;
           Alcotest.test_case "learning curve jobs-invariant" `Quick
             test_learning_curve_jobs_invariant;
           Alcotest.test_case "pending combinators" `Quick

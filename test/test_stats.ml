@@ -282,6 +282,52 @@ let prop_summary_merge =
       && (Summary.count m < 2
          || Float.abs (Summary.variance m -. Summary.variance all) < 1e-6))
 
+let prop_summary_partition_merge =
+  (* Merging an ARBITRARY partition (any number of chunks, any sizes,
+     empty chunks included) in order equals one pass over the whole
+     stream — the exact shape of the trial runtime's batch-order fold,
+     where adaptive rounds merge a growing prefix of shard summaries. *)
+  qtest "merge of arbitrary partition = single pass"
+    QCheck.(list (list (float_bound_inclusive 100.)))
+    (fun chunks ->
+      let merged =
+        List.fold_left
+          (fun acc c -> Summary.merge acc (Summary.of_array (Array.of_list c)))
+          (Summary.create ()) chunks
+      in
+      let whole = Summary.of_array (Array.of_list (List.concat chunks)) in
+      Summary.count merged = Summary.count whole
+      && (Summary.count merged = 0
+         || Float.abs (Summary.mean merged -. Summary.mean whole) < 1e-6)
+      && (Summary.count merged < 2
+         || Float.abs (Summary.variance merged -. Summary.variance whole)
+            < 1e-6)
+      && (Summary.count merged = 0
+         || Summary.min merged = Summary.min whole
+            && Summary.max merged = Summary.max whole))
+
+let test_stddev_conventions () =
+  (* Two deliberate conventions, pinned so neither drifts into the
+     other: Summary.std divides by n-1 (unbiased sample — summaries
+     hold samples of a larger trial population and feed inference),
+     Throughput.stddev_of divides by n (population — bench error bars
+     over the complete set of repetitions). On {2,4}: sample std is
+     sqrt 2, population std is exactly 1. *)
+  check_close 1e-9 "Summary.std is unbiased sample (n-1)" (sqrt 2.)
+    (Summary.std (Summary.of_array [| 2.; 4. |]));
+  check_close 1e-9 "Throughput.stddev_of is population (n)" 1.
+    (Cachesec_experiments.Throughput.stddev_of [ 2.; 4. ]);
+  (* Same stream, same mean, different spread estimators. *)
+  let xs = [ 10.; 12.; 9.; 14.; 11. ] in
+  let sample = Summary.std (Summary.of_array (Array.of_list xs)) in
+  let population = Cachesec_experiments.Throughput.stddev_of xs in
+  Alcotest.(check bool) "population < sample on the same data" true
+    (population < sample);
+  let n = float_of_int (List.length xs) in
+  check_close 1e-9 "related by sqrt((n-1)/n)"
+    (sample *. sqrt ((n -. 1.) /. n))
+    population
+
 (* --- Histogram ------------------------------------------------------- *)
 
 let test_histogram_basic () =
@@ -334,6 +380,24 @@ let prop_histogram_merge =
       in
       let merged = Histogram.merge (mk xs) (mk ys) in
       let whole = mk (xs @ ys) in
+      Histogram.counts merged = Histogram.counts whole
+      && Histogram.underflow merged = Histogram.underflow whole
+      && Histogram.overflow merged = Histogram.overflow whole
+      && Histogram.total merged = Histogram.total whole)
+
+let prop_histogram_partition_merge =
+  qtest "merge of arbitrary partition = single pass"
+    QCheck.(list (list (float_bound_inclusive 20.)))
+    (fun chunks ->
+      let mk zs =
+        let h = Histogram.create ~lo:2. ~hi:12. ~bins:7 in
+        List.iter (Histogram.add h) zs;
+        h
+      in
+      let merged =
+        List.fold_left (fun acc c -> Histogram.merge acc (mk c)) (mk []) chunks
+      in
+      let whole = mk (List.concat chunks) in
       Histogram.counts merged = Histogram.counts whole
       && Histogram.underflow merged = Histogram.underflow whole
       && Histogram.overflow merged = Histogram.overflow whole
@@ -508,6 +572,9 @@ let () =
           Alcotest.test_case "empty" `Quick test_summary_empty;
           Alcotest.test_case "known values" `Quick test_summary_known;
           prop_summary_merge;
+          prop_summary_partition_merge;
+          Alcotest.test_case "stddev conventions" `Quick
+            test_stddev_conventions;
         ] );
       ( "histogram",
         [
@@ -516,6 +583,7 @@ let () =
           Alcotest.test_case "invalid" `Quick test_histogram_invalid;
           prop_histogram_conservation;
           prop_histogram_merge;
+          prop_histogram_partition_merge;
           Alcotest.test_case "merge incompatible" `Quick
             test_histogram_merge_incompatible;
         ] );
