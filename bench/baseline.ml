@@ -12,10 +12,12 @@
      make baseline            # all sections
      make baseline-cache      # any single section
 
-   NOTE: bench/BENCH_cache.seed.json is NOT re-recorded here — it is
-   the frozen pre-slab seed engine's numbers behind bench/main.exe's
-   hard "gate bench_cache" line, and moves only with an intentional
-   goalpost change committed by hand.
+   NOTE: bench/BENCH_cache.seed.json and bench/BENCH_attacks.seed.json
+   are NOT re-recorded here — they are the frozen goalposts behind
+   bench/main.exe's hard gates (the pre-slab seed engine's numbers for
+   "gate bench_cache"; the pre-batching harness's v1 numbers for
+   "gate bench_attacks"), and move only with an intentional goalpost
+   change committed by hand.
 
    The e2e section records the sequential-vs-pipelined campaign
    wall-clocks (quick scale) of the host it runs on — including its

@@ -41,12 +41,26 @@ type partial = { sums : float array; counts : int array; times : Summary.t }
 let empty_partial () =
   { sums = Array.make 256 0.; counts = Array.make 256 0; times = Summary.create () }
 
+(* In-place fold — see [Prime_probe.merge_into] for the single-consumer
+   argument that makes mutating the accumulator safe. *)
+let merge_into a b =
+  for i = 0 to 255 do
+    a.sums.(i) <- a.sums.(i) +. b.sums.(i);
+    a.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  Summary.merge_into a.times b.times
+
+(* Pure compatibility wrapper: copy, then fold. *)
 let merge_partial a b =
-  {
-    sums = Array.init 256 (fun i -> a.sums.(i) +. b.sums.(i));
-    counts = Array.init 256 (fun i -> a.counts.(i) + b.counts.(i));
-    times = Summary.merge a.times b.times;
-  }
+  let acc =
+    {
+      sums = Array.copy a.sums;
+      counts = Array.copy a.counts;
+      times = Summary.copy a.times;
+    }
+  in
+  merge_into acc b;
+  acc
 
 let observe p = Sequential.Mean_rel p.times
 

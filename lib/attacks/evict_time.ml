@@ -40,12 +40,26 @@ type partial = { sums : float array; counts : int array; times : Summary.t }
 let empty_partial () =
   { sums = Array.make 256 0.; counts = Array.make 256 0; times = Summary.create () }
 
+(* In-place fold — see [Prime_probe.merge_into] for the single-consumer
+   argument that makes mutating the accumulator safe. *)
+let merge_into a b =
+  for i = 0 to 255 do
+    a.sums.(i) <- a.sums.(i) +. b.sums.(i);
+    a.counts.(i) <- a.counts.(i) + b.counts.(i)
+  done;
+  Summary.merge_into a.times b.times
+
+(* Pure compatibility wrapper: copy, then fold. *)
 let merge_partial a b =
-  {
-    sums = Array.init 256 (fun i -> a.sums.(i) +. b.sums.(i));
-    counts = Array.init 256 (fun i -> a.counts.(i) + b.counts.(i));
-    times = Summary.merge a.times b.times;
-  }
+  let acc =
+    {
+      sums = Array.copy a.sums;
+      counts = Array.copy a.counts;
+      times = Summary.copy a.times;
+    }
+  in
+  merge_into acc b;
+  acc
 
 let observe p = Sequential.Mean_rel p.times
 
@@ -66,16 +80,26 @@ let run_span ~victim ~attacker_pid ~rng ~first ~count c =
   if c.lock_victim_tables then ignore (Victim.lock_tables victim);
   let ({ sums; counts; times } as part) = empty_partial () in
   let cfg = engine.Engine.config in
-  let stride = cfg.Config.ways * Config.sets cfg in
+  let sets = Config.sets cfg in
+  let ways = cfg.Config.ways in
+  let stride = ways * sets in
   let p = Bytes.create 16 in
+  (* Per-span eviction scratch: the [ways] conflict lines of the trial's
+     rotating base, refilled in place and replayed as one batched Fill
+     run (same addresses and order as [Attacker.evict_set]). *)
+  let ev = Array.make ways 0 in
   for trial = first + 1 to first + count do
     Victim.warm_tables victim;
     (* Fresh conflict lines every trial: each of the [ways] accesses is a
        miss, so the eviction pressure on the target set is full (with the
-       same lines, later trials mostly hit and evict nothing). The lines
-       are computed inline by [evict_set] — no per-trial list. *)
+       same lines, later trials mostly hit and evict nothing). *)
     let base = Attacker.default_base + (trial mod 4096 * stride) in
-    Attacker.evict_set engine ~pid:attacker_pid ~base target_set;
+    let aligned = base - (base mod sets) in
+    for k = 0 to ways - 1 do
+      Array.unsafe_set ev k (aligned + target_set + (k * sets))
+    done;
+    engine.Engine.access_run ~pid:attacker_pid ~trace:ev ~pos:0 ~len:ways
+      Kernel.Fill;
     Victim.random_plaintext_into rng p;
     let m = Victim.encrypt_misses victim p in
     let time = Timing.time_of_counts ~hits:(Aes.trace_length - m) ~misses:m in

@@ -21,18 +21,36 @@ let validate c =
 
 (* --- partial (mergeable) trial accumulators -------------------------- *)
 
-type partial = { hit_counts : float array; cand_hits : float array; span : int }
+type partial = {
+  hit_counts : float array;
+  cand_hits : float array;
+  mutable span : int;
+}
 
-let merge_partial a b =
+(* In-place fold — see [Prime_probe.merge_into] for the single-consumer
+   argument that makes mutating the accumulator safe. *)
+let merge_into a b =
   if Array.length a.hit_counts <> Array.length b.hit_counts then
-    invalid_arg "Flush_reload.merge_partial: line-count mismatch";
-  {
-    hit_counts =
-      Array.init (Array.length a.hit_counts) (fun i ->
-          a.hit_counts.(i) +. b.hit_counts.(i));
-    cand_hits = Array.init 256 (fun k -> a.cand_hits.(k) +. b.cand_hits.(k));
-    span = a.span + b.span;
-  }
+    invalid_arg "Flush_reload.merge_into: line-count mismatch";
+  for i = 0 to Array.length a.hit_counts - 1 do
+    a.hit_counts.(i) <- a.hit_counts.(i) +. b.hit_counts.(i)
+  done;
+  for k = 0 to 255 do
+    a.cand_hits.(k) <- a.cand_hits.(k) +. b.cand_hits.(k)
+  done;
+  a.span <- a.span + b.span
+
+(* Pure compatibility wrapper: copy, then fold. *)
+let merge_partial a b =
+  let acc =
+    {
+      hit_counts = Array.copy a.hit_counts;
+      cand_hits = Array.copy a.cand_hits;
+      span = a.span;
+    }
+  in
+  merge_into acc b;
+  acc
 
 (* Adaptive-runtime estimator: the best candidate's reload-hit rate, a
    proportion over the span — computed from the merged partial's
@@ -63,6 +81,12 @@ let run_span ~victim ~attacker_pid ~rng ~count c =
   let p = Bytes.create 16 in
   let flush_base = Aes_layout.base_line layout in
   let flush_count = Aes_layout.line_count layout in
+  (* Reload outcomes, written back by one batched Trace run per trial.
+     The engine draws (its own stream) group before the observation
+     draws (the experiment stream) instead of interleaving — distinct
+     streams, so both consume exactly the scalar sequence. *)
+  let out = Array.make nlines Outcome.hit in
+  let trace_mode = Kernel.Trace out in
   for _ = 1 to count do
     (* Flush the whole shared table region (all five tables) so later-
        round fetches cannot linger across trials. *)
@@ -74,12 +98,15 @@ let run_span ~victim ~attacker_pid ~rng ~count c =
     if c.victim_prefetch then Victim.warm_tables victim;
     Victim.random_plaintext_into rng p;
     Victim.encrypt_quiet_fast victim p;
-    (* Reload: classify each of the attacker's own access times. At
-       sigma = 0, [observe] draws nothing and [classify] returns the
-       true event, so the observation step reduces to [is_hit]. *)
+    (* Reload: one batched Trace run, then classify each outcome's
+       noisy time. At sigma = 0, [observe] draws nothing and [classify]
+       returns the true event, so the observation step reduces to
+       [is_hit]. *)
+    engine.Engine.access_run ~pid:attacker_pid ~trace:lines ~pos:0 ~len:nlines
+      trace_mode;
     let sigma = engine.Engine.sigma in
     for idx = 0 to nlines - 1 do
-      let o = engine.Engine.access ~pid:attacker_pid lines.(idx) in
+      let o = Array.unsafe_get out idx in
       hit.(idx) <-
         (if sigma = 0. then Outcome.is_hit o
          else Timing.classify (Timing.observe_outcome rng ~sigma o) = Outcome.Hit)

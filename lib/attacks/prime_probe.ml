@@ -21,21 +21,41 @@ let validate c =
 
 (* --- partial (mergeable) trial accumulators -------------------------- *)
 
-type partial = { miss_freq : float array; cand_hits : float array; span : int }
+type partial = {
+  miss_freq : float array;
+  cand_hits : float array;
+  mutable span : int;
+}
 (* miss_freq.(s) = #trials in the span where probing set s saw >= 1
    classified miss; cand_hits.(k) accumulates the miss indicator of the
    set candidate k predicts; [span] is the trial count folded in. *)
 
-let merge_partial a b =
+(* In-place fold for the campaign merge loops ([Driver.fold_partials]
+   consumes each partial exactly once into a running accumulator, so
+   mutating the left argument is safe and saves the per-merge array
+   pair). *)
+let merge_into a b =
   if Array.length a.miss_freq <> Array.length b.miss_freq then
-    invalid_arg "Prime_probe.merge_partial: set-count mismatch";
-  {
-    miss_freq =
-      Array.init (Array.length a.miss_freq) (fun s ->
-          a.miss_freq.(s) +. b.miss_freq.(s));
-    cand_hits = Array.init 256 (fun k -> a.cand_hits.(k) +. b.cand_hits.(k));
-    span = a.span + b.span;
-  }
+    invalid_arg "Prime_probe.merge_into: set-count mismatch";
+  for s = 0 to Array.length a.miss_freq - 1 do
+    a.miss_freq.(s) <- a.miss_freq.(s) +. b.miss_freq.(s)
+  done;
+  for k = 0 to 255 do
+    a.cand_hits.(k) <- a.cand_hits.(k) +. b.cand_hits.(k)
+  done;
+  a.span <- a.span + b.span
+
+(* Pure compatibility wrapper: copy, then fold. *)
+let merge_partial a b =
+  let acc =
+    {
+      miss_freq = Array.copy a.miss_freq;
+      cand_hits = Array.copy a.cand_hits;
+      span = a.span;
+    }
+  in
+  merge_into acc b;
+  acc
 
 (* Adaptive-runtime estimator: the best candidate's hit rate, a
    proportion over the span. Computed from the merged partial's existing

@@ -6,9 +6,12 @@ type t = {
   sets : int;
   ways : int;
   lines : int array;  (** set-major: [lines.(set * ways + k)] *)
-  true_misses : int array;  (** per-set scratch, overwritten by probes *)
-  classified : int array;
-  times : float array;
+  (* Per-set probe scratch, owned by the embedded Count counter: its
+     arrays ARE the plan's result buffers ([bin] = the set being
+     probed). The counter and the [Count] value wrapping it are built
+     once here so the trial loops allocate nothing. *)
+  counter : Kernel.counter;
+  count_mode : Kernel.mode;
 }
 
 let make ?(base = Attacker.default_base) engine ~pid =
@@ -18,70 +21,45 @@ let make ?(base = Attacker.default_base) engine ~pid =
     Array.init (sets * ways) (fun i ->
         Attacker.nth_conflict_line cfg ~base ~set:(i / ways) (i mod ways))
   in
-  {
-    engine;
-    pid;
-    sets;
-    ways;
-    lines;
-    true_misses = Array.make sets 0;
-    classified = Array.make sets 0;
-    times = Array.make sets 0.;
-  }
+  let counter = Kernel.make_counter ~bins:sets in
+  { engine; pid; sets; ways; lines; counter; count_mode = Kernel.Count counter }
 
 let sets t = t.sets
 let ways t = t.ways
 let line t ~set k = t.lines.((set * t.ways) + k)
 
+(* Prime: one batched Fill run — outcomes discarded, engine state and
+   RNG stream identical to the scalar access loop. *)
 let prime_set t set =
-  let off = set * t.ways in
-  for k = 0 to t.ways - 1 do
-    ignore (t.engine.Engine.access ~pid:t.pid t.lines.(off + k))
-  done
+  t.engine.Engine.access_run ~pid:t.pid ~trace:t.lines ~pos:(set * t.ways)
+    ~len:t.ways Kernel.Fill
 
 let prime_all t =
-  for set = 0 to t.sets - 1 do
-    prime_set t set
-  done
+  t.engine.Engine.access_run ~pid:t.pid ~trace:t.lines ~pos:0
+    ~len:(t.sets * t.ways) Kernel.Fill
 
+(* Probe: one batched Count run per set, folding into the set's scratch
+   slot. [Kernel.count_miss]/[count_hit] reproduce the scalar branch
+   exactly: at sigma = 0 no randomness is consumed, classified = true
+   misses and the time sum is the exact miss total; at sigma > 0 one
+   gaussian per access in access order — the same stream the scalar
+   [Timing.observe_outcome] loop consumed. *)
 let probe_set t rng set =
-  let off = set * t.ways in
-  let sigma = t.engine.Engine.sigma in
-  t.true_misses.(set) <- 0;
-  t.classified.(set) <- 0;
-  t.times.(set) <- 0.;
-  if sigma = 0. then
-    (* [Timing.observe] consumes no randomness and returns the exact
-       hit/miss constant at sigma = 0, and [Timing.classify] maps those
-       constants back to the true event — so the classified count equals
-       the true count and the time is the exact miss total (adding
-       hit_time = 0. per hit is a no-op, skipped). Bit-for-bit the same
-       results and the same RNG stream as the general branch, with no
-       float boxing in the loop. *)
-    for k = 0 to t.ways - 1 do
-      let o = t.engine.Engine.access ~pid:t.pid t.lines.(off + k) in
-      if Outcome.is_miss o then begin
-        t.true_misses.(set) <- t.true_misses.(set) + 1;
-        t.classified.(set) <- t.classified.(set) + 1;
-        t.times.(set) <- t.times.(set) +. Timing.miss_time
-      end
-    done
-  else
-    for k = 0 to t.ways - 1 do
-      let o = t.engine.Engine.access ~pid:t.pid t.lines.(off + k) in
-      let tm = Timing.observe_outcome rng ~sigma o in
-      if Outcome.is_miss o then t.true_misses.(set) <- t.true_misses.(set) + 1;
-      (match Timing.classify tm with
-      | Outcome.Miss -> t.classified.(set) <- t.classified.(set) + 1
-      | Outcome.Hit -> ());
-      t.times.(set) <- t.times.(set) +. tm
-    done
+  let c = t.counter in
+  c.Kernel.true_misses.(set) <- 0;
+  c.Kernel.classified.(set) <- 0;
+  c.Kernel.times.(set) <- 0.;
+  c.Kernel.bin <- set;
+  c.Kernel.sigma <- t.engine.Engine.sigma;
+  c.Kernel.noise <- rng;
+  t.engine.Engine.access_run ~pid:t.pid ~trace:t.lines ~pos:(set * t.ways)
+    ~len:t.ways t.count_mode
 
 let probe_all t rng =
   for set = 0 to t.sets - 1 do
     probe_set t rng set
   done
 
-let true_misses t set = t.true_misses.(set)
-let classified_misses t set = t.classified.(set)
-let time t set = t.times.(set)
+let true_misses t set = t.counter.Kernel.true_misses.(set)
+let classified_misses t set = t.counter.Kernel.classified.(set)
+let time t set = t.counter.Kernel.times.(set)

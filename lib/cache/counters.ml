@@ -76,6 +76,38 @@ let record t ~pid o =
   bump t.global o;
   bump (cell_for t pid) o
 
+(* --- hoisted-cell API for the batched run kernels -------------------- *)
+
+(* A batched [run] replays a whole trace for ONE pid, so the kernels
+   resolve the global and per-pid cells once per run and bump them with
+   the field-wise helpers below — no [Outcome.t] needed on the
+   Fill/Count paths. Each helper must leave the cells in exactly the
+   state [record] would with the equivalent outcome (the differential
+   fuzz and golden digests pin this). *)
+
+let global_cell t = t.global
+let cell t pid = cell_for t pid
+
+let cell_hit (c : cell) =
+  c.accesses <- c.accesses + 1;
+  c.hits <- c.hits + 1
+
+(* Miss served by a fill: [evictions] counts the displaced valid lines
+   (0 or 1 for set-associative fills, up to 2 for Newcache's conflict
+   invalidation + random victim). *)
+let cell_miss_cached (c : cell) ~evictions =
+  c.accesses <- c.accesses + 1;
+  c.misses <- c.misses + 1;
+  c.evictions <- c.evictions + evictions
+
+(* Miss served read-through (PL locked victim): no fill, no eviction. *)
+let cell_miss_uncached (c : cell) =
+  c.accesses <- c.accesses + 1;
+  c.misses <- c.misses + 1;
+  c.read_throughs <- c.read_throughs + 1
+
+let cell_record (c : cell) o = bump c o
+
 let record_flush t ~pid =
   t.global.flushes <- t.global.flushes + 1;
   let c = cell_for t pid in

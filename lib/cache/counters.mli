@@ -17,6 +17,31 @@ val record_flush : t -> pid:int -> unit
 val record_eviction : t -> count:int -> unit
 (** Extra evictions not tied to an access outcome (e.g. flush_all). *)
 
+(** {2 Hoisted cells (batched run kernels)}
+
+    A batched trace replay serves one pid, so the run kernels resolve
+    the global and per-pid accumulator cells once per run and bump them
+    field-wise per access — equivalent to {!record} with the matching
+    outcome, without materializing an [Outcome.t] on the Fill/Count
+    paths. *)
+
+type cell
+
+val global_cell : t -> cell
+val cell : t -> int -> cell
+(** The pid's accumulator cell (created on first use). *)
+
+val cell_hit : cell -> unit
+val cell_miss_cached : cell -> evictions:int -> unit
+(** Miss served by a fill displacing [evictions] valid lines (0/1 for
+    set-associative fills, up to 2 for Newcache). *)
+
+val cell_miss_uncached : cell -> unit
+(** Miss served read-through (PL locked victim). *)
+
+val cell_record : cell -> Outcome.t -> unit
+(** Bump one cell from a full outcome (the Trace-mode path). *)
+
 val global : t -> snapshot
 val for_pid : t -> int -> snapshot
 (** All-zero snapshot for a pid never seen. *)

@@ -5,6 +5,9 @@ type t = {
   kernel : string;
   slab_bytes : int;
   access : pid:int -> int -> Outcome.t;
+  access_run :
+    pid:int -> trace:int array -> pos:int -> len:int -> Kernel.mode -> unit;
+  run_kernel : string;
   peek : pid:int -> int -> bool;
   flush_line : pid:int -> int -> bool;
   flush_all : unit -> unit;

@@ -22,6 +22,18 @@ type t = {
           bytes (0 for wrappers without slabs of their own). *)
   access : pid:int -> int -> Outcome.t;
       (** one read of a memory line (line-number addressing) *)
+  access_run :
+    pid:int -> trace:int array -> pos:int -> len:int -> Kernel.mode -> unit;
+      (** batched replay of [trace.(pos) .. trace.(pos + len - 1)] for one
+          pid, accumulating per {!Kernel.mode}. Bit-identical to [len]
+          calls of [access] in state, RNG draws and counters; [Fill] and
+          [Count] modes never build an [Outcome.t]. *)
+  run_kernel : string;
+      (** which path serves [access_run]: a monomorphized kernel name,
+          ["generic"] (scalar [access] looped — wrappers and
+          non-monomorphized engines), or ["scalar"] (the [Kernel.Scalar]
+          selection: monomorphized scalar access under the generic loop —
+          the pre-batching cost model benched as the "scalar" rows). *)
   peek : pid:int -> int -> bool;
       (** non-mutating: would [access] hit right now? *)
   flush_line : pid:int -> int -> bool;

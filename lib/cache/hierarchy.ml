@@ -86,6 +86,10 @@ let engine t =
     kernel = t.l2.Engine.kernel;
     slab_bytes = t.l2.Engine.slab_bytes;
     access = (fun ~pid addr -> access t ~pid addr);
+    (* The batched run must route through the hierarchy's own access
+       (L1 probe + L2 fallback), not the L2's. *)
+    access_run = Kernel.run_of_scalar (fun ~pid addr -> access t ~pid addr);
+    run_kernel = Kernel.generic;
     peek =
       (fun ~pid addr ->
         (l1_for t ~pid).Engine.peek ~pid addr || t.l2.Engine.peek ~pid addr);

@@ -84,3 +84,79 @@ let access c (b : Backing.t) ~pid addr =
   in
   Counters.record b.Backing.counters ~pid outcome;
   outcome
+
+(* --- batched run kernel ------------------------------------------------ *)
+
+(* Batched replay: Trace replays the scalar miss tail verbatim;
+   Fill/Count skip both [Slab.victim] allocations and count evictions
+   directly — the conflict invalidation always displaces a valid line
+   ([cam_find] verified the tag), and invalidating it first means a
+   random victim landing on the same way correctly counts 0, exactly as
+   the scalar [Slab.victim] returning [None] there. *)
+let run (c : cam) (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let li = addr mod c.logical_lines in
+    let m = cam_find c s ~pid ~lindex:li in
+    if m >= 0 && Array.unsafe_get s.Slab.tags m = addr then begin
+      Array.unsafe_set s.Slab.last_use m seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      match mode with
+      | Kernel.Trace out ->
+        let conflict_evicted =
+          if m >= 0 then begin
+            let victim = Slab.victim s m in
+            cam_remove_entry_of c s m;
+            Slab.invalidate s m;
+            victim
+          end
+          else None
+        in
+        let way = Rng.int b.Backing.rng s.Slab.n in
+        let evicted = Slab.victim s way in
+        cam_remove_entry_of c s way;
+        Slab.fill s way ~tag:addr ~owner:pid ~seq;
+        s.Slab.aux.(way) <- li;
+        Hashtbl.replace c.table (cam_key c ~pid li) way;
+        let o =
+          {
+            Outcome.event = Miss;
+            cached = true;
+            fetched = Some addr;
+            evicted;
+            also_evicted = conflict_evicted;
+          }
+        in
+        Counters.cell_record g o;
+        Counters.cell_record p o;
+        Array.unsafe_set out k o
+      | Kernel.Fill | Kernel.Count _ ->
+        let conflict =
+          if m >= 0 then begin
+            cam_remove_entry_of c s m;
+            Slab.invalidate s m;
+            1
+          end
+          else 0
+        in
+        let way = Rng.int b.Backing.rng s.Slab.n in
+        let ev =
+          conflict + if Array.unsafe_get s.Slab.tags way >= 0 then 1 else 0
+        in
+        cam_remove_entry_of c s way;
+        Slab.fill s way ~tag:addr ~owner:pid ~seq;
+        s.Slab.aux.(way) <- li;
+        Hashtbl.replace c.table (cam_key c ~pid li) way;
+        Counters.cell_miss_cached g ~evictions:ev;
+        Counters.cell_miss_cached p ~evictions:ev;
+        (match mode with Kernel.Count cnt -> Kernel.count_miss cnt | _ -> ())
+    end
+  done;
+  b.Backing.seq <- seq0 + len

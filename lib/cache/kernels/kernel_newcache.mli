@@ -25,3 +25,10 @@ val cam_remove_entry_of : cam -> Slab.t -> int -> unit
 (** Drop the CAM entry of physical line [i] if it is valid. *)
 
 val access : cam -> Backing.t -> pid:int -> int -> Outcome.t
+
+val run :
+  cam -> Backing.t -> pid:int -> trace:int array -> pos:int -> len:int ->
+  Kernel.mode -> unit
+(** Batched trace replay — see {!Kernel_sa}. Fill/Count count the
+    conflict invalidation and random-victim displacement without
+    allocating either [Slab.victim] option. *)

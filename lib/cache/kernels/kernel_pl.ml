@@ -93,3 +93,108 @@ let access_random (b : Backing.t) ~pid addr =
   in
   Counters.record b.Backing.counters ~pid outcome;
   outcome
+
+(* --- batched run kernels ---------------------------------------------- *)
+
+(* Batched miss tail: the PL read-through check in front of the shared
+   SA fill epilogue. *)
+let finish_miss_pl (s : Slab.t) way ~pid ~addr ~seq g p (mode : Kernel.mode) k
+    =
+  if Array.unsafe_get s.Slab.locked way = 1 then begin
+    Counters.cell_miss_uncached g;
+    Counters.cell_miss_uncached p;
+    match mode with
+    | Kernel.Fill -> ()
+    | Kernel.Count c -> Kernel.count_miss c
+    | Kernel.Trace out -> Array.unsafe_set out k Outcome.miss_uncached
+  end
+  else Kernel_sa.finish_miss_fill s way ~pid ~addr ~seq g p mode k
+
+let run_lru (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let last_use = s.Slab.last_use in
+  let ways = s.Slab.ways in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let base = Kernel_sa.set_of b addr * ways in
+    let stop = base + ways in
+    let i = Slab.scan_tag tags addr base stop in
+    if i >= 0 then begin
+      Array.unsafe_set last_use i seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          Slab.scan_min last_use (base + 1) stop base
+            (Array.unsafe_get last_use base)
+      in
+      finish_miss_pl s way ~pid ~addr ~seq g p mode k
+    end
+  done;
+  b.Backing.seq <- seq0 + len
+
+let run_fifo (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let ways = s.Slab.ways in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let base = Kernel_sa.set_of b addr * ways in
+    let stop = base + ways in
+    let i = Slab.scan_tag tags addr base stop in
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          let fill_seq = s.Slab.fill_seq in
+          Slab.scan_min fill_seq (base + 1) stop base
+            (Array.unsafe_get fill_seq base)
+      in
+      finish_miss_pl s way ~pid ~addr ~seq g p mode k
+    end
+  done;
+  b.Backing.seq <- seq0 + len
+
+let run_random (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let ways = s.Slab.ways in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let base = Kernel_sa.set_of b addr * ways in
+    let stop = base + ways in
+    let i = Slab.scan_tag tags addr base stop in
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv else base + Rng.int b.Backing.rng ways
+      in
+      finish_miss_pl s way ~pid ~addr ~seq g p mode k
+    end
+  done;
+  b.Backing.seq <- seq0 + len

@@ -170,3 +170,121 @@ let access_random m (b : Backing.t) ~pid addr =
   in
   Counters.record b.Backing.counters ~pid outcome;
   outcome
+
+(* --- batched run kernels ---------------------------------------------- *)
+
+(* Batched miss tail: internal misses reuse the SA fill epilogue in
+   place; external misses draw set + way (same order as [miss_tail]),
+   fill there and swap the accessor's mappings. The swap lands after the
+   counter bumps instead of before — disjoint state, identical result. *)
+let finish_miss_rp m (b : Backing.t) (s : Slab.t) way ~pid ~addr ~logical ~seq
+    g p (mode : Kernel.mode) k =
+  if Array.unsafe_get s.Slab.tags way < 0
+     || Array.unsafe_get s.Slab.owners way = pid
+  then Kernel_sa.finish_miss_fill s way ~pid ~addr ~seq g p mode k
+  else begin
+    let s' = Rng.int b.Backing.rng b.Backing.sets in
+    let way' = (s' * s.Slab.ways) + Rng.int b.Backing.rng s.Slab.ways in
+    Kernel_sa.finish_miss_fill s way' ~pid ~addr ~seq g p mode k;
+    swap_mapping m ~sets:b.Backing.sets pid ~logical ~target_set:s'
+  end
+
+(* The permutation table is hoisted once per run: [swap_mapping] mutates
+   it in place (never replaces it) and [set_identity] cannot run
+   mid-replay, so the per-access [table_of] memo probe collapses to an
+   array read. *)
+
+let run_lru m (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let ways = s.Slab.ways in
+  let tbl = table_of m ~sets:b.Backing.sets pid in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let logical = Kernel_sa.set_of b addr in
+    let base = Array.unsafe_get tbl logical * ways in
+    let stop = base + ways in
+    let i = Slab.scan_tag_owned tags s.Slab.owners addr pid base stop in
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          let last_use = s.Slab.last_use in
+          Slab.scan_min last_use (base + 1) stop base
+            (Array.unsafe_get last_use base)
+      in
+      finish_miss_rp m b s way ~pid ~addr ~logical ~seq g p mode k
+    end
+  done;
+  b.Backing.seq <- seq0 + len
+
+let run_fifo m (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let ways = s.Slab.ways in
+  let tbl = table_of m ~sets:b.Backing.sets pid in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let logical = Kernel_sa.set_of b addr in
+    let base = Array.unsafe_get tbl logical * ways in
+    let stop = base + ways in
+    let i = Slab.scan_tag_owned tags s.Slab.owners addr pid base stop in
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv
+        else
+          let fill_seq = s.Slab.fill_seq in
+          Slab.scan_min fill_seq (base + 1) stop base
+            (Array.unsafe_get fill_seq base)
+      in
+      finish_miss_rp m b s way ~pid ~addr ~logical ~seq g p mode k
+    end
+  done;
+  b.Backing.seq <- seq0 + len
+
+let run_random m (b : Backing.t) ~pid ~trace ~pos ~len (mode : Kernel.mode) =
+  let s = b.Backing.slab in
+  let tags = s.Slab.tags in
+  let ways = s.Slab.ways in
+  let tbl = table_of m ~sets:b.Backing.sets pid in
+  let g = Counters.global_cell b.Backing.counters in
+  let p = Counters.cell b.Backing.counters pid in
+  let seq0 = b.Backing.seq in
+  for k = 0 to len - 1 do
+    let addr = Array.unsafe_get trace (pos + k) in
+    let seq = seq0 + k + 1 in
+    let logical = Kernel_sa.set_of b addr in
+    let base = Array.unsafe_get tbl logical * ways in
+    let stop = base + ways in
+    let i = Slab.scan_tag_owned tags s.Slab.owners addr pid base stop in
+    if i >= 0 then begin
+      Array.unsafe_set s.Slab.last_use i seq;
+      Kernel_sa.finish_hit g p mode k
+    end
+    else begin
+      let inv = Slab.scan_invalid tags base stop in
+      let way =
+        if inv >= 0 then inv else base + Rng.int b.Backing.rng ways
+      in
+      finish_miss_rp m b s way ~pid ~addr ~logical ~seq g p mode k
+    end
+  done;
+  b.Backing.seq <- seq0 + len

@@ -28,3 +28,19 @@ val swap_mapping : map -> sets:int -> int -> logical:int -> target_set:int -> un
 val access_lru : map -> Backing.t -> pid:int -> int -> Outcome.t
 val access_fifo : map -> Backing.t -> pid:int -> int -> Outcome.t
 val access_random : map -> Backing.t -> pid:int -> int -> Outcome.t
+
+(** {2 Batched trace replay} — see {!Kernel_sa}. External misses draw
+    set then way in the scalar order; the permutation table is hoisted
+    once per run (mutated in place, never replaced mid-replay). *)
+
+val run_lru :
+  map -> Backing.t -> pid:int -> trace:int array -> pos:int -> len:int ->
+  Kernel.mode -> unit
+
+val run_fifo :
+  map -> Backing.t -> pid:int -> trace:int array -> pos:int -> len:int ->
+  Kernel.mode -> unit
+
+val run_random :
+  map -> Backing.t -> pid:int -> trace:int array -> pos:int -> len:int ->
+  Kernel.mode -> unit

@@ -86,10 +86,19 @@ let flush_all t =
   Backing.flush_all t.b
 
 let engine ?(kernel = Kernel.Auto) t =
-  let access, kernel_name =
+  let generic ~pid addr = access t ~pid addr in
+  let access, run, kernel_name, run_name =
     match kernel with
-    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto -> (Kernel_newcache.access t.cam t.b, "newcache")
+    | Kernel.Generic ->
+      (generic, Kernel.run_of_scalar generic, Kernel.generic, Kernel.generic)
+    | Kernel.Auto ->
+      ( Kernel_newcache.access t.cam t.b,
+        Kernel_newcache.run t.cam t.b,
+        "newcache",
+        "newcache" )
+    | Kernel.Scalar ->
+      let a = Kernel_newcache.access t.cam t.b in
+      (a, Kernel.run_of_scalar a, "newcache", Kernel.scalar)
   in
   {
     Engine.name = Printf.sprintf "newcache-%d-logical" (logical_lines t);
@@ -98,6 +107,8 @@ let engine ?(kernel = Kernel.Auto) t =
     kernel = kernel_name;
     slab_bytes = Slab.bytes t.b.Backing.slab;
     access;
+    access_run = run;
+    run_kernel = run_name;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

@@ -107,19 +107,21 @@ let flush_all t = Backing.flush_all t.b
 let kernels =
   Kernel.table ~prefix:"pl"
     [
-      (Policy.Lru, Kernel_pl.access_lru);
-      (Policy.Random, Kernel_pl.access_random);
-      (Policy.Fifo, Kernel_pl.access_fifo);
+      (Policy.Lru, (Kernel_pl.access_lru, Kernel_pl.run_lru));
+      (Policy.Random, (Kernel_pl.access_random, Kernel_pl.run_random));
+      (Policy.Fifo, (Kernel_pl.access_fifo, Kernel_pl.run_fifo));
     ]
 
 let engine ?(kernel = Kernel.Auto) t =
-  let access, kernel_name =
-    match kernel with
-    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto -> (
-      match Kernel.pick kernels t.policy with
-      | Some (name, k) -> (k t.b, name)
-      | None -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic))
+  let generic ~pid addr = access t ~pid addr in
+  let access, run, kernel_name, run_name =
+    match (kernel, Kernel.pick kernels t.policy) with
+    | Kernel.Auto, Some (name, (a, r)) -> (a t.b, r t.b, name, name)
+    | Kernel.Scalar, Some (name, (a, _)) ->
+      let a = a t.b in
+      (a, Kernel.run_of_scalar a, name, Kernel.scalar)
+    | (Kernel.Auto | Kernel.Scalar), None | Kernel.Generic, _ ->
+      (generic, Kernel.run_of_scalar generic, Kernel.generic, Kernel.generic)
   in
   {
     Engine.name = Printf.sprintf "pl-%d-way" (config t).Config.ways;
@@ -128,6 +130,8 @@ let engine ?(kernel = Kernel.Auto) t =
     kernel = kernel_name;
     slab_bytes = Slab.bytes t.b.Backing.slab;
     access;
+    access_run = run;
+    run_kernel = run_name;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

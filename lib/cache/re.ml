@@ -94,6 +94,8 @@ let engine t =
     kernel = Kernel.generic;
     slab_bytes = Slab.bytes t.b.Backing.slab;
     access = (fun ~pid addr -> access t ~pid addr);
+    access_run = Kernel.run_of_scalar (fun ~pid addr -> access t ~pid addr);
+    run_kernel = Kernel.generic;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

@@ -14,15 +14,20 @@ let record t ~pid ~line ~hit ~kind =
 
 let wrap (e : Engine.t) =
   let t = { events = []; n = 0 } in
+  let logged_access ~pid line =
+    let o = e.Engine.access ~pid line in
+    record t ~pid ~line ~hit:(Outcome.is_hit o) ~kind:`Access;
+    o
+  in
   let wrapped =
     {
       e with
       Engine.name = e.Engine.name ^ "+recorder";
-      access =
-        (fun ~pid line ->
-          let o = e.Engine.access ~pid line in
-          record t ~pid ~line ~hit:(Outcome.is_hit o) ~kind:`Access;
-          o);
+      access = logged_access;
+      (* Inheriting the wrapped engine's batched path would bypass
+         recording — loop the logged access instead. *)
+      access_run = Kernel.run_of_scalar logged_access;
+      run_kernel = Kernel.generic;
       flush_line =
         (fun ~pid line ->
           let removed = e.Engine.flush_line ~pid line in

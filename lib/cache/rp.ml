@@ -83,19 +83,21 @@ let flush_all t = Backing.flush_all t.b
 let kernels =
   Kernel.table ~prefix:"rp"
     [
-      (Policy.Lru, Kernel_rp.access_lru);
-      (Policy.Random, Kernel_rp.access_random);
-      (Policy.Fifo, Kernel_rp.access_fifo);
+      (Policy.Lru, (Kernel_rp.access_lru, Kernel_rp.run_lru));
+      (Policy.Random, (Kernel_rp.access_random, Kernel_rp.run_random));
+      (Policy.Fifo, (Kernel_rp.access_fifo, Kernel_rp.run_fifo));
     ]
 
 let engine ?(kernel = Kernel.Auto) t =
-  let access, kernel_name =
-    match kernel with
-    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto -> (
-      match Kernel.pick kernels t.policy with
-      | Some (name, k) -> (k t.map t.b, name)
-      | None -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic))
+  let generic ~pid addr = access t ~pid addr in
+  let access, run, kernel_name, run_name =
+    match (kernel, Kernel.pick kernels t.policy) with
+    | Kernel.Auto, Some (name, (a, r)) -> (a t.map t.b, r t.map t.b, name, name)
+    | Kernel.Scalar, Some (name, (a, _)) ->
+      let a = a t.map t.b in
+      (a, Kernel.run_of_scalar a, name, Kernel.scalar)
+    | (Kernel.Auto | Kernel.Scalar), None | Kernel.Generic, _ ->
+      (generic, Kernel.run_of_scalar generic, Kernel.generic, Kernel.generic)
   in
   {
     Engine.name = Printf.sprintf "rp-%d-way" (config t).Config.ways;
@@ -104,6 +106,8 @@ let engine ?(kernel = Kernel.Auto) t =
     kernel = kernel_name;
     slab_bytes = Slab.bytes t.b.Backing.slab;
     access;
+    access_run = run;
+    run_kernel = run_name;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

@@ -57,27 +57,30 @@ let flush_all t = Backing.flush_all t.b
 let counters t = t.b.Backing.counters
 
 (* All seven policies are monomorphized for this engine (it is the
-   gated bench row and the hottest path). *)
+   gated bench row and the hottest path), each as a (scalar access,
+   batched run) twin pair bound together at build time. *)
 let kernels =
   Kernel.table ~prefix:"sa"
     [
-      (Policy.Lru, Kernel_sa.access_lru);
-      (Policy.Random, Kernel_sa.access_random);
-      (Policy.Fifo, Kernel_sa.access_fifo);
-      (Policy.Mru, Kernel_sa.access_mru);
-      (Policy.Lfu, Kernel_sa.access_lfu);
-      (Policy.Mfu, Kernel_sa.access_mfu);
-      (Policy.Plru, Kernel_sa.access_plru);
+      (Policy.Lru, (Kernel_sa.access_lru, Kernel_sa.run_lru));
+      (Policy.Random, (Kernel_sa.access_random, Kernel_sa.run_random));
+      (Policy.Fifo, (Kernel_sa.access_fifo, Kernel_sa.run_fifo));
+      (Policy.Mru, (Kernel_sa.access_mru, Kernel_sa.run_mru));
+      (Policy.Lfu, (Kernel_sa.access_lfu, Kernel_sa.run_lfu));
+      (Policy.Mfu, (Kernel_sa.access_mfu, Kernel_sa.run_mfu));
+      (Policy.Plru, (Kernel_sa.access_plru, Kernel_sa.run_plru));
     ]
 
 let engine ?(kernel = Kernel.Auto) t =
-  let access, kernel_name =
-    match kernel with
-    | Kernel.Generic -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic)
-    | Kernel.Auto -> (
-      match Kernel.pick kernels t.policy with
-      | Some (name, k) -> (k t.b, name)
-      | None -> ((fun ~pid addr -> access t ~pid addr), Kernel.generic))
+  let generic ~pid addr = access t ~pid addr in
+  let access, run, kernel_name, run_name =
+    match (kernel, Kernel.pick kernels t.policy) with
+    | Kernel.Auto, Some (name, (a, r)) -> (a t.b, r t.b, name, name)
+    | Kernel.Scalar, Some (name, (a, _)) ->
+      let a = a t.b in
+      (a, Kernel.run_of_scalar a, name, Kernel.scalar)
+    | (Kernel.Auto | Kernel.Scalar), None | Kernel.Generic, _ ->
+      (generic, Kernel.run_of_scalar generic, Kernel.generic, Kernel.generic)
   in
   {
     Engine.name = Printf.sprintf "sa-%d-way-%s" (config t).Config.ways
@@ -87,6 +90,8 @@ let engine ?(kernel = Kernel.Auto) t =
     kernel = kernel_name;
     slab_bytes = Slab.bytes t.b.Backing.slab;
     access;
+    access_run = run;
+    run_kernel = run_name;
     peek = (fun ~pid addr -> peek t ~pid addr);
     flush_line = (fun ~pid addr -> flush_line t ~pid addr);
     flush_all = (fun () -> flush_all t);

@@ -16,6 +16,16 @@ let setup_for ~(ctx : Run.ctx) spec (b : Scheduler.batch) =
 let fold_partials ~what merge parts =
   Scheduler.fold_results ~what:(what ^ " partials") ~merge parts
 
+(* Adapt an in-place [merge_into] to the scheduler's pure-merge shape:
+   both the index-order fold above and [Adaptive.await]'s round fold
+   consume each batch partial exactly once into a running left
+   accumulator, so folding the right side into the left and returning it
+   is equivalent to the pure merge — without allocating a fresh
+   accumulator (3 arrays + a summary per step) per batch. *)
+let in_place merge_into a b =
+  merge_into a b;
+  a
+
 (* --- pending campaigns ------------------------------------------------ *)
 
 (* A campaign whose shards have been dispatched onto the pool but whose
@@ -154,7 +164,7 @@ let submit_evict_time (ctx : Run.ctx) spec (c : Evict_time.config) =
   submit_campaign ~ctx
     ~name:("evict-time:" ^ Spec.name spec)
     ~default_batch:evict_time_batch ~total:c.Evict_time.trials
-    ~shard:(evict_time_shard ctx spec c) ~merge:Evict_time.merge_partial
+    ~shard:(evict_time_shard ctx spec c) ~merge:(in_place Evict_time.merge_into)
     ~finalize:(fun merged ->
       Evict_time.finalize ~victim:(victim_of ctx spec) c merged)
 
@@ -177,7 +187,7 @@ let submit_prime_probe (ctx : Run.ctx) spec (c : Prime_probe.config) =
   submit_campaign ~ctx
     ~name:("prime-probe:" ^ Spec.name spec)
     ~default_batch:prime_probe_batch ~total:c.Prime_probe.trials
-    ~shard:(prime_probe_shard ctx spec c) ~merge:Prime_probe.merge_partial
+    ~shard:(prime_probe_shard ctx spec c) ~merge:(in_place Prime_probe.merge_into)
     ~finalize:(fun merged ->
       Prime_probe.finalize ~victim:(victim_of ctx spec) c merged)
 
@@ -199,7 +209,7 @@ let submit_collision (ctx : Run.ctx) spec (c : Collision.config) =
   submit_campaign ~ctx
     ~name:("collision:" ^ Spec.name spec)
     ~default_batch:collision_batch ~total:c.Collision.trials
-    ~shard:(collision_shard ctx spec c) ~merge:Collision.merge_partial
+    ~shard:(collision_shard ctx spec c) ~merge:(in_place Collision.merge_into)
     ~finalize:(fun merged ->
       Collision.finalize ~victim:(victim_of ctx spec) c merged)
 
@@ -222,7 +232,7 @@ let submit_flush_reload (ctx : Run.ctx) spec (c : Flush_reload.config) =
   submit_campaign ~ctx
     ~name:("flush-reload:" ^ Spec.name spec)
     ~default_batch:flush_reload_batch ~total:c.Flush_reload.trials
-    ~shard:(flush_reload_shard ctx spec c) ~merge:Flush_reload.merge_partial
+    ~shard:(flush_reload_shard ctx spec c) ~merge:(in_place Flush_reload.merge_into)
     ~finalize:(fun merged ->
       Flush_reload.finalize ~victim:(victim_of ctx spec) c merged)
 
@@ -375,7 +385,7 @@ let submit_evict_time_adaptive (ctx : Run.ctx) spec ~target
   submit_adaptive_campaign ~ctx
     ~name:("evict-time:" ^ Spec.name spec ^ ":adaptive")
     ~default_batch:evict_time_batch ~target
-    ~shard:(evict_time_shard ctx spec c) ~merge:Evict_time.merge_partial
+    ~shard:(evict_time_shard ctx spec c) ~merge:(in_place Evict_time.merge_into)
     ~observe:(fun ~trials:_ p -> Evict_time.observe p)
     ~finalize:(fun ~trials:_ merged ->
       Evict_time.finalize ~victim:(victim_of ctx spec) c merged)
@@ -388,7 +398,7 @@ let submit_prime_probe_adaptive (ctx : Run.ctx) spec ~target
   submit_adaptive_campaign ~ctx
     ~name:("prime-probe:" ^ Spec.name spec ^ ":adaptive")
     ~default_batch:prime_probe_batch ~target
-    ~shard:(prime_probe_shard ctx spec c) ~merge:Prime_probe.merge_partial
+    ~shard:(prime_probe_shard ctx spec c) ~merge:(in_place Prime_probe.merge_into)
     ~observe:(fun ~trials:_ p -> Prime_probe.observe p)
     ~finalize:(fun ~trials:_ merged ->
       Prime_probe.finalize ~victim:(victim_of ctx spec) c merged)
@@ -401,7 +411,7 @@ let submit_collision_adaptive (ctx : Run.ctx) spec ~target
   submit_adaptive_campaign ~ctx
     ~name:("collision:" ^ Spec.name spec ^ ":adaptive")
     ~default_batch:collision_batch ~target
-    ~shard:(collision_shard ctx spec c) ~merge:Collision.merge_partial
+    ~shard:(collision_shard ctx spec c) ~merge:(in_place Collision.merge_into)
     ~observe:(fun ~trials:_ p -> Collision.observe p)
     ~finalize:(fun ~trials:_ merged ->
       Collision.finalize ~victim:(victim_of ctx spec) c merged)
@@ -414,7 +424,7 @@ let submit_flush_reload_adaptive (ctx : Run.ctx) spec ~target
   submit_adaptive_campaign ~ctx
     ~name:("flush-reload:" ^ Spec.name spec ^ ":adaptive")
     ~default_batch:flush_reload_batch ~target
-    ~shard:(flush_reload_shard ctx spec c) ~merge:Flush_reload.merge_partial
+    ~shard:(flush_reload_shard ctx spec c) ~merge:(in_place Flush_reload.merge_into)
     ~observe:(fun ~trials:_ p -> Flush_reload.observe p)
     ~finalize:(fun ~trials:_ merged ->
       Flush_reload.finalize ~victim:(victim_of ctx spec) c merged)

@@ -90,15 +90,21 @@ val run : ?quick:bool -> unit -> entry list
 (** End-to-end attack throughput: whole attack trials per second
     (prime → victim encryption → probe → scoring) through the real
     harness via each attack's [run_span] — the unit Driver shards fan
-    out — per attack class × representative architecture. Exported as
-    [BENCH_attacks.json] (schema [bench_attacks/v1], frozen format);
-    the committed [bench/BENCH_attacks.baseline.json] was recorded from
-    the pre-fast-path harness, so the [vs base] column is the speedup
-    the probe-plan fast path delivers. *)
+    out — per attack class × representative architecture × replay path.
+    Every case is measured twice in one run: [batched] (auto-selected
+    [access_run] kernels, the production path) and [scalar]
+    ([Kernel.Scalar]: the monomorphized per-access kernel looped by
+    [run_of_scalar], the exact pre-batching cost model), so the
+    batched/scalar ratio is a same-host controlled experiment. Exported
+    as [BENCH_attacks.json] (schema [bench_attacks/v2]; [v1] files,
+    which predate batching, still parse with their rows labelled
+    [scalar]). The gate compares current batched rows against the
+    committed baseline's scalar rows. *)
 module Attacks : sig
   type entry = {
     attack : string;  (** "prime-probe" | "evict-time" | "flush-reload" | "collision" *)
     arch : string;
+    path : string;  (** "batched" | "scalar" — replay path measured *)
     trials : int;  (** timed trials (after a warm-up span) *)
     seconds : float;
     per_sec : float;
@@ -113,36 +119,53 @@ module Attacks : sig
 
   val measure :
     ?seed:int -> ?trials:int -> ?repeats:int ->
+    ?kernel:Cachesec_cache.Kernel.selection ->
     string -> Cachesec_cache.Spec.t -> entry
   (** Time [trials] attack trials (one warm-up span of [trials/10]
       first), repeated [repeats] (default 3) times, keeping the fastest
       repetition — these rates feed a hard gate, and the minimum over
       repetitions is the standard estimator of unloaded cost (external
-      load only ever adds time). Raises [Invalid_argument] on an
-      unknown attack class. *)
+      load only ever adds time). [kernel] (default [Auto]) selects the
+      replay path and labels the row ([Auto] → ["batched"], [Scalar] →
+      ["scalar"]). Raises [Invalid_argument] on an unknown attack
+      class. *)
 
   val bench : Run.ctx -> entry list
-  (** Measure every class × arch case at the FULL trial counts — the
-      gate compares rates against a full-count baseline, and rates
-      only transfer when per-span fixed costs amortize identically on
-      both sides. [ctx.quick] economises on repetitions (2 instead of
-      3) rather than trials: variance, not bias. Each case is spanned
-      as [attacks:<class>:<arch>] with [trials_per_sec] / [trials]
-      gauges reported after its stopwatch has stopped. *)
+  (** Measure every class × arch × \{batched, scalar\} case at the FULL
+      trial counts — the gate compares rates against a full-count
+      baseline, and rates only transfer when per-span fixed costs
+      amortize identically on both sides. [ctx.quick] economises on
+      repetitions (2 instead of 3) rather than trials: variance, not
+      bias. Each case is spanned as [attacks:<class>:<arch>:<path>]
+      with [trials_per_sec] / [trials] gauges reported after its
+      stopwatch has stopped. *)
 
   val to_json : ?span_id:int -> entry list -> string
   val write : ?span_id:int -> path:string -> entry list -> unit
+
   val read : path:string -> entry list
-  val find : entry list -> attack:string -> arch:string -> entry option
+  (** Parses both [bench_attacks/v2] rows and pre-batching [v1] rows —
+      the latter carry no [path] field and are labelled ["scalar"],
+      which is what they measured. *)
+
+  val find :
+    entry list -> attack:string -> arch:string -> path:string -> entry option
 
   val min_speedup : entry list -> baseline:entry list -> attack:string -> float option
-  (** Worst-case speedup of [attack] across its measured architectures;
-      [None] without overlapping baseline rows. *)
+  (** Worst-case speedup of [attack]'s batched rows over the baseline's
+      scalar rows, across the measured architectures; [None] without
+      overlapping rows on both sides. *)
+
+  val hard_classes : string list
+  (** The classes whose gate result is a hard PASS/FAIL
+      (["prime-probe"; "evict-time"] — the two whose trial cost is
+      dominated by batched runs); the rest report without failing. *)
 
   val gate : ?threshold:float -> baseline:string -> entry list ->
     (string * float option * bool) list
-  (** Per attack class: [(class, min speedup vs the baseline file,
-      speedup >= threshold)]. Threshold defaults to 1.5. *)
+  (** Per attack class: [(class, min batched-vs-scalar speedup vs the
+      baseline file, speedup >= threshold)]. Threshold defaults to
+      1.3. *)
 
   val render : ?baseline:string -> entry list -> string
 end

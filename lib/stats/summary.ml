@@ -27,22 +27,37 @@ let min t = t.min
 let max t = t.max
 let total t = t.total
 
-let merge a b =
-  if a.n = 0 then { b with n = b.n }
-  else if b.n = 0 then { a with n = a.n }
+let copy t = { t with n = t.n }
+
+(* In-place Chan et al. parallel update: fold [b] into [a]. [b.mean]/
+   [b.m2] are read before any write to [a], so [merge_into t t] is also
+   well-defined (doubles the stream). *)
+let merge_into a b =
+  if b.n = 0 then ()
+  else if a.n = 0 then begin
+    a.n <- b.n;
+    a.mean <- b.mean;
+    a.m2 <- b.m2;
+    a.min <- b.min;
+    a.max <- b.max;
+    a.total <- b.total
+  end
   else begin
     let n = a.n + b.n in
-    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int (a.n + b.n) in
+    let fa = float_of_int a.n and fb = float_of_int b.n and fn = float_of_int n in
     let delta = b.mean -. a.mean in
-    {
-      n;
-      mean = a.mean +. (delta *. fb /. fn);
-      m2 = a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn);
-      min = Float.min a.min b.min;
-      max = Float.max a.max b.max;
-      total = a.total +. b.total;
-    }
+    a.mean <- a.mean +. (delta *. fb /. fn);
+    a.m2 <- a.m2 +. b.m2 +. (delta *. delta *. fa *. fb /. fn);
+    a.n <- n;
+    a.min <- Float.min a.min b.min;
+    a.max <- Float.max a.max b.max;
+    a.total <- a.total +. b.total
   end
+
+let merge a b =
+  let acc = copy a in
+  merge_into acc b;
+  acc
 
 let of_array xs =
   let t = create () in

@@ -34,5 +34,13 @@ val merge : t -> t -> t
 (** [merge a b] is a fresh accumulator equivalent to having seen both
     streams (Chan et al. parallel update). *)
 
+val merge_into : t -> t -> unit
+(** [merge_into a b] folds [b]'s stream into [a] in place (same update
+    as {!merge}, no allocation). [b] is unchanged. *)
+
+val copy : t -> t
+(** Independent snapshot: later [add]/[merge_into] on either side does
+    not affect the other. *)
+
 val of_array : float array -> t
 val pp : Format.formatter -> t -> unit

@@ -14,7 +14,13 @@
    through the same op stream. Cells without a monomorphized kernel
    (sp, nomo, rf, re) run both arms through the same generic code by
    construction; they stay in the matrix so the cell list never needs
-   editing when a kernel is added for them. *)
+   editing when a kernel is added for them.
+
+   A second QCheck suite fuzzes the batched [access_run] twins against
+   the scalar-looping generic fallback in all three accumulation modes
+   (Fill / Count / Trace) with runs that straddle locks, RF window
+   rotations and full flushes — see "batched-replay differential fuzz"
+   below. *)
 
 open Cachesec_stats
 open Cachesec_cache
@@ -155,24 +161,147 @@ let expected_kernel spec =
 let test_kernel_selection () =
   List.iter
     (fun spec ->
-      let rng = Rng.create ~seed:7 in
-      let auto = Factory.build spec scenario ~rng:(Rng.split rng) in
-      let rng = Rng.create ~seed:7 in
-      let forced =
-        Factory.build ~kernel:Kernel.Generic spec scenario ~rng:(Rng.split rng)
+      let build kernel =
+        let rng = Rng.create ~seed:7 in
+        Factory.build ~kernel spec scenario ~rng:(Rng.split rng)
       in
+      let auto = build Kernel.Auto in
+      let forced = build Kernel.Generic in
+      let scalar = build Kernel.Scalar in
       Alcotest.(check string)
         (case_name spec ^ " forced generic")
         Kernel.generic forced.Engine.kernel;
+      Alcotest.(check string)
+        (case_name spec ^ " forced generic run")
+        Kernel.generic forced.Engine.run_kernel;
       match expected_kernel spec with
       | Some k ->
         Alcotest.(check string) (case_name spec ^ " auto kernel") k
-          auto.Engine.kernel
+          auto.Engine.kernel;
+        (* The batched twin must be live wherever the scalar kernel is —
+           a silent fall-back to the generic run loop would leave every
+           digest green (bit-identical by contract) while quietly
+           un-batching the attack hot paths. *)
+        Alcotest.(check string) (case_name spec ^ " auto run kernel") k
+          auto.Engine.run_kernel;
+        (* [Scalar] = monomorphized per-access kernel looped by the
+           generic run wrapper: the bench's pre-batching cost model. *)
+        Alcotest.(check string) (case_name spec ^ " scalar kernel") k
+          scalar.Engine.kernel;
+        Alcotest.(check string)
+          (case_name spec ^ " scalar run label")
+          Kernel.scalar scalar.Engine.run_kernel
       | None ->
         Alcotest.(check string)
           (case_name spec ^ " auto falls back to generic")
-          Kernel.generic auto.Engine.kernel)
+          Kernel.generic auto.Engine.kernel;
+        Alcotest.(check string)
+          (case_name spec ^ " auto run falls back to generic")
+          Kernel.generic auto.Engine.run_kernel)
     (cells ())
+
+(* --- batched-replay differential fuzz ------------------------------- *)
+
+(* [access_run] under [Auto] (the batched per-(arch, policy) run
+   kernels) vs under [Generic] ([run_of_scalar] looping the generic
+   scalar access — the differential oracle), hammered with seed-derived
+   random programs of batched runs in all three modes interleaved with
+   exactly the scalar ops a run must straddle: lock/unlock, RF window
+   rotation, line flushes, full flushes. Observables per program: every
+   Trace outcome, the Count scratch (true/classified/time sums), a
+   draw-count probe on the classification stream, scalar-access
+   outcomes, and the final counters + line dump. *)
+
+let batched_program ~seed kernel spec =
+  let rng = Rng.create ~seed in
+  let engine = Factory.build ~kernel spec scenario ~rng:(Rng.split rng) in
+  let noise = Rng.create ~seed:(seed lxor 0x5EED1) in
+  let counter = Kernel.make_counter ~bins:4 in
+  counter.Kernel.noise <- noise;
+  let buf = Buffer.create 4096 in
+  let addr rng = if Rng.bool rng then Rng.int rng 600 else Rng.int rng 4096 in
+  for _ = 1 to 40 do
+    let pid = Rng.int rng 3 in
+    let r = Rng.int rng 100 in
+    if r < 55 then begin
+      (* One batched run: random length (0 = must be a no-op), placed at
+         a random offset inside a larger scratch so [pos] <> 0 and
+         trailing slack are both exercised. *)
+      let len = Rng.int rng 49 in
+      let pos = Rng.int rng 4 in
+      let trace = Array.init (pos + len + 2) (fun _ -> addr rng) in
+      match Rng.int rng 3 with
+      | 0 ->
+        engine.Engine.access_run ~pid ~trace ~pos ~len Kernel.Fill;
+        Buffer.add_string buf (Printf.sprintf "F%d/%d;" pid len)
+      | 1 ->
+        counter.Kernel.bin <- Rng.int rng 4;
+        counter.Kernel.sigma <- (if Rng.bool rng then 0. else 0.25);
+        engine.Engine.access_run ~pid ~trace ~pos ~len (Kernel.Count counter);
+        Buffer.add_string buf (Printf.sprintf "C%d/%d;" pid len)
+      | _ ->
+        let out = Array.make (max len 1) Outcome.hit in
+        engine.Engine.access_run ~pid ~trace ~pos ~len (Kernel.Trace out);
+        Buffer.add_string buf (Printf.sprintf "T%d/" pid);
+        for k = 0 to len - 1 do
+          Buffer.add_string buf (fmt_outcome out.(k));
+          Buffer.add_char buf ','
+        done;
+        Buffer.add_char buf ';'
+    end
+    else if r < 70 then
+      Buffer.add_string buf
+        (Printf.sprintf "a%s;" (fmt_outcome (engine.Engine.access ~pid (addr rng))))
+    else if r < 77 then
+      Buffer.add_string buf
+        (Printf.sprintf "l%b;" (engine.Engine.lock_line ~pid (addr rng)))
+    else if r < 83 then
+      Buffer.add_string buf
+        (Printf.sprintf "u%b;" (engine.Engine.unlock_line ~pid (addr rng)))
+    else if r < 90 then
+      Buffer.add_string buf
+        (Printf.sprintf "f%b;" (engine.Engine.flush_line ~pid (addr rng)))
+    else if r < 96 then begin
+      let back = Rng.int rng 4 and fwd = Rng.int rng 4 in
+      engine.Engine.set_window ~pid ~back ~fwd;
+      Buffer.add_string buf "w;"
+    end
+    else begin
+      engine.Engine.flush_all ();
+      Buffer.add_string buf "X;"
+    end
+  done;
+  (* Count scratch ([%h] so float sums compare bit-for-bit), then one
+     probe draw — if either arm consumed a different number of
+     classification draws, this value diverges even when the sums
+     happen to agree. *)
+  for b = 0 to 3 do
+    Buffer.add_string buf
+      (Printf.sprintf "c%d=%d/%d/%h;" b
+         counter.Kernel.true_misses.(b)
+         counter.Kernel.classified.(b)
+         counter.Kernel.times.(b))
+  done;
+  Buffer.add_string buf (Printf.sprintf "n=%d;" (Rng.int noise 1_000_000));
+  Buffer.add_string buf
+    (String.concat " | "
+       [
+         fmt_snapshot (engine.Engine.counters ());
+         fmt_snapshot (engine.Engine.counters_for 0);
+         fmt_snapshot (engine.Engine.counters_for 1);
+         fmt_snapshot (engine.Engine.counters_for 2);
+         fmt_dump (engine.Engine.dump ());
+       ]);
+  Buffer.contents buf
+
+let test_batched_cell spec =
+  QCheck_alcotest.to_alcotest
+    (QCheck.Test.make ~count:25
+       ~name:(case_name spec ^ " batched = scalar")
+       QCheck.(int_range 0 0xFFFFFF)
+       (fun seed ->
+         batched_program ~seed Kernel.Auto spec
+         = batched_program ~seed Kernel.Generic spec))
 
 let () =
   Alcotest.run "kernels"
@@ -187,4 +316,5 @@ let () =
           (fun spec ->
             Alcotest.test_case (case_name spec) `Quick (test_cell spec))
           (cells ()) );
+      ("batched-fuzz", List.map test_batched_cell (cells ()));
     ]
